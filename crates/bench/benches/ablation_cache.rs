@@ -1,0 +1,67 @@
+//! Ablation: the data-cache model.
+//!
+//! Section 5 of the paper explains the `VECTOR_SIZE` sensitivity of the
+//! non-vectorized phases (1 and 8) with L1 data-cache misses (Table 6).  This
+//! harness runs the optimized mini-app with the full cache hierarchy and with
+//! a flat always-hit memory, and reports the phase-8 cycle growth between
+//! `VECTOR_SIZE = 16` and `512` in both cases: with a flat memory the growth
+//! (mostly) disappears, confirming the cache hierarchy is what produces the
+//! paper's Figure 9 curves.
+
+use lv_bench::{bench_elements, print_table};
+use lv_core::experiment::{Runner, SweepConfig};
+use lv_core::RunKey;
+use lv_kernel::OptLevel;
+use lv_metrics::Table;
+use lv_sim::memory::MemoryModel;
+use lv_sim::platform::PlatformKind;
+
+fn phase_growth(model: MemoryModel, elements: usize, phase: u8) -> (f64, f64) {
+    let mut runner = Runner::new(SweepConfig {
+        min_elements: elements,
+        vector_sizes: vec![16, 512],
+        memory_model: model,
+        ..SweepConfig::default()
+    });
+    let small = runner
+        .metrics(RunKey::optimized(PlatformKind::RiscvVec, 16, OptLevel::Vec1))
+        .phase(phase)
+        .cycles;
+    let large = runner
+        .metrics(RunKey::optimized(PlatformKind::RiscvVec, 512, OptLevel::Vec1))
+        .phase(phase)
+        .cycles;
+    (small, large)
+}
+
+fn main() {
+    let elements = bench_elements();
+    println!("=== Ablation: cache hierarchy vs flat memory (phase-8 VECTOR_SIZE sensitivity) ===\n");
+
+    let mut table = Table::new(
+        "Phase-8 cycles at VECTOR_SIZE 16 and 512",
+        &["memory model", "VS=16", "VS=512", "growth"],
+    );
+    let mut growths = Vec::new();
+    for (label, model) in [("L1+L2 caches", MemoryModel::Caches), ("flat memory", MemoryModel::Flat)] {
+        let (small, large) = phase_growth(model, elements, 8);
+        let growth = large / small;
+        growths.push(growth);
+        table.add_row(vec![
+            label.into(),
+            format!("{small:.0}"),
+            format!("{large:.0}"),
+            format!("{growth:.2}x"),
+        ]);
+    }
+    print_table(&table);
+
+    assert!(
+        growths[0] > growths[1],
+        "the cache model must be responsible for the extra phase-8 growth"
+    );
+    println!(
+        "phase-8 cycle growth 16 -> 512: {:.2}x with caches, {:.2}x with flat memory",
+        growths[0], growths[1]
+    );
+}

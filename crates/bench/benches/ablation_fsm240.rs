@@ -1,0 +1,72 @@
+//! Ablation: the "multiple of 40" FSM throughput effect.
+//!
+//! The paper's co-design feedback to the hardware team is that the RISC-V VEC
+//! prototype is faster at vector length 240 than at its full 256-element
+//! capacity, because the Vitruvius FSM processes groups of 8 lanes × 5 steps.
+//! This harness runs the fully-optimized mini-app at `VECTOR_SIZE` 240 and
+//! 256 with the FSM effect enabled (the default platform model) and disabled,
+//! showing that the 240-beats-256 result disappears without it.
+
+use lv_bench::{bench_elements, print_table};
+use lv_core::experiment::{Runner, SweepConfig};
+use lv_core::RunKey;
+use lv_kernel::OptLevel;
+use lv_metrics::Table;
+use lv_mesh::BoxMeshBuilder;
+use lv_sim::platform::{Platform, PlatformKind};
+use lv_kernel::{KernelConfig, SimulatedMiniApp};
+
+fn cycles_with_platform(platform: Platform, vs: usize, elements: usize) -> f64 {
+    let mesh = BoxMeshBuilder::with_at_least(elements).lid_driven_cavity().build();
+    let app = SimulatedMiniApp::new(&mesh, KernelConfig::new(vs, OptLevel::Vec1));
+    app.run(platform, true).total_cycles()
+}
+
+fn main() {
+    let elements = bench_elements();
+    println!("=== Ablation: FSM x40 sweet spot (VECTOR_SIZE 240 vs 256) ===\n");
+
+    // Reference numbers through the standard runner (FSM enabled).
+    let mut runner = Runner::new(SweepConfig {
+        min_elements: elements,
+        vector_sizes: vec![240, 256],
+        ..SweepConfig::default()
+    });
+    let enabled_240 = runner.cycles(RunKey::optimized(PlatformKind::RiscvVec, 240, OptLevel::Vec1));
+    let enabled_256 = runner.cycles(RunKey::optimized(PlatformKind::RiscvVec, 256, OptLevel::Vec1));
+
+    // Same runs with the FSM effect switched off.
+    let mut no_fsm = Platform::riscv_vec();
+    no_fsm.fsm_chunk = None;
+    no_fsm.fsm_penalty = 1.0;
+    let disabled_240 = cycles_with_platform(no_fsm, 240, elements);
+    let disabled_256 = cycles_with_platform(no_fsm, 256, elements);
+
+    let mut table = Table::new(
+        "FSM ablation: total cycles of the fully optimized mini-app",
+        &["configuration", "VS=240", "VS=256", "240/256 ratio"],
+    );
+    table.add_row(vec![
+        "FSM effect modelled (prototype)".into(),
+        format!("{enabled_240:.0}"),
+        format!("{enabled_256:.0}"),
+        format!("{:.3}", enabled_240 / enabled_256),
+    ]);
+    table.add_row(vec![
+        "FSM effect disabled".into(),
+        format!("{disabled_240:.0}"),
+        format!("{disabled_256:.0}"),
+        format!("{:.3}", disabled_240 / disabled_256),
+    ]);
+    print_table(&table);
+
+    assert!(
+        enabled_240 <= enabled_256,
+        "with the FSM effect, VS=240 must not be slower than VS=256"
+    );
+    println!(
+        "with the FSM model VS=240 is {:.1}% faster than VS=256; without it the gap is {:.1}%",
+        100.0 * (1.0 - enabled_240 / enabled_256),
+        100.0 * (1.0 - disabled_240 / disabled_256)
+    );
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 10: vector occupancy per phase.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig10_occupancy`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 10: vector occupancy per phase", &runner);
+    let table = reproduce::fig10_occupancy(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 11: speed-up vs scalar VECTOR_SIZE=16 on RISC-V VEC.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig11_speedup_riscv`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 11: speed-up vs scalar VECTOR_SIZE=16 on RISC-V VEC", &runner);
+    let table = reproduce::fig11_speedup(&mut runner);
+    print_table(&table);
+}

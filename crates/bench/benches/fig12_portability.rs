@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 12: speed-up of the optimizations on the three platforms.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig12_portability`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 12: speed-up of the optimizations on the three platforms", &runner);
+    let table = reproduce::fig12_portability(&mut runner);
+    print_table(&table);
+}

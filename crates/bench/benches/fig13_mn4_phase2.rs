@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 13: MareNostrum 4 overall and phase-2 speed-up.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig13_mn4_phase2`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 13: MareNostrum 4 overall and phase-2 speed-up", &runner);
+    let table = reproduce::fig13_mn4_phase2(&mut runner);
+    print_table(&table);
+}

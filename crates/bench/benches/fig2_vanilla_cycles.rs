@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 2: total cycles of the vanilla auto-vectorized mini-app.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig2_vanilla_cycles`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 2: total cycles of the vanilla auto-vectorized mini-app", &runner);
+    let table = reproduce::fig2_vanilla_total_cycles(&mut runner);
+    print_table(&table);
+}

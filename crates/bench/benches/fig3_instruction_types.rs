@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 3: number and type of vector instructions.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig3_instruction_types`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 3: number and type of vector instructions", &runner);
+    let table = reproduce::fig3_instruction_types(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 4: percentage of cycles per phase (vanilla).
+//!
+//! Run with `cargo bench -p lv-bench --bench fig4_phase_breakdown`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 4: percentage of cycles per phase (vanilla)", &runner);
+    let table = reproduce::fig4_phase_share_vanilla(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 5: phase-2 cycles, original vs VEC2.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig5_phase2_vec2`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 5: phase-2 cycles, original vs VEC2", &runner);
+    let table = reproduce::fig5_fig6_phase2_cycles(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 7: phase-1 cycles, original vs VEC1.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig7_phase1_vec1`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 7: phase-1 cycles, original vs VEC1", &runner);
+    let table = reproduce::fig7_phase1_cycles(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 8: percentage of cycles per phase after all optimizations.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig8_breakdown_optimized`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 8: percentage of cycles per phase after all optimizations", &runner);
+    let table = reproduce::fig8_phase_share_optimized(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Figure 9: cycles relative to VECTOR_SIZE=16 per phase.
+//!
+//! Run with `cargo bench -p lv-bench --bench fig9_relative_cycles`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Figure 9: cycles relative to VECTOR_SIZE=16 per phase", &runner);
+    let table = reproduce::fig9_relative_cycles(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,12 @@
+//! Bench harness regenerating Table 2: platform characteristics.
+//!
+//! Run with `cargo bench -p lv-bench --bench table2_platforms`.
+
+use lv_bench::print_table;
+use lv_core::reproduce;
+
+fn main() {
+    println!("=== Table 2: platform characteristics ===\n");
+    let table = reproduce::table2_platforms();
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Table 3: percentage of cycles per phase, scalar run.
+//!
+//! Run with `cargo bench -p lv-bench --bench table3_scalar_phase_cycles`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Table 3: percentage of cycles per phase, scalar run", &runner);
+    let table = reproduce::table3_scalar_phase_share(&mut runner);
+    print_table(&table);
+}

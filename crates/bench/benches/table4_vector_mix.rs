@@ -1,0 +1,14 @@
+//! Bench harness regenerating Table 4: vector instruction mix per phase and VECTOR_SIZE.
+//!
+//! Run with `cargo bench -p lv-bench --bench table4_vector_mix`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Table 4: vector instruction mix per phase and VECTOR_SIZE", &runner);
+    let table = reproduce::table4_vector_mix(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,14 @@
+//! Bench harness regenerating Table 5: vCPI, AVL and vector instructions of phase 6.
+//!
+//! Run with `cargo bench -p lv-bench --bench table5_phase6_vcpi`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Table 5: vCPI, AVL and vector instructions of phase 6", &runner);
+    let table = reproduce::table5_phase6(&mut runner);
+    print_table(&table);
+}

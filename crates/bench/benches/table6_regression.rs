@@ -1,0 +1,14 @@
+//! Bench harness regenerating Table 6: coefficient of determination for phases 1 and 8.
+//!
+//! Run with `cargo bench -p lv-bench --bench table6_regression`; set `LV_BENCH_ELEMENTS`
+//! to change the workload size.
+
+use lv_bench::{bench_runner, print_header, print_table};
+use lv_core::reproduce;
+
+fn main() {
+    let mut runner = bench_runner();
+    print_header("Table 6: coefficient of determination for phases 1 and 8", &runner);
+    let table = reproduce::table6_regression(&mut runner);
+    print_table(&table);
+}

@@ -1,0 +1,45 @@
+//! Criterion wall-clock benchmark of the *numeric* assembly kernel on the
+//! host CPU: the `VECTOR_SIZE` sweep and the code variants, measured for
+//! real (not simulated).  This is the portability sanity check of Section 5
+//! applied to the machine running the benches: the refactors must not slow
+//! the numeric kernel down.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lv_kernel::{ElementWorkspace, KernelConfig, NastinAssembly, OptLevel};
+use lv_mesh::{BoxMeshBuilder, Field, Vec3, VectorField};
+
+fn assembly_benchmarks(c: &mut Criterion) {
+    let mesh = BoxMeshBuilder::new(12, 12, 12).lid_driven_cavity().build();
+    let mut velocity = VectorField::taylor_green(&mesh);
+    velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    let pressure = Field::zeros(&mesh);
+
+    let mut group = c.benchmark_group("assembly_vector_size");
+    for vs in [16usize, 64, 240, 512] {
+        let config = KernelConfig::new(vs, OptLevel::Vec1);
+        let assembly = NastinAssembly::new(mesh.clone(), config);
+        let mut matrix = assembly.new_matrix();
+        let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+        let mut ws = ElementWorkspace::new(vs);
+        group.bench_with_input(BenchmarkId::from_parameter(vs), &vs, |b, _| {
+            b.iter(|| assembly.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("assembly_variant");
+    for opt in OptLevel::ALL {
+        let config = KernelConfig::new(240, opt);
+        let assembly = NastinAssembly::new(mesh.clone(), config);
+        let mut matrix = assembly.new_matrix();
+        let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+        let mut ws = ElementWorkspace::new(240);
+        group.bench_with_input(BenchmarkId::from_parameter(opt.name()), &opt, |b, _| {
+            b.iter(|| assembly.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, assembly_benchmarks);
+criterion_main!(benches);

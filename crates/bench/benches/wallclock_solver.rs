@@ -1,0 +1,34 @@
+//! Criterion wall-clock benchmark of the sparse-solver substrate: SpMV and
+//! the two Krylov solvers on a system assembled by the mini-app.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_kernel::{KernelConfig, NastinAssembly, OptLevel};
+use lv_mesh::{BoxMeshBuilder, Field, Vec3, VectorField};
+use lv_solver::{bicgstab, conjugate_gradient, SolveOptions};
+
+fn solver_benchmarks(c: &mut Criterion) {
+    let mesh = BoxMeshBuilder::new(10, 10, 10).lid_driven_cavity().build();
+    let mut velocity = VectorField::taylor_green(&mesh);
+    velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    let pressure = Field::zeros(&mesh);
+    let assembly = NastinAssembly::new(mesh.clone(), KernelConfig::new(240, OptLevel::Vec1));
+    let mut out = assembly.assemble(&velocity, &pressure);
+    assembly.apply_dirichlet(&mut out.matrix, &mut out.rhs);
+    let n = mesh.num_nodes();
+    let b: Vec<f64> = (0..n).map(|i| out.rhs[3 * i]).collect();
+    let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 / 13.0).collect();
+    let mut y = vec![0.0; n];
+
+    c.bench_function("spmv", |bench| bench.iter(|| out.matrix.spmv(&x, &mut y)));
+
+    let options = SolveOptions { max_iterations: 500, tolerance: 1e-8, jacobi_preconditioner: true };
+    c.bench_function("bicgstab_momentum", |bench| {
+        bench.iter(|| bicgstab(&out.matrix, &b, &options).expect("solve"))
+    });
+    c.bench_function("cg_momentum", |bench| {
+        bench.iter(|| conjugate_gradient(&out.matrix, &b, &options))
+    });
+}
+
+criterion_group!(benches, solver_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared plumbing for the benchmark harnesses.
+//!
+//! Every table/figure of the paper has its own bench target under
+//! `benches/`; they all build the same memoized [`Runner`] workload and print
+//! an [`lv_metrics::Table`] with the rows/series the paper reports.  The
+//! workload size can be overridden with the `LV_BENCH_ELEMENTS` environment
+//! variable (default: 1000 elements), and the sweep always uses the paper's
+//! six `VECTOR_SIZE` values.
+
+#![warn(missing_docs)]
+
+use lv_core::experiment::{Runner, SweepConfig};
+use lv_metrics::Table;
+
+/// Default number of mesh elements for the simulation benches.
+pub const DEFAULT_ELEMENTS: usize = 1000;
+
+/// Number of mesh elements requested via `LV_BENCH_ELEMENTS` (or the
+/// default).
+pub fn bench_elements() -> usize {
+    std::env::var("LV_BENCH_ELEMENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ELEMENTS)
+}
+
+/// Builds the standard bench runner: a lid-driven-cavity mesh of
+/// [`bench_elements`] elements and the paper's `VECTOR_SIZE` sweep.
+pub fn bench_runner() -> Runner {
+    Runner::new(SweepConfig { min_elements: bench_elements(), ..SweepConfig::default() })
+}
+
+/// Prints a reproduced table in the uniform bench output format (aligned
+/// text followed by CSV for post-processing).
+pub fn print_table(table: &Table) {
+    println!("{}", table.to_aligned_text());
+    println!("CSV:");
+    println!("{}", table.to_csv());
+}
+
+/// Prints the standard bench header (workload description).
+pub fn print_header(name: &str, runner: &Runner) {
+    println!("=== {name} ===");
+    println!(
+        "workload: {} hexahedral elements, VECTOR_SIZE sweep {:?}\n",
+        runner.mesh().num_elements(),
+        runner.vector_sizes()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_elements_is_used_without_env() {
+        std::env::remove_var("LV_BENCH_ELEMENTS");
+        assert_eq!(bench_elements(), DEFAULT_ELEMENTS);
+    }
+
+    #[test]
+    fn print_helpers_do_not_panic() {
+        let mut t = Table::new("t", &["a"]);
+        t.add_row(vec!["1".into()]);
+        print_table(&t);
+    }
+}

@@ -1,0 +1,442 @@
+//! Code generation: walking a planned loop nest and emitting the resulting
+//! scalar / vector instruction stream into a simulated [`Machine`].
+//!
+//! The generated stream follows what the EPI compiler produces for the two
+//! execution strategies:
+//!
+//! * **vectorized loops** execute chunk by chunk (VLA semantics): one
+//!   `vsetvl`, then one vector instruction per memory reference and per
+//!   floating-point operation of every statement, with unit-stride, strided
+//!   or indexed vector memory instructions depending on how each array
+//!   subscript varies along the vectorized dimension;
+//! * **scalar loops** execute iteration by iteration: loop-control overhead,
+//!   one scalar memory instruction per reference, one scalar FP instruction
+//!   per operation — plus the re-load of the loop bound on every iteration
+//!   when the trip count is a run-time value (the behaviour the paper
+//!   observed for the `VECTOR_DIM` dummy argument).
+
+use crate::ir::{Loop, LoopItem, LoopNest, MemRef, Statement};
+use crate::vectorizer::{LoopDecision, VectorizationPlan};
+use lv_sim::engine::Machine;
+use lv_sim::isa::{Instruction, MemAccess};
+
+/// Synthetic stack address from which run-time loop bounds are re-loaded.
+const BOUND_BASE_ADDR: u64 = 0xFFFF_0000_0000;
+
+/// Summary of what code generation emitted (used by tests and by the
+/// experiment driver's sanity checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodegenStats {
+    /// Number of vectorized chunks executed (one `vsetvl` each).
+    pub vector_chunks: u64,
+    /// Number of scalar loop iterations executed.
+    pub scalar_iterations: u64,
+    /// Vector instructions emitted (arithmetic + memory + control).
+    pub vector_instructions: u64,
+    /// Scalar instructions emitted (including loop control and `vsetvl`).
+    pub scalar_instructions: u64,
+}
+
+impl CodegenStats {
+    /// Accumulates another statistics record into this one (used when a
+    /// kernel emits several loop nests per phase).
+    pub fn merge(&mut self, other: CodegenStats) {
+        self.vector_chunks += other.vector_chunks;
+        self.scalar_iterations += other.scalar_iterations;
+        self.vector_instructions += other.vector_instructions;
+        self.scalar_instructions += other.scalar_instructions;
+    }
+}
+
+/// Emits the instruction stream of one execution of `nest` (under `plan`)
+/// into `machine`, returning emission statistics.
+pub fn emit_loop_nest(
+    machine: &mut Machine,
+    nest: &LoopNest,
+    plan: &VectorizationPlan,
+) -> CodegenStats {
+    let mut indices = vec![0usize; nest.num_levels];
+    let mut stats = CodegenStats::default();
+    emit_items(machine, &nest.items, plan, &mut indices, &mut stats);
+    stats
+}
+
+fn emit_items(
+    machine: &mut Machine,
+    items: &[LoopItem],
+    plan: &VectorizationPlan,
+    indices: &mut Vec<usize>,
+    stats: &mut CodegenStats,
+) {
+    for item in items {
+        match item {
+            LoopItem::Stmt(s) => emit_scalar_statement(machine, s, indices, stats),
+            LoopItem::Loop(l) => emit_loop(machine, l, plan, indices, stats),
+        }
+    }
+}
+
+fn emit_loop(
+    machine: &mut Machine,
+    l: &Loop,
+    plan: &VectorizationPlan,
+    indices: &mut Vec<usize>,
+    stats: &mut CodegenStats,
+) {
+    let vectorized = l
+        .is_innermost()
+        .then(|| plan.decision(l.level))
+        .flatten()
+        .and_then(|d| match d {
+            LoopDecision::Vectorized { chunks } => Some(chunks.clone()),
+            LoopDecision::Scalar { .. } => None,
+        });
+
+    match vectorized {
+        Some(chunks) => emit_vectorized_loop(machine, l, &chunks, indices, stats),
+        None => emit_scalar_loop(machine, l, plan, indices, stats),
+    }
+}
+
+/// Emits a loop executed with vector instructions, chunk by chunk.
+fn emit_vectorized_loop(
+    machine: &mut Machine,
+    l: &Loop,
+    chunks: &[usize],
+    indices: &mut [usize],
+    stats: &mut CodegenStats,
+) {
+    // Loop setup (induction variable initialization).
+    machine.issue(&Instruction::scalar_op());
+    stats.scalar_instructions += 1;
+
+    let mut start = 0usize;
+    for &vl in chunks {
+        machine.issue(&Instruction::vector_config(vl));
+        stats.scalar_instructions += 1;
+        stats.vector_chunks += 1;
+
+        for stmt in l.statements() {
+            // Per-chunk loop control / address bookkeeping.
+            machine.issue(&Instruction::scalar_op());
+            stats.scalar_instructions += 1;
+
+            for mem in &stmt.mem {
+                emit_vector_mem(machine, mem, l.level, start, vl, indices, stats);
+            }
+            for &(op, count) in &stmt.flops {
+                machine.issue_repeated(&Instruction::vector_arith(op, vl), count as u64);
+                stats.vector_instructions += count as u64;
+            }
+        }
+        start += vl;
+    }
+
+    // Loop exit branch.
+    machine.issue(&Instruction::scalar_op());
+    stats.scalar_instructions += 1;
+}
+
+/// Emits the vector memory instruction(s) of one reference for one chunk.
+fn emit_vector_mem(
+    machine: &mut Machine,
+    mem: &MemRef,
+    level: usize,
+    start: usize,
+    vl: usize,
+    indices: &mut [usize],
+    stats: &mut CodegenStats,
+) {
+    if mem.index.is_indexed_in(level) {
+        // Gather / scatter: evaluate the element index of every lane.
+        let mut lane_indices = Vec::with_capacity(vl);
+        for lane in 0..vl {
+            indices[level] = start + lane;
+            let elem = mem.index.eval(indices);
+            debug_assert!(elem >= 0);
+            lane_indices.push(elem as u32);
+        }
+        indices[level] = start;
+        let access = MemAccess::indexed(mem.base, lane_indices, mem.elem_bytes, mem.is_store);
+        machine.issue(&Instruction::vector_mem(vl, access));
+        stats.vector_instructions += 1;
+        return;
+    }
+
+    // Affine (or indirection-invariant) reference: derive the stride from two
+    // consecutive lanes.
+    indices[level] = start;
+    let first = mem.address(indices);
+    let stride = if vl > 1 {
+        indices[level] = start + 1;
+        let second = mem.address(indices);
+        indices[level] = start;
+        second as i64 - first as i64
+    } else {
+        mem.elem_bytes as i64
+    };
+
+    if stride == 0 {
+        // Invariant along the vectorized dimension: one scalar load plus a
+        // broadcast into a vector register.
+        let access = MemAccess::unit_stride(first, 1, mem.elem_bytes, mem.is_store);
+        machine.issue(&Instruction::scalar_mem(access));
+        machine.issue(&Instruction::vector_control(vl));
+        stats.scalar_instructions += 1;
+        stats.vector_instructions += 1;
+    } else if stride == mem.elem_bytes as i64 {
+        let access = MemAccess::unit_stride(first, vl, mem.elem_bytes, mem.is_store);
+        machine.issue(&Instruction::vector_mem(vl, access));
+        stats.vector_instructions += 1;
+    } else {
+        let access = MemAccess::strided(first, stride, vl, mem.elem_bytes, mem.is_store);
+        machine.issue(&Instruction::vector_mem(vl, access));
+        stats.vector_instructions += 1;
+    }
+}
+
+/// Emits a loop executed scalar, iteration by iteration.
+fn emit_scalar_loop(
+    machine: &mut Machine,
+    l: &Loop,
+    plan: &VectorizationPlan,
+    indices: &mut Vec<usize>,
+    stats: &mut CodegenStats,
+) {
+    // Loop setup.
+    machine.issue(&Instruction::scalar_op());
+    stats.scalar_instructions += 1;
+
+    let trip = l.trip.value();
+    let reload_bound = !l.trip.is_compile_time();
+    let bound_addr = BOUND_BASE_ADDR + l.level as u64 * 64;
+
+    for iter in 0..trip {
+        indices[l.level] = iter;
+        // Induction variable increment + compare + branch.
+        machine.issue(&Instruction::scalar_op());
+        stats.scalar_instructions += 1;
+        stats.scalar_iterations += 1;
+        if reload_bound {
+            // The compiler re-loads the run-time bound from the stack on every
+            // iteration (the paper's phase-2 observation).
+            let access = MemAccess::unit_stride(bound_addr, 1, 8, false);
+            machine.issue(&Instruction::scalar_mem(access));
+            stats.scalar_instructions += 1;
+        }
+        emit_items(machine, &l.body, plan, indices, stats);
+    }
+    indices[l.level] = 0;
+}
+
+/// Emits the scalar form of one statement at the current loop indices.
+fn emit_scalar_statement(
+    machine: &mut Machine,
+    stmt: &Statement,
+    indices: &[usize],
+    stats: &mut CodegenStats,
+) {
+    if stmt.int_ops > 0 {
+        machine.issue_repeated(&Instruction::scalar_op(), stmt.int_ops as u64);
+        stats.scalar_instructions += stmt.int_ops as u64;
+    }
+    for mem in &stmt.mem {
+        let access = MemAccess::unit_stride(mem.address(indices), 1, mem.elem_bytes, mem.is_store);
+        machine.issue(&Instruction::scalar_mem(access));
+        stats.scalar_instructions += 1;
+    }
+    for &(op, count) in &stmt.flops {
+        machine.issue_repeated(&Instruction::scalar_fp(op), count as u64);
+        stats.scalar_instructions += count as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AffineExpr, IndexExpr, LoopNest, Statement, TripCount};
+    use crate::vectorizer::Vectorizer;
+    use lv_sim::counters::PhaseId;
+    use lv_sim::isa::{MemPattern, VectorOp};
+    use lv_sim::platform::Platform;
+    use std::sync::Arc;
+
+    fn machine() -> Machine {
+        Machine::new(Platform::riscv_vec())
+    }
+
+    /// `do ivect = 1, 240: c[ivect] += a[ivect] * b` — a simple axpy-like
+    /// nest with one invariant operand.
+    fn axpy_nest(trip: TripCount) -> LoopNest {
+        let stmt = Statement::new("axpy")
+            .with_flops(VectorOp::Fma, 1)
+            .with_mem(MemRef::load("a", 0, IndexExpr::Affine(AffineExpr::term(0, 1))))
+            .with_mem(MemRef::load("b", 1 << 20, IndexExpr::Affine(AffineExpr::constant(0))))
+            .with_mem(MemRef::store("c", 2 << 20, IndexExpr::Affine(AffineExpr::term(0, 1))));
+        let l = Loop::new("ivect", 0, trip).with_stmt(stmt);
+        LoopNest::new("axpy", vec![LoopItem::Loop(l)], 1)
+    }
+
+    #[test]
+    fn vectorized_axpy_emits_long_vector_instructions() {
+        let nest = axpy_nest(TripCount::Const(240));
+        let plan = Vectorizer::new(256).plan(&nest);
+        let mut m = machine();
+        m.begin_phase(PhaseId::new(6));
+        let stats = emit_loop_nest(&mut m, &nest, &plan);
+        assert_eq!(stats.vector_chunks, 1);
+        assert!(stats.vector_instructions >= 3); // 2 vmem + 1 fma (+ broadcast)
+        let c = m.phase_counters(PhaseId::new(6));
+        assert_eq!(c.avg_vector_length(), 240.0);
+        assert!(c.vector_mix() > 0.3);
+        // FLOP count: 240 FMAs = 480 FLOPs.
+        assert_eq!(c.flops, 480.0);
+    }
+
+    #[test]
+    fn scalar_axpy_matches_flop_count_of_vector_version() {
+        let nest = axpy_nest(TripCount::Const(240));
+        let scalar_plan = Vectorizer::disabled().plan(&nest);
+        let vector_plan = Vectorizer::new(256).plan(&nest);
+        let mut ms = machine();
+        emit_loop_nest(&mut ms, &nest, &scalar_plan);
+        let mut mv = machine();
+        emit_loop_nest(&mut mv, &nest, &vector_plan);
+        assert_eq!(ms.counters().total().flops, mv.counters().total().flops);
+        assert_eq!(ms.counters().total().vector_instructions, 0);
+        assert!(mv.counters().total().vector_instructions > 0);
+    }
+
+    #[test]
+    fn vectorized_version_is_faster_than_scalar() {
+        let nest = axpy_nest(TripCount::Const(240));
+        let mut ms = machine();
+        emit_loop_nest(&mut ms, &nest, &Vectorizer::disabled().plan(&nest));
+        let mut mv = machine();
+        emit_loop_nest(&mut mv, &nest, &Vectorizer::new(256).plan(&nest));
+        assert!(
+            mv.total_cycles() < ms.total_cycles(),
+            "vector {} should beat scalar {}",
+            mv.total_cycles(),
+            ms.total_cycles()
+        );
+    }
+
+    #[test]
+    fn runtime_bound_adds_reload_instructions() {
+        let const_nest = axpy_nest(TripCount::Const(64));
+        let runtime_nest = axpy_nest(TripCount::Runtime(64));
+        let mut mc = machine();
+        emit_loop_nest(&mut mc, &const_nest, &Vectorizer::disabled().plan(&const_nest));
+        let mut mr = machine();
+        emit_loop_nest(&mut mr, &runtime_nest, &Vectorizer::disabled().plan(&runtime_nest));
+        // 64 extra scalar loads for the bound.
+        assert_eq!(
+            mr.counters().total().instructions,
+            mc.counters().total().instructions + 64
+        );
+    }
+
+    #[test]
+    fn invariant_operand_becomes_broadcast() {
+        let nest = axpy_nest(TripCount::Const(128));
+        let plan = Vectorizer::new(256).plan(&nest);
+        let mut m = Machine::with_config(
+            Platform::riscv_vec(),
+            lv_sim::engine::MachineConfig {
+                memory_model: lv_sim::memory::MemoryModel::Caches,
+                trace: Some(0),
+            },
+        );
+        emit_loop_nest(&mut m, &nest, &plan);
+        // The invariant `b` load appears as a scalar memory access plus a
+        // vector control (broadcast) instruction in the trace.
+        let classes = m.tracer().class_histogram();
+        assert!(classes.get(&lv_sim::isa::InstructionClass::VectorControl).copied().unwrap_or(0) >= 1);
+        assert!(classes.get(&lv_sim::isa::InstructionClass::ScalarMem).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn gather_reference_emits_indexed_vector_access() {
+        // b[idx[i]] gather over the vectorized loop.
+        let table = Arc::new((0..256u32).map(|i| (i * 7) % 256).collect::<Vec<_>>());
+        let stmt = Statement::new("gather").with_mem(MemRef::load(
+            "coords",
+            0,
+            IndexExpr::Indirect {
+                table,
+                table_index: AffineExpr::term(0, 1),
+                scale: 3,
+                offset: AffineExpr::constant(1),
+            },
+        ));
+        let l = Loop::new("ivect", 0, TripCount::Const(64)).with_stmt(stmt);
+        let nest = LoopNest::new("gather", vec![LoopItem::Loop(l)], 1);
+        let plan = Vectorizer::new(256).plan(&nest);
+        let mut m = Machine::with_config(
+            Platform::riscv_vec(),
+            lv_sim::engine::MachineConfig {
+                memory_model: lv_sim::memory::MemoryModel::Caches,
+                trace: Some(0),
+            },
+        );
+        emit_loop_nest(&mut m, &nest, &plan);
+        let gather_events: Vec<_> = m
+            .tracer()
+            .events()
+            .iter()
+            .filter(|e| e.pattern == Some(MemPattern::Indexed))
+            .collect();
+        assert_eq!(gather_events.len(), 1);
+        assert_eq!(gather_events[0].vl, 64);
+    }
+
+    #[test]
+    fn strided_reference_emits_strided_vector_access() {
+        // a[4*i] : stride of 4 elements.
+        let stmt = Statement::new("strided").with_mem(MemRef::load(
+            "a",
+            0,
+            IndexExpr::Affine(AffineExpr::term(0, 4)),
+        ));
+        let l = Loop::new("ivect", 0, TripCount::Const(32)).with_stmt(stmt);
+        let nest = LoopNest::new("strided", vec![LoopItem::Loop(l)], 1);
+        let plan = Vectorizer::new(256).plan(&nest);
+        let mut m = Machine::with_config(
+            Platform::riscv_vec(),
+            lv_sim::engine::MachineConfig {
+                memory_model: lv_sim::memory::MemoryModel::Caches,
+                trace: Some(0),
+            },
+        );
+        emit_loop_nest(&mut m, &nest, &plan);
+        assert!(m
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| e.pattern == Some(MemPattern::Strided)));
+    }
+
+    #[test]
+    fn vs512_runs_two_chunks_on_a_256_machine() {
+        let nest = axpy_nest(TripCount::Const(512));
+        let plan = Vectorizer::new(256).plan(&nest);
+        let mut m = machine();
+        let stats = emit_loop_nest(&mut m, &nest, &plan);
+        assert_eq!(stats.vector_chunks, 2);
+        assert_eq!(m.counters().total().avg_vector_length(), 256.0);
+    }
+
+    #[test]
+    fn nested_scalar_loops_execute_every_iteration() {
+        let stmt = Statement::new("s").with_flops(VectorOp::Add, 1);
+        let inner = Loop::new("j", 1, TripCount::Const(5)).with_stmt(stmt);
+        let outer = Loop::new("i", 0, TripCount::Const(7)).with_loop(inner);
+        let nest = LoopNest::new("nested", vec![LoopItem::Loop(outer)], 2);
+        let plan = Vectorizer::disabled().plan(&nest);
+        let mut m = machine();
+        let stats = emit_loop_nest(&mut m, &nest, &plan);
+        assert_eq!(stats.scalar_iterations, 7 + 7 * 5);
+        assert_eq!(m.counters().total().flops, 35.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Vectorization legality analysis.
+//!
+//! Mirrors the behaviours the paper observed in the LLVM-based EPI compiler:
+//!
+//! * a loop (or any of its enclosing loops) whose trip count is an opaque
+//!   run-time value that the generated code re-loads from memory every
+//!   iteration is **not vectorized** (original phase 2);
+//! * a loop whose body contains a statement that cannot be vectorized
+//!   (data-dependent branches, potentially-conflicting indexed stores,
+//!   calls) is **not vectorized** (phase 8, and the original phase 1);
+//! * a legally-vectorizable innermost loop whose *parent* loop also contains
+//!   non-vectorizable work is vectorized by the compiler but **executed
+//!   scalar at run time** (the "mixed body" suppression the paper found in
+//!   phase 1 before the VEC1 loop distribution).
+
+use crate::ir::{Loop, LoopItem, LoopNest, TripCount};
+use serde::{Deserialize, Serialize};
+
+/// Why a loop could not be vectorized (or why its vector code is not used).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Blocker {
+    /// The loop's own trip count (or an enclosing loop's) is a run-time value
+    /// re-loaded from memory, so the vectorizer gives up.
+    RuntimeTripCount {
+        /// Variable of the loop whose bound is not a compile-time constant.
+        var: String,
+    },
+    /// A statement in the loop body cannot be vectorized.
+    NonVectorizableStatement {
+        /// Name of the offending statement.
+        stmt: String,
+    },
+    /// The loop was vectorized, but its parent loop mixes it with
+    /// non-vectorizable work, so the runtime falls back to the scalar
+    /// version of the whole outer iteration.
+    MixedParentBody {
+        /// Variable of the parent loop.
+        parent: String,
+    },
+}
+
+impl Blocker {
+    /// Whether the compiler still *emitted* vector code (true only for the
+    /// mixed-body suppression).
+    pub fn vector_code_emitted(&self) -> bool {
+        matches!(self, Blocker::MixedParentBody { .. })
+    }
+
+    /// Human-readable description, in the style of `-Rpass-missed`.
+    pub fn message(&self) -> String {
+        match self {
+            Blocker::RuntimeTripCount { var } => format!(
+                "loop not vectorized: trip count of `{var}` is loaded from memory every \
+                 iteration (not known at compile time)"
+            ),
+            Blocker::NonVectorizableStatement { stmt } => {
+                format!("loop not vectorized: statement `{stmt}` cannot be vectorized")
+            }
+            Blocker::MixedParentBody { parent } => format!(
+                "vector code emitted but executed scalar: enclosing loop `{parent}` contains \
+                 non-vectorizable work"
+            ),
+        }
+    }
+}
+
+/// The legality verdict for one innermost loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopLegality {
+    /// Loop variable.
+    pub var: String,
+    /// Loop level (key into the vectorization plan).
+    pub level: usize,
+    /// `None` if the loop is vectorizable and will run vectorized;
+    /// `Some(blocker)` otherwise.
+    pub blocker: Option<Blocker>,
+}
+
+/// Legality analysis result for a whole loop nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LegalityReport {
+    /// One entry per innermost loop of the nest, in depth-first order.
+    pub loops: Vec<LoopLegality>,
+}
+
+impl LegalityReport {
+    /// The verdict for the loop at `level`, if it is an innermost loop.
+    pub fn for_level(&self, level: usize) -> Option<&LoopLegality> {
+        self.loops.iter().find(|l| l.level == level)
+    }
+
+    /// Whether at least one innermost loop is cleanly vectorizable.
+    pub fn any_vectorizable(&self) -> bool {
+        self.loops.iter().any(|l| l.blocker.is_none())
+    }
+}
+
+/// Runs the legality analysis over every innermost loop of `nest`.
+pub fn analyze(nest: &LoopNest) -> LegalityReport {
+    let mut report = LegalityReport::default();
+    // (ancestors, loop) pairs for every innermost loop.
+    fn visit<'a>(
+        items: &'a [LoopItem],
+        ancestors: &mut Vec<&'a Loop>,
+        out: &mut Vec<(Vec<&'a Loop>, &'a Loop)>,
+    ) {
+        for item in items {
+            if let LoopItem::Loop(l) = item {
+                if l.is_innermost() {
+                    out.push((ancestors.clone(), l));
+                } else {
+                    ancestors.push(l);
+                    visit(&l.body, ancestors, out);
+                    ancestors.pop();
+                }
+            }
+        }
+    }
+    let mut candidates = Vec::new();
+    let mut stack = Vec::new();
+    visit(&nest.items, &mut stack, &mut candidates);
+
+    for (ancestors, l) in candidates {
+        let blocker = legality_of(&ancestors, l);
+        report.loops.push(LoopLegality { var: l.var.clone(), level: l.level, blocker });
+    }
+    report
+}
+
+fn legality_of(ancestors: &[&Loop], l: &Loop) -> Option<Blocker> {
+    // Rule 1: non-vectorizable statement in the candidate's own body.
+    for stmt in l.statements() {
+        if !stmt.vectorizable {
+            return Some(Blocker::NonVectorizableStatement { stmt: stmt.name.clone() });
+        }
+    }
+    // Rule 2: run-time trip count of the candidate or of any enclosing loop.
+    if let TripCount::Runtime(_) = l.trip {
+        return Some(Blocker::RuntimeTripCount { var: l.var.clone() });
+    }
+    for a in ancestors {
+        if let TripCount::Runtime(_) = a.trip {
+            return Some(Blocker::RuntimeTripCount { var: a.var.clone() });
+        }
+    }
+    // Rule 3: a parent that mixes this loop with non-vectorizable statements
+    // (or with sibling loops containing non-vectorizable statements) forces
+    // scalar execution of the whole outer iteration at run time.
+    if let Some(parent) = ancestors.last() {
+        let mixed = parent.body.iter().any(|item| match item {
+            LoopItem::Stmt(s) => !s.vectorizable,
+            LoopItem::Loop(other) => {
+                other.level != l.level && other.statements().any(|s| !s.vectorizable)
+            }
+        });
+        if mixed {
+            return Some(Blocker::MixedParentBody { parent: parent.var.clone() });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Loop, LoopItem, LoopNest, Statement, TripCount};
+
+    fn stmt(name: &str, vectorizable: bool) -> Statement {
+        let s = Statement::new(name).with_int_ops(1);
+        if vectorizable {
+            s
+        } else {
+            s.not_vectorizable()
+        }
+    }
+
+    #[test]
+    fn clean_innermost_loop_is_vectorizable() {
+        let inner = Loop::new("ivect", 1, TripCount::Const(240)).with_stmt(stmt("w", true));
+        let outer = Loop::new("igaus", 0, TripCount::Const(8)).with_loop(inner);
+        let nest = LoopNest::new("n", vec![LoopItem::Loop(outer)], 2);
+        let report = analyze(&nest);
+        assert_eq!(report.loops.len(), 1);
+        assert!(report.loops[0].blocker.is_none());
+        assert!(report.any_vectorizable());
+        assert!(report.for_level(1).is_some());
+        assert!(report.for_level(0).is_none(), "outer loop is not innermost");
+    }
+
+    #[test]
+    fn runtime_trip_count_blocks_vectorization() {
+        let inner = Loop::new("idime", 1, TripCount::Const(4)).with_stmt(stmt("w", true));
+        let outer = Loop::new("ivect", 0, TripCount::Runtime(240)).with_loop(inner);
+        let nest = LoopNest::new("phase2_original", vec![LoopItem::Loop(outer)], 2);
+        let report = analyze(&nest);
+        let blocker = report.loops[0].blocker.as_ref().unwrap();
+        assert_eq!(blocker, &Blocker::RuntimeTripCount { var: "ivect".into() });
+        assert!(!blocker.vector_code_emitted());
+        assert!(blocker.message().contains("compile time"));
+    }
+
+    #[test]
+    fn runtime_trip_of_candidate_itself_blocks() {
+        let only = Loop::new("ivect", 0, TripCount::Runtime(64)).with_stmt(stmt("w", true));
+        let nest = LoopNest::new("n", vec![LoopItem::Loop(only)], 1);
+        let report = analyze(&nest);
+        assert!(matches!(
+            report.loops[0].blocker,
+            Some(Blocker::RuntimeTripCount { .. })
+        ));
+    }
+
+    #[test]
+    fn non_vectorizable_statement_blocks() {
+        let l = Loop::new("ivect", 0, TripCount::Const(64))
+            .with_stmt(stmt("check_and_scatter", false))
+            .with_stmt(stmt("ok", true));
+        let nest = LoopNest::new("phase8_like", vec![LoopItem::Loop(l)], 1);
+        let report = analyze(&nest);
+        assert_eq!(
+            report.loops[0].blocker,
+            Some(Blocker::NonVectorizableStatement { stmt: "check_and_scatter".into() })
+        );
+        assert!(!report.any_vectorizable());
+    }
+
+    #[test]
+    fn mixed_parent_body_suppresses_vector_code() {
+        // Phase-1-like structure: outer ivect loop with a non-vectorizable
+        // statement plus an inner vectorizable loop.
+        let inner = Loop::new("inode", 1, TripCount::Const(8)).with_stmt(stmt("work_b", true));
+        let outer = Loop::new("ivect", 0, TripCount::Const(240))
+            .with_stmt(stmt("work_a", false))
+            .with_loop(inner);
+        let nest = LoopNest::new("phase1_like", vec![LoopItem::Loop(outer)], 2);
+        let report = analyze(&nest);
+        let blocker = report.loops[0].blocker.as_ref().unwrap();
+        assert_eq!(blocker, &Blocker::MixedParentBody { parent: "ivect".into() });
+        assert!(blocker.vector_code_emitted());
+        assert!(blocker.message().contains("executed scalar"));
+    }
+
+    #[test]
+    fn distributed_loops_are_analyzed_independently() {
+        // After VEC1-style distribution both loops are innermost; the one with
+        // the vectorizable work is clean.
+        let loop_a =
+            Loop::new("ivect_a", 0, TripCount::Const(240)).with_stmt(stmt("work_a", false));
+        let loop_b =
+            Loop::new("ivect_b", 1, TripCount::Const(240)).with_stmt(stmt("work_b", true));
+        let nest = LoopNest::new(
+            "phase1_distributed",
+            vec![LoopItem::Loop(loop_a), LoopItem::Loop(loop_b)],
+            2,
+        );
+        let report = analyze(&nest);
+        assert_eq!(report.loops.len(), 2);
+        assert!(report.for_level(0).unwrap().blocker.is_some());
+        assert!(report.for_level(1).unwrap().blocker.is_none());
+        assert!(report.any_vectorizable());
+    }
+}

@@ -1,0 +1,323 @@
+//! Source-level loop refactorings used by the paper, expressed as IR→IR
+//! transformations.
+//!
+//! * [`make_trip_compile_time`] — the **VEC2** fix: replace the run-time
+//!   `VECTOR_DIM` dummy argument by a compile-time constant so the vectorizer
+//!   can see the loop bounds;
+//! * [`interchange`] — the **IVEC2** fix: swap two perfectly-nested loops so
+//!   the long (`VECTOR_SIZE`) dimension becomes innermost and the emitted
+//!   vector instructions use the full register length;
+//! * [`distribute`] — the **VEC1** fix: split a loop whose body mixes
+//!   vectorizable and non-vectorizable work into one loop per body item so
+//!   the vectorizable part can actually run on the VPU.
+
+use crate::ir::{Loop, LoopItem, LoopNest, TripCount};
+
+/// Replaces the trip count of the loop named `var` (anywhere in the nest) by
+/// a compile-time constant with the same value.  Returns the transformed nest
+/// and whether anything changed.
+pub fn make_trip_compile_time(nest: &LoopNest, var: &str) -> (LoopNest, bool) {
+    let mut changed = false;
+    fn visit(items: &mut [LoopItem], var: &str, changed: &mut bool) {
+        for item in items {
+            if let LoopItem::Loop(l) = item {
+                if l.var == var {
+                    if let TripCount::Runtime(n) = l.trip {
+                        l.trip = TripCount::Const(n);
+                        *changed = true;
+                    }
+                }
+                visit(&mut l.body, var, changed);
+            }
+        }
+    }
+    let mut out = nest.clone();
+    visit(&mut out.items, var, &mut changed);
+    (out, changed)
+}
+
+/// Interchanges the loop named `outer_var` with the loop named `inner_var`,
+/// which must be *perfectly nested* directly inside it (the inner loop is the
+/// only item of the outer loop's body).  Returns the transformed nest and
+/// whether the interchange was applied.
+///
+/// The statement bodies are untouched: because [`crate::ir::AffineExpr`]
+/// refers to loops by level, array subscripts remain correct after the swap —
+/// exactly like a source-level `do ivect / do inode` swap keeps `elcod(ivect,
+/// inode)` untouched.
+pub fn interchange(nest: &LoopNest, outer_var: &str, inner_var: &str) -> (LoopNest, bool) {
+    let mut changed = false;
+    fn visit(items: &mut Vec<LoopItem>, outer_var: &str, inner_var: &str, changed: &mut bool) {
+        for item in items.iter_mut() {
+            if let LoopItem::Loop(outer) = item {
+                let is_match = outer.var == outer_var
+                    && outer.body.len() == 1
+                    && matches!(&outer.body[0], LoopItem::Loop(inner) if inner.var == inner_var);
+                if is_match {
+                    // Take the inner loop out and swap the headers.
+                    let LoopItem::Loop(mut inner) = outer.body.pop().expect("checked above")
+                    else {
+                        unreachable!("checked above");
+                    };
+                    std::mem::swap(&mut outer.var, &mut inner.var);
+                    std::mem::swap(&mut outer.level, &mut inner.level);
+                    std::mem::swap(&mut outer.trip, &mut inner.trip);
+                    outer.body.push(LoopItem::Loop(inner));
+                    *changed = true;
+                } else {
+                    visit(&mut outer.body, outer_var, inner_var, changed);
+                }
+            }
+        }
+    }
+    let mut out = nest.clone();
+    visit(&mut out.items, outer_var, inner_var, &mut changed);
+    (out, changed)
+}
+
+/// Distributes (fissions) the loop named `var`: a loop whose body has `k`
+/// items becomes `k` consecutive copies of the loop, each containing a single
+/// body item.  Loop levels of the copies are re-assigned fresh levels so the
+/// result is still a valid nest; statement subscripts keep referring to the
+/// *original* level, so the first copy keeps the original level and the
+/// remaining copies get `nest.num_levels`, `nest.num_levels + 1`, …, and all
+/// subscript references are remapped accordingly.
+///
+/// Returns the transformed nest and whether distribution was applied.
+pub fn distribute(nest: &LoopNest, var: &str) -> (LoopNest, bool) {
+    let mut out = nest.clone();
+    let mut changed = false;
+    let mut next_level = out.num_levels;
+
+    fn remap_level(items: &mut [LoopItem], from: usize, to: usize) {
+        // Remaps AffineExpr references from one loop level to another.
+        fn remap_expr(expr: &mut crate::ir::AffineExpr, from: usize, to: usize) {
+            for (level, _) in expr.terms.iter_mut() {
+                if *level == from {
+                    *level = to;
+                }
+            }
+        }
+        fn remap_index(index: &mut crate::ir::IndexExpr, from: usize, to: usize) {
+            match index {
+                crate::ir::IndexExpr::Affine(a) => remap_expr(a, from, to),
+                crate::ir::IndexExpr::Indirect { table_index, offset, .. } => {
+                    remap_expr(table_index, from, to);
+                    remap_expr(offset, from, to);
+                }
+            }
+        }
+        for item in items {
+            match item {
+                LoopItem::Stmt(s) => {
+                    for m in &mut s.mem {
+                        remap_index(&mut m.index, from, to);
+                    }
+                }
+                LoopItem::Loop(l) => remap_level(&mut l.body, from, to),
+            }
+        }
+    }
+
+    fn visit(
+        items: &mut Vec<LoopItem>,
+        var: &str,
+        next_level: &mut usize,
+        changed: &mut bool,
+    ) {
+        let mut i = 0;
+        while i < items.len() {
+            let needs_split = matches!(
+                &items[i],
+                LoopItem::Loop(l) if l.var == var && l.body.len() > 1
+            );
+            if needs_split {
+                let LoopItem::Loop(original) = items.remove(i) else { unreachable!() };
+                let mut replacements = Vec::with_capacity(original.body.len());
+                for (k, body_item) in original.body.into_iter().enumerate() {
+                    let (level, needs_remap) = if k == 0 {
+                        (original.level, false)
+                    } else {
+                        let lvl = *next_level;
+                        *next_level += 1;
+                        (lvl, true)
+                    };
+                    let mut copy = Loop::new(
+                        format!("{}_{}", original.var, k + 1),
+                        level,
+                        original.trip,
+                    );
+                    copy.body.push(body_item);
+                    if needs_remap {
+                        remap_level(&mut copy.body, original.level, level);
+                    }
+                    replacements.push(LoopItem::Loop(copy));
+                }
+                let n = replacements.len();
+                for (offset, r) in replacements.into_iter().enumerate() {
+                    items.insert(i + offset, r);
+                }
+                i += n;
+                *changed = true;
+            } else {
+                if let LoopItem::Loop(l) = &mut items[i] {
+                    visit(&mut l.body, var, next_level, changed);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    visit(&mut out.items, var, &mut next_level, &mut changed);
+    out.num_levels = next_level;
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AffineExpr, IndexExpr, MemRef, Statement};
+    use crate::vectorizer::Vectorizer;
+    use lv_sim::isa::VectorOp;
+
+    /// The original phase-2 structure: `do ivect (runtime) / do idof (4) /
+    /// gather`.
+    fn phase2_original() -> LoopNest {
+        let gather = Statement::new("gather").with_mem(MemRef::load(
+            "veloc",
+            0,
+            IndexExpr::Affine(AffineExpr::term(0, 4).plus_term(1, 1)),
+        ));
+        let idof = Loop::new("idof", 1, TripCount::Const(4)).with_stmt(gather);
+        let ivect = Loop::new("ivect", 0, TripCount::Runtime(240)).with_loop(idof);
+        LoopNest::new("phase2", vec![LoopItem::Loop(ivect)], 2)
+    }
+
+    #[test]
+    fn vec2_makes_trip_compile_time() {
+        let nest = phase2_original();
+        assert!(!Vectorizer::new(256).plan(&nest).any_vectorized());
+        let (fixed, changed) = make_trip_compile_time(&nest, "ivect");
+        assert!(changed);
+        assert_eq!(fixed.find_loop("ivect").unwrap().trip, TripCount::Const(240));
+        // Now the innermost (idof) loop vectorizes — with AVL 4, as the paper
+        // measured.
+        let plan = Vectorizer::new(256).plan(&fixed);
+        assert_eq!(plan.decision(1).unwrap().chunks(), &[4]);
+    }
+
+    #[test]
+    fn make_trip_compile_time_is_idempotent() {
+        let nest = phase2_original();
+        let (once, _) = make_trip_compile_time(&nest, "ivect");
+        let (twice, changed) = make_trip_compile_time(&once, "ivect");
+        assert!(!changed);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn ivec2_interchange_moves_ivect_innermost() {
+        let (fixed, _) = make_trip_compile_time(&phase2_original(), "ivect");
+        let (swapped, changed) = interchange(&fixed, "ivect", "idof");
+        assert!(changed);
+        // After the interchange the outer loop is idof and the inner is ivect.
+        let loops = swapped.all_loops();
+        assert_eq!(loops[0].var, "idof");
+        assert_eq!(loops[1].var, "ivect");
+        assert!(loops[1].is_innermost());
+        // The inner loop now vectorizes with the full VECTOR_SIZE.
+        let plan = Vectorizer::new(256).plan(&swapped);
+        let ivect_level = loops[1].level;
+        assert_eq!(plan.decision(ivect_level).unwrap().chunks(), &[240]);
+        // Memory addressing is preserved: the gather still evaluates to the
+        // same address for the same (ivect, idof) pair.
+        let orig_stmt_addr = {
+            let nest = fixed;
+            let l = nest.find_loop("idof").unwrap();
+            let s = l.statements().next().unwrap();
+            s.mem[0].address(&[3, 2]) // ivect=3 (level 0), idof=2 (level 1)
+        };
+        let new_stmt_addr = {
+            let l = swapped.find_loop("ivect").unwrap();
+            let s = l.statements().next().unwrap();
+            s.mem[0].address(&[3, 2])
+        };
+        assert_eq!(orig_stmt_addr, new_stmt_addr);
+    }
+
+    #[test]
+    fn interchange_requires_perfect_nesting() {
+        // A loop with a statement next to the inner loop cannot be
+        // interchanged.
+        let inner = Loop::new("j", 1, TripCount::Const(4));
+        let outer = Loop::new("i", 0, TripCount::Const(8))
+            .with_stmt(Statement::new("s"))
+            .with_loop(inner);
+        let nest = LoopNest::new("n", vec![LoopItem::Loop(outer)], 2);
+        let (out, changed) = interchange(&nest, "i", "j");
+        assert!(!changed);
+        assert_eq!(out, nest);
+    }
+
+    /// Phase-1-like loop: one non-vectorizable and one vectorizable statement
+    /// under the same ivect loop.
+    fn phase1_like() -> LoopNest {
+        let work_a = Statement::new("work_a")
+            .with_int_ops(4)
+            .with_mem(MemRef::load(
+                "lnods",
+                0,
+                IndexExpr::Affine(AffineExpr::term(0, 8)),
+            ))
+            .not_vectorizable();
+        let work_b = Statement::new("work_b")
+            .with_flops(VectorOp::Add, 1)
+            .with_mem(MemRef::store(
+                "elvel",
+                4096,
+                IndexExpr::Affine(AffineExpr::term(0, 1)),
+            ));
+        let ivect = Loop::new("ivect", 0, TripCount::Const(240))
+            .with_stmt(work_a)
+            .with_stmt(work_b);
+        LoopNest::new("phase1", vec![LoopItem::Loop(ivect)], 1)
+    }
+
+    #[test]
+    fn vec1_distribution_enables_partial_vectorization() {
+        let nest = phase1_like();
+        assert!(!Vectorizer::new(256).plan(&nest).any_vectorized());
+        let (split, changed) = distribute(&nest, "ivect");
+        assert!(changed);
+        assert_eq!(split.all_loops().len(), 2);
+        let plan = Vectorizer::new(256).plan(&split);
+        // Exactly one of the two loops (the work_b one) is vectorized.
+        let vectorized: Vec<_> =
+            plan.decisions.values().filter(|d| d.is_vectorized()).collect();
+        assert_eq!(vectorized.len(), 1);
+        assert_eq!(vectorized[0].chunks(), &[240]);
+    }
+
+    #[test]
+    fn distribution_preserves_addressing_of_later_copies() {
+        let nest = phase1_like();
+        let (split, _) = distribute(&nest, "ivect");
+        // The second copy's statement must still address elvel at
+        // base + ivect*8 for the same iteration number, even though its loop
+        // level changed.
+        let second = split.all_loops()[1];
+        let stmt = second.statements().next().unwrap();
+        let mut indices = vec![0usize; split.num_levels];
+        indices[second.level] = 7;
+        assert_eq!(stmt.mem[0].address(&indices), 4096 + 7 * 8);
+    }
+
+    #[test]
+    fn distribute_is_noop_for_single_item_bodies() {
+        let l = Loop::new("i", 0, TripCount::Const(8)).with_stmt(Statement::new("s"));
+        let nest = LoopNest::new("n", vec![LoopItem::Loop(l)], 1);
+        let (out, changed) = distribute(&nest, "i");
+        assert!(!changed);
+        assert_eq!(out, nest);
+    }
+}

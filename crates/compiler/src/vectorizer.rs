@@ -1,0 +1,288 @@
+//! The auto-vectorizer planner.
+//!
+//! Given a loop nest and a target maximum vector length, the planner decides
+//! for every innermost loop whether it runs vectorized (and with which
+//! vector-length chunking, following the RVV vector-length-agnostic model:
+//! `vl = min(remaining iterations, vlmax)`), runs scalar, or was vectorized
+//! but is executed scalar because of the mixed-body suppression.  It also
+//! produces human-readable remarks equivalent to LLVM's
+//! `-Rpass=loop-vectorize` / `-Rpass-missed=loop-vectorize` output, which is
+//! exactly the feedback channel the paper's methodology relies on.
+
+use crate::ir::LoopNest;
+use crate::legality::{self, Blocker};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Decision taken for one innermost loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopDecision {
+    /// The loop executes vectorized; each entry is the VL of one chunk of
+    /// iterations (VLA semantics).
+    Vectorized {
+        /// Vector length of each successive chunk.
+        chunks: Vec<usize>,
+    },
+    /// The loop executes scalar.
+    Scalar {
+        /// Why it is scalar.
+        blocker: Blocker,
+    },
+}
+
+impl LoopDecision {
+    /// Whether the loop runs vectorized.
+    pub fn is_vectorized(&self) -> bool {
+        matches!(self, LoopDecision::Vectorized { .. })
+    }
+
+    /// The chunk list, empty when scalar.
+    pub fn chunks(&self) -> &[usize] {
+        match self {
+            LoopDecision::Vectorized { chunks } => chunks,
+            LoopDecision::Scalar { .. } => &[],
+        }
+    }
+}
+
+/// A compiler remark (the model's equivalent of `-Rpass=loop-vectorize`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Remark {
+    /// Loop nest name.
+    pub nest: String,
+    /// Loop variable the remark is about.
+    pub var: String,
+    /// Whether the loop was vectorized.
+    pub vectorized: bool,
+    /// Message text.
+    pub message: String,
+}
+
+impl Remark {
+    /// Formats the remark like a compiler diagnostic line.
+    pub fn to_diagnostic(&self) -> String {
+        let kind = if self.vectorized { "remark" } else { "remark-missed" };
+        format!("{kind}: [{}] loop `{}`: {}", self.nest, self.var, self.message)
+    }
+}
+
+/// The vectorization plan of a loop nest: one decision per innermost loop
+/// (keyed by loop level) plus the remarks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct VectorizationPlan {
+    /// Decision per innermost-loop level.
+    pub decisions: BTreeMap<usize, LoopDecision>,
+    /// Diagnostics produced while planning.
+    pub remarks: Vec<Remark>,
+}
+
+impl VectorizationPlan {
+    /// Decision for the loop at `level`; loops without an entry (non-innermost
+    /// loops) always execute scalar iterations of their bodies.
+    pub fn decision(&self, level: usize) -> Option<&LoopDecision> {
+        self.decisions.get(&level)
+    }
+
+    /// Whether any loop of the nest runs vectorized.
+    pub fn any_vectorized(&self) -> bool {
+        self.decisions.values().any(LoopDecision::is_vectorized)
+    }
+
+    /// All remarks as diagnostic lines.
+    pub fn diagnostics(&self) -> Vec<String> {
+        self.remarks.iter().map(Remark::to_diagnostic).collect()
+    }
+}
+
+/// The auto-vectorizer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vectorizer {
+    /// Maximum vector length in elements (256 for the long-vector machines,
+    /// 8 for AVX-512).
+    pub vlmax: usize,
+    /// Whether auto-vectorization is enabled at all (`false` reproduces the
+    /// paper's scalar baseline, "vectorization disabled").
+    pub enabled: bool,
+}
+
+impl Vectorizer {
+    /// A vectorizer targeting registers of `vlmax` elements.
+    ///
+    /// # Panics
+    /// Panics if `vlmax == 0`.
+    pub fn new(vlmax: usize) -> Self {
+        assert!(vlmax > 0, "vlmax must be positive");
+        Vectorizer { vlmax, enabled: true }
+    }
+
+    /// A disabled vectorizer: every loop is planned scalar (the `-O3`
+    /// no-vectorization baseline of Table 3).
+    pub fn disabled() -> Self {
+        Vectorizer { vlmax: 1, enabled: false }
+    }
+
+    /// Splits a trip count into VLA chunks.
+    pub fn chunk_trip(&self, trip: usize) -> Vec<usize> {
+        let mut chunks = Vec::with_capacity(trip.div_ceil(self.vlmax.max(1)));
+        let mut remaining = trip;
+        while remaining > 0 {
+            let vl = remaining.min(self.vlmax);
+            chunks.push(vl);
+            remaining -= vl;
+        }
+        chunks
+    }
+
+    /// Plans the vectorization of `nest`.
+    pub fn plan(&self, nest: &LoopNest) -> VectorizationPlan {
+        let mut plan = VectorizationPlan::default();
+        if !self.enabled {
+            for l in nest.all_loops() {
+                if l.is_innermost() {
+                    plan.decisions.insert(
+                        l.level,
+                        LoopDecision::Scalar {
+                            blocker: Blocker::NonVectorizableStatement {
+                                stmt: "auto-vectorization disabled".to_string(),
+                            },
+                        },
+                    );
+                    plan.remarks.push(Remark {
+                        nest: nest.name.clone(),
+                        var: l.var.clone(),
+                        vectorized: false,
+                        message: "auto-vectorization disabled".to_string(),
+                    });
+                }
+            }
+            return plan;
+        }
+
+        let legality = legality::analyze(nest);
+        for verdict in &legality.loops {
+            let trip = nest
+                .all_loops()
+                .into_iter()
+                .find(|l| l.level == verdict.level)
+                .map(|l| l.trip.value())
+                .unwrap_or(0);
+            match &verdict.blocker {
+                None => {
+                    let chunks = self.chunk_trip(trip);
+                    plan.remarks.push(Remark {
+                        nest: nest.name.clone(),
+                        var: verdict.var.clone(),
+                        vectorized: true,
+                        message: format!(
+                            "vectorized with vector length up to {} ({} chunk(s) for {} iterations)",
+                            chunks.iter().copied().max().unwrap_or(0),
+                            chunks.len(),
+                            trip
+                        ),
+                    });
+                    plan.decisions.insert(verdict.level, LoopDecision::Vectorized { chunks });
+                }
+                Some(blocker) => {
+                    plan.remarks.push(Remark {
+                        nest: nest.name.clone(),
+                        var: verdict.var.clone(),
+                        vectorized: false,
+                        message: blocker.message(),
+                    });
+                    plan.decisions.insert(
+                        verdict.level,
+                        LoopDecision::Scalar { blocker: blocker.clone() },
+                    );
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Loop, LoopItem, LoopNest, Statement, TripCount};
+    use lv_sim::isa::VectorOp;
+
+    fn compute_nest(ivect_trip: TripCount) -> LoopNest {
+        let body = Statement::new("fma").with_flops(VectorOp::Fma, 2);
+        let ivect = Loop::new("ivect", 2, ivect_trip).with_stmt(body);
+        let inode = Loop::new("inode", 1, TripCount::Const(8)).with_loop(ivect);
+        let igaus = Loop::new("igaus", 0, TripCount::Const(8)).with_loop(inode);
+        LoopNest::new("phase6", vec![LoopItem::Loop(igaus)], 3)
+    }
+
+    #[test]
+    fn chunking_follows_vla_semantics() {
+        let v = Vectorizer::new(256);
+        assert_eq!(v.chunk_trip(240), vec![240]);
+        assert_eq!(v.chunk_trip(256), vec![256]);
+        assert_eq!(v.chunk_trip(512), vec![256, 256]);
+        assert_eq!(v.chunk_trip(16), vec![16]);
+        assert_eq!(v.chunk_trip(0), Vec::<usize>::new());
+        let avx = Vectorizer::new(8);
+        assert_eq!(avx.chunk_trip(20), vec![8, 8, 4]);
+    }
+
+    #[test]
+    fn clean_nest_is_vectorized_over_innermost_loop() {
+        let plan = Vectorizer::new(256).plan(&compute_nest(TripCount::Const(240)));
+        assert!(plan.any_vectorized());
+        let decision = plan.decision(2).unwrap();
+        assert_eq!(decision.chunks(), &[240]);
+        assert!(plan.decision(0).is_none(), "outer loops have no decision entry");
+        assert!(plan.diagnostics().iter().any(|d| d.contains("vectorized")));
+    }
+
+    #[test]
+    fn runtime_trip_plans_scalar() {
+        let plan = Vectorizer::new(256).plan(&compute_nest(TripCount::Runtime(240)));
+        assert!(!plan.any_vectorized());
+        let LoopDecision::Scalar { blocker } = plan.decision(2).unwrap() else {
+            panic!("expected scalar decision");
+        };
+        assert!(matches!(blocker, Blocker::RuntimeTripCount { .. }));
+    }
+
+    #[test]
+    fn disabled_vectorizer_plans_everything_scalar() {
+        let plan = Vectorizer::disabled().plan(&compute_nest(TripCount::Const(240)));
+        assert!(!plan.any_vectorized());
+        assert!(plan
+            .diagnostics()
+            .iter()
+            .all(|d| d.contains("disabled") || d.contains("remark-missed")));
+    }
+
+    #[test]
+    fn vs512_gets_two_chunks_of_256() {
+        // Table 5: VECTOR_SIZE = 512 yields AVL = 256 on a 256-element machine.
+        let plan = Vectorizer::new(256).plan(&compute_nest(TripCount::Const(512)));
+        assert_eq!(plan.decision(2).unwrap().chunks(), &[256, 256]);
+    }
+
+    #[test]
+    fn avx512_splits_into_8_element_chunks() {
+        let plan = Vectorizer::new(8).plan(&compute_nest(TripCount::Const(240)));
+        let chunks = plan.decision(2).unwrap().chunks();
+        assert_eq!(chunks.len(), 30);
+        assert!(chunks.iter().all(|&c| c == 8));
+    }
+
+    #[test]
+    fn remarks_have_diagnostic_format() {
+        let plan = Vectorizer::new(256).plan(&compute_nest(TripCount::Const(64)));
+        let diag = &plan.diagnostics()[0];
+        assert!(diag.starts_with("remark"), "{diag}");
+        assert!(diag.contains("phase6"));
+        assert!(diag.contains("ivect"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vlmax_rejected() {
+        let _ = Vectorizer::new(0);
+    }
+}

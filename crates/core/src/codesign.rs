@@ -1,0 +1,174 @@
+//! The iterative co-design loop of Section 3, as an executable procedure.
+//!
+//! The paper's methodology is: compile with the auto-vectorizer, measure,
+//! identify the phase that limits performance (missing or sub-optimal
+//! vectorization), refactor it, and repeat.  [`run_codesign_loop`] executes
+//! that loop on the simulated platform, applying the paper's refactors in the
+//! order their triggers appear, and records one [`CodesignStep`] per
+//! iteration — the executable version of the narrative in Section 4.
+
+use crate::experiment::{RunKey, Runner};
+use lv_kernel::OptLevel;
+use lv_sim::platform::PlatformKind;
+use serde::{Deserialize, Serialize};
+
+/// One iteration of the co-design loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodesignStep {
+    /// Optimization level the step starts from.
+    pub from_level: String,
+    /// Optimization level the step applies.
+    pub to_level: String,
+    /// The phase whose analysis triggered the refactor (the dominant
+    /// non-vectorized or badly-vectorized phase).
+    pub target_phase: u8,
+    /// Total cycles before the refactor.
+    pub cycles_before: f64,
+    /// Total cycles after the refactor.
+    pub cycles_after: f64,
+    /// Compiler remarks that motivated the refactor (missed-vectorization
+    /// diagnostics of the target phase).
+    pub motivating_remarks: Vec<String>,
+}
+
+impl CodesignStep {
+    /// Speed-up achieved by this step alone.
+    pub fn step_speedup(&self) -> f64 {
+        self.cycles_before / self.cycles_after
+    }
+}
+
+/// The full report of a co-design campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodesignReport {
+    /// Platform the campaign ran on.
+    pub platform: String,
+    /// `VECTOR_SIZE` used.
+    pub vector_size: usize,
+    /// Total cycles of the scalar baseline.
+    pub scalar_cycles: f64,
+    /// Total cycles of the vanilla auto-vectorized code.
+    pub vanilla_cycles: f64,
+    /// The iterative steps.
+    pub steps: Vec<CodesignStep>,
+    /// Final speed-up over the scalar baseline.
+    pub final_speedup_vs_scalar: f64,
+    /// Final speed-up over the vanilla auto-vectorized code.
+    pub final_speedup_vs_vanilla: f64,
+}
+
+impl CodesignReport {
+    /// Renders the report as human-readable text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Co-design campaign on {} (VECTOR_SIZE = {})\n",
+            self.platform, self.vector_size
+        ));
+        out.push_str(&format!("  scalar baseline : {:>14.0} cycles\n", self.scalar_cycles));
+        out.push_str(&format!("  vanilla autovec : {:>14.0} cycles\n", self.vanilla_cycles));
+        for (i, step) in self.steps.iter().enumerate() {
+            out.push_str(&format!(
+                "  step {}: {} -> {} (triggered by phase {}) : {:>12.0} -> {:>12.0} cycles ({:.2}x)\n",
+                i + 1,
+                step.from_level,
+                step.to_level,
+                step.target_phase,
+                step.cycles_before,
+                step.cycles_after,
+                step.step_speedup()
+            ));
+        }
+        out.push_str(&format!(
+            "  final: {:.2}x vs scalar, {:.2}x vs vanilla autovectorized\n",
+            self.final_speedup_vs_scalar, self.final_speedup_vs_vanilla
+        ));
+        out
+    }
+}
+
+/// Runs the iterative co-design loop for one platform and `VECTOR_SIZE`.
+pub fn run_codesign_loop(
+    runner: &mut Runner,
+    platform: PlatformKind,
+    vector_size: usize,
+) -> CodesignReport {
+    let scalar_cycles = runner.cycles(RunKey::scalar_baseline(platform));
+    let vanilla_key = RunKey::vanilla(platform, vector_size);
+    let vanilla_cycles = runner.cycles(vanilla_key);
+
+    // The cumulative sequence of refactors, in the order the paper applies
+    // them; each is annotated with the phase whose analysis triggers it.
+    let sequence = [
+        (OptLevel::Original, OptLevel::Vec2, 2u8),
+        (OptLevel::Vec2, OptLevel::IVec2, 2u8),
+        (OptLevel::IVec2, OptLevel::Vec1, 1u8),
+    ];
+
+    let mut steps = Vec::new();
+    for (from, to, phase) in sequence {
+        let before_key = RunKey::optimized(platform, vector_size, from);
+        let after_key = RunKey::optimized(platform, vector_size, to);
+        let cycles_before = runner.cycles(before_key);
+        let cycles_after = runner.cycles(after_key);
+        let motivating_remarks: Vec<String> = runner
+            .run(before_key)
+            .remarks
+            .iter()
+            .filter(|r| !r.vectorized && r.nest.starts_with(&format!("phase{phase}")))
+            .map(|r| r.to_diagnostic())
+            .collect();
+        steps.push(CodesignStep {
+            from_level: from.name().to_string(),
+            to_level: to.name().to_string(),
+            target_phase: phase,
+            cycles_before,
+            cycles_after,
+            motivating_remarks,
+        });
+    }
+
+    let final_cycles = runner.cycles(RunKey::optimized(platform, vector_size, OptLevel::Vec1));
+    CodesignReport {
+        platform: platform.name().to_string(),
+        vector_size,
+        scalar_cycles,
+        vanilla_cycles,
+        steps,
+        final_speedup_vs_scalar: scalar_cycles / final_cycles,
+        final_speedup_vs_vanilla: vanilla_cycles / final_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::SweepConfig;
+
+    #[test]
+    fn codesign_loop_reaches_a_net_speedup() {
+        let mut runner = Runner::new(SweepConfig::small());
+        let report = run_codesign_loop(&mut runner, PlatformKind::RiscvVec, 240);
+        assert_eq!(report.steps.len(), 3);
+        assert!(report.final_speedup_vs_scalar > 3.0, "{}", report.to_text());
+        assert!(report.final_speedup_vs_vanilla > 1.0, "{}", report.to_text());
+        // The IVEC2 step (index 1) must be a clear win over VEC2.
+        assert!(report.steps[1].step_speedup() > 1.0);
+        // The text rendering mentions every step.
+        let text = report.to_text();
+        assert!(text.contains("VEC2") && text.contains("IVEC2") && text.contains("VEC1"));
+    }
+
+    #[test]
+    fn codesign_steps_record_motivating_remarks() {
+        let mut runner = Runner::new(SweepConfig::small());
+        let report = run_codesign_loop(&mut runner, PlatformKind::RiscvVec, 64);
+        // The first step (Original -> VEC2) is motivated by the phase-2
+        // missed-vectorization remark.
+        assert!(
+            report.steps[0].motivating_remarks.iter().any(|r| r.contains("phase2")),
+            "remarks: {:?}",
+            report.steps[0].motivating_remarks
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The memoizing experiment runner.
+//!
+//! Reproducing the paper's evaluation requires dozens of simulated mini-app
+//! executions (the scalar baseline, the vanilla auto-vectorized runs and the
+//! three cumulative optimizations, at six `VECTOR_SIZE` values, on three
+//! platforms).  Many tables and figures share runs, so the [`Runner`] caches
+//! every execution by its [`RunKey`].
+
+use lv_kernel::{KernelConfig, MiniAppRun, OptLevel, SimulatedMiniApp};
+use lv_mesh::chunks::PAPER_VECTOR_SIZES;
+use lv_mesh::{BoxMeshBuilder, Mesh};
+use lv_metrics::RunMetrics;
+use lv_sim::engine::MachineConfig;
+use lv_sim::memory::MemoryModel;
+use lv_sim::platform::{Platform, PlatformKind};
+use std::collections::HashMap;
+
+/// Identifies one simulated execution of the mini-app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Platform the run executes on.
+    pub platform: PlatformKind,
+    /// `VECTOR_SIZE` blocking parameter.
+    pub vector_size: usize,
+    /// Code optimization level.
+    pub opt_level: OptLevel,
+    /// Whether compiler auto-vectorization is enabled.
+    pub vectorized: bool,
+}
+
+impl RunKey {
+    /// The scalar baseline of the paper: original code, vectorization
+    /// disabled, `VECTOR_SIZE = 16`, on the given platform.
+    pub fn scalar_baseline(platform: PlatformKind) -> Self {
+        RunKey { platform, vector_size: 16, opt_level: OptLevel::Original, vectorized: false }
+    }
+
+    /// A vanilla auto-vectorized run (original code, vectorization on).
+    pub fn vanilla(platform: PlatformKind, vector_size: usize) -> Self {
+        RunKey { platform, vector_size, opt_level: OptLevel::Original, vectorized: true }
+    }
+
+    /// A run with a given cumulative optimization level (vectorization on).
+    pub fn optimized(platform: PlatformKind, vector_size: usize, opt_level: OptLevel) -> Self {
+        RunKey { platform, vector_size, opt_level, vectorized: true }
+    }
+}
+
+/// Configuration of the experiment sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Approximate number of mesh elements of the workload (the mesh is a
+    /// cube with at least this many hexahedra).
+    pub min_elements: usize,
+    /// `VECTOR_SIZE` values to sweep (defaults to the paper's six values).
+    pub vector_sizes: Vec<usize>,
+    /// Whether the semi-implicit scheme (element matrices) is enabled.
+    pub semi_implicit: bool,
+    /// Memory model used by the simulator.
+    pub memory_model: MemoryModel,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            min_elements: 1728,
+            vector_sizes: PAPER_VECTOR_SIZES.to_vec(),
+            // The paper's mini-app runs the explicit scheme: elemental
+            // matrices (and their scatter) are only assembled for the
+            // semi-implicit configuration.
+            semi_implicit: false,
+            memory_model: MemoryModel::Caches,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A small configuration for unit / integration tests (fast even in
+    /// debug builds).
+    pub fn small() -> Self {
+        SweepConfig { min_elements: 125, ..Default::default() }
+    }
+}
+
+/// Memoizing runner over the (platform × VECTOR_SIZE × optimization ×
+/// vectorization) space.
+pub struct Runner {
+    mesh: Mesh,
+    config: SweepConfig,
+    cache: HashMap<RunKey, MiniAppRun>,
+}
+
+impl Runner {
+    /// Creates a runner with a generated cubic mesh of at least
+    /// `config.min_elements` elements.
+    pub fn new(config: SweepConfig) -> Self {
+        let mesh = BoxMeshBuilder::with_at_least(config.min_elements)
+            .lid_driven_cavity()
+            .with_jitter(0.15, 2024)
+            .build();
+        Self::with_mesh(mesh, config)
+    }
+
+    /// Creates a runner over an explicit mesh.
+    pub fn with_mesh(mesh: Mesh, config: SweepConfig) -> Self {
+        Runner { mesh, config, cache: HashMap::new() }
+    }
+
+    /// The mesh the experiments run on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The sweep configuration.
+    pub fn config(&self) -> &SweepConfig {
+        &self.config
+    }
+
+    /// The `VECTOR_SIZE` values of the sweep.
+    pub fn vector_sizes(&self) -> &[usize] {
+        &self.config.vector_sizes
+    }
+
+    /// Number of cached runs (used by tests to check memoization).
+    pub fn cached_runs(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Executes (or returns the cached) run for `key`.
+    pub fn run(&mut self, key: RunKey) -> &MiniAppRun {
+        if !self.cache.contains_key(&key) {
+            let kernel_config = KernelConfig {
+                vector_size: key.vector_size,
+                opt_level: key.opt_level,
+                semi_implicit: self.config.semi_implicit,
+                ..KernelConfig::default()
+            };
+            let app = SimulatedMiniApp::new(&self.mesh, kernel_config);
+            let platform = Platform::from_kind(key.platform);
+            let machine_config = MachineConfig {
+                memory_model: self.config.memory_model,
+                trace: None,
+            };
+            let run = app.run_with(platform, key.vectorized, machine_config);
+            self.cache.insert(key, run);
+        }
+        &self.cache[&key]
+    }
+
+    /// Total simulated cycles of a run.
+    pub fn cycles(&mut self, key: RunKey) -> f64 {
+        self.run(key).total_cycles()
+    }
+
+    /// Section 2.2 metrics of a run.
+    pub fn metrics(&mut self, key: RunKey) -> RunMetrics {
+        let vlmax = Platform::from_kind(key.platform).vlmax;
+        let run = self.run(key);
+        RunMetrics::from_counters(&run.counters, vlmax)
+    }
+
+    /// Speed-up of `key` with respect to `baseline` (in total cycles).
+    pub fn speedup(&mut self, key: RunKey, baseline: RunKey) -> f64 {
+        let base = self.cycles(baseline);
+        let this = self.cycles(key);
+        base / this
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> Runner {
+        Runner::new(SweepConfig::small())
+    }
+
+    #[test]
+    fn runner_builds_a_big_enough_mesh() {
+        let r = runner();
+        assert!(r.mesh().num_elements() >= 125);
+        assert_eq!(r.vector_sizes(), &PAPER_VECTOR_SIZES);
+    }
+
+    #[test]
+    fn runs_are_memoized() {
+        let mut r = runner();
+        let key = RunKey::vanilla(PlatformKind::RiscvVec, 64);
+        let first = r.cycles(key);
+        assert_eq!(r.cached_runs(), 1);
+        let second = r.cycles(key);
+        assert_eq!(r.cached_runs(), 1);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn scalar_baseline_is_slower_than_vanilla_vectorized() {
+        let mut r = runner();
+        let scalar = RunKey::scalar_baseline(PlatformKind::RiscvVec);
+        let vanilla = RunKey::vanilla(PlatformKind::RiscvVec, 240);
+        let speedup = r.speedup(vanilla, scalar);
+        assert!(speedup > 2.0, "vanilla 240 speedup over scalar = {speedup}");
+    }
+
+    #[test]
+    fn optimized_beats_vanilla_at_large_vector_size() {
+        let mut r = runner();
+        let vanilla = RunKey::vanilla(PlatformKind::RiscvVec, 240);
+        let best = RunKey::optimized(PlatformKind::RiscvVec, 240, OptLevel::Vec1);
+        assert!(r.speedup(best, vanilla) > 1.0);
+    }
+
+    #[test]
+    fn metrics_expose_phase_shares() {
+        let mut r = runner();
+        let m = r.metrics(RunKey::scalar_baseline(PlatformKind::RiscvVec));
+        let share_sum: f64 = m.phases.iter().map(|p| p.cycle_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // Scalar baseline: phase 6 dominates (Table 3).
+        assert_eq!(m.dominant_phase().phase, 6);
+    }
+
+    #[test]
+    fn different_platforms_produce_different_cycle_counts() {
+        let mut r = runner();
+        let a = r.cycles(RunKey::vanilla(PlatformKind::RiscvVec, 240));
+        let b = r.cycles(RunKey::vanilla(PlatformKind::SxAurora, 240));
+        let c = r.cycles(RunKey::vanilla(PlatformKind::MareNostrum4, 240));
+        assert!(a != b && b != c);
+    }
+}

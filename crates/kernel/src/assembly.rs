@@ -1,0 +1,290 @@
+//! The numeric assembly driver: loops over the `VECTOR_SIZE` blocks of a
+//! mesh, runs the eight phases on each block and accumulates the global CSR
+//! matrix and RHS.
+//!
+//! This is the "real" half of the mini-app: it produces numbers the examples
+//! and the wall-clock Criterion benches use, and its results are invariant
+//! under the code-variant / `VECTOR_SIZE` choices (a property the integration
+//! tests check — the paper's refactors must not change the physics).
+
+use crate::config::KernelConfig;
+use crate::phases;
+use crate::workspace::ElementWorkspace;
+use crate::NDIME;
+use lv_mesh::chunks::ElementChunks;
+use lv_mesh::quadrature::GaussRule;
+use lv_mesh::{ElementKind, Field, Mesh, ShapeTable, VectorField};
+use lv_solver::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Result of one assembly sweep over the mesh.
+#[derive(Debug, Clone)]
+pub struct AssemblyOutput {
+    /// Global (per-component) system matrix on the node-to-node graph.
+    pub matrix: CsrMatrix,
+    /// Global RHS, `rhs[NDIME*node + idime]`.
+    pub rhs: Vec<f64>,
+    /// Assembly statistics.
+    pub stats: AssemblyStats,
+}
+
+/// Statistics of an assembly sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyStats {
+    /// Number of `VECTOR_SIZE` blocks processed (kernel calls).
+    pub chunks: usize,
+    /// Number of elements assembled.
+    pub elements: usize,
+    /// Number of singular Jacobians encountered (0 for valid meshes).
+    pub singular_jacobians: usize,
+    /// Analytic floating-point operations performed.
+    pub flops: f64,
+}
+
+/// The Nastin assembly kernel bound to a mesh and a configuration.
+#[derive(Debug, Clone)]
+pub struct NastinAssembly {
+    mesh: Mesh,
+    config: KernelConfig,
+    shape: ShapeTable,
+    chunks: ElementChunks,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+}
+
+impl NastinAssembly {
+    /// Creates an assembly kernel for `mesh` under `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the mesh is not hexahedral.
+    pub fn new(mesh: Mesh, config: KernelConfig) -> Self {
+        let problems = config.validate();
+        assert!(problems.is_empty(), "invalid kernel configuration: {problems:?}");
+        assert_eq!(
+            mesh.kind(),
+            ElementKind::Hex8,
+            "the Nastin mini-app reproduction operates on hexahedral meshes"
+        );
+        let shape = ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2());
+        let chunks = ElementChunks::new(&mesh, config.vector_size);
+        let (row_ptr, col_idx) = mesh.node_graph_csr();
+        NastinAssembly { mesh, config, shape, chunks, row_ptr, col_idx }
+    }
+
+    /// The mesh the kernel operates on.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The `VECTOR_SIZE` blocking of the mesh.
+    pub fn chunks(&self) -> &ElementChunks {
+        &self.chunks
+    }
+
+    /// Creates a zero matrix with the mesh sparsity pattern (reusable across
+    /// time steps).
+    pub fn new_matrix(&self) -> CsrMatrix {
+        CsrMatrix::from_pattern(self.row_ptr.clone(), self.col_idx.clone())
+    }
+
+    /// Runs the full assembly for the given velocity/pressure state,
+    /// allocating a fresh matrix and RHS.
+    pub fn assemble(&self, velocity: &VectorField, pressure: &Field) -> AssemblyOutput {
+        let mut matrix = self.new_matrix();
+        let mut rhs = vec![0.0; NDIME * self.mesh.num_nodes()];
+        let mut workspace = ElementWorkspace::new(self.config.vector_size);
+        let stats =
+            self.assemble_into(velocity, pressure, &mut matrix, &mut rhs, &mut workspace);
+        AssemblyOutput { matrix, rhs, stats }
+    }
+
+    /// Runs the full assembly into preallocated storage (zeroing it first).
+    /// This is the entry point the wall-clock benches call so repeated
+    /// iterations do not measure allocation.
+    pub fn assemble_into(
+        &self,
+        velocity: &VectorField,
+        pressure: &Field,
+        matrix: &mut CsrMatrix,
+        rhs: &mut [f64],
+        workspace: &mut ElementWorkspace,
+    ) -> AssemblyStats {
+        assert_eq!(rhs.len(), NDIME * self.mesh.num_nodes());
+        assert_eq!(workspace.vector_size(), self.config.vector_size);
+        matrix.zero_values();
+        rhs.fill(0.0);
+
+        let mut stats = AssemblyStats::default();
+        for chunk in &self.chunks {
+            workspace.reset();
+            phases::phase1_gather_coords(&self.mesh, chunk, workspace);
+            phases::phase2_gather_unknowns(&self.mesh, velocity, pressure, chunk, workspace);
+            stats.singular_jacobians += phases::phase3_jacobian(&self.shape, chunk, workspace);
+            phases::phase4_gauss_values(&self.shape, chunk, workspace);
+            phases::phase5_stabilization(
+                &self.config,
+                self.mesh.characteristic_length(),
+                chunk,
+                workspace,
+            );
+            phases::phase6_convective(&self.shape, &self.config, chunk, workspace);
+            phases::phase7_viscous(&self.shape, &self.config, chunk, workspace);
+            phases::phase8_scatter(&self.mesh, &self.config, chunk, workspace, matrix, rhs);
+            stats.chunks += 1;
+            stats.elements += chunk.len;
+        }
+        stats.flops =
+            stats.elements as f64 * phases::flops_per_element(self.config.semi_implicit);
+        stats
+    }
+
+    /// Applies Dirichlet boundary conditions to an assembled system: wall,
+    /// lid and inflow rows become identity rows with zero RHS increment (the
+    /// velocity increment at prescribed nodes is zero).
+    pub fn apply_dirichlet(&self, matrix: &mut CsrMatrix, rhs: &mut [f64]) {
+        use lv_mesh::BoundaryTag;
+        for node in 0..self.mesh.num_nodes() {
+            match self.mesh.boundary_tag(node) {
+                BoundaryTag::Wall | BoundaryTag::Lid | BoundaryTag::Inflow => {
+                    // The matrix is shared by the NDIME components; zero the
+                    // corresponding RHS entries and make the row an identity
+                    // row once.
+                    matrix.dirichlet_row(node);
+                    for d in 0..NDIME {
+                        rhs[NDIME * node + d] = 0.0;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptLevel;
+    use lv_mesh::structured::BoxMeshBuilder;
+    use lv_mesh::Vec3;
+
+    fn cavity(n: usize) -> Mesh {
+        BoxMeshBuilder::new(n, n, n).lid_driven_cavity().with_jitter(0.1, 11).build()
+    }
+
+    fn state(mesh: &Mesh) -> (VectorField, Field) {
+        let mut v = VectorField::taylor_green(mesh);
+        v.apply_boundary_conditions(mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+        (v, Field::from_fn(mesh, |p| p.x * p.y))
+    }
+
+    #[test]
+    fn assembly_produces_finite_output() {
+        let mesh = cavity(4);
+        let (v, p) = state(&mesh);
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(16, OptLevel::Original));
+        let out = asm.assemble(&v, &p);
+        assert_eq!(out.stats.elements, 64);
+        assert_eq!(out.stats.singular_jacobians, 0);
+        assert!(out.rhs.iter().all(|x| x.is_finite()));
+        assert!(out.matrix.values().iter().all(|x| x.is_finite()));
+        assert!(out.stats.flops > 0.0);
+    }
+
+    #[test]
+    fn result_is_independent_of_vector_size() {
+        // The VECTOR_SIZE blocking is purely an implementation parameter: the
+        // assembled system must be identical (up to floating-point roundoff
+        // from summation order, which is also identical here because the
+        // element order within the accumulation is unchanged).
+        let mesh = cavity(4);
+        let (v, p) = state(&mesh);
+        let reference = NastinAssembly::new(mesh.clone(), KernelConfig::new(16, OptLevel::Original))
+            .assemble(&v, &p);
+        for vs in [64, 240, 512] {
+            let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, OptLevel::Vec1))
+                .assemble(&v, &p);
+            for (a, b) in reference.rhs.iter().zip(&out.rhs) {
+                assert!((a - b).abs() < 1e-11, "rhs mismatch for VECTOR_SIZE={vs}");
+            }
+            for (a, b) in reference.matrix.values().iter().zip(out.matrix.values()) {
+                assert!((a - b).abs() < 1e-11, "matrix mismatch for VECTOR_SIZE={vs}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_scheme_assembles_no_matrix() {
+        let mesh = cavity(3);
+        let (v, p) = state(&mesh);
+        let config = KernelConfig::new(32, OptLevel::Original).explicit_scheme();
+        let out = NastinAssembly::new(mesh, config).assemble(&v, &p);
+        assert_eq!(out.matrix.frobenius_norm(), 0.0);
+        assert!(out.rhs.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn semi_implicit_matrix_is_solvable() {
+        let mesh = cavity(3);
+        let (v, p) = state(&mesh);
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(64, OptLevel::Vec1));
+        let mut out = asm.assemble(&v, &p);
+        asm.apply_dirichlet(&mut out.matrix, &mut out.rhs);
+        // Solve one component system with BiCGSTAB.
+        let n = asm.mesh().num_nodes();
+        let b: Vec<f64> = (0..n).map(|i| out.rhs[NDIME * i]).collect();
+        let solution =
+            lv_solver::bicgstab(&out.matrix, &b, &lv_solver::SolveOptions::default()).unwrap();
+        assert!(solution.final_residual() < 1e-8);
+    }
+
+    #[test]
+    fn assemble_into_reuses_storage_and_matches_assemble() {
+        let mesh = cavity(3);
+        let (v, p) = state(&mesh);
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(16, OptLevel::IVec2));
+        let fresh = asm.assemble(&v, &p);
+        let mut matrix = asm.new_matrix();
+        let mut rhs = vec![0.0; NDIME * asm.mesh().num_nodes()];
+        let mut ws = ElementWorkspace::new(16);
+        // Run twice to make sure zeroing works.
+        asm.assemble_into(&v, &p, &mut matrix, &mut rhs, &mut ws);
+        let stats = asm.assemble_into(&v, &p, &mut matrix, &mut rhs, &mut ws);
+        assert_eq!(stats.elements, 27);
+        for (a, b) in fresh.rhs.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in fresh.matrix.values().iter().zip(matrix.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chunk_count_matches_mesh_and_vector_size() {
+        let mesh = cavity(4); // 64 elements
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(24, OptLevel::Original));
+        assert_eq!(asm.chunks().num_chunks(), 3);
+        let (v, p) = state(asm.mesh());
+        let out = asm.assemble(&v, &p);
+        assert_eq!(out.stats.chunks, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tet_mesh_is_rejected() {
+        // Build a fake tet mesh through from_raw and make sure the assembly
+        // constructor refuses it.
+        let mesh = lv_mesh::Mesh::from_raw(
+            lv_mesh::ElementKind::Tet4,
+            vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            vec![0, 1, 2, 3],
+            vec![lv_mesh::BoundaryTag::Interior; 4],
+            1.0,
+        );
+        let _ = NastinAssembly::new(mesh, KernelConfig::default());
+    }
+}

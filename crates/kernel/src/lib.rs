@@ -1,0 +1,59 @@
+//! # lv-kernel
+//!
+//! The **Nastin assembly mini-app**: a Rust re-implementation of the
+//! matrix/right-hand-side assembly kernel the paper extracts from the Nastin
+//! (incompressible Navier–Stokes) module of the Alya multi-physics code,
+//! split into the same eight instrumented phases:
+//!
+//! | phase | contents (paper §2.3) |
+//! |-------|------------------------|
+//! | 1     | gather element connectivity and nodal coordinates (memory only) |
+//! | 2     | gather nodal velocities / unknowns (memory only) |
+//! | 3     | Jacobian, its inverse and Cartesian shape derivatives at the integration points |
+//! | 4     | velocity and velocity-gradient interpolation at the integration points |
+//! | 5     | stabilization parameters and time-integration arrays |
+//! | 6     | convective term contribution to the elemental residual (heaviest FP phase) |
+//! | 7     | viscous term contribution to the elemental matrices and RHS |
+//! | 8     | validity check and scatter of elemental contributions into the global system |
+//!
+//! The kernel exists in two coupled forms:
+//!
+//! * the **numeric path** ([`assembly`]) actually computes the Navier–Stokes
+//!   element integrals over a [`lv_mesh::Mesh`] and produces a global CSR
+//!   matrix and RHS (consumed by `lv-solver` in the examples); it is what the
+//!   Criterion wall-clock benches measure on the host CPU;
+//! * the **simulated path** ([`workload`] + [`miniapp`]) describes the same
+//!   eight phases as `lv-compiler` loop nests — per code variant — and feeds
+//!   the generated instruction streams to the `lv-sim` machine, producing the
+//!   per-phase hardware counters every table and figure of the paper is
+//!   derived from.
+//!
+//! The code variants are the paper's cumulative optimization levels:
+//! `Original` → `Vec2` → `IVec2` → `Vec1` (see [`config::OptLevel`]).
+
+#![warn(missing_docs)]
+
+pub mod assembly;
+pub mod config;
+pub mod miniapp;
+pub mod phases;
+pub mod workload;
+pub mod workspace;
+
+pub use assembly::{AssemblyOutput, NastinAssembly};
+pub use config::{KernelConfig, OptLevel, PAPER_VECTOR_SIZES};
+pub use miniapp::{MiniAppRun, SimulatedMiniApp};
+pub use workspace::ElementWorkspace;
+
+/// Spatial dimensions (3-D flow, as in the paper's production case).
+pub const NDIME: usize = lv_mesh::NDIME;
+
+/// Nodes per hexahedral element (`pnode`).
+pub const PNODE: usize = lv_mesh::HEX8_NODES;
+
+/// Integration points per hexahedral element (`pgaus`).
+pub const PGAUS: usize = lv_mesh::HEX8_GAUSS;
+
+/// Degrees of freedom gathered per node in phase 2 (three velocity
+/// components plus pressure).
+pub const NDOFN: usize = NDIME + 1;

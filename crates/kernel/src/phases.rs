@@ -1,0 +1,570 @@
+//! Numeric implementation of the eight phases of the Nastin assembly
+//! mini-app.
+//!
+//! Each function corresponds to one instrumented phase of the paper and
+//! operates on the [`ElementWorkspace`] of the current `VECTOR_SIZE` block.
+//! The physics is a standard SUPG-stabilized incompressible Navier–Stokes
+//! momentum assembly on trilinear hexahedra:
+//!
+//! * phases 1–2 gather nodal coordinates and unknowns into the block-local
+//!   arrays (pure data movement, no FLOPs — exactly as the paper notes);
+//! * phase 3 computes the Jacobian of the isoparametric map, its determinant
+//!   and inverse, and the Cartesian shape-function derivatives `gpcar`;
+//! * phase 4 interpolates velocity and velocity gradient at the integration
+//!   points;
+//! * phase 5 evaluates the SUPG stabilization parameter `τ` and the
+//!   advection velocity;
+//! * phase 6 accumulates the convective (plus SUPG perturbation) term into
+//!   the elemental RHS — the FLOP-heaviest phase;
+//! * phase 7 accumulates the viscous term into the elemental RHS and, for
+//!   the semi-implicit scheme, the elemental viscous/mass matrix;
+//! * phase 8 checks element validity (padding slots of the last block) and
+//!   scatters the elemental contributions into the global CSR matrix and RHS.
+
+use crate::config::KernelConfig;
+use crate::workspace::ElementWorkspace;
+use crate::{NDIME, PGAUS, PNODE};
+use lv_mesh::chunks::ElementChunk;
+use lv_mesh::geometry::Mat3;
+use lv_mesh::{Field, Mesh, ShapeTable, VectorField};
+use lv_solver::CsrMatrix;
+
+/// Phase 1: gather the element connectivity and nodal coordinates of every
+/// element of the chunk into `elcod`.
+///
+/// Work A (connectivity handling and slot bookkeeping) and work B (the
+/// coordinate gather proper) are the two halves the VEC1 optimization later
+/// splits into separate loops.
+pub fn phase1_gather_coords(mesh: &Mesh, chunk: &ElementChunk, ws: &mut ElementWorkspace) {
+    // Work A: element ids and connectivity bookkeeping.
+    for ivect in 0..chunk.vector_size {
+        ws.set_element_id(ivect, chunk.element(ivect));
+    }
+    // Work B: coordinate gather (indexed reads from the global mesh arrays).
+    let coords = mesh.coords();
+    for ivect in 0..chunk.vector_size {
+        if let Some(elem) = chunk.element(ivect) {
+            let nodes = mesh.element_nodes(elem);
+            for (inode, &node) in nodes.iter().enumerate() {
+                let base = 3 * node as usize;
+                for idime in 0..NDIME {
+                    ws.set_elcod(inode, idime, ivect, coords[base + idime]);
+                }
+            }
+        } else {
+            // Padding slots replicate the last valid element's geometry so
+            // phases 3–7 never divide by a zero Jacobian; phase 8 discards
+            // their contributions.
+            for inode in 0..PNODE {
+                for idime in 0..NDIME {
+                    ws.set_elcod(inode, idime, ivect, ws.elcod(inode, idime, chunk.len - 1));
+                }
+            }
+        }
+    }
+}
+
+/// Phase 2: gather the nodal unknowns (three velocity components and the
+/// pressure) of every element of the chunk into `elvel`.
+pub fn phase2_gather_unknowns(
+    mesh: &Mesh,
+    velocity: &VectorField,
+    pressure: &Field,
+    chunk: &ElementChunk,
+    ws: &mut ElementWorkspace,
+) {
+    let vel = velocity.as_slice();
+    let pre = pressure.as_slice();
+    for ivect in 0..chunk.vector_size {
+        let elem = chunk.element(ivect).unwrap_or(chunk.first_element + chunk.len - 1);
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node) in nodes.iter().enumerate() {
+            let node = node as usize;
+            for idime in 0..NDIME {
+                ws.set_elvel(inode, idime, ivect, vel[NDIME * node + idime]);
+            }
+            ws.set_elvel(inode, NDIME, ivect, pre[node]);
+        }
+    }
+}
+
+/// Phase 3: Jacobian, determinant, inverse and Cartesian derivatives at every
+/// integration point.
+///
+/// Returns the number of elements whose Jacobian was singular (should be zero
+/// for a valid mesh).
+pub fn phase3_jacobian(shape: &ShapeTable, chunk: &ElementChunk, ws: &mut ElementWorkspace) -> usize {
+    debug_assert_eq!(shape.num_gauss(), PGAUS);
+    let mut singular = 0usize;
+    for igaus in 0..PGAUS {
+        let derivs = shape.derivatives(igaus);
+        for ivect in 0..chunk.vector_size {
+            // J[i][j] = Σ_a ∂N_a/∂ξ_j · x_a[i]
+            let mut jac = Mat3::ZERO;
+            for inode in 0..PNODE {
+                let d = derivs.d[inode];
+                for i in 0..NDIME {
+                    let xi = ws.elcod(inode, i, ivect);
+                    for j in 0..NDIME {
+                        jac.m[i][j] += d[j] * xi;
+                    }
+                }
+            }
+            let det = jac.det();
+            let weight = 1.0; // 2×2×2 Gauss weights are all 1
+            ws.set_gpvol(igaus, ivect, det.abs() * weight);
+            let Some(inv) = jac.inverse() else {
+                singular += 1;
+                continue;
+            };
+            // ∂N_a/∂x_i = Σ_j ∂N_a/∂ξ_j · (J⁻¹)[j][i]
+            for inode in 0..PNODE {
+                let d = derivs.d[inode];
+                for i in 0..NDIME {
+                    let mut v = 0.0;
+                    for j in 0..NDIME {
+                        v += d[j] * inv.m[j][i];
+                    }
+                    ws.set_gpcar(igaus, inode, i, ivect, v);
+                }
+            }
+        }
+    }
+    singular
+}
+
+/// Phase 4: velocity and velocity gradient at the integration points.
+pub fn phase4_gauss_values(shape: &ShapeTable, chunk: &ElementChunk, ws: &mut ElementWorkspace) {
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        // Zero the accumulators for this integration point.
+        for ivect in 0..chunk.vector_size {
+            for i in 0..NDIME {
+                ws.set_gpvel(igaus, i, ivect, 0.0);
+                for j in 0..NDIME {
+                    ws.set_gpgve(igaus, i, j, ivect, 0.0);
+                }
+            }
+        }
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            for ivect in 0..chunk.vector_size {
+                for i in 0..NDIME {
+                    let u_ai = ws.elvel(inode, i, ivect);
+                    ws.add_gpvel(igaus, i, ivect, n_a * u_ai);
+                    for j in 0..NDIME {
+                        let dn_aj = ws.gpcar(igaus, inode, j, ivect);
+                        ws.add_gpgve(igaus, i, j, ivect, dn_aj * u_ai);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 5: stabilization parameter τ and advection velocity at the
+/// integration points.
+pub fn phase5_stabilization(
+    config: &KernelConfig,
+    h_char: f64,
+    chunk: &ElementChunk,
+    ws: &mut ElementWorkspace,
+) {
+    let nu = config.viscosity;
+    let rho = config.density;
+    let inv_dt = 1.0 / config.dt;
+    for igaus in 0..PGAUS {
+        for ivect in 0..chunk.vector_size {
+            let u = [
+                ws.gpvel(igaus, 0, ivect),
+                ws.gpvel(igaus, 1, ivect),
+                ws.gpvel(igaus, 2, ivect),
+            ];
+            let unorm = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+            // Classic SUPG design: τ = (c1 ν/h² + c2 |u|/h + ρ/Δt)⁻¹.
+            let tau = 1.0 / (4.0 * nu / (h_char * h_char) + 2.0 * unorm / h_char + rho * inv_dt);
+            ws.set_tau(igaus, ivect, tau);
+            for i in 0..NDIME {
+                ws.set_gpadv(igaus, i, ivect, u[i]);
+            }
+        }
+    }
+}
+
+/// Phase 6: convective term (Galerkin + SUPG perturbation) contribution to
+/// the elemental RHS — the FLOP-dominant phase of the mini-app.
+pub fn phase6_convective(
+    shape: &ShapeTable,
+    config: &KernelConfig,
+    chunk: &ElementChunk,
+    ws: &mut ElementWorkspace,
+) {
+    let rho = config.density;
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            for ivect in 0..chunk.vector_size {
+                let vol = ws.gpvol(igaus, ivect);
+                let tau = ws.tau(igaus, ivect);
+                // conv_a = (u·∇)N_a
+                let mut conv_a = 0.0;
+                for j in 0..NDIME {
+                    conv_a += ws.gpadv(igaus, j, ivect) * ws.gpcar(igaus, inode, j, ivect);
+                }
+                // (u·∇)u_i at the integration point, per component.
+                for i in 0..NDIME {
+                    let mut ugradu_i = 0.0;
+                    for j in 0..NDIME {
+                        ugradu_i += ws.gpadv(igaus, j, ivect) * ws.gpgve(igaus, i, j, ivect);
+                    }
+                    // Galerkin convective residual + SUPG perturbation.
+                    let galerkin = rho * n_a * ugradu_i;
+                    let supg = rho * tau * conv_a * ugradu_i;
+                    ws.add_elrbu(inode, i, ivect, -vol * (galerkin + supg));
+                }
+                // Semi-implicit scheme: the (SUPG-stabilized) convection
+                // operator also contributes to the elemental matrix.  This is
+                // the bulk of the arithmetic of the phase, which is why the
+                // paper finds phase 6 to be the most cycle-consuming one.
+                if config.semi_implicit {
+                    for jnode in 0..PNODE {
+                        let mut conv_b = 0.0;
+                        for j in 0..NDIME {
+                            conv_b +=
+                                ws.gpadv(igaus, j, ivect) * ws.gpcar(igaus, jnode, j, ivect);
+                        }
+                        let galerkin = n_a * conv_b;
+                        let supg = tau * conv_a * conv_b;
+                        ws.add_elauu(inode, jnode, ivect, vol * rho * (galerkin + supg));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 7: viscous term contribution to the elemental RHS and (for the
+/// semi-implicit scheme) the elemental matrix, plus the lumped mass/Δt
+/// diagonal that makes the assembled operator well conditioned.
+pub fn phase7_viscous(
+    shape: &ShapeTable,
+    config: &KernelConfig,
+    chunk: &ElementChunk,
+    ws: &mut ElementWorkspace,
+) {
+    let nu = config.viscosity;
+    let rho = config.density;
+    let inv_dt = 1.0 / config.dt;
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            for ivect in 0..chunk.vector_size {
+                let vol = ws.gpvol(igaus, ivect);
+                // RHS: -ν ∇N_a : ∇u
+                for i in 0..NDIME {
+                    let mut visc = 0.0;
+                    for j in 0..NDIME {
+                        visc += ws.gpcar(igaus, inode, j, ivect) * ws.gpgve(igaus, i, j, ivect);
+                    }
+                    ws.add_elrbu(inode, i, ivect, -vol * nu * visc);
+                }
+                if config.semi_implicit {
+                    // Matrix: ν ∇N_a·∇N_b  +  (ρ/Δt) N_a N_b (lumped on the row).
+                    for jnode in 0..PNODE {
+                        let mut diff = 0.0;
+                        for j in 0..NDIME {
+                            diff += ws.gpcar(igaus, inode, j, ivect)
+                                * ws.gpcar(igaus, jnode, j, ivect);
+                        }
+                        let mass = rho * inv_dt * n_a * funcs.n[jnode];
+                        ws.add_elauu(inode, jnode, ivect, vol * (nu * diff + mass));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 8: validity check and scatter of the elemental contributions into
+/// the global CSR matrix and RHS vector.
+///
+/// The RHS has `NDIME` entries per node (`rhs[NDIME*node + idime]`); the
+/// matrix is the scalar (per-component) operator on the node-to-node graph,
+/// applied identically to each velocity component.
+pub fn phase8_scatter(
+    mesh: &Mesh,
+    config: &KernelConfig,
+    chunk: &ElementChunk,
+    ws: &ElementWorkspace,
+    matrix: &mut CsrMatrix,
+    rhs: &mut [f64],
+) {
+    assert_eq!(rhs.len(), NDIME * mesh.num_nodes());
+    for ivect in 0..chunk.vector_size {
+        // The validity check of the paper: padding slots are skipped.
+        let Some(elem) = ws.element_id(ivect) else { continue };
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node_a) in nodes.iter().enumerate() {
+            let node_a = node_a as usize;
+            for idime in 0..NDIME {
+                rhs[NDIME * node_a + idime] += ws.elrbu(inode, idime, ivect);
+            }
+            if config.semi_implicit {
+                for (jnode, &node_b) in nodes.iter().enumerate() {
+                    matrix.add(node_a, node_b as usize, ws.elauu(inode, jnode, ivect));
+                }
+            }
+        }
+    }
+}
+
+/// Analytic FLOP count of one element's assembly (phases 3–7), used by tests
+/// and by the roofline-style reporting in the experiment driver.
+pub fn flops_per_element(semi_implicit: bool) -> f64 {
+    let p3 = PGAUS as f64
+        * (PNODE as f64 * (NDIME * NDIME * 2) as f64   // Jacobian accumulation (FMA)
+            + 45.0                                      // det + inverse
+            + PNODE as f64 * (NDIME * NDIME * 2) as f64 // gpcar
+            + 1.0);
+    let p4 = PGAUS as f64 * PNODE as f64 * (NDIME as f64 * 2.0 + (NDIME * NDIME * 2) as f64);
+    let p5 = PGAUS as f64 * 16.0;
+    let p6_rhs = PGAUS as f64
+        * PNODE as f64
+        * ((NDIME * 2) as f64 + NDIME as f64 * ((NDIME * 2) as f64 + 7.0));
+    let p6_mat = if semi_implicit {
+        PGAUS as f64 * PNODE as f64 * PNODE as f64 * ((NDIME * 2) as f64 + 5.0)
+    } else {
+        0.0
+    };
+    let p6 = p6_rhs + p6_mat;
+    let p7_rhs = PGAUS as f64 * PNODE as f64 * NDIME as f64 * ((NDIME * 2) as f64 + 3.0);
+    let p7_mat = if semi_implicit {
+        PGAUS as f64 * PNODE as f64 * PNODE as f64 * ((NDIME * 2) as f64 + 6.0)
+    } else {
+        0.0
+    };
+    let p8 = PNODE as f64 * NDIME as f64
+        + if semi_implicit { (PNODE * PNODE) as f64 } else { 0.0 };
+    p3 + p4 + p5 + p6 + p7_rhs + p7_mat + p8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_mesh::quadrature::GaussRule;
+    use lv_mesh::structured::BoxMeshBuilder;
+    use lv_mesh::ElementKind;
+
+    fn setup(nelem_per_side: usize, vs: usize) -> (Mesh, ShapeTable, ElementChunk, ElementWorkspace) {
+        let mesh = BoxMeshBuilder::new(nelem_per_side, nelem_per_side, nelem_per_side)
+            .lid_driven_cavity()
+            .build();
+        let shape = ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2());
+        let chunk = ElementChunk {
+            first_element: 0,
+            len: vs.min(mesh.num_elements()),
+            vector_size: vs,
+        };
+        let ws = ElementWorkspace::new(vs);
+        (mesh, shape, chunk, ws)
+    }
+
+    #[test]
+    fn phase1_gathers_the_right_coordinates() {
+        let (mesh, _, chunk, mut ws) = setup(3, 8);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        for ivect in 0..chunk.len {
+            let elem = chunk.element(ivect).unwrap();
+            let nodes = mesh.element_nodes(elem);
+            for (inode, &node) in nodes.iter().enumerate() {
+                let p = mesh.node_coords(node as usize);
+                for d in 0..NDIME {
+                    assert_eq!(ws.elcod(inode, d, ivect), p[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase2_gathers_velocity_and_pressure() {
+        let (mesh, _, chunk, mut ws) = setup(3, 8);
+        let vel = VectorField::taylor_green(&mesh);
+        let pre = Field::from_fn(&mesh, |p| p.x + 2.0 * p.y);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        let elem = 3;
+        let node = mesh.element_nodes(elem)[5] as usize;
+        assert_eq!(ws.elvel(5, 0, 3), vel.get(node).x);
+        assert_eq!(ws.elvel(5, 2, 3), vel.get(node).z);
+        assert_eq!(ws.elvel(5, NDIME, 3), pre.value(node));
+    }
+
+    #[test]
+    fn phase3_volume_sums_to_element_volume() {
+        let (mesh, shape, chunk, mut ws) = setup(4, 16);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        let singular = phase3_jacobian(&shape, &chunk, &mut ws);
+        assert_eq!(singular, 0);
+        for ivect in 0..chunk.len {
+            let elem = chunk.element(ivect).unwrap();
+            let vol: f64 = (0..PGAUS).map(|g| ws.gpvol(g, ivect)).sum();
+            assert!((vol - mesh.element_volume(elem)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phase3_cartesian_derivatives_reproduce_linear_gradient() {
+        // For the unit-cube structured mesh, a linear field f = 2x - y + 3z
+        // must have gradient (2, -1, 3) when differentiated with gpcar.
+        let (mesh, shape, chunk, mut ws) = setup(3, 4);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        let ivect = 1;
+        let elem = chunk.element(ivect).unwrap();
+        let nodes = mesh.element_nodes(elem);
+        let nodal: Vec<f64> = nodes
+            .iter()
+            .map(|&n| {
+                let p = mesh.node_coords(n as usize);
+                2.0 * p.x - p.y + 3.0 * p.z
+            })
+            .collect();
+        for igaus in 0..PGAUS {
+            let expect = [2.0, -1.0, 3.0];
+            for d in 0..NDIME {
+                let grad: f64 =
+                    (0..PNODE).map(|a| ws.gpcar(igaus, a, d, ivect) * nodal[a]).sum();
+                assert!((grad - expect[d]).abs() < 1e-10, "igaus {igaus} dim {d}: {grad}");
+            }
+        }
+    }
+
+    #[test]
+    fn phase4_interpolates_constant_velocity_exactly() {
+        let (mesh, shape, chunk, mut ws) = setup(3, 4);
+        let vel = VectorField::constant(&mesh, lv_mesh::Vec3::new(1.5, -0.5, 2.0));
+        let pre = Field::zeros(&mesh);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        phase4_gauss_values(&shape, &chunk, &mut ws);
+        for igaus in 0..PGAUS {
+            assert!((ws.gpvel(igaus, 0, 0) - 1.5).abs() < 1e-12);
+            assert!((ws.gpvel(igaus, 1, 0) + 0.5).abs() < 1e-12);
+            assert!((ws.gpvel(igaus, 2, 0) - 2.0).abs() < 1e-12);
+            // A constant field has zero gradient.
+            for i in 0..NDIME {
+                for j in 0..NDIME {
+                    assert!(ws.gpgve(igaus, i, j, 0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase5_tau_is_positive_and_bounded_by_dt() {
+        let (mesh, shape, chunk, mut ws) = setup(3, 4);
+        let config = KernelConfig::default();
+        let vel = VectorField::taylor_green(&mesh);
+        let pre = Field::zeros(&mesh);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        phase4_gauss_values(&shape, &chunk, &mut ws);
+        phase5_stabilization(&config, mesh.characteristic_length(), &chunk, &mut ws);
+        for igaus in 0..PGAUS {
+            for ivect in 0..chunk.len {
+                let tau = ws.tau(igaus, ivect);
+                assert!(tau > 0.0);
+                assert!(tau <= config.dt / config.density + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn convective_residual_vanishes_for_zero_velocity() {
+        let (mesh, shape, chunk, mut ws) = setup(3, 4);
+        let config = KernelConfig::default();
+        let vel = VectorField::zeros(&mesh);
+        let pre = Field::zeros(&mesh);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        phase4_gauss_values(&shape, &chunk, &mut ws);
+        phase5_stabilization(&config, mesh.characteristic_length(), &chunk, &mut ws);
+        phase6_convective(&shape, &config, &chunk, &mut ws);
+        for ivect in 0..chunk.len {
+            for a in 0..PNODE {
+                for d in 0..NDIME {
+                    assert_eq!(ws.elrbu(a, d, ivect), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn viscous_matrix_row_sums_vanish_and_diagonal_is_positive() {
+        // ∇N_a·∇N_b row-sums vanish because Σ_b N_b = 1; with the mass term
+        // the row sum equals the lumped mass (positive).
+        let (mesh, shape, chunk, mut ws) = setup(3, 4);
+        let config = KernelConfig::default();
+        let vel = VectorField::zeros(&mesh);
+        let pre = Field::zeros(&mesh);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        phase4_gauss_values(&shape, &chunk, &mut ws);
+        phase5_stabilization(&config, mesh.characteristic_length(), &chunk, &mut ws);
+        phase7_viscous(&shape, &config, &chunk, &mut ws);
+        let elem_vol = mesh.element_volume(0);
+        let expected_mass = config.density / config.dt * elem_vol;
+        for a in 0..PNODE {
+            assert!(ws.elauu(a, a, 0) > 0.0);
+        }
+        let total: f64 = (0..PNODE)
+            .flat_map(|a| (0..PNODE).map(move |b| (a, b)))
+            .map(|(a, b)| ws.elauu(a, b, 0))
+            .sum();
+        // Total of the matrix = ∫ ρ/Δt (Σ_a N_a)(Σ_b N_b) = ρ/Δt · |element|.
+        assert!((total - expected_mass).abs() < 1e-9, "total {total} vs {expected_mass}");
+    }
+
+    #[test]
+    fn phase8_skips_padding_and_conserves_rhs_sum() {
+        let (mesh, shape, chunk, mut ws) = setup(3, 32); // 27 elements, 5 padding slots
+        let config = KernelConfig::default();
+        let vel = VectorField::taylor_green(&mesh);
+        let pre = Field::zeros(&mesh);
+        phase1_gather_coords(&mesh, &chunk, &mut ws);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws);
+        phase3_jacobian(&shape, &chunk, &mut ws);
+        phase4_gauss_values(&shape, &chunk, &mut ws);
+        phase5_stabilization(&config, mesh.characteristic_length(), &chunk, &mut ws);
+        phase6_convective(&shape, &config, &chunk, &mut ws);
+        phase7_viscous(&shape, &config, &chunk, &mut ws);
+
+        let (row_ptr, col_idx) = mesh.node_graph_csr();
+        let mut matrix = CsrMatrix::from_pattern(row_ptr, col_idx);
+        let mut rhs = vec![0.0; NDIME * mesh.num_nodes()];
+        phase8_scatter(&mesh, &config, &chunk, &ws, &mut matrix, &mut rhs);
+
+        // The global RHS total equals the sum of the valid elemental RHS
+        // entries (padding contributes nothing).
+        let elemental_total: f64 = (0..chunk.len)
+            .flat_map(|iv| (0..PNODE).map(move |a| (iv, a)))
+            .flat_map(|(iv, a)| (0..NDIME).map(move |d| (iv, a, d)))
+            .map(|(iv, a, d)| ws.elrbu(a, d, iv))
+            .sum();
+        let global_total: f64 = rhs.iter().sum();
+        assert!((elemental_total - global_total).abs() < 1e-9);
+        assert!(matrix.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn flops_per_element_is_a_few_thousand() {
+        let f = flops_per_element(true);
+        assert!(f > 3000.0 && f < 30_000.0, "flops/element = {f}");
+        assert!(flops_per_element(false) < f);
+    }
+}

@@ -1,0 +1,916 @@
+//! Workload descriptors: the eight phases of the mini-app expressed as
+//! `lv-compiler` loop nests, per code variant.
+//!
+//! The loop nests mirror the numeric implementation in [`crate::phases`]
+//! statement by statement: the same loop structure, the same per-iteration
+//! floating-point work, and memory references that address the *same* data —
+//! global mesh arrays (coordinates, unknowns, connectivity, global RHS and
+//! matrix) and the `VECTOR_SIZE`-blocked element workspace of
+//! [`crate::workspace::WorkspaceLayout`] — in a simulated flat address space.
+//! The code variants are obtained by applying the paper's refactorings
+//! ([`lv_compiler::transforms`]) to the *original* nests, exactly as the
+//! authors edited the Fortran source:
+//!
+//! * `Original`: phases 1–2 iterate `ivect` with a run-time trip count
+//!   (`VECTOR_DIM` dummy argument) — the auto-vectorizer leaves them scalar;
+//! * `VEC2`: the trip count becomes a compile-time constant — phase 2
+//!   vectorizes over its short innermost `idof` loop (AVL ≈ 4);
+//! * `IVEC2`: the phase-2 nest is interchanged so `ivect` is innermost —
+//!   AVL = `VECTOR_SIZE`;
+//! * `VEC1`: the phase-1 loop is distributed — its gather half vectorizes.
+
+use crate::config::{KernelConfig, OptLevel};
+use crate::workspace::WorkspaceLayout;
+use crate::{NDIME, NDOFN, PGAUS, PNODE};
+use lv_compiler::ir::{AffineExpr, IndexExpr, Loop, LoopItem, LoopNest, MemRef, Statement, TripCount};
+use lv_compiler::transforms;
+use lv_mesh::chunks::ElementChunk;
+use lv_mesh::Mesh;
+use lv_sim::counters::PhaseId;
+use lv_sim::isa::VectorOp;
+use std::sync::Arc;
+
+/// Base byte addresses of the global arrays and of the element workspace in
+/// the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Nodal coordinates (`coords[3*node + dim]`, f64).
+    pub coords: u64,
+    /// Nodal unknowns (`unk[4*node + dof]`, f64: velocity + pressure).
+    pub unknowns: u64,
+    /// Previous-time-step nodal unknowns (same layout as `unknowns`).
+    pub unknowns_old: u64,
+    /// Element connectivity (`lnods[8*elem + a]`, u32).
+    pub lnods: u64,
+    /// Global RHS (`rhs[3*node + dim]`, f64).
+    pub rhs: u64,
+    /// Global CSR matrix values (addressed approximately through the row).
+    pub matrix: u64,
+    /// Tabulated shape functions / derivatives (small, read-only).
+    pub shape: u64,
+    /// Element workspace (the `VECTOR_SIZE`-blocked local arrays).
+    pub local: u64,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap {
+            coords: 0x1000_0000,
+            unknowns: 0x2000_0000,
+            unknowns_old: 0x2800_0000,
+            lnods: 0x3000_0000,
+            rhs: 0x4000_0000,
+            matrix: 0x5000_0000,
+            shape: 0x6000_0000,
+            local: 0x0010_0000,
+        }
+    }
+}
+
+/// Builds the per-chunk loop nests of every phase for a mesh, configuration
+/// and code variant.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    config: KernelConfig,
+    addr: AddressMap,
+    layout: WorkspaceLayout,
+    /// Shared copy of the mesh connectivity used by the gather/scatter
+    /// indirections.
+    lnods: Arc<Vec<u32>>,
+}
+
+impl WorkloadBuilder {
+    /// Creates a workload builder for `mesh` under `config`.
+    pub fn new(mesh: &Mesh, config: KernelConfig) -> Self {
+        WorkloadBuilder {
+            config,
+            addr: AddressMap::default(),
+            layout: WorkspaceLayout::new(config.vector_size),
+            lnods: Arc::new(mesh.connectivity().to_vec()),
+        }
+    }
+
+    /// The simulated address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.addr
+    }
+
+    /// The element-workspace layout used for the local-array addresses.
+    pub fn layout(&self) -> &WorkspaceLayout {
+        &self.layout
+    }
+
+    /// Builds the loop nests of all eight phases for one element chunk, in
+    /// phase order, with the configured code variant already applied.
+    pub fn phase_nests(&self, chunk: &ElementChunk) -> Vec<(PhaseId, LoopNest)> {
+        let opt = self.config.opt_level;
+        let mut out = Vec::with_capacity(8);
+        out.push((PhaseId::new(1), self.phase1(chunk, opt)));
+        out.push((PhaseId::new(2), self.phase2(chunk, opt)));
+        out.push((PhaseId::new(3), self.phase3(chunk)));
+        out.push((PhaseId::new(4), self.phase4(chunk)));
+        out.push((PhaseId::new(5), self.phase5(chunk)));
+        out.push((PhaseId::new(6), self.phase6(chunk)));
+        out.push((PhaseId::new(7), self.phase7(chunk)));
+        out.push((PhaseId::new(8), self.phase8(chunk)));
+        out
+    }
+
+    /// Element index (in f64 elements from `addr.local`) of a workspace array
+    /// entry: `offset + slot*vs + ivect`, expressed as an affine expression in
+    /// the `ivect` loop level.
+    fn local_affine(&self, array_offset: usize, slot: usize, ivect_level: usize) -> IndexExpr {
+        IndexExpr::Affine(
+            AffineExpr::term(ivect_level, 1)
+                .plus_const((array_offset + slot * self.config.vector_size) as i64),
+        )
+    }
+
+    /// Same as [`Self::local_affine`] but with additional loop-dependent slot
+    /// terms `(level, slots_per_step)`.
+    fn local_affine_terms(
+        &self,
+        array_offset: usize,
+        base_slot: usize,
+        ivect_level: usize,
+        terms: &[(usize, usize)],
+    ) -> IndexExpr {
+        let vs = self.config.vector_size as i64;
+        let mut e = AffineExpr::term(ivect_level, 1)
+            .plus_const((array_offset + base_slot * self.config.vector_size) as i64);
+        for &(level, slots) in terms {
+            e = e.plus_term(level, slots as i64 * vs);
+        }
+        IndexExpr::Affine(e)
+    }
+
+    /// The trip count of the `ivect` loops of the gather routine (phases 1–2):
+    /// a run-time value in the original code, a compile-time constant from
+    /// VEC2 onwards.
+    fn gather_trip(&self, chunk: &ElementChunk, opt: OptLevel) -> TripCount {
+        if opt.has_vec2() {
+            TripCount::Const(chunk.len)
+        } else {
+            TripCount::Runtime(chunk.len)
+        }
+    }
+
+    // ----------------------------------------------------------------- phase 1
+
+    /// Phase 1: connectivity handling (work A, not vectorizable) plus the
+    /// coordinate gather (work B, vectorizable).
+    fn phase1(&self, chunk: &ElementChunk, opt: OptLevel) -> LoopNest {
+        let first = chunk.first_element;
+        // Work A: read the 8 connectivity entries of the element and perform
+        // the slot bookkeeping (indirect addressing + branches on element
+        // validity make it non-vectorizable).
+        let mut work_a = Statement::new("work_a_connectivity")
+            .with_int_ops(16)
+            .with_flops(VectorOp::Mul, 6)
+            .with_flops(VectorOp::Add, 4)
+            .not_vectorizable();
+        for a in 0..PNODE {
+            work_a = work_a.with_mem(MemRef::index_load(
+                "lnods",
+                self.addr.lnods,
+                IndexExpr::Affine(
+                    AffineExpr::term(0, PNODE as i64).plus_const((first * PNODE + a) as i64),
+                ),
+            ));
+            // Characteristic-length computation re-reads one coordinate per
+            // node through the connectivity (data-dependent, hence part of
+            // the non-vectorizable half).
+            work_a = work_a.with_mem(MemRef::load(
+                "coords",
+                self.addr.coords,
+                IndexExpr::Indirect {
+                    table: Arc::clone(&self.lnods),
+                    table_index: AffineExpr::term(0, PNODE as i64)
+                        .plus_const((first * PNODE + a) as i64),
+                    scale: NDIME as i64,
+                    offset: AffineExpr::constant(0),
+                },
+            ));
+        }
+        // Work B: gather the nodal coordinates into elcod.
+        let mut work_b = Statement::new("work_b_gather_coords").with_int_ops(4);
+        for a in 0..PNODE {
+            for d in 0..NDIME {
+                work_b = work_b
+                    .with_mem(MemRef::load(
+                        "coords",
+                        self.addr.coords,
+                        IndexExpr::Indirect {
+                            table: Arc::clone(&self.lnods),
+                            table_index: AffineExpr::term(0, PNODE as i64)
+                                .plus_const((first * PNODE + a) as i64),
+                            scale: NDIME as i64,
+                            offset: AffineExpr::constant(d as i64),
+                        },
+                    ))
+                    .with_mem(MemRef::store(
+                        "elcod",
+                        self.addr.local,
+                        self.local_affine(self.layout.elcod, a * NDIME + d, 0),
+                    ));
+            }
+        }
+        let ivect = Loop::new("ivect", 0, self.gather_trip(chunk, opt))
+            .with_stmt(work_a)
+            .with_stmt(work_b);
+        let nest = LoopNest::new("phase1_gather_coords", vec![LoopItem::Loop(ivect)], 1);
+        if opt.has_vec1() {
+            let (split, _) = transforms::distribute(&nest, "ivect");
+            split
+        } else {
+            nest
+        }
+    }
+
+    // ----------------------------------------------------------------- phase 2
+
+    /// Phase 2: gather of the nodal unknowns (velocity + pressure).
+    fn phase2(&self, chunk: &ElementChunk, opt: OptLevel) -> LoopNest {
+        let first = chunk.first_element;
+        let vs = self.config.vector_size;
+        let gather = Statement::new("gather_unknowns")
+            .with_int_ops(2)
+            .with_mem(MemRef::load(
+                "unknowns",
+                self.addr.unknowns,
+                IndexExpr::Indirect {
+                    table: Arc::clone(&self.lnods),
+                    table_index: AffineExpr::term(0, PNODE as i64)
+                        .plus_term(1, 1)
+                        .plus_const((first * PNODE) as i64),
+                    scale: NDOFN as i64,
+                    offset: AffineExpr::term(2, 1),
+                },
+            ))
+            .with_mem(MemRef::store(
+                "elvel",
+                self.addr.local,
+                IndexExpr::Affine(
+                    AffineExpr::term(0, 1)
+                        .plus_term(1, (NDOFN * vs) as i64)
+                        .plus_term(2, vs as i64)
+                        .plus_const(self.layout.elvel as i64),
+                ),
+            ))
+            .with_mem(MemRef::load(
+                "unknowns_old",
+                self.addr.unknowns_old,
+                IndexExpr::Indirect {
+                    table: Arc::clone(&self.lnods),
+                    table_index: AffineExpr::term(0, PNODE as i64)
+                        .plus_term(1, 1)
+                        .plus_const((first * PNODE) as i64),
+                    scale: NDOFN as i64,
+                    offset: AffineExpr::term(2, 1),
+                },
+            ))
+            .with_mem(MemRef::store(
+                "elvel_old",
+                self.addr.local,
+                IndexExpr::Affine(
+                    AffineExpr::term(0, 1)
+                        .plus_term(1, (NDOFN * vs) as i64)
+                        .plus_term(2, vs as i64)
+                        .plus_const(self.layout.elvel_old as i64),
+                ),
+            ));
+        let idof = Loop::new("idof", 2, TripCount::Const(NDOFN)).with_stmt(gather);
+        let inode = Loop::new("inode", 1, TripCount::Const(PNODE)).with_loop(idof);
+        let ivect = Loop::new("ivect", 0, self.gather_trip(chunk, opt)).with_loop(inode);
+        let nest = LoopNest::new("phase2_gather_unknowns", vec![LoopItem::Loop(ivect)], 3);
+        if opt.has_ivec2() {
+            // Two interchanges push ivect to the innermost position:
+            // (ivect, inode) then (ivect, idof).
+            let (step1, _) = transforms::interchange(&nest, "ivect", "inode");
+            let (step2, _) = transforms::interchange(&step1, "ivect", "idof");
+            step2
+        } else {
+            nest
+        }
+    }
+
+    // ----------------------------------------------------------------- phase 3
+
+    /// Phase 3: Jacobian, determinant/inverse, Cartesian derivatives.
+    fn phase3(&self, chunk: &ElementChunk) -> LoopNest {
+        let vs = chunk.len;
+        let trip = TripCount::Const(vs);
+        // Jacobian accumulation: per (igaus, inode) a 3×3 FMA update reading
+        // three elcod components and the (loop-invariant) reference
+        // derivatives.
+        let mut jac_acc = Statement::new("jacobian_accumulate")
+            .with_flops(VectorOp::Fma, (NDIME * NDIME) as u32)
+            .with_int_ops(2);
+        for d in 0..NDIME {
+            jac_acc = jac_acc
+                .with_mem(MemRef::load(
+                    "elcod",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elcod, d, 2, &[(1, NDIME)]),
+                ))
+                .with_mem(MemRef::load(
+                    "deriv_ref",
+                    self.addr.shape,
+                    IndexExpr::Affine(
+                        AffineExpr::term(0, (PNODE * NDIME) as i64)
+                            .plus_term(1, NDIME as i64)
+                            .plus_const(d as i64),
+                    ),
+                ));
+        }
+        let ivect_a = Loop::new("ivect_jac", 2, trip).with_stmt(jac_acc);
+        let inode_a = Loop::new("inode_jac", 1, TripCount::Const(PNODE)).with_loop(ivect_a);
+
+        // Determinant + inverse + gpvol store.
+        let det_inv = Statement::new("det_and_inverse")
+            .with_flops(VectorOp::Mul, 22)
+            .with_flops(VectorOp::Add, 12)
+            .with_flops(VectorOp::Div, 1)
+            .with_int_ops(2)
+            .with_mem(MemRef::store(
+                "gpvol",
+                self.addr.local,
+                self.local_affine_terms(self.layout.gpvol, 0, 3, &[(0, 1)]),
+            ));
+        let ivect_b = Loop::new("ivect_det", 3, trip).with_stmt(det_inv);
+
+        // Cartesian derivatives gpcar.
+        let mut gpcar_calc = Statement::new("cartesian_derivatives")
+            .with_flops(VectorOp::Fma, (NDIME * NDIME) as u32)
+            .with_int_ops(2);
+        for d in 0..NDIME {
+            gpcar_calc = gpcar_calc.with_mem(MemRef::store(
+                "gpcar",
+                self.addr.local,
+                self.local_affine_terms(
+                    self.layout.gpcar,
+                    d,
+                    5,
+                    &[(0, PNODE * NDIME), (4, NDIME)],
+                ),
+            ));
+        }
+        let ivect_c = Loop::new("ivect_car", 5, trip).with_stmt(gpcar_calc);
+        let inode_c = Loop::new("inode_car", 4, TripCount::Const(PNODE)).with_loop(ivect_c);
+
+        let igaus = Loop::new("igaus", 0, TripCount::Const(PGAUS))
+            .with_loop(inode_a)
+            .with_loop(ivect_b)
+            .with_loop(inode_c);
+        LoopNest::new("phase3_jacobian", vec![LoopItem::Loop(igaus)], 6)
+    }
+
+    // ----------------------------------------------------------------- phase 4
+
+    /// Phase 4: velocity and velocity-gradient interpolation at the
+    /// integration points.
+    fn phase4(&self, chunk: &ElementChunk) -> LoopNest {
+        let vs = chunk.len;
+        let mut interp = Statement::new("gauss_interpolation")
+            .with_flops(VectorOp::Fma, (NDIME + NDIME * NDIME) as u32)
+            .with_int_ops(2)
+            // Loop-invariant shape function N_a(igaus).
+            .with_mem(MemRef::load(
+                "shape_n",
+                self.addr.shape,
+                IndexExpr::Affine(AffineExpr::term(0, PNODE as i64).plus_term(1, 1)),
+            ));
+        for d in 0..NDIME {
+            interp = interp
+                .with_mem(MemRef::load(
+                    "elvel",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elvel, d, 2, &[(1, NDOFN)]),
+                ))
+                .with_mem(MemRef::load(
+                    "gpcar",
+                    self.addr.local,
+                    self.local_affine_terms(
+                        self.layout.gpcar,
+                        d,
+                        2,
+                        &[(0, PNODE * NDIME), (1, NDIME)],
+                    ),
+                ))
+                .with_mem(MemRef::load(
+                    "gpvel",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpvel, d, 2, &[(0, NDIME)]),
+                ))
+                .with_mem(MemRef::store(
+                    "gpvel",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpvel, d, 2, &[(0, NDIME)]),
+                ));
+        }
+        for k in 0..NDIME * NDIME {
+            interp = interp
+                .with_mem(MemRef::load(
+                    "gpgve",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpgve, k, 2, &[(0, NDIME * NDIME)]),
+                ))
+                .with_mem(MemRef::store(
+                    "gpgve",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpgve, k, 2, &[(0, NDIME * NDIME)]),
+                ));
+        }
+        let ivect = Loop::new("ivect", 2, TripCount::Const(vs)).with_stmt(interp);
+        let inode = Loop::new("inode", 1, TripCount::Const(PNODE)).with_loop(ivect);
+        let igaus = Loop::new("igaus", 0, TripCount::Const(PGAUS)).with_loop(inode);
+        LoopNest::new("phase4_gauss_values", vec![LoopItem::Loop(igaus)], 3)
+    }
+
+    // ----------------------------------------------------------------- phase 5
+
+    /// Phase 5: stabilization parameter and advection velocity.
+    fn phase5(&self, chunk: &ElementChunk) -> LoopNest {
+        let vs = chunk.len;
+        let mut tau_stmt = Statement::new("stabilization_tau")
+            .with_flops(VectorOp::Mul, 6)
+            .with_flops(VectorOp::Add, 4)
+            .with_flops(VectorOp::Div, 2)
+            .with_int_ops(2)
+            .with_mem(MemRef::store(
+                "tau",
+                self.addr.local,
+                self.local_affine_terms(self.layout.tau, 0, 1, &[(0, 1)]),
+            ));
+        for d in 0..NDIME {
+            tau_stmt = tau_stmt
+                .with_mem(MemRef::load(
+                    "gpvel",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpvel, d, 1, &[(0, NDIME)]),
+                ))
+                .with_mem(MemRef::store(
+                    "gpadv",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpadv, d, 1, &[(0, NDIME)]),
+                ));
+        }
+        let ivect = Loop::new("ivect", 1, TripCount::Const(vs)).with_stmt(tau_stmt);
+        let igaus = Loop::new("igaus", 0, TripCount::Const(PGAUS)).with_loop(ivect);
+        LoopNest::new("phase5_stabilization", vec![LoopItem::Loop(igaus)], 2)
+    }
+
+    // ----------------------------------------------------------------- phase 6
+
+    /// Phase 6: convective residual (Galerkin + SUPG) and, for the
+    /// semi-implicit scheme, the convection matrix — the heaviest phase.
+    fn phase6(&self, chunk: &ElementChunk) -> LoopNest {
+        let vs = chunk.len;
+        let trip = TripCount::Const(vs);
+        // Residual contribution per (igaus, inode).
+        let mut residual = Statement::new("convective_residual")
+            .with_flops(VectorOp::Fma, 15)
+            .with_flops(VectorOp::Mul, 9)
+            .with_flops(VectorOp::Add, 6)
+            .with_int_ops(2)
+            .with_mem(MemRef::load(
+                "gpvol",
+                self.addr.local,
+                self.local_affine_terms(self.layout.gpvol, 0, 2, &[(0, 1)]),
+            ))
+            .with_mem(MemRef::load(
+                "tau",
+                self.addr.local,
+                self.local_affine_terms(self.layout.tau, 0, 2, &[(0, 1)]),
+            ));
+        for d in 0..NDIME {
+            residual = residual
+                .with_mem(MemRef::load(
+                    "gpadv",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpadv, d, 2, &[(0, NDIME)]),
+                ))
+                .with_mem(MemRef::load(
+                    "gpcar",
+                    self.addr.local,
+                    self.local_affine_terms(
+                        self.layout.gpcar,
+                        d,
+                        2,
+                        &[(0, PNODE * NDIME), (1, NDIME)],
+                    ),
+                ))
+                .with_mem(MemRef::load(
+                    "elrbu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elrbu, d, 2, &[(1, NDIME)]),
+                ))
+                .with_mem(MemRef::store(
+                    "elrbu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elrbu, d, 2, &[(1, NDIME)]),
+                ));
+        }
+        for k in 0..NDIME * NDIME {
+            residual = residual.with_mem(MemRef::load(
+                "gpgve",
+                self.addr.local,
+                self.local_affine_terms(self.layout.gpgve, k, 2, &[(0, NDIME * NDIME)]),
+            ));
+        }
+        let ivect_res = Loop::new("ivect_res", 2, trip).with_stmt(residual);
+        let inode_res = Loop::new("inode_res", 1, TripCount::Const(PNODE)).with_loop(ivect_res);
+
+        // Convection-matrix contribution per (igaus, inode, jnode).
+        let mut matrix_items: Vec<LoopItem> = Vec::new();
+        if self.config.semi_implicit {
+            let mut conv_mat = Statement::new("convective_matrix")
+                .with_flops(VectorOp::Fma, 5)
+                .with_flops(VectorOp::Mul, 4)
+                .with_flops(VectorOp::Add, 2)
+                .with_int_ops(2)
+                .with_mem(MemRef::load(
+                    "gpvol",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpvol, 0, 5, &[(0, 1)]),
+                ))
+                .with_mem(MemRef::load(
+                    "tau",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.tau, 0, 5, &[(0, 1)]),
+                ))
+                .with_mem(MemRef::load(
+                    "elauu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elauu, 0, 5, &[(3, PNODE), (4, 1)]),
+                ))
+                .with_mem(MemRef::store(
+                    "elauu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elauu, 0, 5, &[(3, PNODE), (4, 1)]),
+                ));
+            for d in 0..NDIME {
+                conv_mat = conv_mat.with_mem(MemRef::load(
+                    "gpcar_b",
+                    self.addr.local,
+                    self.local_affine_terms(
+                        self.layout.gpcar,
+                        d,
+                        5,
+                        &[(0, PNODE * NDIME), (4, NDIME)],
+                    ),
+                ));
+            }
+            let ivect_mat = Loop::new("ivect_mat", 5, trip).with_stmt(conv_mat);
+            let jnode = Loop::new("jnode", 4, TripCount::Const(PNODE)).with_loop(ivect_mat);
+            let inode_mat = Loop::new("inode_mat", 3, TripCount::Const(PNODE)).with_loop(jnode);
+            matrix_items.push(LoopItem::Loop(inode_mat));
+        }
+
+        let mut igaus = Loop::new("igaus", 0, TripCount::Const(PGAUS)).with_loop(inode_res);
+        for item in matrix_items {
+            igaus.body.push(item);
+        }
+        LoopNest::new("phase6_convective", vec![LoopItem::Loop(igaus)], 6)
+    }
+
+    // ----------------------------------------------------------------- phase 7
+
+    /// Phase 7: viscous residual and (semi-implicit) viscous + mass matrix.
+    fn phase7(&self, chunk: &ElementChunk) -> LoopNest {
+        let vs = chunk.len;
+        let trip = TripCount::Const(vs);
+        let mut visc_rhs = Statement::new("viscous_residual")
+            .with_flops(VectorOp::Fma, 9)
+            .with_flops(VectorOp::Mul, 6)
+            .with_flops(VectorOp::Add, 3)
+            .with_int_ops(2)
+            .with_mem(MemRef::load(
+                "gpvol",
+                self.addr.local,
+                self.local_affine_terms(self.layout.gpvol, 0, 2, &[(0, 1)]),
+            ));
+        for d in 0..NDIME {
+            visc_rhs = visc_rhs
+                .with_mem(MemRef::load(
+                    "gpcar",
+                    self.addr.local,
+                    self.local_affine_terms(
+                        self.layout.gpcar,
+                        d,
+                        2,
+                        &[(0, PNODE * NDIME), (1, NDIME)],
+                    ),
+                ))
+                .with_mem(MemRef::load(
+                    "elrbu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elrbu, d, 2, &[(1, NDIME)]),
+                ))
+                .with_mem(MemRef::store(
+                    "elrbu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elrbu, d, 2, &[(1, NDIME)]),
+                ));
+        }
+        for k in 0..NDIME * NDIME {
+            visc_rhs = visc_rhs.with_mem(MemRef::load(
+                "gpgve",
+                self.addr.local,
+                self.local_affine_terms(self.layout.gpgve, k, 2, &[(0, NDIME * NDIME)]),
+            ));
+        }
+        let ivect_rhs = Loop::new("ivect_visc", 2, trip).with_stmt(visc_rhs);
+        let inode_rhs = Loop::new("inode_visc", 1, TripCount::Const(PNODE)).with_loop(ivect_rhs);
+
+        let mut igaus = Loop::new("igaus", 0, TripCount::Const(PGAUS)).with_loop(inode_rhs);
+
+        if self.config.semi_implicit {
+            let mut visc_mat = Statement::new("viscous_mass_matrix")
+                .with_flops(VectorOp::Fma, 4)
+                .with_flops(VectorOp::Mul, 3)
+                .with_flops(VectorOp::Add, 1)
+                .with_int_ops(2)
+                .with_mem(MemRef::load(
+                    "gpvol",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.gpvol, 0, 5, &[(0, 1)]),
+                ))
+                .with_mem(MemRef::load(
+                    "elauu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elauu, 0, 5, &[(3, PNODE), (4, 1)]),
+                ))
+                .with_mem(MemRef::store(
+                    "elauu",
+                    self.addr.local,
+                    self.local_affine_terms(self.layout.elauu, 0, 5, &[(3, PNODE), (4, 1)]),
+                ));
+            for d in 0..NDIME {
+                visc_mat = visc_mat
+                    .with_mem(MemRef::load(
+                        "gpcar_a",
+                        self.addr.local,
+                        self.local_affine_terms(
+                            self.layout.gpcar,
+                            d,
+                            5,
+                            &[(0, PNODE * NDIME), (3, NDIME)],
+                        ),
+                    ))
+                    .with_mem(MemRef::load(
+                        "gpcar_b",
+                        self.addr.local,
+                        self.local_affine_terms(
+                            self.layout.gpcar,
+                            d,
+                            5,
+                            &[(0, PNODE * NDIME), (4, NDIME)],
+                        ),
+                    ));
+            }
+            let ivect_mat = Loop::new("ivect_vmat", 5, trip).with_stmt(visc_mat);
+            let jnode = Loop::new("jnode_v", 4, TripCount::Const(PNODE)).with_loop(ivect_mat);
+            let inode_mat = Loop::new("inode_vmat", 3, TripCount::Const(PNODE)).with_loop(jnode);
+            igaus.body.push(LoopItem::Loop(inode_mat));
+        }
+
+        LoopNest::new("phase7_viscous", vec![LoopItem::Loop(igaus)], 6)
+    }
+
+    // ----------------------------------------------------------------- phase 8
+
+    /// Phase 8: validity check and scatter into the global RHS / matrix.
+    /// Indexed stores with potential write conflicts keep it scalar on every
+    /// platform and at every optimization level.
+    fn phase8(&self, chunk: &ElementChunk) -> LoopNest {
+        let first = chunk.first_element;
+        let check = Statement::new("check_valid_element").with_int_ops(4).not_vectorizable();
+
+        let mut scatter_rhs = Statement::new("scatter_rhs")
+            .with_flops(VectorOp::Add, (PNODE * NDIME) as u32)
+            .with_int_ops((PNODE * NDIME) as u32)
+            .not_vectorizable();
+        for a in 0..PNODE {
+            for d in 0..NDIME {
+                scatter_rhs = scatter_rhs
+                    .with_mem(MemRef::load(
+                        "elrbu",
+                        self.addr.local,
+                        self.local_affine(self.layout.elrbu, a * NDIME + d, 0),
+                    ))
+                    .with_mem(MemRef::store(
+                        "rhs",
+                        self.addr.rhs,
+                        IndexExpr::Indirect {
+                            table: Arc::clone(&self.lnods),
+                            table_index: AffineExpr::term(0, PNODE as i64)
+                                .plus_const((first * PNODE + a) as i64),
+                            scale: NDIME as i64,
+                            offset: AffineExpr::constant(d as i64),
+                        },
+                    ));
+            }
+        }
+
+        let mut items = vec![];
+        let mut ivect = Loop::new("ivect", 0, TripCount::Const(chunk.len))
+            .with_stmt(check)
+            .with_stmt(scatter_rhs);
+
+        if self.config.semi_implicit {
+            // Matrix scatter: one read-modify-write of the global CSR values
+            // per (inode, jnode) pair, addressed through the connectivity
+            // (approximated as row-major blocks of 32 entries per row).
+            let mut scatter_mat = Statement::new("scatter_matrix")
+                .with_flops(VectorOp::Add, (PNODE * PNODE) as u32)
+                .with_int_ops((PNODE * PNODE) as u32)
+                .not_vectorizable();
+            for a in 0..PNODE {
+                for b in 0..PNODE {
+                    scatter_mat = scatter_mat
+                        .with_mem(MemRef::load(
+                            "elauu",
+                            self.addr.local,
+                            self.local_affine(self.layout.elauu, a * PNODE + b, 0),
+                        ))
+                        .with_mem(MemRef::store(
+                            "matrix",
+                            self.addr.matrix,
+                            IndexExpr::Indirect {
+                                table: Arc::clone(&self.lnods),
+                                table_index: AffineExpr::term(0, PNODE as i64)
+                                    .plus_const((first * PNODE + a) as i64),
+                                scale: 32,
+                                offset: AffineExpr::constant(b as i64),
+                            },
+                        ));
+                }
+            }
+            ivect = ivect.with_stmt(scatter_mat);
+        }
+
+        items.push(LoopItem::Loop(ivect));
+        LoopNest::new("phase8_scatter", items, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::flops_per_element;
+    use lv_compiler::vectorizer::Vectorizer;
+    use lv_mesh::structured::BoxMeshBuilder;
+
+    fn builder(vs: usize, opt: OptLevel) -> (WorkloadBuilder, ElementChunk) {
+        let mesh = BoxMeshBuilder::new(6, 6, 6).build();
+        let config = KernelConfig::new(vs, opt);
+        let chunk = ElementChunk { first_element: 0, len: vs, vector_size: vs };
+        (WorkloadBuilder::new(&mesh, config), chunk)
+    }
+
+    #[test]
+    fn all_eight_phases_are_described() {
+        let (b, chunk) = builder(64, OptLevel::Original);
+        let nests = b.phase_nests(&chunk);
+        assert_eq!(nests.len(), 8);
+        for (i, (phase, nest)) in nests.iter().enumerate() {
+            assert_eq!(*phase, PhaseId::new(i as u8 + 1));
+            assert!(nest.count_statements() > 0, "{} has no statements", nest.name);
+        }
+    }
+
+    #[test]
+    fn original_gather_phases_do_not_vectorize() {
+        let (b, chunk) = builder(240, OptLevel::Original);
+        let vec = Vectorizer::new(256);
+        for (phase, nest) in b.phase_nests(&chunk) {
+            let plan = vec.plan(&nest);
+            match phase.number().unwrap() {
+                1 | 2 | 8 => assert!(
+                    !plan.any_vectorized(),
+                    "phase {phase:?} must stay scalar in the original code"
+                ),
+                _ => assert!(plan.any_vectorized(), "phase {phase:?} should vectorize"),
+            }
+        }
+    }
+
+    #[test]
+    fn vec2_vectorizes_phase2_with_short_vectors() {
+        let (b, chunk) = builder(240, OptLevel::Vec2);
+        let vec = Vectorizer::new(256);
+        let nests = b.phase_nests(&chunk);
+        let (_, phase2) = &nests[1];
+        let plan = vec.plan(phase2);
+        assert!(plan.any_vectorized());
+        // The vectorized loop is the 4-iteration idof loop (AVL = 4).
+        let vectorized_chunks: Vec<_> = plan
+            .decisions
+            .values()
+            .filter(|d| d.is_vectorized())
+            .flat_map(|d| d.chunks().to_vec())
+            .collect();
+        assert_eq!(vectorized_chunks, vec![NDOFN]);
+    }
+
+    #[test]
+    fn ivec2_vectorizes_phase2_with_full_vectors() {
+        let (b, chunk) = builder(240, OptLevel::IVec2);
+        let vec = Vectorizer::new(256);
+        let nests = b.phase_nests(&chunk);
+        let (_, phase2) = &nests[1];
+        let plan = vec.plan(phase2);
+        let vectorized_chunks: Vec<_> = plan
+            .decisions
+            .values()
+            .filter(|d| d.is_vectorized())
+            .flat_map(|d| d.chunks().to_vec())
+            .collect();
+        assert_eq!(vectorized_chunks, vec![240]);
+    }
+
+    #[test]
+    fn vec1_distributes_phase1_and_vectorizes_the_gather_half() {
+        let (b, chunk) = builder(128, OptLevel::Vec1);
+        let vec = Vectorizer::new(256);
+        let nests = b.phase_nests(&chunk);
+        let (_, phase1) = &nests[0];
+        assert_eq!(phase1.all_loops().len(), 2, "phase 1 must be distributed");
+        let plan = vec.plan(phase1);
+        let vectorized: Vec<_> =
+            plan.decisions.values().filter(|d| d.is_vectorized()).collect();
+        assert_eq!(vectorized.len(), 1, "exactly the work-B loop vectorizes");
+        assert_eq!(vectorized[0].chunks(), &[128]);
+    }
+
+    #[test]
+    fn phase8_never_vectorizes() {
+        for opt in OptLevel::ALL {
+            let (b, chunk) = builder(256, opt);
+            let nests = b.phase_nests(&chunk);
+            let (_, phase8) = &nests[7];
+            assert!(!Vectorizer::new(256).plan(phase8).any_vectorized());
+        }
+    }
+
+    #[test]
+    fn workload_flops_match_numeric_kernel_within_tolerance() {
+        // The loop-nest descriptors must perform (approximately) the same
+        // floating-point work as the numeric kernel: within 20% per element.
+        let (b, chunk) = builder(64, OptLevel::Original);
+        let total: f64 = b
+            .phase_nests(&chunk)
+            .iter()
+            .map(|(_, nest)| nest.total_flops())
+            .sum();
+        let per_element = total / 64.0;
+        let numeric = flops_per_element(true);
+        let ratio = per_element / numeric;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "workload {per_element} flops/elem vs numeric {numeric} (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn phase6_is_the_heaviest_phase() {
+        let (b, chunk) = builder(64, OptLevel::Original);
+        let nests = b.phase_nests(&chunk);
+        let flops: Vec<f64> = nests.iter().map(|(_, n)| n.total_flops()).collect();
+        let p6 = flops[5];
+        for (i, f) in flops.iter().enumerate() {
+            if i != 5 {
+                assert!(p6 >= *f, "phase 6 ({p6}) must be at least phase {} ({f})", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_phases_are_data_movement_dominated() {
+        // Phases 1 and 2 execute (almost) no floating-point work: phase 2 is
+        // pure data movement and phase 1 only carries the tiny
+        // characteristic-length computation of its non-vectorizable half.
+        let (b, chunk) = builder(64, OptLevel::Original);
+        let nests = b.phase_nests(&chunk);
+        let p1 = nests[0].1.total_flops();
+        let p6 = nests[5].1.total_flops();
+        assert!(p1 < 0.01 * p6, "phase 1 flops {p1} should be negligible vs phase 6 {p6}");
+        assert_eq!(nests[1].1.total_flops(), 0.0, "phase 2 is pure data movement");
+    }
+
+    #[test]
+    fn explicit_scheme_drops_matrix_work() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        let chunk = ElementChunk { first_element: 0, len: 16, vector_size: 16 };
+        let semi = WorkloadBuilder::new(&mesh, KernelConfig::new(16, OptLevel::Original));
+        let expl = WorkloadBuilder::new(
+            &mesh,
+            KernelConfig::new(16, OptLevel::Original).explicit_scheme(),
+        );
+        let f = |b: &WorkloadBuilder| -> f64 {
+            b.phase_nests(&chunk).iter().map(|(_, n)| n.total_flops()).sum()
+        };
+        assert!(f(&semi) > f(&expl));
+    }
+}

@@ -1,0 +1,344 @@
+//! The element-local workspace: the `VECTOR_SIZE`-blocked SoA arrays the
+//! kernel gathers into (phases 1–2), computes on (phases 3–7) and scatters
+//! from (phase 8).
+//!
+//! All arrays use the Alya "vectorized" layout: the element index `ivect` is
+//! the **fastest-varying** dimension, so a loop over `ivect` touches
+//! consecutive memory and vectorizes into unit-stride memory instructions.
+//! The same layout is used by the numeric path and by the simulated address
+//! map (see [`WorkspaceLayout`]), so the cache behaviour seen by the
+//! simulator corresponds to the data the numeric kernel actually touches.
+
+use crate::{NDIME, NDOFN, PGAUS, PNODE};
+use serde::{Deserialize, Serialize};
+
+/// Offsets (in `f64` elements) and total size of the workspace arrays for a
+/// given `VECTOR_SIZE`.  Shared by the numeric workspace and the simulated
+/// address map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkspaceLayout {
+    /// `VECTOR_SIZE` the layout was computed for.
+    pub vector_size: usize,
+    /// Element coordinates `elcod[(inode*3 + idime)*vs + ivect]`.
+    pub elcod: usize,
+    /// Element unknowns `elvel[(inode*4 + idof)*vs + ivect]` (velocity +
+    /// pressure).
+    pub elvel: usize,
+    /// Previous-time-step element unknowns (same layout as `elvel`); gathered
+    /// by phase 2 alongside the current unknowns, as Alya does for its time
+    /// integration scheme.
+    pub elvel_old: usize,
+    /// Jacobian determinant × weight `gpvol[igaus*vs + ivect]`.
+    pub gpvol: usize,
+    /// Cartesian shape derivatives
+    /// `gpcar[((igaus*pnode + inode)*3 + idime)*vs + ivect]`.
+    pub gpcar: usize,
+    /// Velocity at integration points `gpvel[(igaus*3 + idime)*vs + ivect]`.
+    pub gpvel: usize,
+    /// Velocity gradient at integration points
+    /// `gpgve[(igaus*9 + i*3 + j)*vs + ivect]`.
+    pub gpgve: usize,
+    /// Advection velocity at integration points
+    /// `gpadv[(igaus*3 + idime)*vs + ivect]`.
+    pub gpadv: usize,
+    /// Stabilization parameter `tau[igaus*vs + ivect]`.
+    pub tau: usize,
+    /// Elemental RHS `elrbu[(inode*3 + idime)*vs + ivect]`.
+    pub elrbu: usize,
+    /// Elemental viscous matrix block `elauu[(inode*pnode + jnode)*vs + ivect]`.
+    pub elauu: usize,
+    /// Total number of `f64` elements of the workspace.
+    pub total: usize,
+}
+
+impl WorkspaceLayout {
+    /// Computes the layout for a `VECTOR_SIZE`.
+    pub fn new(vs: usize) -> Self {
+        assert!(vs > 0, "VECTOR_SIZE must be positive");
+        let mut offset = 0usize;
+        // One cache line of padding between arrays avoids pathological
+        // set-conflicts when VECTOR_SIZE is a power of two (matching the
+        // fact that Alya's elemental arrays are separate allocations).
+        let mut take = |elems: usize| {
+            let start = offset;
+            offset += elems + 8;
+            start
+        };
+        let elcod = take(PNODE * NDIME * vs);
+        let elvel = take(PNODE * NDOFN * vs);
+        let elvel_old = take(PNODE * NDOFN * vs);
+        let gpvol = take(PGAUS * vs);
+        let gpcar = take(PGAUS * PNODE * NDIME * vs);
+        let gpvel = take(PGAUS * NDIME * vs);
+        let gpgve = take(PGAUS * NDIME * NDIME * vs);
+        let gpadv = take(PGAUS * NDIME * vs);
+        let tau = take(PGAUS * vs);
+        let elrbu = take(PNODE * NDIME * vs);
+        let elauu = take(PNODE * PNODE * vs);
+        WorkspaceLayout {
+            vector_size: vs,
+            elcod,
+            elvel,
+            elvel_old,
+            gpvol,
+            gpcar,
+            gpvel,
+            gpgve,
+            gpadv,
+            tau,
+            elrbu,
+            elauu,
+            total: offset,
+        }
+    }
+
+    /// Workspace footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.total * std::mem::size_of::<f64>()
+    }
+
+    /// Bytes per element of the workspace (independent of `VECTOR_SIZE`).
+    pub fn bytes_per_element(&self) -> f64 {
+        self.bytes() as f64 / self.vector_size as f64
+    }
+}
+
+/// The element-local workspace of one `VECTOR_SIZE` block.
+///
+/// A single allocation is reused for every chunk of the mesh ("workhorse
+/// collection"), exactly as Alya reuses its elemental arrays between kernel
+/// calls.
+#[derive(Debug, Clone)]
+pub struct ElementWorkspace {
+    vs: usize,
+    layout: WorkspaceLayout,
+    /// One flat buffer holding every array, in the layout order.
+    data: Vec<f64>,
+    /// Global element id of each slot, `None` for padding slots of the last
+    /// chunk (phase 8 checks this before scattering).
+    element_ids: Vec<Option<usize>>,
+}
+
+macro_rules! accessors {
+    ($get:ident, $set:ident, $field:ident, doc = $doc:literal, ($($arg:ident),+), $index:expr) => {
+        #[doc = concat!("Reads ", $doc, ".")]
+        #[inline]
+        pub fn $get(&self, $($arg: usize),+, ivect: usize) -> f64 {
+            let idx = self.layout.$field + ($index) * self.vs + ivect;
+            self.data[idx]
+        }
+        #[doc = concat!("Writes ", $doc, ".")]
+        #[inline]
+        pub fn $set(&mut self, $($arg: usize),+, ivect: usize, value: f64) {
+            let idx = self.layout.$field + ($index) * self.vs + ivect;
+            self.data[idx] = value;
+        }
+    };
+}
+
+impl ElementWorkspace {
+    /// Allocates a workspace for blocks of `vector_size` elements.
+    pub fn new(vector_size: usize) -> Self {
+        let layout = WorkspaceLayout::new(vector_size);
+        ElementWorkspace {
+            vs: vector_size,
+            layout,
+            data: vec![0.0; layout.total],
+            element_ids: vec![None; vector_size],
+        }
+    }
+
+    /// The `VECTOR_SIZE` of the workspace.
+    #[inline]
+    pub fn vector_size(&self) -> usize {
+        self.vs
+    }
+
+    /// The address layout of the workspace.
+    #[inline]
+    pub fn layout(&self) -> &WorkspaceLayout {
+        &self.layout
+    }
+
+    /// Zeroes every array and clears the element ids (called at the start of
+    /// each chunk).
+    pub fn reset(&mut self) {
+        self.data.fill(0.0);
+        self.element_ids.fill(None);
+    }
+
+    /// Marks slot `ivect` as holding global element `element`.
+    #[inline]
+    pub fn set_element_id(&mut self, ivect: usize, element: Option<usize>) {
+        self.element_ids[ivect] = element;
+    }
+
+    /// Global element id of slot `ivect` (`None` for padding).
+    #[inline]
+    pub fn element_id(&self, ivect: usize) -> Option<usize> {
+        self.element_ids[ivect]
+    }
+
+    accessors!(elcod, set_elcod, elcod,
+        doc = "the coordinate `idime` of local node `inode` of element slot `ivect`",
+        (inode, idime), inode * NDIME + idime);
+    accessors!(elvel, set_elvel, elvel,
+        doc = "unknown `idof` (0–2 velocity, 3 pressure) of local node `inode` of slot `ivect`",
+        (inode, idof), inode * NDOFN + idof);
+    accessors!(gpvol, set_gpvol, gpvol,
+        doc = "the Jacobian-determinant × weight at integration point `igaus` of slot `ivect`",
+        (igaus), igaus);
+    accessors!(gpcar, set_gpcar, gpcar,
+        doc = "the Cartesian derivative `idime` of shape function `inode` at point `igaus`",
+        (igaus, inode, idime), (igaus * PNODE + inode) * NDIME + idime);
+    accessors!(gpvel, set_gpvel, gpvel,
+        doc = "velocity component `idime` at integration point `igaus`",
+        (igaus, idime), igaus * NDIME + idime);
+    accessors!(gpgve, set_gpgve, gpgve,
+        doc = "velocity gradient component `(i, j)` at integration point `igaus`",
+        (igaus, i, j), (igaus * NDIME + i) * NDIME + j);
+    accessors!(gpadv, set_gpadv, gpadv,
+        doc = "advection velocity component `idime` at integration point `igaus`",
+        (igaus, idime), igaus * NDIME + idime);
+    accessors!(tau, set_tau, tau,
+        doc = "the stabilization parameter at integration point `igaus`",
+        (igaus), igaus);
+    accessors!(elrbu, set_elrbu, elrbu,
+        doc = "the elemental RHS entry of local node `inode`, component `idime`",
+        (inode, idime), inode * NDIME + idime);
+    accessors!(elauu, set_elauu, elauu,
+        doc = "the elemental viscous matrix entry `(inode, jnode)`",
+        (inode, jnode), inode * PNODE + jnode);
+
+    /// Adds to an elemental RHS entry.
+    #[inline]
+    pub fn add_elrbu(&mut self, inode: usize, idime: usize, ivect: usize, value: f64) {
+        let idx = self.layout.elrbu + (inode * NDIME + idime) * self.vs + ivect;
+        self.data[idx] += value;
+    }
+
+    /// Adds to an elemental matrix entry.
+    #[inline]
+    pub fn add_elauu(&mut self, inode: usize, jnode: usize, ivect: usize, value: f64) {
+        let idx = self.layout.elauu + (inode * PNODE + jnode) * self.vs + ivect;
+        self.data[idx] += value;
+    }
+
+    /// Adds to a gauss-point velocity entry.
+    #[inline]
+    pub fn add_gpvel(&mut self, igaus: usize, idime: usize, ivect: usize, value: f64) {
+        let idx = self.layout.gpvel + (igaus * NDIME + idime) * self.vs + ivect;
+        self.data[idx] += value;
+    }
+
+    /// Adds to a gauss-point velocity-gradient entry.
+    #[inline]
+    pub fn add_gpgve(&mut self, igaus: usize, i: usize, j: usize, ivect: usize, value: f64) {
+        let idx = self.layout.gpgve + ((igaus * NDIME + i) * NDIME + j) * self.vs + ivect;
+        self.data[idx] += value;
+    }
+
+    /// Maximum absolute value across the whole workspace (used by tests to
+    /// check for NaNs / blow-ups).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Whether any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_contiguous_and_ordered() {
+        let l = WorkspaceLayout::new(16);
+        assert_eq!(l.elcod, 0);
+        assert!(l.elvel > l.elcod);
+        assert!(l.gpcar > l.gpvol);
+        assert!(l.elauu > l.elrbu);
+        assert_eq!(
+            l.total,
+            l.elauu + PNODE * PNODE * 16 + 8,
+            "total must end right after the last array (plus its padding line)"
+        );
+        assert_eq!(l.bytes(), l.total * 8);
+    }
+
+    #[test]
+    fn bytes_per_element_is_vs_independent() {
+        // Equal up to the fixed per-array padding lines (their per-element
+        // share shrinks as the block grows).
+        let a = WorkspaceLayout::new(16).bytes_per_element();
+        let b = WorkspaceLayout::new(512).bytes_per_element();
+        assert!((a - b).abs() / b < 0.05, "a = {a}, b = {b}");
+        // The working set per element is a few KiB — the reason larger
+        // VECTOR_SIZE blocks overflow the 32 KiB L1 of the prototype.
+        assert!(a > 1000.0 && a < 10_000.0, "bytes/element = {a}");
+    }
+
+    #[test]
+    fn workspace_accessors_roundtrip() {
+        let mut w = ElementWorkspace::new(8);
+        w.set_elcod(3, 1, 5, 2.5);
+        assert_eq!(w.elcod(3, 1, 5), 2.5);
+        w.set_elvel(7, 3, 0, -1.0);
+        assert_eq!(w.elvel(7, 3, 0), -1.0);
+        w.set_gpcar(4, 2, 0, 7, 1.25);
+        assert_eq!(w.gpcar(4, 2, 0, 7), 1.25);
+        w.set_gpgve(1, 2, 0, 3, 9.0);
+        assert_eq!(w.gpgve(1, 2, 0, 3), 9.0);
+        w.set_tau(6, 2, 0.5);
+        assert_eq!(w.tau(6, 2), 0.5);
+        w.add_elrbu(0, 0, 0, 1.0);
+        w.add_elrbu(0, 0, 0, 2.0);
+        assert_eq!(w.elrbu(0, 0, 0), 3.0);
+        w.add_elauu(2, 3, 1, 4.0);
+        assert_eq!(w.elauu(2, 3, 1), 4.0);
+    }
+
+    #[test]
+    fn distinct_slots_do_not_alias() {
+        let mut w = ElementWorkspace::new(4);
+        for ivect in 0..4 {
+            w.set_gpvol(2, ivect, ivect as f64);
+        }
+        for ivect in 0..4 {
+            assert_eq!(w.gpvol(2, ivect), ivect as f64);
+        }
+        // Different igaus slots are independent too.
+        assert_eq!(w.gpvol(1, 0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_data_and_ids() {
+        let mut w = ElementWorkspace::new(4);
+        w.set_element_id(2, Some(99));
+        w.set_gpvol(0, 0, 1.0);
+        w.reset();
+        assert_eq!(w.element_id(2), None);
+        assert_eq!(w.gpvol(0, 0), 0.0);
+        assert_eq!(w.max_abs(), 0.0);
+        assert!(!w.has_non_finite());
+    }
+
+    #[test]
+    fn element_ids_track_padding() {
+        let mut w = ElementWorkspace::new(4);
+        w.set_element_id(0, Some(10));
+        w.set_element_id(1, Some(11));
+        assert_eq!(w.element_id(0), Some(10));
+        assert_eq!(w.element_id(3), None);
+        assert_eq!(w.vector_size(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vector_size_rejected() {
+        let _ = WorkspaceLayout::new(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Packing of elements into `VECTOR_SIZE` blocks.
+//!
+//! `VECTOR_SIZE` is the Alya compile-time parameter the paper sweeps
+//! (16, 64, 128, 240, 256, 512): the assembly kernel is called once per block
+//! of `VECTOR_SIZE` elements, and all element-local arrays carry the block
+//! index as their fastest (or slowest, depending on the code variant)
+//! dimension.  This module produces those blocks from a mesh, including the
+//! final partially-filled block, whose "invalid element" padding is exactly
+//! what phase 8 checks before scattering.
+
+use crate::mesh::Mesh;
+use serde::{Deserialize, Serialize};
+
+/// The `VECTOR_SIZE` values studied in the paper, in the order the figures
+/// report them.  The value 240 is the micro-architectural sweet spot of the
+/// RISC-V VEC prototype (multiple of 8 lanes × 5 FSM stages).
+pub const PAPER_VECTOR_SIZES: [usize; 6] = [16, 64, 128, 240, 256, 512];
+
+/// A block of up to `VECTOR_SIZE` elements processed by one kernel call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementChunk {
+    /// Index of the first element of the chunk in the mesh ordering.
+    pub first_element: usize,
+    /// Number of *valid* elements in the chunk (≤ `vector_size`).
+    pub len: usize,
+    /// The configured `VECTOR_SIZE` (the padded chunk width).
+    pub vector_size: usize,
+}
+
+impl ElementChunk {
+    /// Global element id of the `i`-th slot, or `None` if the slot is padding.
+    #[inline]
+    pub fn element(&self, i: usize) -> Option<usize> {
+        if i < self.len {
+            Some(self.first_element + i)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the chunk is full (no padding slots).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.vector_size
+    }
+
+    /// Number of padding slots (`vector_size - len`).
+    #[inline]
+    pub fn padding(&self) -> usize {
+        self.vector_size - self.len
+    }
+
+    /// Iterator over the valid global element ids of the chunk.
+    pub fn elements(&self) -> impl Iterator<Item = usize> + '_ {
+        self.first_element..self.first_element + self.len
+    }
+}
+
+/// The partition of a mesh into `VECTOR_SIZE` blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementChunks {
+    chunks: Vec<ElementChunk>,
+    vector_size: usize,
+    num_elements: usize,
+}
+
+impl ElementChunks {
+    /// Splits the elements of `mesh` into blocks of `vector_size`.
+    ///
+    /// # Panics
+    /// Panics if `vector_size == 0`.
+    pub fn new(mesh: &Mesh, vector_size: usize) -> Self {
+        Self::from_element_count(mesh.num_elements(), vector_size)
+    }
+
+    /// Splits `num_elements` elements into blocks of `vector_size` without
+    /// needing the mesh itself (used by the simulator-side workload model).
+    pub fn from_element_count(num_elements: usize, vector_size: usize) -> Self {
+        assert!(vector_size > 0, "VECTOR_SIZE must be positive");
+        let mut chunks = Vec::with_capacity(num_elements.div_ceil(vector_size));
+        let mut first = 0;
+        while first < num_elements {
+            let len = vector_size.min(num_elements - first);
+            chunks.push(ElementChunk { first_element: first, len, vector_size });
+            first += len;
+        }
+        ElementChunks { chunks, vector_size, num_elements }
+    }
+
+    /// The configured `VECTOR_SIZE`.
+    #[inline]
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Total number of (valid) elements covered.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Number of blocks (kernel calls).
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of full blocks.
+    pub fn num_full_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_full()).count()
+    }
+
+    /// The blocks.
+    #[inline]
+    pub fn chunks(&self) -> &[ElementChunk] {
+        &self.chunks
+    }
+
+    /// Iterator over the blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &ElementChunk> {
+        self.chunks.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ElementChunks {
+    type Item = &'a ElementChunk;
+    type IntoIter = std::slice::Iter<'a, ElementChunk>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::BoxMeshBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_vector_sizes_are_the_documented_sweep() {
+        assert_eq!(PAPER_VECTOR_SIZES, [16, 64, 128, 240, 256, 512]);
+    }
+
+    #[test]
+    fn chunks_cover_all_elements_exactly_once() {
+        let mesh = BoxMeshBuilder::new(7, 5, 3).build(); // 105 elements
+        let chunks = ElementChunks::new(&mesh, 16);
+        let mut seen = vec![false; mesh.num_elements()];
+        for chunk in &chunks {
+            for e in chunk.elements() {
+                assert!(!seen[e], "element {e} appears twice");
+                seen[e] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some element was not covered");
+        assert_eq!(chunks.num_chunks(), 7); // ceil(105/16)
+        assert_eq!(chunks.num_full_chunks(), 6);
+    }
+
+    #[test]
+    fn last_chunk_padding() {
+        let chunks = ElementChunks::from_element_count(100, 16);
+        let last = chunks.chunks().last().unwrap();
+        assert_eq!(last.len, 4);
+        assert_eq!(last.padding(), 12);
+        assert!(!last.is_full());
+        assert_eq!(last.element(3), Some(99));
+        assert_eq!(last.element(4), None);
+    }
+
+    #[test]
+    fn exact_multiple_has_no_padding() {
+        let chunks = ElementChunks::from_element_count(512, 256);
+        assert_eq!(chunks.num_chunks(), 2);
+        assert!(chunks.iter().all(|c| c.is_full()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vector_size_rejected() {
+        let _ = ElementChunks::from_element_count(10, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chunks_partition_elements(
+            nelem in 1usize..5000,
+            vs in prop::sample::select(&PAPER_VECTOR_SIZES[..]),
+        ) {
+            let chunks = ElementChunks::from_element_count(nelem, vs);
+            // Total valid elements equals nelem.
+            let total: usize = chunks.iter().map(|c| c.len).sum();
+            prop_assert_eq!(total, nelem);
+            // Every chunk except possibly the last is full.
+            for (i, c) in chunks.iter().enumerate() {
+                if i + 1 < chunks.num_chunks() {
+                    prop_assert!(c.is_full());
+                }
+                prop_assert!(c.len >= 1);
+                prop_assert_eq!(c.vector_size, vs);
+            }
+            // Chunks are contiguous and ordered.
+            let mut expected_first = 0;
+            for c in &chunks {
+                prop_assert_eq!(c.first_element, expected_first);
+                expected_first += c.len;
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Nodal fields (scalars and vectors) defined over a mesh.
+//!
+//! The Nastin assembly consumes the current velocity field (for the
+//! convective term and the stabilization parameters) and produces a residual
+//! and a matrix; examples additionally carry a pressure field.  Fields are
+//! stored as flat arrays in the same layout Alya uses (`veloc(ndime, npoin)`
+//! flattened), which is what phases 1–2 gather from.
+
+use crate::geometry::Vec3;
+use crate::mesh::{BoundaryTag, Mesh};
+use crate::NDIME;
+use serde::{Deserialize, Serialize};
+
+/// A scalar nodal field (e.g. pressure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    values: Vec<f64>,
+}
+
+impl Field {
+    /// Creates a zero field over `mesh`.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        Field { values: vec![0.0; mesh.num_nodes()] }
+    }
+
+    /// Creates a field with every node set to `value`.
+    pub fn constant(mesh: &Mesh, value: f64) -> Self {
+        Field { values: vec![value; mesh.num_nodes()] }
+    }
+
+    /// Creates a field by evaluating `f` at every node position.
+    pub fn from_fn(mesh: &Mesh, mut f: impl FnMut(Vec3) -> f64) -> Self {
+        let values = (0..mesh.num_nodes()).map(|n| f(mesh.node_coords(n))).collect();
+        Field { values }
+    }
+
+    /// Wraps an existing value array.
+    ///
+    /// # Panics
+    /// Panics if the length does not match the node count.
+    pub fn from_values(mesh: &Mesh, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), mesh.num_nodes());
+        Field { values }
+    }
+
+    /// Value at node `n`.
+    #[inline]
+    pub fn value(&self, n: usize) -> f64 {
+        self.values[n]
+    }
+
+    /// Mutable value at node `n`.
+    #[inline]
+    pub fn value_mut(&mut self, n: usize) -> &mut f64 {
+        &mut self.values[n]
+    }
+
+    /// Underlying flat storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable flat storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the field has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Maximum absolute value (∞-norm).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// A vector (per-node `NDIME`-component) field, e.g. velocity.
+///
+/// Storage is `values[NDIME*node + dim]`, matching the `veloc(:, ipoin)`
+/// layout gathered by phase 2 of the mini-app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorField {
+    values: Vec<f64>,
+}
+
+impl VectorField {
+    /// Creates a zero vector field over `mesh`.
+    pub fn zeros(mesh: &Mesh) -> Self {
+        VectorField { values: vec![0.0; NDIME * mesh.num_nodes()] }
+    }
+
+    /// Creates a field with every node set to `value`.
+    pub fn constant(mesh: &Mesh, value: Vec3) -> Self {
+        let mut values = Vec::with_capacity(NDIME * mesh.num_nodes());
+        for _ in 0..mesh.num_nodes() {
+            values.extend_from_slice(&value.to_array());
+        }
+        VectorField { values }
+    }
+
+    /// Creates a field by evaluating `f` at every node position.
+    pub fn from_fn(mesh: &Mesh, mut f: impl FnMut(Vec3) -> Vec3) -> Self {
+        let mut values = Vec::with_capacity(NDIME * mesh.num_nodes());
+        for n in 0..mesh.num_nodes() {
+            values.extend_from_slice(&f(mesh.node_coords(n)).to_array());
+        }
+        VectorField { values }
+    }
+
+    /// A synthetic Taylor–Green-like velocity field, used by the examples and
+    /// benches as the "current velocity" the assembly linearizes around.  It
+    /// is smooth, divergence-free and has O(1) magnitude.
+    pub fn taylor_green(mesh: &Mesh) -> Self {
+        use std::f64::consts::PI;
+        Self::from_fn(mesh, |p| {
+            Vec3::new(
+                (PI * p.x).sin() * (PI * p.y).cos() * (PI * p.z).cos(),
+                -(PI * p.x).cos() * (PI * p.y).sin() * (PI * p.z).cos(),
+                0.0,
+            )
+        })
+    }
+
+    /// Applies Dirichlet boundary conditions in-place: wall nodes get zero
+    /// velocity, lid nodes get `lid_velocity`, inflow nodes get
+    /// `inflow_velocity`.
+    pub fn apply_boundary_conditions(
+        &mut self,
+        mesh: &Mesh,
+        lid_velocity: Vec3,
+        inflow_velocity: Vec3,
+    ) {
+        for n in 0..mesh.num_nodes() {
+            let v = match mesh.boundary_tag(n) {
+                BoundaryTag::Wall => Some(Vec3::ZERO),
+                BoundaryTag::Lid => Some(lid_velocity),
+                BoundaryTag::Inflow => Some(inflow_velocity),
+                BoundaryTag::Interior | BoundaryTag::Outflow => None,
+            };
+            if let Some(v) = v {
+                self.set(n, v);
+            }
+        }
+    }
+
+    /// Velocity at node `n`.
+    #[inline]
+    pub fn get(&self, n: usize) -> Vec3 {
+        let b = NDIME * n;
+        Vec3::new(self.values[b], self.values[b + 1], self.values[b + 2])
+    }
+
+    /// Sets the velocity at node `n`.
+    #[inline]
+    pub fn set(&mut self, n: usize, v: Vec3) {
+        let b = NDIME * n;
+        self.values[b] = v.x;
+        self.values[b + 1] = v.y;
+        self.values[b + 2] = v.z;
+    }
+
+    /// Component `dim` at node `n`.
+    #[inline]
+    pub fn component(&self, n: usize, dim: usize) -> f64 {
+        self.values[NDIME * n + dim]
+    }
+
+    /// Underlying flat storage (`values[NDIME*node + dim]`).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable flat storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.values.len() / NDIME
+    }
+
+    /// Maximum velocity magnitude over the nodes.
+    pub fn max_magnitude(&self) -> f64 {
+        (0..self.num_nodes()).fold(0.0_f64, |m, n| m.max(self.get(n).norm()))
+    }
+
+    /// Adds `delta * scale` to this field (axpy), used by time-stepping
+    /// examples.
+    ///
+    /// # Panics
+    /// Panics if the two fields have different sizes.
+    pub fn axpy(&mut self, scale: f64, delta: &VectorField) {
+        assert_eq!(self.values.len(), delta.values.len());
+        for (v, d) in self.values.iter_mut().zip(delta.values.iter()) {
+            *v += scale * d;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::BoxMeshBuilder;
+
+    fn mesh() -> Mesh {
+        BoxMeshBuilder::new(3, 3, 3).lid_driven_cavity().build()
+    }
+
+    #[test]
+    fn scalar_field_constructors() {
+        let m = mesh();
+        assert_eq!(Field::zeros(&m).len(), m.num_nodes());
+        assert_eq!(Field::constant(&m, 2.5).value(7), 2.5);
+        let f = Field::from_fn(&m, |p| p.x + p.y);
+        assert!(f.max_abs() <= 2.0 + 1e-12);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn scalar_field_norms() {
+        let m = mesh();
+        let f = Field::constant(&m, -3.0);
+        assert_eq!(f.max_abs(), 3.0);
+        assert!((f.norm() - 3.0 * (m.num_nodes() as f64).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn vector_field_roundtrip() {
+        let m = mesh();
+        let mut v = VectorField::zeros(&m);
+        v.set(5, Vec3::new(1.0, -2.0, 3.0));
+        assert_eq!(v.get(5), Vec3::new(1.0, -2.0, 3.0));
+        assert_eq!(v.component(5, 1), -2.0);
+        assert_eq!(v.num_nodes(), m.num_nodes());
+    }
+
+    #[test]
+    fn taylor_green_is_bounded_and_z_free() {
+        let m = mesh();
+        let v = VectorField::taylor_green(&m);
+        assert!(v.max_magnitude() <= (2.0_f64).sqrt() + 1e-12);
+        for n in 0..m.num_nodes() {
+            assert_eq!(v.get(n).z, 0.0);
+        }
+    }
+
+    #[test]
+    fn boundary_conditions_applied_per_tag() {
+        let m = mesh();
+        let mut v = VectorField::constant(&m, Vec3::new(9.0, 9.0, 9.0));
+        v.apply_boundary_conditions(&m, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+        for n in 0..m.num_nodes() {
+            match m.boundary_tag(n) {
+                BoundaryTag::Wall => assert_eq!(v.get(n), Vec3::ZERO),
+                BoundaryTag::Lid => assert_eq!(v.get(n), Vec3::new(1.0, 0.0, 0.0)),
+                BoundaryTag::Interior => assert_eq!(v.get(n), Vec3::new(9.0, 9.0, 9.0)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_adds_scaled_field() {
+        let m = mesh();
+        let mut a = VectorField::constant(&m, Vec3::new(1.0, 1.0, 1.0));
+        let b = VectorField::constant(&m, Vec3::new(2.0, 0.0, -2.0));
+        a.axpy(0.5, &b);
+        assert_eq!(a.get(0), Vec3::new(2.0, 1.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_values_rejects_wrong_length() {
+        let m = mesh();
+        let _ = Field::from_values(&m, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,494 @@
+//! Small fixed-size linear algebra used by the element routines.
+//!
+//! The assembly kernel only ever needs 3-vectors and 3×3 matrices (Jacobians
+//! of the isoparametric map, velocity gradients).  We keep these types tiny,
+//! `Copy`, and allocation free so they can live in the innermost loops of the
+//! kernel without touching the heap — one of the cardinal rules for hot HPC
+//! code (see the Rust Performance Book chapter on heap allocations).
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A point in 3-D space.  Alias of [`Vec3`] kept for readability of APIs that
+/// deal with coordinates rather than directions.
+pub type Point3 = Vec3;
+
+/// A 3-component double-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Builds a vector from a `[f64; 3]` array.
+    #[inline]
+    pub const fn from_array(a: [f64; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// Returns the components as a `[f64; 3]` array.
+    #[inline]
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Returns a unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the vector has (near-)zero length.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        self.x -= o.x;
+        self.y -= o.y;
+        self.z -= o.z;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3×3 row-major double-precision matrix.
+///
+/// Used for the Jacobian of the isoparametric mapping and for velocity
+/// gradients at integration points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Row-major entries, `m[row][col]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::ZERO
+    }
+}
+
+impl Mat3 {
+    /// The zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn from_rows(m: [[f64; 3]; 3]) -> Self {
+        Mat3 { m }
+    }
+
+    /// Builds a matrix from three column vectors.
+    #[inline]
+    pub fn from_columns(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Mat3 {
+            m: [
+                [c0.x, c1.x, c2.x],
+                [c0.y, c1.y, c2.y],
+                [c0.z, c1.z, c2.z],
+            ],
+        }
+    }
+
+    /// Returns row `i` as a [`Vec3`].
+    #[inline]
+    pub fn row(&self, i: usize) -> Vec3 {
+        Vec3::from_array(self.m[i])
+    }
+
+    /// Returns column `j` as a [`Vec3`].
+    #[inline]
+    pub fn col(&self, j: usize) -> Vec3 {
+        Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3::from_rows([
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        ])
+    }
+
+    /// Inverse.  Returns `None` if the matrix is singular (|det| below
+    /// `1e-300`), which for a Jacobian indicates a degenerate element.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-300 {
+            return None;
+        }
+        let inv_d = 1.0 / d;
+        let m = &self.m;
+        let mut out = [[0.0; 3]; 3];
+        out[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d;
+        out[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d;
+        out[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_d;
+        out[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_d;
+        out[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_d;
+        out[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_d;
+        out[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d;
+        out[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d;
+        out[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d;
+        Some(Mat3::from_rows(out))
+    }
+
+    /// Matrix–vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.row(0).dot(v),
+            self.row(1).dot(v),
+            self.row(2).dot(v),
+        )
+    }
+
+    /// Matrix–matrix product.
+    #[inline]
+    pub fn mul_mat(&self, o: &Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for (k, ok) in o.m.iter().enumerate() {
+                    s += self.m[i][k] * ok[j];
+                }
+                out.m[i][j] = s;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    #[inline]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.m
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Trace (sum of diagonal entries).
+    #[inline]
+    pub fn trace(&self) -> f64 {
+        self.m[0][0] + self.m[1][1] + self.m[2][2]
+    }
+}
+
+impl Index<(usize, usize)> for Mat3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.m[i][j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat3 {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.m[i][j]
+    }
+}
+
+impl Mul<f64> for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn mul(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for r in out.m.iter_mut() {
+            for v in r.iter_mut() {
+                *v *= s;
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    #[inline]
+    fn add(self, o: Mat3) -> Mat3 {
+        let mut out = self;
+        for (r, or) in out.m.iter_mut().zip(o.m.iter()) {
+            for (v, ov) in r.iter_mut().zip(or.iter()) {
+                *v += ov;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn vec3_basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert!(approx(a.dot(b), 32.0));
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.5, -2.0);
+        let b = Vec3::new(-0.25, 3.0, 1.0);
+        let c = a.cross(b);
+        assert!(approx(c.dot(a), 0.0));
+        assert!(approx(c.dot(b), 0.0));
+    }
+
+    #[test]
+    fn vec3_norm_and_normalize() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert!(approx(a.norm(), 5.0));
+        assert!(approx(a.normalized().norm(), 1.0));
+        assert!(approx(a.norm_sq(), 25.0));
+    }
+
+    #[test]
+    fn vec3_indexing_roundtrip() {
+        let mut a = Vec3::new(1.0, 2.0, 3.0);
+        for i in 0..3 {
+            a[i] += 1.0;
+        }
+        assert_eq!(a.to_array(), [2.0, 3.0, 4.0]);
+        assert_eq!(Vec3::from_array([2.0, 3.0, 4.0]), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn vec3_out_of_range_index_panics() {
+        let a = Vec3::ZERO;
+        let _ = a[3];
+    }
+
+    #[test]
+    fn mat3_identity_and_det() {
+        assert!(approx(Mat3::IDENTITY.det(), 1.0));
+        assert!(approx(Mat3::ZERO.det(), 0.0));
+        let m = Mat3::from_rows([[2.0, 0.0, 0.0], [0.0, 3.0, 0.0], [0.0, 0.0, 4.0]]);
+        assert!(approx(m.det(), 24.0));
+        assert!(approx(m.trace(), 9.0));
+    }
+
+    #[test]
+    fn mat3_inverse_roundtrip() {
+        let m = Mat3::from_rows([[2.0, 1.0, 0.5], [-1.0, 3.0, 0.0], [0.25, 0.0, 1.5]]);
+        let inv = m.inverse().expect("matrix is invertible");
+        let id = m.mul_mat(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((id[(i, j)] - expect).abs() < 1e-12, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mat3_singular_has_no_inverse() {
+        let m = Mat3::from_rows([[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mat3_mul_vec_matches_rows() {
+        let m = Mat3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        let v = Vec3::new(1.0, 1.0, 1.0);
+        assert_eq!(m.mul_vec(v), Vec3::new(6.0, 15.0, 24.0));
+    }
+
+    #[test]
+    fn mat3_transpose_involution() {
+        let m = Mat3::from_rows([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 9.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mat3_from_columns_matches_cols() {
+        let c0 = Vec3::new(1.0, 2.0, 3.0);
+        let c1 = Vec3::new(4.0, 5.0, 6.0);
+        let c2 = Vec3::new(7.0, 8.0, 9.0);
+        let m = Mat3::from_columns(c0, c1, c2);
+        assert_eq!(m.col(0), c0);
+        assert_eq!(m.col(1), c1);
+        assert_eq!(m.col(2), c2);
+    }
+}

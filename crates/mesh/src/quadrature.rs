@@ -1,0 +1,171 @@
+//! Gauss quadrature rules for hexahedral and tetrahedral elements.
+//!
+//! The Nastin assembly loops over integration points (`igaus` loops in the
+//! paper's phase descriptions), so the quadrature rule fixes the trip count of
+//! several of the nested loops the auto-vectorizer sees.
+
+use crate::mesh::ElementKind;
+use serde::{Deserialize, Serialize};
+
+/// One integration point: reference-space position and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuadraturePoint {
+    /// Reference coordinates (ξ, η, ζ).
+    pub xi: [f64; 3],
+    /// Quadrature weight.
+    pub weight: f64,
+}
+
+/// A quadrature rule: a list of points and weights on the reference element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussRule {
+    kind: ElementKind,
+    points: Vec<QuadraturePoint>,
+}
+
+impl GaussRule {
+    /// Returns the default rule for an element kind: 2×2×2 Gauss–Legendre for
+    /// hexahedra, the symmetric 4-point rule for tetrahedra.
+    pub fn for_kind(kind: ElementKind) -> Self {
+        match kind {
+            ElementKind::Hex8 => Self::hex_2x2x2(),
+            ElementKind::Tet4 => Self::tet_4pt(),
+        }
+    }
+
+    /// 2×2×2 Gauss–Legendre rule on the reference cube [-1, 1]³ (8 points,
+    /// total weight 8 = reference volume).  Exact for trilinear integrands.
+    pub fn hex_2x2x2() -> Self {
+        let g = 1.0 / 3.0_f64.sqrt();
+        let mut points = Vec::with_capacity(8);
+        for &zk in &[-g, g] {
+            for &yj in &[-g, g] {
+                for &xi in &[-g, g] {
+                    points.push(QuadraturePoint { xi: [xi, yj, zk], weight: 1.0 });
+                }
+            }
+        }
+        GaussRule { kind: ElementKind::Hex8, points }
+    }
+
+    /// 3×3×3 Gauss–Legendre rule on the reference cube (27 points).  Provided
+    /// so the kernel crate can study higher `pgaus` counts (larger inner trip
+    /// counts for the auto-vectorizer).
+    pub fn hex_3x3x3() -> Self {
+        let a = (3.0_f64 / 5.0).sqrt();
+        let pts_1d = [-a, 0.0, a];
+        let w_1d = [5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0];
+        let mut points = Vec::with_capacity(27);
+        for k in 0..3 {
+            for j in 0..3 {
+                for i in 0..3 {
+                    points.push(QuadraturePoint {
+                        xi: [pts_1d[i], pts_1d[j], pts_1d[k]],
+                        weight: w_1d[i] * w_1d[j] * w_1d[k],
+                    });
+                }
+            }
+        }
+        GaussRule { kind: ElementKind::Hex8, points }
+    }
+
+    /// Symmetric 4-point rule on the reference tetrahedron (exact for
+    /// quadratic integrands).  Total weight 1/6 = reference volume.
+    pub fn tet_4pt() -> Self {
+        let a = (5.0 + 3.0 * 5.0_f64.sqrt()) / 20.0;
+        let b = (5.0 - 5.0_f64.sqrt()) / 20.0;
+        let w = 1.0 / 24.0;
+        let points = vec![
+            QuadraturePoint { xi: [a, b, b], weight: w },
+            QuadraturePoint { xi: [b, a, b], weight: w },
+            QuadraturePoint { xi: [b, b, a], weight: w },
+            QuadraturePoint { xi: [b, b, b], weight: w },
+        ];
+        GaussRule { kind: ElementKind::Tet4, points }
+    }
+
+    /// Element kind this rule integrates over.
+    #[inline]
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+
+    /// Number of integration points (`pgaus`).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// All integration points.
+    #[inline]
+    pub fn points(&self) -> &[QuadraturePoint] {
+        &self.points
+    }
+
+    /// Sum of the weights, i.e. the measure of the reference element.
+    pub fn total_weight(&self) -> f64 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rule_weights_sum_to_reference_volume() {
+        assert!((GaussRule::hex_2x2x2().total_weight() - 8.0).abs() < 1e-12);
+        assert!((GaussRule::hex_3x3x3().total_weight() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tet_rule_weights_sum_to_reference_volume() {
+        assert!((GaussRule::tet_4pt().total_weight() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_rules_match_kind() {
+        assert_eq!(GaussRule::for_kind(ElementKind::Hex8).num_points(), 8);
+        assert_eq!(GaussRule::for_kind(ElementKind::Tet4).num_points(), 4);
+        assert_eq!(GaussRule::for_kind(ElementKind::Hex8).kind(), ElementKind::Hex8);
+    }
+
+    #[test]
+    fn hex_2x2x2_integrates_linear_functions_exactly() {
+        // ∫ (1 + x + y + z) over [-1,1]^3 = 8.
+        let rule = GaussRule::hex_2x2x2();
+        let val: f64 = rule
+            .points()
+            .iter()
+            .map(|p| p.weight * (1.0 + p.xi[0] + p.xi[1] + p.xi[2]))
+            .sum();
+        assert!((val - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hex_2x2x2_integrates_quadratics_exactly() {
+        // ∫ x^2 over [-1,1]^3 = 8/3.
+        let rule = GaussRule::hex_2x2x2();
+        let val: f64 = rule.points().iter().map(|p| p.weight * p.xi[0] * p.xi[0]).sum();
+        assert!((val - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tet_rule_integrates_linear_functions_exactly() {
+        // ∫ x over reference tet = 1/24.
+        let rule = GaussRule::tet_4pt();
+        let val: f64 = rule.points().iter().map(|p| p.weight * p.xi[0]).sum();
+        assert!((val - 1.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hex_points_are_inside_reference_cube() {
+        for rule in [GaussRule::hex_2x2x2(), GaussRule::hex_3x3x3()] {
+            for p in rule.points() {
+                for d in 0..3 {
+                    assert!(p.xi[d].abs() < 1.0, "gauss point outside reference cube");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Shape functions and reference-space derivatives for Q1 hexahedra and P1
+//! tetrahedra, tabulated at the quadrature points.
+//!
+//! The assembly kernel needs `N_a(ξ_g)` and `∂N_a/∂ξ_j(ξ_g)` for every local
+//! node `a` and Gauss point `g`; Alya precomputes these tables once and reuses
+//! them for every element, and so do we.
+
+use crate::mesh::ElementKind;
+use crate::quadrature::GaussRule;
+use serde::{Deserialize, Serialize};
+
+/// Shape-function values at one integration point: `n[a]` is `N_a(ξ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeFunctions {
+    /// Values per local node.
+    pub n: Vec<f64>,
+}
+
+/// Reference-space shape derivatives at one integration point:
+/// `d[a][j]` is `∂N_a/∂ξ_j(ξ)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeDerivatives {
+    /// Derivatives per local node and reference direction.
+    pub d: Vec<[f64; 3]>,
+}
+
+/// Precomputed table of shape functions and derivatives at every Gauss point
+/// of a rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShapeTable {
+    kind: ElementKind,
+    functions: Vec<ShapeFunctions>,
+    derivatives: Vec<ShapeDerivatives>,
+}
+
+/// Local node coordinates of the reference hexahedron, in Alya/VTK ordering.
+const HEX8_REF_NODES: [[f64; 3]; 8] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0],
+    [1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0],
+    [-1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0],
+];
+
+impl ShapeTable {
+    /// Tabulates shape functions and derivatives for `kind` at the points of
+    /// `rule`.
+    ///
+    /// # Panics
+    /// Panics if the rule was built for a different element kind.
+    pub fn new(kind: ElementKind, rule: &GaussRule) -> Self {
+        assert_eq!(kind, rule.kind(), "quadrature rule does not match element kind");
+        let mut functions = Vec::with_capacity(rule.num_points());
+        let mut derivatives = Vec::with_capacity(rule.num_points());
+        for qp in rule.points() {
+            let (n, d) = match kind {
+                ElementKind::Hex8 => Self::hex8_at(qp.xi),
+                ElementKind::Tet4 => Self::tet4_at(qp.xi),
+            };
+            functions.push(ShapeFunctions { n });
+            derivatives.push(ShapeDerivatives { d });
+        }
+        ShapeTable { kind, functions, derivatives }
+    }
+
+    /// Shape-function values at Gauss point `g`.
+    #[inline]
+    pub fn functions(&self, g: usize) -> &ShapeFunctions {
+        &self.functions[g]
+    }
+
+    /// Shape-function derivatives at Gauss point `g`.
+    #[inline]
+    pub fn derivatives(&self, g: usize) -> &ShapeDerivatives {
+        &self.derivatives[g]
+    }
+
+    /// Number of tabulated Gauss points.
+    #[inline]
+    pub fn num_gauss(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of local nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.kind.nodes()
+    }
+
+    /// Element kind of the table.
+    #[inline]
+    pub fn kind(&self) -> ElementKind {
+        self.kind
+    }
+
+    /// Evaluates Q1 hexahedron shape functions and derivatives at reference
+    /// coordinates `xi`.
+    pub fn hex8_at(xi: [f64; 3]) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let mut n = Vec::with_capacity(8);
+        let mut d = Vec::with_capacity(8);
+        for re in &HEX8_REF_NODES {
+            let sx = re[0];
+            let sy = re[1];
+            let sz = re[2];
+            let fx = 1.0 + sx * xi[0];
+            let fy = 1.0 + sy * xi[1];
+            let fz = 1.0 + sz * xi[2];
+            n.push(0.125 * fx * fy * fz);
+            d.push([
+                0.125 * sx * fy * fz,
+                0.125 * fx * sy * fz,
+                0.125 * fx * fy * sz,
+            ]);
+        }
+        (n, d)
+    }
+
+    /// Evaluates P1 tetrahedron shape functions and derivatives at reference
+    /// coordinates `xi` (barycentric-style: N0 = 1-ξ-η-ζ).
+    pub fn tet4_at(xi: [f64; 3]) -> (Vec<f64>, Vec<[f64; 3]>) {
+        let n = vec![1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
+        let d = vec![
+            [-1.0, -1.0, -1.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ];
+        (n, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_table() -> ShapeTable {
+        ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2())
+    }
+
+    fn tet_table() -> ShapeTable {
+        ShapeTable::new(ElementKind::Tet4, &GaussRule::tet_4pt())
+    }
+
+    #[test]
+    fn partition_of_unity_hex() {
+        let table = hex_table();
+        for g in 0..table.num_gauss() {
+            let sum: f64 = table.functions(g).n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-13, "gauss point {g}");
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_tet() {
+        let table = tet_table();
+        for g in 0..table.num_gauss() {
+            let sum: f64 = table.functions(g).n.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn derivative_sums_vanish() {
+        // Sum over nodes of dN_a/dxi_j must be zero (constant field has zero
+        // gradient) for both element kinds.
+        for table in [hex_table(), tet_table()] {
+            for g in 0..table.num_gauss() {
+                for j in 0..3 {
+                    let sum: f64 = table.derivatives(g).d.iter().map(|row| row[j]).sum();
+                    assert!(sum.abs() < 1e-13);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hex_shape_functions_are_nodal() {
+        // N_a evaluated at reference node b equals the Kronecker delta.
+        for (b, &xb) in HEX8_REF_NODES.iter().enumerate() {
+            let (n, _) = ShapeTable::hex8_at(xb);
+            for (a, &na) in n.iter().enumerate() {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((na - expect).abs() < 1e-13, "N_{a}(node {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn tet_shape_functions_are_nodal() {
+        let ref_nodes = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        for (b, &xb) in ref_nodes.iter().enumerate() {
+            let (n, _) = ShapeTable::tet4_at(xb);
+            for (a, &na) in n.iter().enumerate() {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((na - expect).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn hex_derivatives_reproduce_linear_field_gradient() {
+        // A field f = 2x + 3y - z at the reference nodes has reference-space
+        // gradient (2, 3, -1) everywhere inside the element.
+        let table = hex_table();
+        let coeff = [2.0, 3.0, -1.0];
+        let nodal: Vec<f64> = HEX8_REF_NODES
+            .iter()
+            .map(|p| coeff[0] * p[0] + coeff[1] * p[1] + coeff[2] * p[2])
+            .collect();
+        for g in 0..table.num_gauss() {
+            for j in 0..3 {
+                let grad: f64 = table
+                    .derivatives(g)
+                    .d
+                    .iter()
+                    .zip(&nodal)
+                    .map(|(d, f)| d[j] * f)
+                    .sum();
+                assert!((grad - coeff[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_rule_is_rejected() {
+        let _ = ShapeTable::new(ElementKind::Hex8, &GaussRule::tet_4pt());
+    }
+
+    #[test]
+    fn table_dimensions() {
+        let t = hex_table();
+        assert_eq!(t.num_gauss(), 8);
+        assert_eq!(t.num_nodes(), 8);
+        assert_eq!(t.kind(), ElementKind::Hex8);
+        assert_eq!(t.functions(0).n.len(), 8);
+        assert_eq!(t.derivatives(0).d.len(), 8);
+    }
+}

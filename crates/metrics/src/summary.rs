@@ -1,0 +1,214 @@
+//! Per-phase and per-run metric summaries (the quantities of Section 2.2).
+
+use lv_sim::counters::{HwCounters, PhaseCounters, PhaseId};
+use serde::{Deserialize, Serialize};
+
+/// The Section 2.2 metrics of one phase of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseMetrics {
+    /// Phase number (1–8), or 0 for the uninstrumented remainder.
+    pub phase: u8,
+    /// Total cycles `ct` of the phase.
+    pub cycles: f64,
+    /// Share of the run's total cycles spent in this phase (0–1).
+    pub cycle_share: f64,
+    /// Vector instruction mix `Mv = iv / it`.
+    pub vector_mix: f64,
+    /// Vector activity `Av = cv / ct`.
+    pub vector_activity: f64,
+    /// Vector CPI `Cv = cv / iv`.
+    pub vector_cpi: f64,
+    /// Average vector length of the vector instructions.
+    pub avg_vector_length: f64,
+    /// Vector occupancy `Ev = AVL / vlmax`.
+    pub occupancy: f64,
+    /// Total instructions.
+    pub instructions: u64,
+    /// Vector instructions.
+    pub vector_instructions: u64,
+    /// Vector memory instructions.
+    pub vector_mem_instructions: u64,
+    /// Vector arithmetic instructions.
+    pub vector_arith_instructions: u64,
+    /// L1 data-cache misses per kilo-instruction.
+    pub l1_dcm_per_kinstr: f64,
+    /// Fraction of instructions that access memory.
+    pub memory_instruction_fraction: f64,
+    /// Floating-point operations executed.
+    pub flops: f64,
+}
+
+impl PhaseMetrics {
+    /// Builds the metrics of one phase from its counters.
+    pub fn from_counters(
+        phase: PhaseId,
+        counters: &PhaseCounters,
+        total_cycles: f64,
+        vlmax: usize,
+    ) -> Self {
+        let avl = counters.avg_vector_length();
+        PhaseMetrics {
+            phase: phase.number().unwrap_or(0),
+            cycles: counters.cycles,
+            cycle_share: if total_cycles > 0.0 { counters.cycles / total_cycles } else { 0.0 },
+            vector_mix: counters.vector_mix(),
+            vector_activity: counters.vector_activity(),
+            vector_cpi: counters.vector_cpi(),
+            avg_vector_length: avl,
+            occupancy: if vlmax > 0 { avl / vlmax as f64 } else { 0.0 },
+            instructions: counters.instructions,
+            vector_instructions: counters.vector_instructions,
+            vector_mem_instructions: counters.vector_mem,
+            vector_arith_instructions: counters.vector_arith,
+            l1_dcm_per_kinstr: counters.l1_misses_per_kiloinstruction(),
+            memory_instruction_fraction: counters.memory_instruction_fraction(),
+            flops: counters.flops,
+        }
+    }
+}
+
+/// The metrics of a whole run: one [`PhaseMetrics`] per phase plus aggregate
+/// values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Per-phase metrics, for phases 1–8 in order.
+    pub phases: Vec<PhaseMetrics>,
+    /// Total cycles of the run.
+    pub total_cycles: f64,
+    /// Aggregate metrics over the whole run.
+    pub overall: PhaseMetrics,
+}
+
+impl RunMetrics {
+    /// Computes the metrics of a run from its hardware counters, given the
+    /// platform's maximum vector length.
+    pub fn from_counters(counters: &HwCounters, vlmax: usize) -> Self {
+        let total_cycles = counters.total_cycles();
+        let phases = PhaseId::ALL
+            .iter()
+            .map(|&p| PhaseMetrics::from_counters(p, &counters.phase(p), total_cycles, vlmax))
+            .collect();
+        let total = counters.total();
+        let overall = PhaseMetrics::from_counters(PhaseId::Other, &total, total_cycles, vlmax);
+        RunMetrics { phases, total_cycles, overall }
+    }
+
+    /// Metrics of phase `n` (1-based).
+    ///
+    /// # Panics
+    /// Panics if `n` is not in `1..=8`.
+    pub fn phase(&self, n: u8) -> &PhaseMetrics {
+        assert!((1..=8).contains(&n), "phase number must be 1..=8");
+        &self.phases[n as usize - 1]
+    }
+
+    /// The phase with the largest cycle share.
+    pub fn dominant_phase(&self) -> &PhaseMetrics {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.cycles.total_cmp(&b.cycles))
+            .expect("there are always 8 phases")
+    }
+
+    /// Speed-up of this run relative to a baseline run (`baseline / self` in
+    /// cycles).
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        baseline.total_cycles / self.total_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_sim::isa::{Instruction, MemAccess, VectorOp};
+
+    fn sample_counters() -> HwCounters {
+        let mut hw = HwCounters::new();
+        // Phase 6: heavy vector work.
+        let p6 = hw.phase_mut(PhaseId::new(6));
+        for _ in 0..10 {
+            p6.record(&Instruction::vector_arith(VectorOp::Fma, 240), 36.0, 0, 0);
+        }
+        for _ in 0..5 {
+            let acc = MemAccess::unit_stride(0, 240, 8, false);
+            p6.record(&Instruction::vector_mem(240, acc), 60.0, 2, 1);
+        }
+        p6.record(&Instruction::scalar_op(), 1.4, 0, 0);
+        // Phase 8: scalar memory work.
+        let p8 = hw.phase_mut(PhaseId::new(8));
+        for _ in 0..20 {
+            let acc = MemAccess::unit_stride(4096, 1, 8, true);
+            p8.record(&Instruction::scalar_mem(acc), 3.0, 1, 0);
+        }
+        hw
+    }
+
+    #[test]
+    fn phase_metrics_match_counter_definitions() {
+        let hw = sample_counters();
+        let metrics = RunMetrics::from_counters(&hw, 256);
+        let p6 = metrics.phase(6);
+        assert_eq!(p6.phase, 6);
+        assert_eq!(p6.vector_instructions, 15);
+        assert_eq!(p6.vector_arith_instructions, 10);
+        assert_eq!(p6.vector_mem_instructions, 5);
+        assert_eq!(p6.instructions, 16);
+        assert!((p6.vector_mix - 15.0 / 16.0).abs() < 1e-12);
+        assert!((p6.avg_vector_length - 240.0).abs() < 1e-12);
+        assert!((p6.occupancy - 240.0 / 256.0).abs() < 1e-12);
+        let expected_cv = (10.0 * 36.0 + 5.0 * 60.0) / 15.0;
+        assert!((p6.vector_cpi - expected_cv).abs() < 1e-12);
+        assert!(p6.vector_activity > 0.99);
+        assert_eq!(p6.flops, 10.0 * 480.0);
+    }
+
+    #[test]
+    fn scalar_phase_has_zero_vector_metrics() {
+        let hw = sample_counters();
+        let metrics = RunMetrics::from_counters(&hw, 256);
+        let p8 = metrics.phase(8);
+        assert_eq!(p8.vector_mix, 0.0);
+        assert_eq!(p8.avg_vector_length, 0.0);
+        assert_eq!(p8.occupancy, 0.0);
+        assert_eq!(p8.memory_instruction_fraction, 1.0);
+        assert!(p8.l1_dcm_per_kinstr > 0.0);
+    }
+
+    #[test]
+    fn cycle_shares_sum_to_one_over_recorded_phases() {
+        let hw = sample_counters();
+        let metrics = RunMetrics::from_counters(&hw, 256);
+        let sum: f64 = metrics.phases.iter().map(|p| p.cycle_share).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(metrics.dominant_phase().phase, 6);
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_total_cycles() {
+        let hw = sample_counters();
+        let a = RunMetrics::from_counters(&hw, 256);
+        let mut hw2 = HwCounters::new();
+        hw2.phase_mut(PhaseId::new(1))
+            .record(&Instruction::scalar_op(), a.total_cycles * 2.0, 0, 0);
+        let b = RunMetrics::from_counters(&hw2, 256);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn phase_zero_is_rejected() {
+        let metrics = RunMetrics::from_counters(&sample_counters(), 256);
+        let _ = metrics.phase(0);
+    }
+
+    #[test]
+    fn empty_counters_yield_zero_metrics() {
+        let metrics = RunMetrics::from_counters(&HwCounters::new(), 256);
+        assert_eq!(metrics.total_cycles, 0.0);
+        for p in &metrics.phases {
+            assert_eq!(p.cycles, 0.0);
+            assert_eq!(p.cycle_share, 0.0);
+        }
+    }
+}

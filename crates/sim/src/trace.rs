@@ -1,0 +1,252 @@
+//! Vehave-style vector-instruction tracing.
+//!
+//! The RISC-V vector emulator used by the paper (Vehave) records every vector
+//! instruction executed — its type and vector length — and the resulting
+//! trace is re-arranged into a Paraver-friendly format for visual analysis.
+//! This module provides the equivalent: an optional per-instruction trace
+//! with phase, class, operation and VL, plus summary histograms and a CSV
+//! export whose columns mimic a Paraver semantic record.
+
+use crate::counters::PhaseId;
+use crate::isa::{InstructionClass, MemPattern, VectorOp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One traced vector instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the instruction was issued.
+    pub cycle: f64,
+    /// Phase active when the instruction was issued.
+    pub phase: PhaseId,
+    /// Instruction class.
+    pub class: InstructionClass,
+    /// Arithmetic operation, if any.
+    pub op: Option<VectorOp>,
+    /// Memory pattern, if the instruction is a memory access.
+    pub pattern: Option<MemPattern>,
+    /// Vector length of the instruction.
+    pub vl: usize,
+    /// Cycles the instruction took to execute.
+    pub cost: f64,
+}
+
+/// Collects [`TraceEvent`]s.  Tracing every instruction of a large run is
+/// expensive, so the tracer is disabled by default and the engine only calls
+/// it when enabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    /// Cap on stored events to bound memory; `0` means unlimited.
+    limit: usize,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Creates an enabled tracer with an optional event cap (`0` = no cap).
+    pub fn enabled(limit: usize) -> Self {
+        Tracer { enabled: true, events: Vec::new(), limit, dropped: 0 }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled or over the cap).
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.limit != 0 && self.events.len() >= self.limit {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped because the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Histogram of vector length per instruction class.
+    pub fn vl_histogram(&self) -> BTreeMap<(InstructionClass, usize), u64> {
+        let mut hist = BTreeMap::new();
+        for e in &self.events {
+            if e.class.is_vector() {
+                *hist.entry((e.class, e.vl)).or_insert(0u64) += 1;
+            }
+        }
+        hist
+    }
+
+    /// Count of events per instruction class.
+    pub fn class_histogram(&self) -> BTreeMap<InstructionClass, u64> {
+        let mut hist = BTreeMap::new();
+        for e in &self.events {
+            *hist.entry(e.class).or_insert(0u64) += 1;
+        }
+        hist
+    }
+
+    /// Exports the trace as CSV with a Paraver-like column layout:
+    /// `cycle,phase,class,op,pattern,vl,cost`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 48 + 64);
+        out.push_str("cycle,phase,class,op,pattern,vl,cost\n");
+        for e in &self.events {
+            let phase = match e.phase.number() {
+                Some(n) => n.to_string(),
+                None => "0".to_string(),
+            };
+            let op = e
+                .op
+                .map(|o| format!("{o:?}").to_lowercase())
+                .unwrap_or_else(|| "-".to_string());
+            let pattern = e
+                .pattern
+                .map(|p| format!("{p:?}").to_lowercase())
+                .unwrap_or_else(|| "-".to_string());
+            let _ = writeln!(
+                out,
+                "{:.0},{},{},{},{},{},{:.2}",
+                e.cycle,
+                phase,
+                e.class.label(),
+                op,
+                pattern,
+                e.vl,
+                e.cost
+            );
+        }
+        out
+    }
+
+    /// A short human-readable summary (event count, classes, AVL).
+    pub fn summary(&self) -> String {
+        let n = self.events.len();
+        if n == 0 {
+            return "trace: empty".to_string();
+        }
+        let vector_events: Vec<&TraceEvent> =
+            self.events.iter().filter(|e| e.class.is_vector()).collect();
+        let avl = if vector_events.is_empty() {
+            0.0
+        } else {
+            vector_events.iter().map(|e| e.vl as f64).sum::<f64>() / vector_events.len() as f64
+        };
+        let mut s = format!(
+            "trace: {n} events ({} vector, AVL {:.1}, {} dropped)\n",
+            vector_events.len(),
+            avl,
+            self.dropped
+        );
+        for (class, count) in self.class_histogram() {
+            let _ = writeln!(s, "  {:<10} {count}", class.label());
+        }
+        s
+    }
+
+    /// Clears the trace.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(class: InstructionClass, vl: usize) -> TraceEvent {
+        TraceEvent {
+            cycle: 100.0,
+            phase: PhaseId::new(6),
+            class,
+            op: Some(VectorOp::Fma),
+            pattern: None,
+            vl,
+            cost: 32.0,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(event(InstructionClass::VectorArith, 256));
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_respects_limit() {
+        let mut t = Tracer::enabled(2);
+        for _ in 0..5 {
+            t.record(event(InstructionClass::VectorArith, 256));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn histograms_group_correctly() {
+        let mut t = Tracer::enabled(0);
+        t.record(event(InstructionClass::VectorArith, 256));
+        t.record(event(InstructionClass::VectorArith, 256));
+        t.record(event(InstructionClass::VectorMem, 128));
+        t.record(event(InstructionClass::ScalarOp, 0));
+        let vl_hist = t.vl_histogram();
+        assert_eq!(vl_hist[&(InstructionClass::VectorArith, 256)], 2);
+        assert_eq!(vl_hist[&(InstructionClass::VectorMem, 128)], 1);
+        assert!(!vl_hist.contains_key(&(InstructionClass::ScalarOp, 0)));
+        let class_hist = t.class_histogram();
+        assert_eq!(class_hist[&InstructionClass::ScalarOp], 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Tracer::enabled(0);
+        t.record(event(InstructionClass::VectorArith, 240));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "cycle,phase,class,op,pattern,vl,cost");
+        let row = lines.next().unwrap();
+        assert!(row.contains("varith"));
+        assert!(row.contains("240"));
+        assert!(row.contains("fma"));
+    }
+
+    #[test]
+    fn summary_reports_avl() {
+        let mut t = Tracer::enabled(0);
+        t.record(event(InstructionClass::VectorArith, 100));
+        t.record(event(InstructionClass::VectorArith, 300));
+        let s = t.summary();
+        assert!(s.contains("AVL 200.0"), "{s}");
+        assert!(Tracer::disabled().summary().contains("empty"));
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut t = Tracer::enabled(1);
+        t.record(event(InstructionClass::VectorArith, 1));
+        t.record(event(InstructionClass::VectorArith, 1));
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

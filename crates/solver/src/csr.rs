@@ -1,0 +1,293 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The global system matrix assembled by phase 8 of the mini-app is stored in
+//! CSR form, built from the mesh node-to-node graph.  The scatter-add entry
+//! point ([`CsrMatrix::add`]) is exactly the operation phase 8 performs for
+//! every (element, local-row, local-column) triple.
+
+use serde::{Deserialize, Serialize};
+
+/// A square sparse matrix in CSR format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates a zero matrix with the given sparsity pattern.
+    ///
+    /// # Panics
+    /// Panics if the pattern is malformed (row pointers not monotonically
+    /// increasing, or a column index out of range).
+    pub fn from_pattern(row_ptr: Vec<usize>, col_idx: Vec<usize>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        let n = row_ptr.len() - 1;
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr/col_idx mismatch");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
+        assert!(col_idx.iter().all(|&c| c < n), "column index out of range");
+        let values = vec![0.0; col_idx.len()];
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+
+    /// Creates a matrix from an explicit dense triple (used in tests).
+    pub fn from_dense(dense: &[Vec<f64>]) -> Self {
+        let n = dense.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for row in dense {
+            assert_eq!(row.len(), n, "dense matrix must be square");
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointers.
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices.
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Stored values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sets every stored value to zero (reused between time steps, so the
+    /// sparsity allocation persists — the "workhorse collection" idiom).
+    pub fn zero_values(&mut self) {
+        self.values.fill(0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if `(row, col)` is not part of the sparsity pattern.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        // Rows are short (≈ 27 entries for a hex mesh); a linear scan is
+        // faster than a binary search for these lengths.
+        for k in start..end {
+            if self.col_idx[k] == col {
+                self.values[k] += value;
+                return;
+            }
+        }
+        panic!("entry ({row}, {col}) not present in the sparsity pattern");
+    }
+
+    /// Returns entry `(row, col)` (0 if not stored).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        for k in start..end {
+            if self.col_idx[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// The diagonal of the matrix.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Sparse matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match the matrix dimension.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for row in 0..self.n {
+            let start = self.row_ptr[row];
+            let end = self.row_ptr[row + 1];
+            let mut sum = 0.0;
+            for k in start..end {
+                sum += self.values[k] * x[self.col_idx[k]];
+            }
+            y[row] = sum;
+        }
+    }
+
+    /// Convenience allocation-returning SpMV.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// Turns `row` into an identity row (zero off-diagonals, unit diagonal)
+    /// without touching any right-hand side.
+    pub fn dirichlet_row(&mut self, row: usize) {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        for k in start..end {
+            self.values[k] = if self.col_idx[k] == row { 1.0 } else { 0.0 };
+        }
+    }
+
+    /// Applies a Dirichlet condition on `row`: zeroes the off-diagonal
+    /// entries of the row, puts 1 on the diagonal, and sets `rhs[row]` to
+    /// `value`.  (Column symmetrization is intentionally not performed; the
+    /// Krylov solvers used here do not require symmetry.)
+    pub fn apply_dirichlet(&mut self, row: usize, value: f64, rhs: &mut [f64]) {
+        self.dirichlet_row(row);
+        rhs[row] = value;
+    }
+
+    /// Frobenius norm of the stored values.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Checks whether the matrix is (structurally and numerically) symmetric
+    /// within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for row in 0..self.n {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let col = self.col_idx[k];
+                if (self.values[k] - self.get(col, row)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        // Tridiagonal [-1, 2, -1] matrix.
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 2.0;
+            if i > 0 {
+                row[i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -1.0;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let m = laplacian_1d(5);
+        assert_eq!(m.dim(), 5);
+        assert_eq!(m.nnz(), 13);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(0, 4), 0.0);
+        assert!(m.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn from_pattern_starts_zeroed_and_accepts_adds() {
+        let row_ptr = vec![0, 2, 4];
+        let col_idx = vec![0, 1, 0, 1];
+        let mut m = CsrMatrix::from_pattern(row_ptr, col_idx);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.frobenius_norm(), 0.0);
+        m.add(0, 0, 2.0);
+        m.add(0, 0, 0.5);
+        m.add(1, 0, -1.0);
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(1, 0), -1.0);
+        m.zero_values();
+        assert_eq!(m.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_outside_pattern_panics() {
+        let mut m = CsrMatrix::from_pattern(vec![0, 1, 2], vec![0, 1]);
+        m.add(0, 1, 1.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense_computation() {
+        let m = laplacian_1d(6);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0).sin()).collect();
+        let y = m.mul_vec(&x);
+        for i in 0..6 {
+            let mut expect = 2.0 * x[i];
+            if i > 0 {
+                expect -= x[i - 1];
+            }
+            if i + 1 < 6 {
+                expect -= x[i + 1];
+            }
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = laplacian_1d(4);
+        assert_eq!(m.diagonal(), vec![2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn dirichlet_row_is_identity_after_application() {
+        let mut m = laplacian_1d(5);
+        let mut rhs = vec![1.0; 5];
+        m.apply_dirichlet(2, 7.5, &mut rhs);
+        assert_eq!(m.get(2, 2), 1.0);
+        assert_eq!(m.get(2, 1), 0.0);
+        assert_eq!(m.get(2, 3), 0.0);
+        assert_eq!(rhs[2], 7.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_pattern_rejected() {
+        // column index 5 out of range for a 2x2 matrix
+        let _ = CsrMatrix::from_pattern(vec![0, 1, 2], vec![0, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmv_rejects_wrong_length() {
+        let m = laplacian_1d(3);
+        let x = vec![0.0; 4];
+        let mut y = vec![0.0; 3];
+        m.spmv(&x, &mut y);
+    }
+}

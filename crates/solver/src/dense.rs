@@ -1,0 +1,167 @@
+//! A small dense matrix with Gaussian elimination, used to cross-check the
+//! sparse solvers on small systems and to solve the tiny per-element systems
+//! some stabilization schemes need.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    /// Panics if the rows do not form a square matrix.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut data = Vec::with_capacity(n * n);
+        for row in rows {
+            assert_eq!(row.len(), n, "matrix must be square");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let mut s = 0.0;
+            for j in 0..self.n {
+                s += self.get(i, j) * x[j];
+            }
+            y[i] = s;
+        }
+        y
+    }
+
+    /// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+    /// Returns `None` if the matrix is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivoting.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for row in col + 1..n {
+                let v = a[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in col + 1..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            *m.get_mut(i, i) = 1.0;
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_general_system() {
+        let m = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let b = vec![1.0, 2.0, 3.0];
+        let x = m.solve(&b).unwrap();
+        let back = m.mul_vec(&x);
+        for i in 0..3 {
+            assert!((back[i] - b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let m = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = m.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Jacobi-preconditioned Krylov solvers: Conjugate Gradient (for the
+//! symmetric pressure-like systems) and BiCGSTAB (for the non-symmetric
+//! convection-dominated momentum systems the Nastin assembly produces).
+
+use crate::csr::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SolveOptions {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Relative residual tolerance (‖r‖ / ‖b‖).
+    pub tolerance: f64,
+    /// Whether to apply the Jacobi (diagonal) preconditioner.
+    pub jacobi_preconditioner: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions { max_iterations: 1000, tolerance: 1e-10, jacobi_preconditioner: true }
+    }
+}
+
+/// Why a solve failed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SolverError {
+    /// The iteration limit was reached before convergence; carries the last
+    /// relative residual.
+    NotConverged {
+        /// Relative residual when the iteration limit was hit.
+        final_residual: f64,
+    },
+    /// A breakdown occurred (zero denominator in the recurrences).
+    Breakdown,
+    /// Input sizes are inconsistent.
+    DimensionMismatch,
+}
+
+/// Result of a successful iterative solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveOutcome {
+    /// The solution vector.
+    pub solution: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Relative residual history (one entry per iteration, starting with the
+    /// initial residual).
+    pub residual_history: Vec<f64>,
+}
+
+impl SolveOutcome {
+    /// Final relative residual.
+    pub fn final_residual(&self) -> f64 {
+        self.residual_history.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
+    if enabled {
+        matrix
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
+            .collect()
+    } else {
+        vec![1.0; matrix.dim()]
+    }
+}
+
+/// Solves `A·x = b` with the (preconditioned) Conjugate Gradient method.
+/// `A` must be symmetric positive definite for guaranteed convergence.
+pub fn conjugate_gradient(
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    let n = matrix.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch);
+    }
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(SolveOutcome {
+            solution: vec![0.0; n],
+            iterations: 0,
+            residual_history: vec![0.0],
+        });
+    }
+    let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut history = vec![norm(&r) / b_norm];
+    let mut ap = vec![0.0; n];
+
+    for iter in 0..options.max_iterations {
+        matrix.spmv(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap.abs() < 1e-300 {
+            return Err(SolverError::Breakdown);
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rel = norm(&r) / b_norm;
+        history.push(rel);
+        if rel < options.tolerance {
+            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+        }
+        for i in 0..n {
+            z[i] = r[i] * inv_diag[i];
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    Err(SolverError::NotConverged { final_residual: *history.last().unwrap() })
+}
+
+/// Solves `A·x = b` with the (preconditioned) BiCGSTAB method; works for
+/// non-symmetric systems such as the convection-dominated momentum equations.
+pub fn bicgstab(
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    let n = matrix.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch);
+    }
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(SolveOutcome {
+            solution: vec![0.0; n],
+            iterations: 0,
+            residual_history: vec![0.0],
+        });
+    }
+    let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r0 = r.clone();
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut history = vec![norm(&r) / b_norm];
+    let mut phat = vec![0.0; n];
+    let mut shat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for iter in 0..options.max_iterations {
+        let rho_new = dot(&r0, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(SolverError::Breakdown);
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        for i in 0..n {
+            phat[i] = p[i] * inv_diag[i];
+        }
+        matrix.spmv(&phat, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            return Err(SolverError::Breakdown);
+        }
+        alpha = rho / r0v;
+        let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        if norm(&s) / b_norm < options.tolerance {
+            for i in 0..n {
+                x[i] += alpha * phat[i];
+            }
+            history.push(norm(&s) / b_norm);
+            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+        }
+        for i in 0..n {
+            shat[i] = s[i] * inv_diag[i];
+        }
+        matrix.spmv(&shat, &mut t);
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(SolverError::Breakdown);
+        }
+        omega = dot(&t, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        let rel = norm(&r) / b_norm;
+        history.push(rel);
+        if rel < options.tolerance {
+            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+        }
+        if omega.abs() < 1e-300 {
+            return Err(SolverError::Breakdown);
+        }
+    }
+    Err(SolverError::NotConverged { final_residual: *history.last().unwrap() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    /// 1-D Laplacian with Dirichlet boundary rows: SPD, well conditioned.
+    fn laplacian(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 2.0;
+            if i > 0 {
+                row[i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -1.0;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    /// A non-symmetric, diagonally dominant "convection-diffusion" matrix.
+    fn convection(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 4.0;
+            if i > 0 {
+                row[i - 1] = -2.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -0.5;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()
+    }
+
+    #[test]
+    fn cg_solves_spd_system() {
+        let a = laplacian(50);
+        let b = rhs(50);
+        let out = conjugate_gradient(&a, &b, &SolveOptions::default()).unwrap();
+        let residual: Vec<f64> =
+            a.mul_vec(&out.solution).iter().zip(&b).map(|(ax, bi)| ax - bi).collect();
+        assert!(norm(&residual) / norm(&b) < 1e-9);
+        assert!(out.iterations <= 50, "CG must converge in at most n iterations");
+        assert!(out.final_residual() < 1e-9);
+    }
+
+    #[test]
+    fn cg_without_preconditioner_also_converges() {
+        let a = laplacian(30);
+        let b = rhs(30);
+        let opts = SolveOptions { jacobi_preconditioner: false, ..Default::default() };
+        let out = conjugate_gradient(&a, &b, &opts).unwrap();
+        assert!(out.final_residual() < 1e-9);
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric_system() {
+        let a = convection(60);
+        assert!(!a.is_symmetric(1e-12));
+        let b = rhs(60);
+        let out = bicgstab(&a, &b, &SolveOptions::default()).unwrap();
+        let residual: Vec<f64> =
+            a.mul_vec(&out.solution).iter().zip(&b).map(|(ax, bi)| ax - bi).collect();
+        assert!(norm(&residual) / norm(&b) < 1e-8);
+    }
+
+    #[test]
+    fn solutions_match_dense_solver() {
+        let n = 12;
+        let a = convection(n);
+        let b = rhs(n);
+        let dense_rows: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..n).map(|j| a.get(i, j)).collect()).collect();
+        let dense = DenseMatrix::from_rows(&dense_rows);
+        let x_dense = dense.solve(&b).unwrap();
+        let x_iter = bicgstab(&a, &b, &SolveOptions::default()).unwrap().solution;
+        for i in 0..n {
+            assert!((x_dense[i] - x_iter[i]).abs() < 1e-7, "component {i}");
+        }
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_solution() {
+        let a = laplacian(10);
+        let out = conjugate_gradient(&a, &vec![0.0; 10], &SolveOptions::default()).unwrap();
+        assert_eq!(out.solution, vec![0.0; 10]);
+        assert_eq!(out.iterations, 0);
+        let out = bicgstab(&a, &vec![0.0; 10], &SolveOptions::default()).unwrap();
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = laplacian(5);
+        let err = conjugate_gradient(&a, &[1.0; 4], &SolveOptions::default()).unwrap_err();
+        assert_eq!(err, SolverError::DimensionMismatch);
+        let err = bicgstab(&a, &[1.0; 6], &SolveOptions::default()).unwrap_err();
+        assert_eq!(err, SolverError::DimensionMismatch);
+    }
+
+    #[test]
+    fn iteration_limit_reports_not_converged() {
+        let a = laplacian(200);
+        let b = rhs(200);
+        let opts = SolveOptions { max_iterations: 2, tolerance: 1e-14, ..Default::default() };
+        match conjugate_gradient(&a, &b, &opts) {
+            Err(SolverError::NotConverged { final_residual }) => {
+                assert!(final_residual > 0.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_history_is_monotone_enough_for_cg() {
+        // CG residuals can oscillate slightly in finite precision, but the
+        // last residual must be the smallest for an SPD system.
+        let a = laplacian(40);
+        let b = rhs(40);
+        let out = conjugate_gradient(&a, &b, &SolveOptions::default()).unwrap();
+        let last = out.final_residual();
+        assert!(out.residual_history.iter().all(|&r| r >= last - 1e-15));
+    }
+}

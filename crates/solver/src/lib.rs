@@ -1,0 +1,28 @@
+//! # lv-solver
+//!
+//! Sparse linear-algebra substrate for the CFD reproduction.
+//!
+//! Section 2.3 of the paper notes that CFD applications are structured into
+//! two primary operations: (i) matrix and right-hand-side assembly — the
+//! mini-app the paper studies — and (ii) the algebraic linear solver.  The
+//! mini-app stops after the assembly, but a usable reproduction needs the
+//! solver half too so the examples can run complete time steps
+//! (lid-driven cavity, channel flow).  This crate provides:
+//!
+//! * [`csr`] — a compressed-sparse-row matrix built from the mesh node graph,
+//!   with scatter-add assembly (the destination of phase 8), SpMV, and
+//!   Dirichlet row/column elimination;
+//! * [`krylov`] — Jacobi-preconditioned Conjugate Gradient and BiCGSTAB with
+//!   convergence tracking;
+//! * [`dense`] — a tiny dense solver used for cross-checking the sparse path
+//!   in tests.
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod dense;
+pub mod krylov;
+
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use krylov::{bicgstab, conjugate_gradient, SolveOptions, SolveOutcome, SolverError};

@@ -1,0 +1,70 @@
+//! Lid-driven cavity flow: the classic internal-flow benchmark, run as a
+//! sequence of semi-implicit momentum steps using the full pipeline —
+//! assembly (the paper's mini-app), Dirichlet conditions and a Krylov solve
+//! per step.
+//!
+//! ```text
+//! cargo run --release --example cavity_flow -- [steps]
+//! ```
+
+use alya_longvec::prelude::*;
+use lv_mesh::Vec3;
+
+fn main() {
+    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let mesh = BoxMeshBuilder::new(8, 8, 8).lid_driven_cavity().build();
+    let config = KernelConfig::new(128, OptLevel::Vec1).with_viscosity(5e-2).with_dt(0.05);
+    let assembly = NastinAssembly::new(mesh.clone(), config);
+
+    // Initial state: fluid at rest, lid moving with unit velocity.
+    let mut velocity = VectorField::zeros(&mesh);
+    velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    let pressure = Field::zeros(&mesh);
+
+    println!(
+        "lid-driven cavity: {} elements, dt = {}, nu = {}, {} steps",
+        mesh.num_elements(),
+        config.dt,
+        config.viscosity,
+        steps
+    );
+    println!("{:>5} {:>14} {:>12} {:>16}", "step", "solver iters", "residual", "kinetic energy");
+
+    let mut matrix = assembly.new_matrix();
+    let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+    let mut workspace = lv_kernel::ElementWorkspace::new(config.vector_size);
+
+    for step in 1..=steps {
+        assembly.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut workspace);
+        assembly.apply_dirichlet(&mut matrix, &mut rhs);
+
+        // Solve the three momentum-increment systems (shared matrix).
+        let n = mesh.num_nodes();
+        let mut increment = VectorField::zeros(&mesh);
+        let mut total_iters = 0;
+        let mut worst_residual: f64 = 0.0;
+        for dim in 0..3 {
+            let b: Vec<f64> = (0..n).map(|i| rhs[3 * i + dim]).collect();
+            let solve = bicgstab(&matrix, &b, &SolveOptions::default())
+                .expect("momentum system must converge");
+            total_iters += solve.iterations;
+            worst_residual = worst_residual.max(solve.final_residual());
+            for (node, &du) in solve.solution.iter().enumerate() {
+                let mut v = increment.get(node);
+                v[dim] = du;
+                increment.set(node, v);
+            }
+        }
+
+        // Advance the velocity and re-impose the boundary conditions.
+        velocity.axpy(1.0, &increment);
+        velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+
+        let kinetic: f64 = (0..n).map(|i| 0.5 * velocity.get(i).norm_sq()).sum();
+        println!("{step:>5} {total_iters:>14} {worst_residual:>12.2e} {kinetic:>16.6}");
+    }
+
+    println!("\nfinal maximum velocity magnitude: {:.4}", velocity.max_magnitude());
+    println!("(the lid drives a recirculating vortex; interior velocities stay below the lid speed)");
+}

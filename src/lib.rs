@@ -1,0 +1,43 @@
+//! # alya-longvec
+//!
+//! A from-scratch Rust reproduction of *“Exploiting long vectors with a CFD
+//! code: a co-design show case”* (Blancafort et al., IPPS 2024,
+//! arXiv:2411.00815).
+//!
+//! The workspace contains everything the paper's evaluation needs:
+//!
+//! * [`mesh`] (`lv-mesh`) — hexahedral meshes, Gauss quadrature, shape
+//!   functions, nodal fields;
+//! * [`sim`] (`lv-sim`) — the long-vector architecture simulator standing in
+//!   for the RISC-V VEC prototype, NEC SX-Aurora and MareNostrum 4;
+//! * [`compiler`] (`lv-compiler`) — the auto-vectorizer model (loop IR,
+//!   legality analysis, loop transforms, code generation, remarks);
+//! * [`kernel`] (`lv-kernel`) — the Nastin assembly mini-app: numeric path
+//!   and simulated path, eight phases, four cumulative code variants;
+//! * [`solver`] (`lv-solver`) — CSR matrices and Krylov solvers for complete
+//!   CFD time steps;
+//! * [`metrics`] (`lv-metrics`) — the Section 2.2 metrics, regression and
+//!   report tables;
+//! * [`core`] (`lv-core`) — the experiment runner, the per-table/figure
+//!   reproduction functions and the co-design loop.
+//!
+//! See `examples/` for runnable entry points and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub use lv_compiler as compiler;
+pub use lv_core as core;
+pub use lv_kernel as kernel;
+pub use lv_mesh as mesh;
+pub use lv_metrics as metrics;
+pub use lv_sim as sim;
+pub use lv_solver as solver;
+
+/// One-stop prelude for examples and downstream users.
+pub mod prelude {
+    pub use lv_core::prelude::*;
+    pub use lv_kernel::{KernelConfig, NastinAssembly, OptLevel, SimulatedMiniApp};
+    pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};
+    pub use lv_metrics::{RunMetrics, Table};
+    pub use lv_sim::{Machine, MachineConfig, Platform, PlatformKind};
+    pub use lv_solver::{bicgstab, conjugate_gradient, CsrMatrix, SolveOptions};
+}

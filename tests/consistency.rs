@@ -1,0 +1,138 @@
+//! Integration test: cross-crate consistency properties.
+//!
+//! * the numeric kernel result is invariant under `VECTOR_SIZE` and code
+//!   variant (property-based);
+//! * the simulated workload performs the same floating-point work regardless
+//!   of vectorization, variant or platform;
+//! * the compiler transforms used to derive the code variants preserve the
+//!   workload (iteration counts and FLOPs).
+
+use alya_longvec::prelude::*;
+use lv_compiler::vectorizer::Vectorizer;
+use lv_kernel::workload::WorkloadBuilder;
+use lv_mesh::chunks::ElementChunks;
+use lv_mesh::Vec3;
+use proptest::prelude::*;
+
+fn reference_assembly(mesh: &Mesh) -> (Vec<f64>, Vec<f64>) {
+    let (velocity, pressure) = flow_state(mesh);
+    let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(16, OptLevel::Original))
+        .assemble(&velocity, &pressure);
+    (out.rhs, out.matrix.values().to_vec())
+}
+
+fn flow_state(mesh: &Mesh) -> (VectorField, Field) {
+    let mut velocity = VectorField::taylor_green(mesh);
+    velocity.apply_boundary_conditions(mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    (velocity, Field::from_fn(mesh, |p| p.x - 0.5 * p.y + 0.25 * p.z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The assembled system never depends on the VECTOR_SIZE blocking or the
+    /// source-level variant: those only affect how the compiler vectorizes.
+    #[test]
+    fn prop_numeric_assembly_invariant_under_blocking(
+        vs in prop::sample::select(&[17usize, 40, 64, 128, 240, 512][..]),
+        opt in prop::sample::select(&OptLevel::ALL[..]),
+    ) {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).with_jitter(0.12, 99).build();
+        let (reference_rhs, reference_values) = reference_assembly(&mesh);
+        let (velocity, pressure) = flow_state(&mesh);
+        let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, opt))
+            .assemble(&velocity, &pressure);
+        for (a, b) in reference_rhs.iter().zip(&out.rhs) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+        for (a, b) in reference_values.iter().zip(out.matrix.values()) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    /// Simulated FLOPs are conserved across platforms, variants and
+    /// vectorization on/off — the timing model may change, the work may not.
+    #[test]
+    fn prop_simulated_flops_are_conserved(
+        vs in prop::sample::select(&[16usize, 64, 240][..]),
+        opt in prop::sample::select(&OptLevel::ALL[..]),
+        platform in prop::sample::select(&PlatformKind::ALL[..]),
+    ) {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        let app = SimulatedMiniApp::new(&mesh, KernelConfig::new(vs, opt));
+        let reference = SimulatedMiniApp::new(&mesh, KernelConfig::new(16, OptLevel::Original))
+            .run(Platform::riscv_vec(), false)
+            .counters
+            .total()
+            .flops;
+        let run = app.run(Platform::from_kind(platform), true);
+        let flops = run.counters.total().flops;
+        prop_assert!((flops - reference).abs() / reference < 1e-9,
+            "flops {flops} vs reference {reference}");
+    }
+}
+
+#[test]
+fn workload_transforms_preserve_total_flops_per_variant() {
+    let mesh = BoxMeshBuilder::new(5, 5, 5).build();
+    let chunks = ElementChunks::new(&mesh, 64);
+    let chunk = &chunks.chunks()[0];
+    let totals: Vec<f64> = OptLevel::ALL
+        .iter()
+        .map(|&opt| {
+            WorkloadBuilder::new(&mesh, KernelConfig::new(64, opt))
+                .phase_nests(chunk)
+                .iter()
+                .map(|(_, nest)| nest.total_flops())
+                .sum()
+        })
+        .collect();
+    for t in &totals {
+        assert!((t - totals[0]).abs() < 1e-9, "variants changed the FLOP count: {totals:?}");
+    }
+}
+
+#[test]
+fn vectorization_plans_only_change_for_the_refactored_phases() {
+    // VEC2/IVEC2/VEC1 touch phases 1 and 2 only; the plans of phases 3–8
+    // must be identical across variants.
+    let mesh = BoxMeshBuilder::new(5, 5, 5).build();
+    let chunks = ElementChunks::new(&mesh, 128);
+    let chunk = &chunks.chunks()[0];
+    let vectorizer = Vectorizer::new(256);
+    let plan_summary = |opt: OptLevel| -> Vec<(u8, bool, usize)> {
+        WorkloadBuilder::new(&mesh, KernelConfig::new(128, opt))
+            .phase_nests(chunk)
+            .iter()
+            .map(|(phase, nest)| {
+                let plan = vectorizer.plan(nest);
+                let chunks: usize =
+                    plan.decisions.values().map(|d| d.chunks().len()).sum();
+                (phase.number().unwrap(), plan.any_vectorized(), chunks)
+            })
+            .collect()
+    };
+    let original = plan_summary(OptLevel::Original);
+    let vec1 = plan_summary(OptLevel::Vec1);
+    for i in 2..8 {
+        assert_eq!(original[i], vec1[i], "phase {} plan changed between variants", i + 1);
+    }
+    assert_ne!(original[0], vec1[0], "phase 1 plan must change with VEC1");
+    assert_ne!(original[1], vec1[1], "phase 2 plan must change with VEC2/IVEC2");
+}
+
+#[test]
+fn simulated_and_numeric_flop_counts_agree() {
+    let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+    let config = KernelConfig::new(32, OptLevel::Original);
+    let (velocity, pressure) = flow_state(&mesh);
+    let numeric = NastinAssembly::new(mesh.clone(), config).assemble(&velocity, &pressure);
+    let simulated = SimulatedMiniApp::new(&mesh, config).run(Platform::riscv_vec(), false);
+    let ratio = simulated.counters.total().flops / numeric.stats.flops;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "simulated flops {} vs numeric estimate {} (ratio {ratio:.2})",
+        simulated.counters.total().flops,
+        numeric.stats.flops
+    );
+}

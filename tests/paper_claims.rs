@@ -1,0 +1,199 @@
+//! Integration test: the qualitative claims of the paper's evaluation hold
+//! in the simulated reproduction (the *shape* of the results — who wins,
+//! roughly by how much, where the crossovers are — not the absolute cycle
+//! counts).
+
+use alya_longvec::prelude::*;
+use lv_core::experiment::SweepConfig;
+use lv_sim::counters::PhaseId;
+
+fn runner() -> Runner {
+    Runner::new(SweepConfig {
+        // 10^3 elements: large enough that the partially-filled last chunk of
+        // each VECTOR_SIZE does not distort the averages, small enough for CI.
+        min_elements: 1000,
+        vector_sizes: vec![16, 64, 240, 256],
+        ..SweepConfig::default()
+    })
+}
+
+#[test]
+fn scalar_baseline_is_dominated_by_the_compute_phases() {
+    // Table 3: phases 6, 7, 3 and 4 account for ~90% of the scalar cycles.
+    let mut r = runner();
+    let m = r.metrics(RunKey::scalar_baseline(PlatformKind::RiscvVec));
+    let compute_share: f64 =
+        [3u8, 4, 6, 7].iter().map(|&p| m.phase(p).cycle_share).sum();
+    assert!(compute_share > 0.75, "compute phases account for {compute_share:.2}");
+    assert_eq!(m.dominant_phase().phase, 6, "phase 6 must dominate the scalar run");
+}
+
+#[test]
+fn vanilla_vectorization_shifts_the_bottleneck_to_the_gather_phases() {
+    // Figure 4: after auto-vectorization the non-vectorized phases (1, 2, 8)
+    // consume a much larger share than in the scalar run.
+    let mut r = runner();
+    let scalar = r.metrics(RunKey::scalar_baseline(PlatformKind::RiscvVec));
+    let vanilla = r.metrics(RunKey::vanilla(PlatformKind::RiscvVec, 240));
+    let share = |m: &RunMetrics| -> f64 {
+        [1u8, 2, 8].iter().map(|&p| m.phase(p).cycle_share).sum()
+    };
+    assert!(
+        share(&vanilla) > 2.0 * share(&scalar),
+        "gather/scatter share must grow: scalar {:.3} vs vanilla {:.3}",
+        share(&scalar),
+        share(&vanilla)
+    );
+}
+
+#[test]
+fn vec2_is_counterproductive_and_ivec2_fixes_it() {
+    // Figures 5 and 6.
+    let mut r = runner();
+    let p2 = |m: &RunMetrics| m.phase(2).cycles;
+    for &vs in &[64usize, 240, 256] {
+        let original = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::Original));
+        let vec2 = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::Vec2));
+        let ivec2 = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::IVec2));
+        assert!(
+            p2(&vec2) > p2(&original),
+            "VS={vs}: VEC2 must be slower than the original in phase 2"
+        );
+        assert!(
+            p2(&ivec2) < p2(&original),
+            "VS={vs}: IVEC2 must be faster than the original in phase 2"
+        );
+    }
+    // The phase-2 improvement grows with VECTOR_SIZE (Figure 6).
+    let gain = |r: &mut Runner, vs: usize| {
+        let o = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::Original));
+        let i = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::IVec2));
+        o.phase(2).cycles / i.phase(2).cycles
+    };
+    assert!(gain(&mut r, 240) > gain(&mut r, 16));
+}
+
+#[test]
+fn full_optimization_reaches_a_large_speedup_at_vs240() {
+    // Figure 11: up to 7.6x vs scalar at VECTOR_SIZE = 240; and VS=240 must
+    // not be slower than VS=256 (the FSM co-design observation).
+    let mut r = runner();
+    let scalar = RunKey::scalar_baseline(PlatformKind::RiscvVec);
+    let s240 = r.speedup(RunKey::optimized(PlatformKind::RiscvVec, 240, OptLevel::Vec1), scalar);
+    let s256 = r.speedup(RunKey::optimized(PlatformKind::RiscvVec, 256, OptLevel::Vec1), scalar);
+    let s16 = r.speedup(RunKey::optimized(PlatformKind::RiscvVec, 16, OptLevel::Vec1), scalar);
+    assert!(s240 > 4.0, "speed-up at VS=240 = {s240:.2} (paper: 7.6)");
+    assert!(s240 >= s256, "VS=240 ({s240:.2}) must be at least as fast as VS=256 ({s256:.2})");
+    assert!(s240 > s16, "speed-up must grow with VECTOR_SIZE");
+}
+
+#[test]
+fn final_code_beats_vanilla_autovectorization() {
+    // Conclusions: up to ~1.3x over the compiler-only version on RISC-V VEC.
+    let mut r = runner();
+    for &vs in &[64usize, 240, 256] {
+        let gain = r.speedup(
+            RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::Vec1),
+            RunKey::vanilla(PlatformKind::RiscvVec, vs),
+        );
+        assert!(gain > 1.0, "VS={vs}: final vs vanilla = {gain:.2}");
+    }
+}
+
+#[test]
+fn optimizations_are_portable_to_the_other_platforms() {
+    // Figure 12: the refactors never hurt, and help on the long-vector NEC
+    // machine as well.
+    let mut r = runner();
+    for platform in PlatformKind::ALL {
+        for &vs in &[64usize, 240] {
+            let gain = r.speedup(
+                RunKey::optimized(platform, vs, OptLevel::Vec1),
+                RunKey::vanilla(platform, vs),
+            );
+            assert!(
+                gain > 0.99,
+                "{platform:?} VS={vs}: optimizations must not degrade performance ({gain:.2})"
+            );
+        }
+    }
+    let aurora = r.speedup(
+        RunKey::optimized(PlatformKind::SxAurora, 240, OptLevel::Vec1),
+        RunKey::vanilla(PlatformKind::SxAurora, 240),
+    );
+    assert!(aurora > 1.1, "SX-Aurora should clearly benefit (paper: 1.64x), got {aurora:.2}");
+}
+
+#[test]
+fn phase8_never_vectorizes_and_its_weight_grows_with_vector_size() {
+    // Figures 8 and 9: phase 8 stays scalar and its share keeps growing as
+    // VECTOR_SIZE increases.
+    let mut r = runner();
+    let share8 = |r: &mut Runner, vs: usize| {
+        let m = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, OptLevel::Vec1));
+        (m.phase(8).cycle_share, m.phase(8).vector_instructions)
+    };
+    let (small_share, small_vec) = share8(&mut r, 16);
+    let (large_share, large_vec) = share8(&mut r, 256);
+    assert_eq!(small_vec, 0);
+    assert_eq!(large_vec, 0);
+    assert!(
+        large_share > small_share,
+        "phase-8 share must grow with VECTOR_SIZE ({small_share:.3} -> {large_share:.3})"
+    );
+}
+
+#[test]
+fn occupancy_approaches_one_at_the_register_capacity() {
+    // Figure 10: occupancy of the vectorized phases reaches ~100% when
+    // VECTOR_SIZE matches the 256-element registers.
+    let mut r = runner();
+    let m = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, 256, OptLevel::Vec1));
+    for phase in [3u8, 4, 6, 7] {
+        assert!(
+            m.phase(phase).occupancy > 0.95,
+            "phase {phase} occupancy = {:.2}",
+            m.phase(phase).occupancy
+        );
+    }
+    let m16 = r.metrics(RunKey::optimized(PlatformKind::RiscvVec, 16, OptLevel::Vec1));
+    assert!(m16.phase(6).occupancy < 0.1);
+}
+
+#[test]
+fn phase6_vcpi_and_instruction_count_follow_table5() {
+    // Table 5: increasing VECTOR_SIZE raises the AVL and the vCPI of phase 6
+    // while the number of vector instructions drops roughly inversely.
+    let mut r = runner();
+    let metrics = |r: &mut Runner, vs: usize| {
+        let m = r.metrics(RunKey::vanilla(PlatformKind::RiscvVec, vs));
+        let p6 = m.phase(6);
+        (p6.vector_cpi, p6.avg_vector_length, p6.vector_instructions)
+    };
+    let (cpi16, avl16, n16) = metrics(&mut r, 16);
+    let (cpi240, avl240, n240) = metrics(&mut r, 240);
+    assert!(avl240 > avl16 * 10.0);
+    assert!(cpi240 > cpi16, "vCPI must grow with the vector length");
+    assert!(n16 > n240 * 5, "instruction count must drop sharply ({n16} vs {n240})");
+    // The counters come from a PhaseId region, so make sure phase 6 is the
+    // phase the paper says it is (arithmetic heavy).
+    let m = r.metrics(RunKey::vanilla(PlatformKind::RiscvVec, 240));
+    assert!(m.phase(6).flops > m.phase(2).flops);
+    let p6 = r.run(RunKey::vanilla(PlatformKind::RiscvVec, 240)).counters.phase(PhaseId::new(6));
+    assert!(p6.vector_arith > 0);
+}
+
+#[test]
+fn table6_regression_explains_phase1_and_phase8_cycles() {
+    use lv_core::reproduce;
+    let mut r = runner();
+    let table = reproduce::table6_regression(&mut r);
+    for row in &table.rows {
+        let r2: f64 = row[1].parse().unwrap();
+        assert!(
+            r2 > 0.6,
+            "{}: R^2 = {r2} — cache misses and memory-instruction ratio should explain the cycles",
+            row[0]
+        );
+    }
+}
