@@ -36,14 +36,18 @@ fn phase_growth(model: MemoryModel, elements: usize, phase: u8) -> (f64, f64) {
 
 fn main() {
     let elements = bench_elements();
-    println!("=== Ablation: cache hierarchy vs flat memory (phase-8 VECTOR_SIZE sensitivity) ===\n");
+    println!(
+        "=== Ablation: cache hierarchy vs flat memory (phase-8 VECTOR_SIZE sensitivity) ===\n"
+    );
 
     let mut table = Table::new(
         "Phase-8 cycles at VECTOR_SIZE 16 and 512",
         &["memory model", "VS=16", "VS=512", "growth"],
     );
     let mut growths = Vec::new();
-    for (label, model) in [("L1+L2 caches", MemoryModel::Caches), ("flat memory", MemoryModel::Flat)] {
+    for (label, model) in
+        [("L1+L2 caches", MemoryModel::Caches), ("flat memory", MemoryModel::Flat)]
+    {
         let (small, large) = phase_growth(model, elements, 8);
         let growth = large / small;
         growths.push(growth);

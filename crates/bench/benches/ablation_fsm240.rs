@@ -11,10 +11,10 @@ use lv_bench::{bench_elements, print_table};
 use lv_core::experiment::{Runner, SweepConfig};
 use lv_core::RunKey;
 use lv_kernel::OptLevel;
-use lv_metrics::Table;
-use lv_mesh::BoxMeshBuilder;
-use lv_sim::platform::{Platform, PlatformKind};
 use lv_kernel::{KernelConfig, SimulatedMiniApp};
+use lv_mesh::BoxMeshBuilder;
+use lv_metrics::Table;
+use lv_sim::platform::{Platform, PlatformKind};
 
 fn cycles_with_platform(platform: Platform, vs: usize, elements: usize) -> f64 {
     let mesh = BoxMeshBuilder::with_at_least(elements).lid_driven_cavity().build();

@@ -8,8 +8,8 @@
 
 use lv_bench::{bench_elements, print_table};
 use lv_kernel::{KernelConfig, OptLevel, SimulatedMiniApp};
-use lv_metrics::Table;
 use lv_mesh::BoxMeshBuilder;
+use lv_metrics::Table;
 use lv_sim::platform::Platform;
 
 fn main() {

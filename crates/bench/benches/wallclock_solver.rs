@@ -21,7 +21,8 @@ fn solver_benchmarks(c: &mut Criterion) {
 
     c.bench_function("spmv", |bench| bench.iter(|| out.matrix.spmv(&x, &mut y)));
 
-    let options = SolveOptions { max_iterations: 500, tolerance: 1e-8, jacobi_preconditioner: true };
+    let options =
+        SolveOptions { max_iterations: 500, tolerance: 1e-8, jacobi_preconditioner: true };
     c.bench_function("bicgstab_momentum", |bench| {
         bench.iter(|| bicgstab(&out.matrix, &b, &options).expect("solve"))
     });

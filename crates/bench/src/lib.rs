@@ -18,10 +18,7 @@ pub const DEFAULT_ELEMENTS: usize = 1000;
 /// Number of mesh elements requested via `LV_BENCH_ELEMENTS` (or the
 /// default).
 pub fn bench_elements() -> usize {
-    std::env::var("LV_BENCH_ELEMENTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_ELEMENTS)
+    std::env::var("LV_BENCH_ELEMENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_ELEMENTS)
 }
 
 /// Builds the standard bench runner: a lid-driven-cavity mesh of

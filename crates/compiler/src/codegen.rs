@@ -83,11 +83,8 @@ fn emit_loop(
     indices: &mut Vec<usize>,
     stats: &mut CodegenStats,
 ) {
-    let vectorized = l
-        .is_innermost()
-        .then(|| plan.decision(l.level))
-        .flatten()
-        .and_then(|d| match d {
+    let vectorized =
+        l.is_innermost().then(|| plan.decision(l.level)).flatten().and_then(|d| match d {
             LoopDecision::Vectorized { chunks } => Some(chunks.clone()),
             LoopDecision::Scalar { .. } => None,
         });
@@ -331,10 +328,7 @@ mod tests {
         let mut mr = machine();
         emit_loop_nest(&mut mr, &runtime_nest, &Vectorizer::disabled().plan(&runtime_nest));
         // 64 extra scalar loads for the bound.
-        assert_eq!(
-            mr.counters().total().instructions,
-            mc.counters().total().instructions + 64
-        );
+        assert_eq!(mr.counters().total().instructions, mc.counters().total().instructions + 64);
     }
 
     #[test]
@@ -352,7 +346,9 @@ mod tests {
         // The invariant `b` load appears as a scalar memory access plus a
         // vector control (broadcast) instruction in the trace.
         let classes = m.tracer().class_histogram();
-        assert!(classes.get(&lv_sim::isa::InstructionClass::VectorControl).copied().unwrap_or(0) >= 1);
+        assert!(
+            classes.get(&lv_sim::isa::InstructionClass::VectorControl).copied().unwrap_or(0) >= 1
+        );
         assert!(classes.get(&lv_sim::isa::InstructionClass::ScalarMem).copied().unwrap_or(0) >= 1);
     }
 
@@ -381,12 +377,8 @@ mod tests {
             },
         );
         emit_loop_nest(&mut m, &nest, &plan);
-        let gather_events: Vec<_> = m
-            .tracer()
-            .events()
-            .iter()
-            .filter(|e| e.pattern == Some(MemPattern::Indexed))
-            .collect();
+        let gather_events: Vec<_> =
+            m.tracer().events().iter().filter(|e| e.pattern == Some(MemPattern::Indexed)).collect();
         assert_eq!(gather_events.len(), 1);
         assert_eq!(gather_events[0].vl, 64);
     }
@@ -410,11 +402,7 @@ mod tests {
             },
         );
         emit_loop_nest(&mut m, &nest, &plan);
-        assert!(m
-            .tracer()
-            .events()
-            .iter()
-            .any(|e| e.pattern == Some(MemPattern::Strided)));
+        assert!(m.tracer().events().iter().any(|e| e.pattern == Some(MemPattern::Strided)));
     }
 
     #[test]

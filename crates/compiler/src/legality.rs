@@ -204,10 +204,7 @@ mod tests {
         let only = Loop::new("ivect", 0, TripCount::Runtime(64)).with_stmt(stmt("w", true));
         let nest = LoopNest::new("n", vec![LoopItem::Loop(only)], 1);
         let report = analyze(&nest);
-        assert!(matches!(
-            report.loops[0].blocker,
-            Some(Blocker::RuntimeTripCount { .. })
-        ));
+        assert!(matches!(report.loops[0].blocker, Some(Blocker::RuntimeTripCount { .. })));
     }
 
     #[test]
@@ -246,8 +243,7 @@ mod tests {
         // the vectorizable work is clean.
         let loop_a =
             Loop::new("ivect_a", 0, TripCount::Const(240)).with_stmt(stmt("work_a", false));
-        let loop_b =
-            Loop::new("ivect_b", 1, TripCount::Const(240)).with_stmt(stmt("work_b", true));
+        let loop_b = Loop::new("ivect_b", 1, TripCount::Const(240)).with_stmt(stmt("work_b", true));
         let nest = LoopNest::new(
             "phase1_distributed",
             vec![LoopItem::Loop(loop_a), LoopItem::Loop(loop_b)],

@@ -47,7 +47,7 @@ pub fn make_trip_compile_time(nest: &LoopNest, var: &str) -> (LoopNest, bool) {
 /// inode)` untouched.
 pub fn interchange(nest: &LoopNest, outer_var: &str, inner_var: &str) -> (LoopNest, bool) {
     let mut changed = false;
-    fn visit(items: &mut Vec<LoopItem>, outer_var: &str, inner_var: &str, changed: &mut bool) {
+    fn visit(items: &mut [LoopItem], outer_var: &str, inner_var: &str, changed: &mut bool) {
         for item in items.iter_mut() {
             if let LoopItem::Loop(outer) = item {
                 let is_match = outer.var == outer_var
@@ -55,8 +55,7 @@ pub fn interchange(nest: &LoopNest, outer_var: &str, inner_var: &str) -> (LoopNe
                     && matches!(&outer.body[0], LoopItem::Loop(inner) if inner.var == inner_var);
                 if is_match {
                     // Take the inner loop out and swap the headers.
-                    let LoopItem::Loop(mut inner) = outer.body.pop().expect("checked above")
-                    else {
+                    let LoopItem::Loop(mut inner) = outer.body.pop().expect("checked above") else {
                         unreachable!("checked above");
                     };
                     std::mem::swap(&mut outer.var, &mut inner.var);
@@ -119,12 +118,7 @@ pub fn distribute(nest: &LoopNest, var: &str) -> (LoopNest, bool) {
         }
     }
 
-    fn visit(
-        items: &mut Vec<LoopItem>,
-        var: &str,
-        next_level: &mut usize,
-        changed: &mut bool,
-    ) {
+    fn visit(items: &mut Vec<LoopItem>, var: &str, next_level: &mut usize, changed: &mut bool) {
         let mut i = 0;
         while i < items.len() {
             let needs_split = matches!(
@@ -142,11 +136,8 @@ pub fn distribute(nest: &LoopNest, var: &str) -> (LoopNest, bool) {
                         *next_level += 1;
                         (lvl, true)
                     };
-                    let mut copy = Loop::new(
-                        format!("{}_{}", original.var, k + 1),
-                        level,
-                        original.trip,
-                    );
+                    let mut copy =
+                        Loop::new(format!("{}_{}", original.var, k + 1), level, original.trip);
                     copy.body.push(body_item);
                     if needs_remap {
                         remap_level(&mut copy.body, original.level, level);
@@ -250,9 +241,8 @@ mod tests {
         // A loop with a statement next to the inner loop cannot be
         // interchanged.
         let inner = Loop::new("j", 1, TripCount::Const(4));
-        let outer = Loop::new("i", 0, TripCount::Const(8))
-            .with_stmt(Statement::new("s"))
-            .with_loop(inner);
+        let outer =
+            Loop::new("i", 0, TripCount::Const(8)).with_stmt(Statement::new("s")).with_loop(inner);
         let nest = LoopNest::new("n", vec![LoopItem::Loop(outer)], 2);
         let (out, changed) = interchange(&nest, "i", "j");
         assert!(!changed);
@@ -264,22 +254,15 @@ mod tests {
     fn phase1_like() -> LoopNest {
         let work_a = Statement::new("work_a")
             .with_int_ops(4)
-            .with_mem(MemRef::load(
-                "lnods",
-                0,
-                IndexExpr::Affine(AffineExpr::term(0, 8)),
-            ))
+            .with_mem(MemRef::load("lnods", 0, IndexExpr::Affine(AffineExpr::term(0, 8))))
             .not_vectorizable();
-        let work_b = Statement::new("work_b")
-            .with_flops(VectorOp::Add, 1)
-            .with_mem(MemRef::store(
-                "elvel",
-                4096,
-                IndexExpr::Affine(AffineExpr::term(0, 1)),
-            ));
-        let ivect = Loop::new("ivect", 0, TripCount::Const(240))
-            .with_stmt(work_a)
-            .with_stmt(work_b);
+        let work_b = Statement::new("work_b").with_flops(VectorOp::Add, 1).with_mem(MemRef::store(
+            "elvel",
+            4096,
+            IndexExpr::Affine(AffineExpr::term(0, 1)),
+        ));
+        let ivect =
+            Loop::new("ivect", 0, TripCount::Const(240)).with_stmt(work_a).with_stmt(work_b);
         LoopNest::new("phase1", vec![LoopItem::Loop(ivect)], 1)
     }
 
@@ -292,8 +275,7 @@ mod tests {
         assert_eq!(split.all_loops().len(), 2);
         let plan = Vectorizer::new(256).plan(&split);
         // Exactly one of the two loops (the work_b one) is vectorized.
-        let vectorized: Vec<_> =
-            plan.decisions.values().filter(|d| d.is_vectorized()).collect();
+        let vectorized: Vec<_> = plan.decisions.values().filter(|d| d.is_vectorized()).collect();
         assert_eq!(vectorized.len(), 1);
         assert_eq!(vectorized[0].chunks(), &[240]);
     }

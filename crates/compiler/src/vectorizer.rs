@@ -189,10 +189,8 @@ impl Vectorizer {
                         vectorized: false,
                         message: blocker.message(),
                     });
-                    plan.decisions.insert(
-                        verdict.level,
-                        LoopDecision::Scalar { blocker: blocker.clone() },
-                    );
+                    plan.decisions
+                        .insert(verdict.level, LoopDecision::Scalar { blocker: blocker.clone() });
                 }
             }
         }

@@ -137,10 +137,8 @@ impl Runner {
             };
             let app = SimulatedMiniApp::new(&self.mesh, kernel_config);
             let platform = Platform::from_kind(key.platform);
-            let machine_config = MachineConfig {
-                memory_model: self.config.memory_model,
-                trace: None,
-            };
+            let machine_config =
+                MachineConfig { memory_model: self.config.memory_model, trace: None };
             let run = app.run_with(platform, key.vectorized, machine_config);
             self.cache.insert(key, run);
         }

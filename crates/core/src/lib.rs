@@ -24,13 +24,13 @@ pub mod codesign;
 pub mod experiment;
 pub mod reproduce;
 
-pub use codesign::{CodesignReport, CodesignStep, run_codesign_loop};
-pub use experiment::{Runner, RunKey, SweepConfig};
+pub use codesign::{run_codesign_loop, CodesignReport, CodesignStep};
+pub use experiment::{RunKey, Runner, SweepConfig};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use crate::codesign::run_codesign_loop;
-    pub use crate::experiment::{Runner, RunKey, SweepConfig};
+    pub use crate::experiment::{RunKey, Runner, SweepConfig};
     pub use crate::reproduce;
     pub use lv_kernel::{KernelConfig, NastinAssembly, OptLevel, SimulatedMiniApp};
     pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};

@@ -20,7 +20,8 @@ pub fn table2_platforms() -> Table {
     for p in &platforms {
         headers.push(p.kind.name());
     }
-    let mut table = Table::new("Table 2: HPC platforms, hardware configuration (per core)", &headers);
+    let mut table =
+        Table::new("Table 2: HPC platforms, hardware configuration (per core)", &headers);
     let rows = platforms[0].table2_row();
     for (i, (label, _)) in rows.iter().enumerate() {
         let mut cells = vec![label.to_string()];
@@ -40,11 +41,7 @@ pub fn table3_scalar_phase_share(runner: &mut Runner) -> Table {
         "Table 3: percentage of total cycles per phase (scalar execution)",
         &["phase 1", "phase 2", "phase 3", "phase 4", "phase 5", "phase 6", "phase 7", "phase 8"],
     );
-    let cells = metrics
-        .phases
-        .iter()
-        .map(|p| format!("{:.1}%", 100.0 * p.cycle_share))
-        .collect();
+    let cells = metrics.phases.iter().map(|p| format!("{:.1}%", 100.0 * p.cycle_share)).collect();
     table.add_row(cells);
     table
 }
@@ -78,9 +75,7 @@ pub fn table4_vector_mix(runner: &mut Runner) -> Table {
     for &vs in &runner.vector_sizes().to_vec() {
         let metrics = runner.metrics(RunKey::vanilla(PlatformKind::RiscvVec, vs));
         let mut cells = vec![vs.to_string()];
-        cells.extend(
-            metrics.phases.iter().map(|p| format!("{:.0}", 100.0 * p.vector_mix)),
-        );
+        cells.extend(metrics.phases.iter().map(|p| format!("{:.0}", 100.0 * p.vector_mix)));
         table.add_row(cells);
     }
     table
@@ -91,7 +86,14 @@ pub fn table4_vector_mix(runner: &mut Runner) -> Table {
 pub fn fig3_instruction_types(runner: &mut Runner) -> Table {
     let mut table = Table::new(
         "Figure 3: number and type of vector instructions (vanilla, RISC-V VEC)",
-        &["VECTOR_SIZE", "vector arithmetic", "vector memory", "vector control", "total", "memory share"],
+        &[
+            "VECTOR_SIZE",
+            "vector arithmetic",
+            "vector memory",
+            "vector control",
+            "total",
+            "memory share",
+        ],
     );
     for &vs in &runner.vector_sizes().to_vec() {
         let m = runner.metrics(RunKey::vanilla(PlatformKind::RiscvVec, vs));
@@ -133,10 +135,8 @@ pub fn table5_phase6(runner: &mut Runner) -> Table {
 }
 
 fn phase_share_table(runner: &mut Runner, title: &str, opt: OptLevel) -> Table {
-    let mut table = Table::new(
-        title,
-        &["VECTOR_SIZE", "ph1", "ph2", "ph3", "ph4", "ph5", "ph6", "ph7", "ph8"],
-    );
+    let mut table =
+        Table::new(title, &["VECTOR_SIZE", "ph1", "ph2", "ph3", "ph4", "ph5", "ph6", "ph7", "ph8"]);
     for &vs in &runner.vector_sizes().to_vec() {
         let m = runner.metrics(RunKey::optimized(PlatformKind::RiscvVec, vs, opt));
         let mut cells = vec![vs.to_string()];
@@ -339,10 +339,8 @@ pub fn fig13_mn4_phase2(runner: &mut Runner) -> Table {
             RunKey::optimized(PlatformKind::MareNostrum4, vs, OptLevel::Vec1),
             RunKey::vanilla(PlatformKind::MareNostrum4, vs),
         );
-        let p2_before = runner
-            .metrics(RunKey::vanilla(PlatformKind::MareNostrum4, vs))
-            .phase(2)
-            .cycles;
+        let p2_before =
+            runner.metrics(RunKey::vanilla(PlatformKind::MareNostrum4, vs)).phase(2).cycles;
         let p2_after = runner
             .metrics(RunKey::optimized(PlatformKind::MareNostrum4, vs, OptLevel::Vec1))
             .phase(2)
@@ -404,10 +402,8 @@ mod tests {
     fn table3_shares_sum_to_about_100_percent() {
         let mut r = runner();
         let t = table3_scalar_phase_share(&mut r);
-        let total: f64 = t.rows[0]
-            .iter()
-            .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
-            .sum();
+        let total: f64 =
+            t.rows[0].iter().map(|c| c.trim_end_matches('%').parse::<f64>().unwrap()).sum();
         assert!((total - 100.0).abs() < 1.0, "total = {total}");
     }
 

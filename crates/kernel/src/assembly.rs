@@ -98,8 +98,7 @@ impl NastinAssembly {
         let mut matrix = self.new_matrix();
         let mut rhs = vec![0.0; NDIME * self.mesh.num_nodes()];
         let mut workspace = ElementWorkspace::new(self.config.vector_size);
-        let stats =
-            self.assemble_into(velocity, pressure, &mut matrix, &mut rhs, &mut workspace);
+        let stats = self.assemble_into(velocity, pressure, &mut matrix, &mut rhs, &mut workspace);
         AssemblyOutput { matrix, rhs, stats }
     }
 
@@ -138,8 +137,7 @@ impl NastinAssembly {
             stats.chunks += 1;
             stats.elements += chunk.len;
         }
-        stats.flops =
-            stats.elements as f64 * phases::flops_per_element(self.config.semi_implicit);
+        stats.flops = stats.elements as f64 * phases::flops_per_element(self.config.semi_implicit);
         stats
     }
 
@@ -203,8 +201,9 @@ mod tests {
         // element order within the accumulation is unchanged).
         let mesh = cavity(4);
         let (v, p) = state(&mesh);
-        let reference = NastinAssembly::new(mesh.clone(), KernelConfig::new(16, OptLevel::Original))
-            .assemble(&v, &p);
+        let reference =
+            NastinAssembly::new(mesh.clone(), KernelConfig::new(16, OptLevel::Original))
+                .assemble(&v, &p);
         for vs in [64, 240, 512] {
             let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, OptLevel::Vec1))
                 .assemble(&v, &p);

@@ -128,6 +128,9 @@ impl KernelConfig {
 
     /// Validates the configuration, returning a list of problems (empty when
     /// valid).
+    // `!(x > 0.0)` is deliberate: it reports NaN parameters as invalid, which
+    // `x <= 0.0` would silently accept.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Vec<String> {
         let mut problems = Vec::new();
         if self.vector_size == 0 {
@@ -196,9 +199,7 @@ mod tests {
 
     #[test]
     fn invalid_config_is_reported() {
-        let mut c = KernelConfig::default();
-        c.vector_size = 0;
-        c.viscosity = -1.0;
+        let c = KernelConfig { vector_size: 0, viscosity: -1.0, ..KernelConfig::default() };
         let problems = c.validate();
         assert_eq!(problems.len(), 2);
     }

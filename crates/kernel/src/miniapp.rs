@@ -102,11 +102,8 @@ impl SimulatedMiniApp {
         vectorize: bool,
         machine_config: MachineConfig,
     ) -> MiniAppRun {
-        let vectorizer = if vectorize {
-            Vectorizer::new(platform.vlmax)
-        } else {
-            Vectorizer::disabled()
-        };
+        let vectorizer =
+            if vectorize { Vectorizer::new(platform.vlmax) } else { Vectorizer::disabled() };
         let mut machine = Machine::with_config(platform, machine_config);
         let mut remarks: Vec<Remark> = Vec::new();
         let mut codegen = CodegenStats::default();

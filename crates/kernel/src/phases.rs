@@ -93,7 +93,11 @@ pub fn phase2_gather_unknowns(
 ///
 /// Returns the number of elements whose Jacobian was singular (should be zero
 /// for a valid mesh).
-pub fn phase3_jacobian(shape: &ShapeTable, chunk: &ElementChunk, ws: &mut ElementWorkspace) -> usize {
+pub fn phase3_jacobian(
+    shape: &ShapeTable,
+    chunk: &ElementChunk,
+    ws: &mut ElementWorkspace,
+) -> usize {
     debug_assert_eq!(shape.num_gauss(), PGAUS);
     let mut singular = 0usize;
     for igaus in 0..PGAUS {
@@ -105,8 +109,8 @@ pub fn phase3_jacobian(shape: &ShapeTable, chunk: &ElementChunk, ws: &mut Elemen
                 let d = derivs.d[inode];
                 for i in 0..NDIME {
                     let xi = ws.elcod(inode, i, ivect);
-                    for j in 0..NDIME {
-                        jac.m[i][j] += d[j] * xi;
+                    for (j, &dj) in d.iter().enumerate() {
+                        jac.m[i][j] += dj * xi;
                     }
                 }
             }
@@ -122,8 +126,8 @@ pub fn phase3_jacobian(shape: &ShapeTable, chunk: &ElementChunk, ws: &mut Elemen
                 let d = derivs.d[inode];
                 for i in 0..NDIME {
                     let mut v = 0.0;
-                    for j in 0..NDIME {
-                        v += d[j] * inv.m[j][i];
+                    for (j, &dj) in d.iter().enumerate() {
+                        v += dj * inv.m[j][i];
                     }
                     ws.set_gpcar(igaus, inode, i, ivect, v);
                 }
@@ -175,17 +179,14 @@ pub fn phase5_stabilization(
     let inv_dt = 1.0 / config.dt;
     for igaus in 0..PGAUS {
         for ivect in 0..chunk.vector_size {
-            let u = [
-                ws.gpvel(igaus, 0, ivect),
-                ws.gpvel(igaus, 1, ivect),
-                ws.gpvel(igaus, 2, ivect),
-            ];
+            let u =
+                [ws.gpvel(igaus, 0, ivect), ws.gpvel(igaus, 1, ivect), ws.gpvel(igaus, 2, ivect)];
             let unorm = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
             // Classic SUPG design: τ = (c1 ν/h² + c2 |u|/h + ρ/Δt)⁻¹.
             let tau = 1.0 / (4.0 * nu / (h_char * h_char) + 2.0 * unorm / h_char + rho * inv_dt);
             ws.set_tau(igaus, ivect, tau);
-            for i in 0..NDIME {
-                ws.set_gpadv(igaus, i, ivect, u[i]);
+            for (i, &ui) in u.iter().enumerate() {
+                ws.set_gpadv(igaus, i, ivect, ui);
             }
         }
     }
@@ -231,8 +232,7 @@ pub fn phase6_convective(
                     for jnode in 0..PNODE {
                         let mut conv_b = 0.0;
                         for j in 0..NDIME {
-                            conv_b +=
-                                ws.gpadv(igaus, j, ivect) * ws.gpcar(igaus, jnode, j, ivect);
+                            conv_b += ws.gpadv(igaus, j, ivect) * ws.gpcar(igaus, jnode, j, ivect);
                         }
                         let galerkin = n_a * conv_b;
                         let supg = tau * conv_a * conv_b;
@@ -275,8 +275,8 @@ pub fn phase7_viscous(
                     for jnode in 0..PNODE {
                         let mut diff = 0.0;
                         for j in 0..NDIME {
-                            diff += ws.gpcar(igaus, inode, j, ivect)
-                                * ws.gpcar(igaus, jnode, j, ivect);
+                            diff +=
+                                ws.gpcar(igaus, inode, j, ivect) * ws.gpcar(igaus, jnode, j, ivect);
                         }
                         let mass = rho * inv_dt * n_a * funcs.n[jnode];
                         ws.add_elauu(inode, jnode, ivect, vol * (nu * diff + mass));
@@ -345,8 +345,7 @@ pub fn flops_per_element(semi_implicit: bool) -> f64 {
     } else {
         0.0
     };
-    let p8 = PNODE as f64 * NDIME as f64
-        + if semi_implicit { (PNODE * PNODE) as f64 } else { 0.0 };
+    let p8 = PNODE as f64 * NDIME as f64 + if semi_implicit { (PNODE * PNODE) as f64 } else { 0.0 };
     p3 + p4 + p5 + p6 + p7_rhs + p7_mat + p8
 }
 
@@ -357,16 +356,16 @@ mod tests {
     use lv_mesh::structured::BoxMeshBuilder;
     use lv_mesh::ElementKind;
 
-    fn setup(nelem_per_side: usize, vs: usize) -> (Mesh, ShapeTable, ElementChunk, ElementWorkspace) {
+    fn setup(
+        nelem_per_side: usize,
+        vs: usize,
+    ) -> (Mesh, ShapeTable, ElementChunk, ElementWorkspace) {
         let mesh = BoxMeshBuilder::new(nelem_per_side, nelem_per_side, nelem_per_side)
             .lid_driven_cavity()
             .build();
         let shape = ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2());
-        let chunk = ElementChunk {
-            first_element: 0,
-            len: vs.min(mesh.num_elements()),
-            vector_size: vs,
-        };
+        let chunk =
+            ElementChunk { first_element: 0, len: vs.min(mesh.num_elements()), vector_size: vs };
         let ws = ElementWorkspace::new(vs);
         (mesh, shape, chunk, ws)
     }
@@ -432,10 +431,9 @@ mod tests {
             .collect();
         for igaus in 0..PGAUS {
             let expect = [2.0, -1.0, 3.0];
-            for d in 0..NDIME {
-                let grad: f64 =
-                    (0..PNODE).map(|a| ws.gpcar(igaus, a, d, ivect) * nodal[a]).sum();
-                assert!((grad - expect[d]).abs() < 1e-10, "igaus {igaus} dim {d}: {grad}");
+            for (d, &expected) in expect.iter().enumerate() {
+                let grad: f64 = (0..PNODE).map(|a| ws.gpcar(igaus, a, d, ivect) * nodal[a]).sum();
+                assert!((grad - expected).abs() < 1e-10, "igaus {igaus} dim {d}: {grad}");
             }
         }
     }

@@ -22,7 +22,9 @@
 use crate::config::{KernelConfig, OptLevel};
 use crate::workspace::WorkspaceLayout;
 use crate::{NDIME, NDOFN, PGAUS, PNODE};
-use lv_compiler::ir::{AffineExpr, IndexExpr, Loop, LoopItem, LoopNest, MemRef, Statement, TripCount};
+use lv_compiler::ir::{
+    AffineExpr, IndexExpr, Loop, LoopItem, LoopNest, MemRef, Statement, TripCount,
+};
 use lv_compiler::transforms;
 use lv_mesh::chunks::ElementChunk;
 use lv_mesh::Mesh;
@@ -104,16 +106,16 @@ impl WorkloadBuilder {
     /// phase order, with the configured code variant already applied.
     pub fn phase_nests(&self, chunk: &ElementChunk) -> Vec<(PhaseId, LoopNest)> {
         let opt = self.config.opt_level;
-        let mut out = Vec::with_capacity(8);
-        out.push((PhaseId::new(1), self.phase1(chunk, opt)));
-        out.push((PhaseId::new(2), self.phase2(chunk, opt)));
-        out.push((PhaseId::new(3), self.phase3(chunk)));
-        out.push((PhaseId::new(4), self.phase4(chunk)));
-        out.push((PhaseId::new(5), self.phase5(chunk)));
-        out.push((PhaseId::new(6), self.phase6(chunk)));
-        out.push((PhaseId::new(7), self.phase7(chunk)));
-        out.push((PhaseId::new(8), self.phase8(chunk)));
-        out
+        vec![
+            (PhaseId::new(1), self.phase1(chunk, opt)),
+            (PhaseId::new(2), self.phase2(chunk, opt)),
+            (PhaseId::new(3), self.phase3(chunk)),
+            (PhaseId::new(4), self.phase4(chunk)),
+            (PhaseId::new(5), self.phase5(chunk)),
+            (PhaseId::new(6), self.phase6(chunk)),
+            (PhaseId::new(7), self.phase7(chunk)),
+            (PhaseId::new(8), self.phase8(chunk)),
+        ]
     }
 
     /// Element index (in f64 elements from `addr.local`) of a workspace array
@@ -215,9 +217,8 @@ impl WorkloadBuilder {
                     ));
             }
         }
-        let ivect = Loop::new("ivect", 0, self.gather_trip(chunk, opt))
-            .with_stmt(work_a)
-            .with_stmt(work_b);
+        let ivect =
+            Loop::new("ivect", 0, self.gather_trip(chunk, opt)).with_stmt(work_a).with_stmt(work_b);
         let nest = LoopNest::new("phase1_gather_coords", vec![LoopItem::Loop(ivect)], 1);
         if opt.has_vec1() {
             let (split, _) = transforms::distribute(&nest, "ivect");
@@ -347,12 +348,7 @@ impl WorkloadBuilder {
             gpcar_calc = gpcar_calc.with_mem(MemRef::store(
                 "gpcar",
                 self.addr.local,
-                self.local_affine_terms(
-                    self.layout.gpcar,
-                    d,
-                    5,
-                    &[(0, PNODE * NDIME), (4, NDIME)],
-                ),
+                self.local_affine_terms(self.layout.gpcar, d, 5, &[(0, PNODE * NDIME), (4, NDIME)]),
             ));
         }
         let ivect_c = Loop::new("ivect_car", 5, trip).with_stmt(gpcar_calc);
@@ -838,8 +834,7 @@ mod tests {
         let (_, phase1) = &nests[0];
         assert_eq!(phase1.all_loops().len(), 2, "phase 1 must be distributed");
         let plan = vec.plan(phase1);
-        let vectorized: Vec<_> =
-            plan.decisions.values().filter(|d| d.is_vectorized()).collect();
+        let vectorized: Vec<_> = plan.decisions.values().filter(|d| d.is_vectorized()).collect();
         assert_eq!(vectorized.len(), 1, "exactly the work-B loop vectorizes");
         assert_eq!(vectorized[0].chunks(), &[128]);
     }
@@ -859,11 +854,7 @@ mod tests {
         // The loop-nest descriptors must perform (approximately) the same
         // floating-point work as the numeric kernel: within 20% per element.
         let (b, chunk) = builder(64, OptLevel::Original);
-        let total: f64 = b
-            .phase_nests(&chunk)
-            .iter()
-            .map(|(_, nest)| nest.total_flops())
-            .sum();
+        let total: f64 = b.phase_nests(&chunk).iter().map(|(_, nest)| nest.total_flops()).sum();
         let per_element = total / 64.0;
         let numeric = flops_per_element(true);
         let ratio = per_element / numeric;

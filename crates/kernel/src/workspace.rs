@@ -179,36 +179,86 @@ impl ElementWorkspace {
         self.element_ids[ivect]
     }
 
-    accessors!(elcod, set_elcod, elcod,
+    accessors!(
+        elcod,
+        set_elcod,
+        elcod,
         doc = "the coordinate `idime` of local node `inode` of element slot `ivect`",
-        (inode, idime), inode * NDIME + idime);
-    accessors!(elvel, set_elvel, elvel,
+        (inode, idime),
+        inode * NDIME + idime
+    );
+    accessors!(
+        elvel,
+        set_elvel,
+        elvel,
         doc = "unknown `idof` (0–2 velocity, 3 pressure) of local node `inode` of slot `ivect`",
-        (inode, idof), inode * NDOFN + idof);
-    accessors!(gpvol, set_gpvol, gpvol,
+        (inode, idof),
+        inode * NDOFN + idof
+    );
+    accessors!(
+        gpvol,
+        set_gpvol,
+        gpvol,
         doc = "the Jacobian-determinant × weight at integration point `igaus` of slot `ivect`",
-        (igaus), igaus);
-    accessors!(gpcar, set_gpcar, gpcar,
+        (igaus),
+        igaus
+    );
+    accessors!(
+        gpcar,
+        set_gpcar,
+        gpcar,
         doc = "the Cartesian derivative `idime` of shape function `inode` at point `igaus`",
-        (igaus, inode, idime), (igaus * PNODE + inode) * NDIME + idime);
-    accessors!(gpvel, set_gpvel, gpvel,
+        (igaus, inode, idime),
+        (igaus * PNODE + inode) * NDIME + idime
+    );
+    accessors!(
+        gpvel,
+        set_gpvel,
+        gpvel,
         doc = "velocity component `idime` at integration point `igaus`",
-        (igaus, idime), igaus * NDIME + idime);
-    accessors!(gpgve, set_gpgve, gpgve,
+        (igaus, idime),
+        igaus * NDIME + idime
+    );
+    accessors!(
+        gpgve,
+        set_gpgve,
+        gpgve,
         doc = "velocity gradient component `(i, j)` at integration point `igaus`",
-        (igaus, i, j), (igaus * NDIME + i) * NDIME + j);
-    accessors!(gpadv, set_gpadv, gpadv,
+        (igaus, i, j),
+        (igaus * NDIME + i) * NDIME + j
+    );
+    accessors!(
+        gpadv,
+        set_gpadv,
+        gpadv,
         doc = "advection velocity component `idime` at integration point `igaus`",
-        (igaus, idime), igaus * NDIME + idime);
-    accessors!(tau, set_tau, tau,
+        (igaus, idime),
+        igaus * NDIME + idime
+    );
+    accessors!(
+        tau,
+        set_tau,
+        tau,
         doc = "the stabilization parameter at integration point `igaus`",
-        (igaus), igaus);
-    accessors!(elrbu, set_elrbu, elrbu,
+        (igaus),
+        igaus
+    );
+    accessors!(
+        elrbu,
+        set_elrbu,
+        elrbu,
         doc = "the elemental RHS entry of local node `inode`, component `idime`",
-        (inode, idime), inode * NDIME + idime);
-    accessors!(elauu, set_elauu, elauu,
+        (inode, idime),
+        inode * NDIME + idime
+    );
+    accessors!(
+        elauu,
+        set_elauu,
+        elauu,
         doc = "the elemental viscous matrix entry `(inode, jnode)`",
-        (inode, jnode), inode * PNODE + jnode);
+        (inode, jnode),
+        inode * PNODE + jnode
+    );
 
     /// Adds to an elemental RHS entry.
     #[inline]

@@ -134,7 +134,6 @@ impl<'a> IntoIterator for &'a ElementChunks {
 mod tests {
     use super::*;
     use crate::structured::BoxMeshBuilder;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_vector_sizes_are_the_documented_sweep() {
@@ -181,29 +180,31 @@ mod tests {
         let _ = ElementChunks::from_element_count(10, 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_chunks_partition_elements(
-            nelem in 1usize..5000,
-            vs in prop::sample::select(&PAPER_VECTOR_SIZES[..]),
-        ) {
-            let chunks = ElementChunks::from_element_count(nelem, vs);
-            // Total valid elements equals nelem.
-            let total: usize = chunks.iter().map(|c| c.len).sum();
-            prop_assert_eq!(total, nelem);
-            // Every chunk except possibly the last is full.
-            for (i, c) in chunks.iter().enumerate() {
-                if i + 1 < chunks.num_chunks() {
-                    prop_assert!(c.is_full());
+    #[test]
+    fn chunks_partition_elements() {
+        // Exhaustive sweep over the paper's VECTOR_SIZEs crossed with element
+        // counts around every blocking edge case (registry-free builds have
+        // no proptest; the interesting boundary values are enumerable).
+        for &vs in &PAPER_VECTOR_SIZES {
+            for nelem in [1, 2, vs - 1, vs, vs + 1, 2 * vs - 1, 2 * vs, 997, 4999] {
+                let chunks = ElementChunks::from_element_count(nelem, vs);
+                // Total valid elements equals nelem.
+                let total: usize = chunks.iter().map(|c| c.len).sum();
+                assert_eq!(total, nelem);
+                // Every chunk except possibly the last is full.
+                for (i, c) in chunks.iter().enumerate() {
+                    if i + 1 < chunks.num_chunks() {
+                        assert!(c.is_full(), "nelem={nelem} vs={vs}: chunk {i} not full");
+                    }
+                    assert!(c.len >= 1);
+                    assert_eq!(c.vector_size, vs);
                 }
-                prop_assert!(c.len >= 1);
-                prop_assert_eq!(c.vector_size, vs);
-            }
-            // Chunks are contiguous and ordered.
-            let mut expected_first = 0;
-            for c in &chunks {
-                prop_assert_eq!(c.first_element, expected_first);
-                expected_first += c.len;
+                // Chunks are contiguous and ordered.
+                let mut expected_first = 0;
+                for c in &chunks {
+                    assert_eq!(c.first_element, expected_first);
+                    expected_first += c.len;
+                }
             }
         }
     }

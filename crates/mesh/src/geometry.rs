@@ -223,9 +223,7 @@ impl Mat3 {
     pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
 
     /// The identity matrix.
-    pub const IDENTITY: Mat3 = Mat3 {
-        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Builds a matrix from row-major entries.
     #[inline]
@@ -236,13 +234,7 @@ impl Mat3 {
     /// Builds a matrix from three column vectors.
     #[inline]
     pub fn from_columns(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
-        Mat3 {
-            m: [
-                [c0.x, c1.x, c2.x],
-                [c0.y, c1.y, c2.y],
-                [c0.z, c1.z, c2.z],
-            ],
-        }
+        Mat3 { m: [[c0.x, c1.x, c2.x], [c0.y, c1.y, c2.y], [c0.z, c1.z, c2.z]] }
     }
 
     /// Returns row `i` as a [`Vec3`].
@@ -302,11 +294,7 @@ impl Mat3 {
     /// Matrix–vector product.
     #[inline]
     pub fn mul_vec(&self, v: Vec3) -> Vec3 {
-        Vec3::new(
-            self.row(0).dot(v),
-            self.row(1).dot(v),
-            self.row(2).dot(v),
-        )
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
     }
 
     /// Matrix–matrix product.
@@ -328,12 +316,7 @@ impl Mat3 {
     /// Frobenius norm.
     #[inline]
     pub fn frobenius_norm(&self) -> f64 {
-        self.m
-            .iter()
-            .flat_map(|r| r.iter())
-            .map(|v| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flat_map(|r| r.iter()).map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Trace (sum of diagonal entries).

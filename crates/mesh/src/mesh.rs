@@ -113,11 +113,7 @@ impl Mesh {
             lnods.len(),
             kind.nodes()
         );
-        assert_eq!(
-            boundary.len(),
-            nnode,
-            "boundary tag count must match node count"
-        );
+        assert_eq!(boundary.len(), nnode, "boundary tag count must match node count");
         assert!(
             lnods.iter().all(|&n| (n as usize) < nnode),
             "connectivity references a node outside the mesh"

@@ -134,11 +134,8 @@ mod tests {
     fn hex_2x2x2_integrates_linear_functions_exactly() {
         // ∫ (1 + x + y + z) over [-1,1]^3 = 8.
         let rule = GaussRule::hex_2x2x2();
-        let val: f64 = rule
-            .points()
-            .iter()
-            .map(|p| p.weight * (1.0 + p.xi[0] + p.xi[1] + p.xi[2]))
-            .sum();
+        let val: f64 =
+            rule.points().iter().map(|p| p.weight * (1.0 + p.xi[0] + p.xi[1] + p.xi[2])).sum();
         assert!((val - 8.0).abs() < 1e-12);
     }
 

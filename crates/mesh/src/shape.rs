@@ -109,11 +109,7 @@ impl ShapeTable {
             let fy = 1.0 + sy * xi[1];
             let fz = 1.0 + sz * xi[2];
             n.push(0.125 * fx * fy * fz);
-            d.push([
-                0.125 * sx * fy * fz,
-                0.125 * fx * sy * fz,
-                0.125 * fx * fy * sz,
-            ]);
+            d.push([0.125 * sx * fy * fz, 0.125 * fx * sy * fz, 0.125 * fx * fy * sz]);
         }
         (n, d)
     }
@@ -122,12 +118,7 @@ impl ShapeTable {
     /// coordinates `xi` (barycentric-style: N0 = 1-ξ-η-ζ).
     pub fn tet4_at(xi: [f64; 3]) -> (Vec<f64>, Vec<[f64; 3]>) {
         let n = vec![1.0 - xi[0] - xi[1] - xi[2], xi[0], xi[1], xi[2]];
-        let d = vec![
-            [-1.0, -1.0, -1.0],
-            [1.0, 0.0, 0.0],
-            [0.0, 1.0, 0.0],
-            [0.0, 0.0, 1.0],
-        ];
+        let d = vec![[-1.0, -1.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
         (n, d)
     }
 }
@@ -212,13 +203,8 @@ mod tests {
             .collect();
         for g in 0..table.num_gauss() {
             for j in 0..3 {
-                let grad: f64 = table
-                    .derivatives(g)
-                    .d
-                    .iter()
-                    .zip(&nodal)
-                    .map(|(d, f)| d[j] * f)
-                    .sum();
+                let grad: f64 =
+                    table.derivatives(g).d.iter().zip(&nodal).map(|(d, f)| d[j] * f).sum();
                 assert!((grad - coeff[j]).abs() < 1e-12);
             }
         }

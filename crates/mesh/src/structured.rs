@@ -124,8 +124,7 @@ impl BoxMeshBuilder {
         for k in 0..pz {
             for j in 0..py {
                 for i in 0..px {
-                    let on_boundary =
-                        i == 0 || j == 0 || k == 0 || i == nx || j == ny || k == nz;
+                    let on_boundary = i == 0 || j == 0 || k == 0 || i == nx || j == ny || k == nz;
                     let mut x = self.origin.x + i as f64 * dx;
                     let mut y = self.origin.y + j as f64 * dy;
                     let mut z = self.origin.z + k as f64 * dz;

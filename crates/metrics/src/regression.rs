@@ -60,18 +60,18 @@ pub fn linear_regression(y: &[f64], regressors: &[Vec<f64>]) -> RegressionResult
     // partial pivoting (k is tiny — 3 for Table 6).
     let mut xtx = vec![vec![0.0; k]; k];
     let mut xty = vec![0.0; k];
-    for i in 0..n {
+    for (i, &yi) in y.iter().enumerate() {
         for a in 0..k {
-            xty[a] += x(i, a) * y[i];
-            for b in 0..k {
-                xtx[a][b] += x(i, a) * x(i, b);
+            let xia = x(i, a);
+            xty[a] += xia * yi;
+            for (b, entry) in xtx[a].iter_mut().enumerate() {
+                *entry += xia * x(i, b);
             }
         }
     }
     let beta = solve_small(&mut xtx, &mut xty);
 
-    let fitted: Vec<f64> =
-        (0..n).map(|i| (0..k).map(|j| beta[j] * x(i, j)).sum()).collect();
+    let fitted: Vec<f64> = (0..n).map(|i| (0..k).map(|j| beta[j] * x(i, j)).sum()).collect();
     let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
     let mean = y.iter().sum::<f64>() / n as f64;
     let ss_tot: f64 = y.iter().map(|yi| (yi - mean).powi(2)).sum();
@@ -97,6 +97,10 @@ fn solve_small(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
         b.swap(col, pivot);
         for row in col + 1..n {
             let f = a[row][col] / a[col][col];
+            // Two distinct rows of `a` are read/written per iteration, so an
+            // iterator form would need split_at_mut and obscure the
+            // elimination; keep the textbook indexing.
+            #[allow(clippy::needless_range_loop)]
             for j in col..n {
                 a[row][j] -= f * a[col][j];
             }
@@ -135,10 +139,11 @@ mod tests {
     #[test]
     fn noisy_relation_gives_high_but_imperfect_r2() {
         let x1: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let noise = [0.3, -0.2, 0.5, -0.4, 0.1, 0.2, -0.3, 0.4, -0.1, 0.0, 0.25, -0.15, 0.35,
-            -0.45, 0.05, 0.15, -0.25, 0.45, -0.05, 0.1];
-        let y: Vec<f64> =
-            x1.iter().zip(noise.iter()).map(|(a, n)| 1.0 + 0.8 * a + n).collect();
+        let noise = [
+            0.3, -0.2, 0.5, -0.4, 0.1, 0.2, -0.3, 0.4, -0.1, 0.0, 0.25, -0.15, 0.35, -0.45, 0.05,
+            0.15, -0.25, 0.45, -0.05, 0.1,
+        ];
+        let y: Vec<f64> = x1.iter().zip(noise.iter()).map(|(a, n)| 1.0 + 0.8 * a + n).collect();
         let fit = linear_regression(&y, &[x1]);
         assert!(fit.r_squared > 0.99 && fit.r_squared < 1.0);
         assert_eq!(fit.residuals.len(), 20);

@@ -92,7 +92,8 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ =
+            writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -109,9 +110,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

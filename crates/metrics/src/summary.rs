@@ -188,8 +188,12 @@ mod tests {
         let hw = sample_counters();
         let a = RunMetrics::from_counters(&hw, 256);
         let mut hw2 = HwCounters::new();
-        hw2.phase_mut(PhaseId::new(1))
-            .record(&Instruction::scalar_op(), a.total_cycles * 2.0, 0, 0);
+        hw2.phase_mut(PhaseId::new(1)).record(
+            &Instruction::scalar_op(),
+            a.total_cycles * 2.0,
+            0,
+            0,
+        );
         let b = RunMetrics::from_counters(&hw2, 256);
         assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
         assert!((b.speedup_over(&a) - 0.5).abs() < 1e-12);

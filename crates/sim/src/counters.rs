@@ -103,13 +103,7 @@ pub struct PhaseCounters {
 impl PhaseCounters {
     /// Records one issued instruction costing `cycles` and causing the given
     /// cache misses.
-    pub fn record(
-        &mut self,
-        instr: &Instruction,
-        cycles: f64,
-        l1_misses: u64,
-        l2_misses: u64,
-    ) {
+    pub fn record(&mut self, instr: &Instruction, cycles: f64, l1_misses: u64, l2_misses: u64) {
         self.cycles += cycles;
         self.instructions += 1;
         self.flops += instr.flops();
@@ -378,12 +372,7 @@ mod tests {
     fn hw_counters_phase_shares_sum_to_one() {
         let mut hw = HwCounters::new();
         for (i, phase) in PhaseId::ALL.iter().enumerate() {
-            hw.phase_mut(*phase).record(
-                &Instruction::scalar_op(),
-                (i + 1) as f64,
-                0,
-                0,
-            );
+            hw.phase_mut(*phase).record(&Instruction::scalar_op(), (i + 1) as f64, 0, 0);
         }
         let share_sum: f64 = PhaseId::ALL.iter().map(|p| hw.phase_cycle_share(*p)).sum();
         assert!((share_sum - 1.0).abs() < 1e-12);

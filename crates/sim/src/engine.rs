@@ -97,9 +97,7 @@ impl Machine {
     /// returns the cycle cost.
     pub fn issue(&mut self, instr: &Instruction) -> f64 {
         let (cost, l1_misses, l2_misses) = self.cost_of(instr);
-        self.counters
-            .phase_mut(self.current_phase)
-            .record(instr, cost, l1_misses, l2_misses);
+        self.counters.phase_mut(self.current_phase).record(instr, cost, l1_misses, l2_misses);
         if self.tracer.is_enabled() {
             self.tracer.record(TraceEvent {
                 cycle: self.clock,
@@ -122,10 +120,7 @@ impl Machine {
     /// # Panics
     /// Panics if `instr` carries a memory access.
     pub fn issue_repeated(&mut self, instr: &Instruction, n: u64) -> f64 {
-        assert!(
-            instr.mem.is_none(),
-            "issue_repeated cannot be used for memory instructions"
-        );
+        assert!(instr.mem.is_none(), "issue_repeated cannot be used for memory instructions");
         if n == 0 {
             return 0.0;
         }
@@ -273,8 +268,7 @@ mod tests {
     fn vector_fma_cost_matches_platform_model() {
         let mut m = machine();
         let cost = m.issue(&Instruction::vector_arith(VectorOp::Fma, 256));
-        let expected = m.platform().vector_issue_overhead
-            + m.platform().vector_arith_cycles(256);
+        let expected = m.platform().vector_issue_overhead + m.platform().vector_arith_cycles(256);
         assert!((cost - expected).abs() < 1e-9);
         let c = m.phase_counters(PhaseId::Other);
         assert_eq!(c.vector_instructions, 1);
@@ -369,10 +363,7 @@ mod tests {
         );
         m.begin_phase(PhaseId::new(2));
         m.issue(&Instruction::vector_config(256));
-        m.issue(&Instruction::vector_mem(
-            256,
-            MemAccess::unit_stride(0, 256, 8, false),
-        ));
+        m.issue(&Instruction::vector_mem(256, MemAccess::unit_stride(0, 256, 8, false)));
         assert_eq!(m.tracer().events().len(), 2);
         assert_eq!(m.tracer().events()[1].vl, 256);
         assert_eq!(m.tracer().events()[1].phase, PhaseId::new(2));

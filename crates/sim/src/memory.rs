@@ -275,7 +275,8 @@ mod tests {
 
     #[test]
     fn config_set_counts_are_powers_of_two() {
-        for cfg in [CacheConfig::riscv_vec(), CacheConfig::sx_aurora(), CacheConfig::marenostrum4()] {
+        for cfg in [CacheConfig::riscv_vec(), CacheConfig::sx_aurora(), CacheConfig::marenostrum4()]
+        {
             assert!(cfg.sets(CacheLevel::L1).is_power_of_two());
             assert!(cfg.sets(CacheLevel::L2).is_power_of_two());
         }
@@ -366,7 +367,7 @@ mod tests {
         let cfg = CacheConfig::riscv_vec();
         let mut sim = CacheSim::new(cfg);
         let set_span = (cfg.l1_bytes / cfg.l1_ways) as u64; // bytes covered per way
-        // 2 * ways distinct lines, all in set 0.
+                                                            // 2 * ways distinct lines, all in set 0.
         for i in 0..(2 * cfg.l1_ways as u64) {
             let acc = MemAccess::unit_stride(i * set_span, 1, 8, false);
             sim.access(&acc);

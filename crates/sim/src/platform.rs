@@ -336,10 +336,8 @@ mod tests {
 
     #[test]
     fn table2_rows_have_consistent_shape() {
-        let rows: Vec<_> = PlatformKind::ALL
-            .iter()
-            .map(|&k| Platform::from_kind(k).table2_row())
-            .collect();
+        let rows: Vec<_> =
+            PlatformKind::ALL.iter().map(|&k| Platform::from_kind(k).table2_row()).collect();
         for row in &rows {
             assert_eq!(row.len(), rows[0].len());
         }

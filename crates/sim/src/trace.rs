@@ -112,10 +112,8 @@ impl Tracer {
                 Some(n) => n.to_string(),
                 None => "0".to_string(),
             };
-            let op = e
-                .op
-                .map(|o| format!("{o:?}").to_lowercase())
-                .unwrap_or_else(|| "-".to_string());
+            let op =
+                e.op.map(|o| format!("{o:?}").to_lowercase()).unwrap_or_else(|| "-".to_string());
             let pattern = e
                 .pattern
                 .map(|p| format!("{p:?}").to_lowercase())

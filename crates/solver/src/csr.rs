@@ -131,14 +131,14 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for row in 0..self.n {
+        for (row, out) in y.iter_mut().enumerate() {
             let start = self.row_ptr[row];
             let end = self.row_ptr[row + 1];
             let mut sum = 0.0;
             for k in start..end {
                 sum += self.values[k] * x[self.col_idx[k]];
             }
-            y[row] = sum;
+            *out = sum;
         }
     }
 

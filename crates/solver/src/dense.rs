@@ -52,12 +52,12 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, out) in y.iter_mut().enumerate() {
             let mut s = 0.0;
-            for j in 0..self.n {
-                s += self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                s += self.get(i, j) * xj;
             }
-            y[i] = s;
+            *out = s;
         }
         y
     }

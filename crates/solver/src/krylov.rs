@@ -66,11 +66,7 @@ fn norm(a: &[f64]) -> f64 {
 
 fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
     if enabled {
-        matrix
-            .diagonal()
-            .iter()
-            .map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 })
-            .collect()
+        matrix.diagonal().iter().map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 }).collect()
     } else {
         vec![1.0; matrix.dim()]
     }
@@ -119,7 +115,11 @@ pub fn conjugate_gradient(
         let rel = norm(&r) / b_norm;
         history.push(rel);
         if rel < options.tolerance {
-            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+            return Ok(SolveOutcome {
+                solution: x,
+                iterations: iter + 1,
+                residual_history: history,
+            });
         }
         for i in 0..n {
             z[i] = r[i] * inv_diag[i];
@@ -193,7 +193,11 @@ pub fn bicgstab(
                 x[i] += alpha * phat[i];
             }
             history.push(norm(&s) / b_norm);
-            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+            return Ok(SolveOutcome {
+                solution: x,
+                iterations: iter + 1,
+                residual_history: history,
+            });
         }
         for i in 0..n {
             shat[i] = s[i] * inv_diag[i];
@@ -211,7 +215,11 @@ pub fn bicgstab(
         let rel = norm(&r) / b_norm;
         history.push(rel);
         if rel < options.tolerance {
-            return Ok(SolveOutcome { solution: x, iterations: iter + 1, residual_history: history });
+            return Ok(SolveOutcome {
+                solution: x,
+                iterations: iter + 1,
+                residual_history: history,
+            });
         }
         if omega.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
@@ -309,10 +317,10 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero_solution() {
         let a = laplacian(10);
-        let out = conjugate_gradient(&a, &vec![0.0; 10], &SolveOptions::default()).unwrap();
+        let out = conjugate_gradient(&a, &[0.0; 10], &SolveOptions::default()).unwrap();
         assert_eq!(out.solution, vec![0.0; 10]);
         assert_eq!(out.iterations, 0);
-        let out = bicgstab(&a, &vec![0.0; 10], &SolveOptions::default()).unwrap();
+        let out = bicgstab(&a, &[0.0; 10], &SolveOptions::default()).unwrap();
         assert_eq!(out.iterations, 0);
     }
 

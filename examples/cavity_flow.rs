@@ -66,5 +66,7 @@ fn main() {
     }
 
     println!("\nfinal maximum velocity magnitude: {:.4}", velocity.max_magnitude());
-    println!("(the lid drives a recirculating vortex; interior velocities stay below the lid speed)");
+    println!(
+        "(the lid drives a recirculating vortex; interior velocities stay below the lid speed)"
+    );
 }

@@ -12,8 +12,7 @@ use lv_mesh::Vec3;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let vector_size: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let vector_size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(240);
 
     let mesh = ChannelMeshBuilder::new(n, 4).with_jitter(0.1, 3).build();
     println!(
@@ -65,5 +64,7 @@ fn main() {
             m.overall.avg_vector_length,
         );
     }
-    println!("\nlong-vector machines reach high AVL; AVX-512 is capped at 8 elements per instruction");
+    println!(
+        "\nlong-vector machines reach high AVL; AVX-512 is capped at 8 elements per instruction"
+    );
 }

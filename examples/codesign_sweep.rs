@@ -12,14 +12,10 @@ use lv_core::experiment::SweepConfig;
 use lv_core::reproduce;
 
 fn main() {
-    let min_elements: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let min_elements: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
 
     let mut runner = Runner::new(SweepConfig { min_elements, ..SweepConfig::default() });
-    println!(
-        "workload: lid-driven-cavity mesh with {} elements\n",
-        runner.mesh().num_elements()
-    );
+    println!("workload: lid-driven-cavity mesh with {} elements\n", runner.mesh().num_elements());
 
     // ---------------------------------------------------- the co-design loop
     let report = run_codesign_loop(&mut runner, PlatformKind::RiscvVec, 240);

@@ -63,14 +63,15 @@ fn main() {
         vector.speedup_over(&scalar)
     );
     println!("  per-phase metrics (vectorized run):");
-    println!(
-        "  {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}",
-        "phase", "cycles%", "Mv", "Av", "AVL", "Ev"
-    );
+    println!("  {:>7} {:>10} {:>8} {:>8} {:>8} {:>8}", "phase", "cycles%", "Mv", "Av", "AVL", "Ev");
     for p in &metrics.phases {
         println!(
             "  {:>7} {:>9.1}% {:>8.2} {:>8.2} {:>8.1} {:>8.2}",
-            p.phase, 100.0 * p.cycle_share, p.vector_mix, p.vector_activity, p.avg_vector_length,
+            p.phase,
+            100.0 * p.cycle_share,
+            p.vector_mix,
+            p.vector_activity,
+            p.avg_vector_length,
             p.occupancy
         );
     }

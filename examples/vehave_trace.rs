@@ -15,7 +15,8 @@ fn main() {
     let app = SimulatedMiniApp::new(&mesh, config);
 
     // Enable the tracer (cap at one million events to bound memory).
-    let machine_config = MachineConfig { memory_model: MemoryModel::Caches, trace: Some(1_000_000) };
+    let machine_config =
+        MachineConfig { memory_model: MemoryModel::Caches, trace: Some(1_000_000) };
     let run = app.run_with(Platform::riscv_vec(), true, machine_config);
 
     println!(
@@ -30,11 +31,17 @@ fn main() {
     // through the Machine directly for the detailed dump.
     let metrics = RunMetrics::from_counters(&run.counters, run.platform.vlmax);
     println!("\nper-phase vector-instruction summary:");
-    println!("{:>7} {:>12} {:>12} {:>8} {:>8}", "phase", "vector instr", "vector mem", "AVL", "vCPI");
+    println!(
+        "{:>7} {:>12} {:>12} {:>8} {:>8}",
+        "phase", "vector instr", "vector mem", "AVL", "vCPI"
+    );
     for p in &metrics.phases {
         println!(
             "{:>7} {:>12} {:>12} {:>8.1} {:>8.1}",
-            p.phase, p.vector_instructions, p.vector_mem_instructions, p.avg_vector_length,
+            p.phase,
+            p.vector_instructions,
+            p.vector_mem_instructions,
+            p.avg_vector_length,
             p.vector_cpi
         );
     }

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` benchmark framework (see
+//! `shims/README.md`).
+//!
+//! Provides the subset of the Criterion 0.5 API the wall-clock benches use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros and `black_box`) with a
+//! simple timing loop: each benchmark is warmed up once, then iterated for a
+//! fixed wall-clock budget, and the mean iteration time is printed.  No
+//! statistics, no HTML reports — just enough to compile the harnesses under
+//! `cargo bench --no-run` and give a usable number when actually run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(500);
+
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERATIONS: u64 = 1000;
+
+/// Stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name }
+    }
+
+    /// Times a single benchmark function.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), &mut f);
+        self
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |bencher: &mut Bencher| f(bencher, input));
+        self
+    }
+
+    /// Times an unparameterized benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the Criterion API).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Stand-in for `criterion::Bencher`: records the timing of `iter` calls.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and accumulates its timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        black_box(routine());
+        let budget_start = Instant::now();
+        while self.iterations < MAX_ITERATIONS && budget_start.elapsed() < MEASUREMENT_BUDGET {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let mean = bencher.elapsed / bencher.iterations as u32;
+    println!("  {label}: {mean:?} / iteration ({} iterations)", bencher.iterations);
+}
+
+/// Stand-in for `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations_and_time() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| black_box(2 + 2));
+        assert!(bencher.iterations > 0);
+        assert!(bencher.iterations <= MAX_ITERATIONS);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("assembly", 240).label, "assembly/240");
+        assert_eq!(BenchmarkId::from_parameter("vec1").label, "vec1");
+        assert_eq!(BenchmarkId::from("spmv").label, "spmv");
+    }
+
+    #[test]
+    fn group_and_function_api_compiles_and_runs() {
+        let mut criterion = Criterion::default();
+        let mut calls = 0;
+        criterion.bench_function("noop", |b| {
+            b.iter(|| ());
+            calls += 1;
+        });
+        let mut group = criterion.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &input| {
+            assert_eq!(input, 7);
+            b.iter(|| black_box(input * 2));
+        });
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+}

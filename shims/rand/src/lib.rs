@@ -1,0 +1,125 @@
+//! Offline deterministic stand-in for the `rand` crate (see
+//! `shims/README.md`).
+//!
+//! Implements the minimal API surface the workspace uses — `rngs::StdRng`,
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] — on top of a
+//! SplitMix64 generator.  The streams are deterministic and of good enough
+//! quality for mesh jitter; they are **not** the same streams the real
+//! `StdRng` produces, so meshes jittered with a given seed differ between
+//! offline and online builds (both stay valid: every consumer asserts
+//! geometric invariants, not exact coordinates).
+
+use std::ops::Range;
+
+/// Stand-in for `rand::SeedableRng`, reduced to the one constructor used in
+/// this workspace.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws one value in `[low, high)` from `rng`.
+    fn sample_from(rng: &mut dyn RngCore, low: Self, high: Self) -> Self;
+}
+
+/// Minimal object-safe core: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl SampleUniform for f64 {
+    fn sample_from(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        low + unit * (high - low)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_from(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        low + (rng.next_u64() % (high - low) as u64) as usize
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_from(rng: &mut dyn RngCore, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range called with an empty range");
+        low + rng.next_u64() % (high - low)
+    }
+}
+
+/// Stand-in for `rand::Rng`, reduced to `gen_range` over half-open ranges.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with an empty range");
+        T::sample_from(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn f64_range_is_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_stream_is_not_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..8).map(|_| rng.gen_range(0.0..1.0)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}

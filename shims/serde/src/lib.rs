@@ -1,0 +1,20 @@
+//! Offline API stub for `serde`, used because the build environment has no
+//! registry access (see `shims/README.md`).
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names plus the derive macros
+//! so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged.  The traits are
+//! empty markers and the derives expand to nothing: the workspace never
+//! serializes at run time, it only annotates types for downstream users who
+//! build with the real crates.io `serde`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}

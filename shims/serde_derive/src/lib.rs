@@ -1,0 +1,24 @@
+//! No-op stand-in for `serde_derive`, used because the build environment has
+//! no registry access (see `shims/README.md`).
+//!
+//! The derive macros accept the same invocation surface as the real crate —
+//! including `#[serde(...)]` helper attributes — but expand to nothing, so
+//! deriving `Serialize`/`Deserialize` merely parses.  Nothing in this
+//! workspace calls serialization at run time; the derives document intent and
+//! keep the sources compatible with the real `serde` when built online.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

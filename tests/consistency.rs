@@ -1,7 +1,9 @@
 //! Integration test: cross-crate consistency properties.
 //!
 //! * the numeric kernel result is invariant under `VECTOR_SIZE` and code
-//!   variant (property-based);
+//!   variant (checked over the full `VECTOR_SIZE` x variant cross-product —
+//!   the registry-free build has no `proptest`, and the parameter space is
+//!   small enough to enumerate exhaustively);
 //! * the simulated workload performs the same floating-point work regardless
 //!   of vectorization, variant or platform;
 //! * the compiler transforms used to derive the code variants preserve the
@@ -12,7 +14,6 @@ use lv_compiler::vectorizer::Vectorizer;
 use lv_kernel::workload::WorkloadBuilder;
 use lv_mesh::chunks::ElementChunks;
 use lv_mesh::Vec3;
-use proptest::prelude::*;
 
 fn reference_assembly(mesh: &Mesh) -> (Vec<f64>, Vec<f64>) {
     let (velocity, pressure) = flow_state(mesh);
@@ -27,48 +28,49 @@ fn flow_state(mesh: &Mesh) -> (VectorField, Field) {
     (velocity, Field::from_fn(mesh, |p| p.x - 0.5 * p.y + 0.25 * p.z))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// The assembled system never depends on the VECTOR_SIZE blocking or the
-    /// source-level variant: those only affect how the compiler vectorizes.
-    #[test]
-    fn prop_numeric_assembly_invariant_under_blocking(
-        vs in prop::sample::select(&[17usize, 40, 64, 128, 240, 512][..]),
-        opt in prop::sample::select(&OptLevel::ALL[..]),
-    ) {
-        let mesh = BoxMeshBuilder::new(4, 4, 4).with_jitter(0.12, 99).build();
-        let (reference_rhs, reference_values) = reference_assembly(&mesh);
-        let (velocity, pressure) = flow_state(&mesh);
-        let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, opt))
-            .assemble(&velocity, &pressure);
-        for (a, b) in reference_rhs.iter().zip(&out.rhs) {
-            prop_assert!((a - b).abs() < 1e-10);
-        }
-        for (a, b) in reference_values.iter().zip(out.matrix.values()) {
-            prop_assert!((a - b).abs() < 1e-10);
+/// The assembled system never depends on the VECTOR_SIZE blocking or the
+/// source-level variant: those only affect how the compiler vectorizes.
+#[test]
+fn numeric_assembly_invariant_under_blocking() {
+    let mesh = BoxMeshBuilder::new(4, 4, 4).with_jitter(0.12, 99).build();
+    let (reference_rhs, reference_values) = reference_assembly(&mesh);
+    let (velocity, pressure) = flow_state(&mesh);
+    for vs in [17usize, 40, 64, 128, 240, 512] {
+        for &opt in &OptLevel::ALL {
+            let out = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, opt))
+                .assemble(&velocity, &pressure);
+            for (a, b) in reference_rhs.iter().zip(&out.rhs) {
+                assert!((a - b).abs() < 1e-10, "rhs drifted at VS={vs} {opt:?}");
+            }
+            for (a, b) in reference_values.iter().zip(out.matrix.values()) {
+                assert!((a - b).abs() < 1e-10, "matrix drifted at VS={vs} {opt:?}");
+            }
         }
     }
+}
 
-    /// Simulated FLOPs are conserved across platforms, variants and
-    /// vectorization on/off — the timing model may change, the work may not.
-    #[test]
-    fn prop_simulated_flops_are_conserved(
-        vs in prop::sample::select(&[16usize, 64, 240][..]),
-        opt in prop::sample::select(&OptLevel::ALL[..]),
-        platform in prop::sample::select(&PlatformKind::ALL[..]),
-    ) {
-        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
-        let app = SimulatedMiniApp::new(&mesh, KernelConfig::new(vs, opt));
-        let reference = SimulatedMiniApp::new(&mesh, KernelConfig::new(16, OptLevel::Original))
-            .run(Platform::riscv_vec(), false)
-            .counters
-            .total()
-            .flops;
-        let run = app.run(Platform::from_kind(platform), true);
-        let flops = run.counters.total().flops;
-        prop_assert!((flops - reference).abs() / reference < 1e-9,
-            "flops {flops} vs reference {reference}");
+/// Simulated FLOPs are conserved across platforms, variants and
+/// vectorization on/off — the timing model may change, the work may not.
+#[test]
+fn simulated_flops_are_conserved() {
+    let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+    let reference = SimulatedMiniApp::new(&mesh, KernelConfig::new(16, OptLevel::Original))
+        .run(Platform::riscv_vec(), false)
+        .counters
+        .total()
+        .flops;
+    for vs in [16usize, 64, 240] {
+        for &opt in &OptLevel::ALL {
+            let app = SimulatedMiniApp::new(&mesh, KernelConfig::new(vs, opt));
+            for &platform in &PlatformKind::ALL {
+                let run = app.run(Platform::from_kind(platform), true);
+                let flops = run.counters.total().flops;
+                assert!(
+                    (flops - reference).abs() / reference < 1e-9,
+                    "VS={vs} {opt:?} {platform:?}: flops {flops} vs reference {reference}"
+                );
+            }
+        }
     }
 }
 
@@ -106,8 +108,7 @@ fn vectorization_plans_only_change_for_the_refactored_phases() {
             .iter()
             .map(|(phase, nest)| {
                 let plan = vectorizer.plan(nest);
-                let chunks: usize =
-                    plan.decisions.values().map(|d| d.chunks().len()).sum();
+                let chunks: usize = plan.decisions.values().map(|d| d.chunks().len()).sum();
                 (phase.number().unwrap(), plan.any_vectorized(), chunks)
             })
             .collect()

@@ -65,10 +65,12 @@ fn assembled_matrix_has_mass_term_scaling() {
     let velocity = VectorField::taylor_green(&mesh);
     let pressure = Field::zeros(&mesh);
 
-    let coarse = NastinAssembly::new(mesh.clone(), KernelConfig::new(32, OptLevel::Vec1).with_dt(0.1))
-        .assemble(&velocity, &pressure);
-    let fine = NastinAssembly::new(mesh.clone(), KernelConfig::new(32, OptLevel::Vec1).with_dt(0.05))
-        .assemble(&velocity, &pressure);
+    let coarse =
+        NastinAssembly::new(mesh.clone(), KernelConfig::new(32, OptLevel::Vec1).with_dt(0.1))
+            .assemble(&velocity, &pressure);
+    let fine =
+        NastinAssembly::new(mesh.clone(), KernelConfig::new(32, OptLevel::Vec1).with_dt(0.05))
+            .assemble(&velocity, &pressure);
 
     let sum_diag = |m: &CsrMatrix| -> f64 { m.diagonal().iter().sum() };
     assert!(sum_diag(&fine.matrix) > sum_diag(&coarse.matrix));

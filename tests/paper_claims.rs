@@ -22,8 +22,7 @@ fn scalar_baseline_is_dominated_by_the_compute_phases() {
     // Table 3: phases 6, 7, 3 and 4 account for ~90% of the scalar cycles.
     let mut r = runner();
     let m = r.metrics(RunKey::scalar_baseline(PlatformKind::RiscvVec));
-    let compute_share: f64 =
-        [3u8, 4, 6, 7].iter().map(|&p| m.phase(p).cycle_share).sum();
+    let compute_share: f64 = [3u8, 4, 6, 7].iter().map(|&p| m.phase(p).cycle_share).sum();
     assert!(compute_share > 0.75, "compute phases account for {compute_share:.2}");
     assert_eq!(m.dominant_phase().phase, 6, "phase 6 must dominate the scalar run");
 }
@@ -35,9 +34,8 @@ fn vanilla_vectorization_shifts_the_bottleneck_to_the_gather_phases() {
     let mut r = runner();
     let scalar = r.metrics(RunKey::scalar_baseline(PlatformKind::RiscvVec));
     let vanilla = r.metrics(RunKey::vanilla(PlatformKind::RiscvVec, 240));
-    let share = |m: &RunMetrics| -> f64 {
-        [1u8, 2, 8].iter().map(|&p| m.phase(p).cycle_share).sum()
-    };
+    let share =
+        |m: &RunMetrics| -> f64 { [1u8, 2, 8].iter().map(|&p| m.phase(p).cycle_share).sum() };
     assert!(
         share(&vanilla) > 2.0 * share(&scalar),
         "gather/scatter share must grow: scalar {:.3} vs vanilla {:.3}",
