@@ -1,18 +1,44 @@
-//! Criterion wall-clock benchmark of the *numeric* assembly kernel on the
-//! host CPU: the `VECTOR_SIZE` sweep and the code variants, measured for
-//! real (not simulated).  This is the portability sanity check of Section 5
-//! applied to the machine running the benches: the refactors must not slow
-//! the numeric kernel down.
+//! Wall-clock benchmark of the *numeric* assembly kernel on the host CPU.
+//!
+//! Two parts:
+//!
+//! 1. the classic Criterion groups (`VECTOR_SIZE` sweep and code-variant
+//!    sweep of the serial kernel) — the portability sanity check of
+//!    Section 5 applied to the machine running the benches;
+//! 2. the **numeric-path comparison**: accessor oracle vs unit-stride slice
+//!    kernels vs the mesh-colored multi-threaded sweep, per `VECTOR_SIZE`,
+//!    with built-in correctness validation (the slice path must match the
+//!    oracle bit for bit).  The comparison is written to
+//!    `BENCH_assembly.json` at the workspace root (override with
+//!    `LV_BENCH_JSON`), the artifact CI uploads so the perf trajectory of
+//!    the fast path accumulates over time.
+//!
+//! `LV_BENCH_QUICK=1` shrinks the mesh and repetition count so the whole
+//! bench fits in a CI minute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lv_core::numeric::{comparisons_to_json, PathComparison};
 use lv_kernel::{ElementWorkspace, KernelConfig, NastinAssembly, OptLevel};
-use lv_mesh::{BoxMeshBuilder, Field, Vec3, VectorField};
+use lv_mesh::{BoxMeshBuilder, Field, Mesh, Vec3, VectorField};
+
+fn quick_mode() -> bool {
+    std::env::var("LV_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench_mesh() -> Mesh {
+    let n = if quick_mode() { 8 } else { 12 };
+    BoxMeshBuilder::new(n, n, n).lid_driven_cavity().build()
+}
+
+fn flow_state(mesh: &Mesh) -> (VectorField, Field) {
+    let mut velocity = VectorField::taylor_green(mesh);
+    velocity.apply_boundary_conditions(mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    (velocity, Field::zeros(mesh))
+}
 
 fn assembly_benchmarks(c: &mut Criterion) {
-    let mesh = BoxMeshBuilder::new(12, 12, 12).lid_driven_cavity().build();
-    let mut velocity = VectorField::taylor_green(&mesh);
-    velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
-    let pressure = Field::zeros(&mesh);
+    let mesh = bench_mesh();
+    let (velocity, pressure) = flow_state(&mesh);
 
     let mut group = c.benchmark_group("assembly_vector_size");
     for vs in [16usize, 64, 240, 512] {
@@ -39,7 +65,62 @@ fn assembly_benchmarks(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    // The serial slice path through the same Criterion lens, for an
+    // apples-to-apples line in the standard output.
+    let mut group = c.benchmark_group("assembly_path");
+    for vs in [64usize, 240] {
+        let config = KernelConfig::new(vs, OptLevel::Vec1);
+        let assembly = NastinAssembly::new(mesh.clone(), config);
+        let mut matrix = assembly.new_matrix();
+        let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+        let mut ws = ElementWorkspace::new(vs);
+        group.bench_with_input(BenchmarkId::new("accessor", vs), &vs, |b, _| {
+            b.iter(|| assembly.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws))
+        });
+        group.bench_with_input(BenchmarkId::new("slices", vs), &vs, |b, _| {
+            b.iter(|| {
+                assembly.assemble_into_slices(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws)
+            })
+        });
+    }
+    group.finish();
 }
 
-criterion_group!(benches, assembly_benchmarks);
+/// The serial-vs-slice-vs-parallel comparison, validated and exported as
+/// `BENCH_assembly.json`.
+fn path_comparison(_c: &mut Criterion) {
+    let mesh = bench_mesh();
+    let repetitions = if quick_mode() { 3 } else { 10 };
+    let thread_counts = [1usize, 2, 4];
+    let vector_sizes: &[usize] = if quick_mode() { &[64] } else { &[64, 240] };
+
+    println!("\n=== numeric path comparison (accessor vs slices vs colored-parallel) ===");
+    println!(
+        "workload: {} hexahedral elements, threads {:?}, min of {} reps\n",
+        mesh.num_elements(),
+        thread_counts,
+        repetitions
+    );
+    let mut comparisons = Vec::new();
+    for &vs in vector_sizes {
+        let config = KernelConfig::new(vs, OptLevel::Vec1);
+        let comparison = PathComparison::measure(&mesh, config, &thread_counts, repetitions);
+        print!("{}", comparison.to_text());
+        comparisons.push(comparison);
+    }
+
+    let host_threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let json = comparisons_to_json(host_threads, &comparisons);
+    let path = std::env::var("LV_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_assembly.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => println!("\ncould not write {path}: {err}"),
+    }
+}
+
+criterion_group!(benches, assembly_benchmarks, path_comparison);
 criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Wall-clock comparison driver for the numeric assembly paths.
+//!
+//! The simulated experiment layer ([`crate::experiment`]) reproduces the
+//! paper's cycle-level numbers; this module measures the *real* numeric
+//! kernel on the host CPU across the three sweep implementations
+//! ([`lv_kernel::NumericPath`]): the per-scalar accessor oracle, the
+//! unit-stride slice path and the mesh-colored multi-threaded path.  It is
+//! the engine behind the `wallclock_assembly` bench and the committed
+//! `BENCH_assembly.json` perf-trajectory artifact.
+//!
+//! Every timed run is also checked against the accessor oracle: the slice
+//! path must match **bitwise**, the colored parallel path to rounding
+//! accuracy (its schedule permutes the summation order) and bitwise across
+//! thread counts.  A perf number for a wrong result is worse than no
+//! number, so the comparison fails loudly instead of reporting it.
+
+use lv_kernel::{ElementWorkspace, KernelConfig, NastinAssembly, NumericPath};
+use lv_mesh::{Field, Mesh, VectorField};
+use std::time::Instant;
+
+/// Timing (and correctness) of one numeric path.
+#[derive(Debug, Clone)]
+pub struct PathMeasurement {
+    /// Which path was measured.
+    pub path: NumericPath,
+    /// Minimum wall-clock seconds of one full assembly sweep across the
+    /// repetitions (minimum, not mean: assembly is deterministic work, so
+    /// the minimum is the least-noise estimator).
+    pub seconds: f64,
+    /// Speed-up with respect to the accessor oracle of the same comparison.
+    pub speedup: f64,
+    /// Whether the output matched the oracle bit for bit.
+    pub bitwise_equal: bool,
+    /// Largest absolute elementwise deviation from the oracle (0 when
+    /// `bitwise_equal`).
+    pub max_abs_delta: f64,
+}
+
+/// Result of a full serial-vs-slice-vs-parallel comparison on one mesh and
+/// `VECTOR_SIZE`.
+#[derive(Debug, Clone)]
+pub struct PathComparison {
+    /// `VECTOR_SIZE` of the sweep.
+    pub vector_size: usize,
+    /// Elements of the workload mesh.
+    pub elements: usize,
+    /// Colors of the parallel schedule.
+    pub colors: usize,
+    /// Repetitions each path was timed for.
+    pub repetitions: usize,
+    /// Per-path measurements, accessor first.
+    pub measurements: Vec<PathMeasurement>,
+}
+
+impl PathComparison {
+    /// Runs the comparison: the accessor oracle, the slice path and one
+    /// parallel measurement per entry of `thread_counts`, timing
+    /// `repetitions` sweeps of each and validating every output against the
+    /// oracle.
+    ///
+    /// # Panics
+    /// Panics if the slice path deviates from the oracle in any bit, or if
+    /// the parallel path deviates beyond rounding accuracy (1e-9 absolute)
+    /// or across thread counts.
+    pub fn measure(
+        mesh: &Mesh,
+        config: KernelConfig,
+        thread_counts: &[usize],
+        repetitions: usize,
+    ) -> Self {
+        assert!(repetitions > 0, "need at least one repetition");
+        let assembly = NastinAssembly::new(mesh.clone(), config);
+        let mut velocity = VectorField::taylor_green(mesh);
+        velocity.apply_boundary_conditions(
+            mesh,
+            lv_mesh::Vec3::new(1.0, 0.0, 0.0),
+            lv_mesh::Vec3::ZERO,
+        );
+        let pressure = Field::from_fn(mesh, |p| p.x * p.y - 0.5 * p.z);
+
+        let max_threads = thread_counts.iter().copied().max().unwrap_or(1).max(1);
+        let mut workspaces: Vec<ElementWorkspace> =
+            (0..max_threads).map(|_| ElementWorkspace::new(config.vector_size)).collect();
+        let mut matrix = assembly.new_matrix();
+        let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+
+        // Oracle pass (also the accessor timing).
+        let mut paths = vec![NumericPath::Accessor, NumericPath::Slices];
+        paths.extend(thread_counts.iter().map(|&t| NumericPath::Parallel { threads: t.max(1) }));
+
+        let mut oracle_rhs: Vec<f64> = Vec::new();
+        let mut oracle_values: Vec<f64> = Vec::new();
+        let mut parallel_rhs: Vec<u64> = Vec::new();
+        let mut parallel_values: Vec<u64> = Vec::new();
+        let mut accessor_seconds = f64::NAN;
+        let mut measurements = Vec::new();
+
+        for path in paths {
+            // One untimed run for warm-up and correctness capture.
+            assembly.assemble_into_with(
+                path,
+                &velocity,
+                &pressure,
+                &mut matrix,
+                &mut rhs,
+                &mut workspaces,
+            );
+            let mut seconds = f64::INFINITY;
+            for _ in 0..repetitions {
+                let start = Instant::now();
+                assembly.assemble_into_with(
+                    path,
+                    &velocity,
+                    &pressure,
+                    &mut matrix,
+                    &mut rhs,
+                    &mut workspaces,
+                );
+                seconds = seconds.min(start.elapsed().as_secs_f64());
+            }
+
+            let (bitwise_equal, max_abs_delta) = match path {
+                NumericPath::Accessor => {
+                    oracle_rhs = rhs.clone();
+                    oracle_values = matrix.values().to_vec();
+                    accessor_seconds = seconds;
+                    (true, 0.0)
+                }
+                _ => {
+                    let bitwise =
+                        oracle_rhs.iter().zip(&rhs).all(|(a, b)| a.to_bits() == b.to_bits())
+                            && oracle_values
+                                .iter()
+                                .zip(matrix.values())
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                    // NaN-propagating max: `f64::max` would discard a NaN
+                    // deviation and let a garbage result pass the
+                    // validation below as 0.0.
+                    let delta = oracle_rhs
+                        .iter()
+                        .zip(&rhs)
+                        .chain(oracle_values.iter().zip(matrix.values()))
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0_f64, |m, d| if d.is_nan() { f64::NAN } else { m.max(d) });
+                    (bitwise, delta)
+                }
+            };
+
+            match path {
+                NumericPath::Slices => assert!(
+                    bitwise_equal,
+                    "slice path deviated from the accessor oracle (max |Δ| = {max_abs_delta:e})"
+                ),
+                NumericPath::Parallel { threads } => {
+                    assert!(
+                        max_abs_delta < 1e-9,
+                        "parallel path ({threads} threads) deviated beyond rounding accuracy \
+                         (max |Δ| = {max_abs_delta:e})"
+                    );
+                    // Bitwise reproducibility across thread counts.
+                    let rhs_bits: Vec<u64> = rhs.iter().map(|x| x.to_bits()).collect();
+                    let val_bits: Vec<u64> = matrix.values().iter().map(|x| x.to_bits()).collect();
+                    if parallel_rhs.is_empty() {
+                        parallel_rhs = rhs_bits;
+                        parallel_values = val_bits;
+                    } else {
+                        assert!(
+                            parallel_rhs == rhs_bits && parallel_values == val_bits,
+                            "parallel path is not bitwise reproducible across thread counts"
+                        );
+                    }
+                }
+                NumericPath::Accessor => {}
+            }
+
+            measurements.push(PathMeasurement {
+                path,
+                seconds,
+                speedup: accessor_seconds / seconds,
+                bitwise_equal,
+                max_abs_delta,
+            });
+        }
+
+        PathComparison {
+            vector_size: config.vector_size,
+            elements: mesh.num_elements(),
+            colors: assembly.colored_chunks().num_colors(),
+            repetitions,
+            measurements,
+        }
+    }
+
+    /// The measurement of a given path, if present.
+    pub fn measurement(&self, path: NumericPath) -> Option<&PathMeasurement> {
+        self.measurements.iter().find(|m| m.path == path)
+    }
+
+    /// Speed-up of the slice path over the accessor oracle.
+    pub fn slice_speedup(&self) -> f64 {
+        self.measurement(NumericPath::Slices).map_or(f64::NAN, |m| m.speedup)
+    }
+
+    /// One JSON object per comparison (hand-rolled: the offline `serde_json`
+    /// shim cannot serialize).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"vector_size\": {}, \"elements\": {}, \"colors\": {}, \"repetitions\": {}, \
+             \"paths\": [",
+            self.vector_size, self.elements, self.colors, self.repetitions
+        ));
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"path\": \"{}\", \"seconds\": {:.9}, \"speedup\": {:.4}, \
+                 \"bitwise_equal\": {}, \"max_abs_delta\": {:e}}}",
+                m.path.name(),
+                m.seconds,
+                m.speedup,
+                m.bitwise_equal,
+                m.max_abs_delta
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aligned human-readable table of the comparison.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "VECTOR_SIZE={} ({} elements, {} colors, min of {} reps)\n",
+            self.vector_size, self.elements, self.colors, self.repetitions
+        );
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:<12} {:>10.3} ms  {:>6.2}x  {}\n",
+                m.path.name(),
+                m.seconds * 1e3,
+                m.speedup,
+                if m.bitwise_equal {
+                    "bitwise == accessor".to_string()
+                } else {
+                    format!("max |Δ| = {:.2e}", m.max_abs_delta)
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Serializes a set of comparisons (one per `VECTOR_SIZE`) as the
+/// `BENCH_assembly.json` document.
+pub fn comparisons_to_json(host_threads: usize, comparisons: &[PathComparison]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"wallclock_assembly\",\n  \"host_threads\": {host_threads},\n"
+    ));
+    out.push_str("  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.to_json());
+        out.push_str(if i + 1 < comparisons.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_kernel::OptLevel;
+    use lv_mesh::BoxMeshBuilder;
+
+    fn small_comparison() -> PathComparison {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).lid_driven_cavity().with_jitter(0.1, 17).build();
+        PathComparison::measure(&mesh, KernelConfig::new(16, OptLevel::Vec1), &[1, 2], 1)
+    }
+
+    #[test]
+    fn comparison_validates_and_reports_every_path() {
+        let c = small_comparison();
+        assert_eq!(c.measurements.len(), 4); // accessor, slices, parallel-1t, parallel-2t
+        assert_eq!(c.elements, 64);
+        assert!(c.colors >= 2);
+        let slice = c.measurement(NumericPath::Slices).unwrap();
+        assert!(slice.bitwise_equal);
+        assert_eq!(slice.max_abs_delta, 0.0);
+        for m in &c.measurements {
+            assert!(m.seconds > 0.0 && m.seconds.is_finite());
+            assert!(m.speedup > 0.0);
+        }
+        assert!(c.slice_speedup() > 0.0);
+    }
+
+    #[test]
+    fn json_and_text_render_without_serde() {
+        let c = small_comparison();
+        let json = c.to_json();
+        assert!(json.contains("\"vector_size\": 16"));
+        assert!(json.contains("\"path\": \"accessor\""));
+        assert!(json.contains("\"path\": \"parallel-2t\""));
+        let doc = comparisons_to_json(8, &[c.clone(), c.clone()]);
+        assert!(doc.contains("\"host_threads\": 8"));
+        assert_eq!(doc.matches("\"vector_size\"").count(), 2);
+        let text = c.to_text();
+        assert!(text.contains("bitwise == accessor"));
+    }
+}

@@ -21,7 +21,10 @@
 //! * the **numeric path** ([`assembly`]) actually computes the Navier–Stokes
 //!   element integrals over a [`lv_mesh::Mesh`] and produces a global CSR
 //!   matrix and RHS (consumed by `lv-solver` in the examples); it is what the
-//!   Criterion wall-clock benches measure on the host CPU;
+//!   Criterion wall-clock benches measure on the host CPU.  It runs through
+//!   one of three sweep implementations ([`NumericPath`]): the per-scalar
+//!   accessor oracle, the unit-stride slice-view kernels (bitwise identical,
+//!   ≥2× faster) or the mesh-colored multi-threaded sweep ([`parallel`]);
 //! * the **simulated path** ([`workload`] + [`miniapp`]) describes the same
 //!   eight phases as `lv-compiler` loop nests — per code variant — and feeds
 //!   the generated instruction streams to the `lv-sim` machine, producing the
@@ -36,14 +39,15 @@
 pub mod assembly;
 pub mod config;
 pub mod miniapp;
+pub mod parallel;
 pub mod phases;
 pub mod workload;
 pub mod workspace;
 
-pub use assembly::{AssemblyOutput, NastinAssembly};
+pub use assembly::{AssemblyOutput, AssemblyStats, NastinAssembly, NumericPath};
 pub use config::{KernelConfig, OptLevel, PAPER_VECTOR_SIZES};
 pub use miniapp::{MiniAppRun, SimulatedMiniApp};
-pub use workspace::ElementWorkspace;
+pub use workspace::{ElementWorkspace, WorkspaceViews, WorkspaceViewsMut};
 
 /// Spatial dimensions (3-D flow, as in the paper's production case).
 pub const NDIME: usize = lv_mesh::NDIME;

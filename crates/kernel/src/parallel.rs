@@ -1,0 +1,256 @@
+//! Mesh-colored multi-threaded assembly.
+//!
+//! The parallel sweep processes the colors of a [`ColoredChunks`] schedule
+//! sequentially and the chunks *within* a color concurrently: the coloring
+//! guarantees that no two chunks of a color share a mesh node, so every
+//! thread scatters into disjoint rows of the global CSR matrix and disjoint
+//! entries of the RHS — no atomics, no locks, no reduction buffers.
+//!
+//! Each worker owns one [`ElementWorkspace`] for the whole sweep (the
+//! "workhorse collection" idiom, one per thread) and runs the slice-view
+//! phases on its chunks.  The workers are spawned **once per sweep** inside
+//! a `std::thread::scope` and separated color-from-color by a
+//! `std::sync::Barrier` (no per-color spawn cost); the borrow checker
+//! proves every borrow of the mesh, fields and schedule outlives the
+//! workers, and the unsafe disjoint-row scatter is isolated in
+//! [`SharedSystem`] with the coloring invariant spelled out.
+//!
+//! ## Determinism
+//!
+//! The schedule (color order, chunk order within a color, slot order within
+//! a chunk) is fixed, and concurrent chunks touch disjoint accumulators, so
+//! the result is **bitwise identical for every thread count**.  With respect
+//! to the *mesh-order serial* sweep the colored schedule permutes the
+//! element order, which changes the floating-point summation order: results
+//! agree to rounding accuracy (~1e-12 relative), not bit for bit — the same
+//! trade every colored/atomic-free assembly makes (OP2, Alya's own OpenMP
+//! path).
+
+use crate::config::KernelConfig;
+use crate::phases;
+use crate::workspace::ElementWorkspace;
+use crate::NDIME;
+use lv_mesh::coloring::ColoredChunks;
+use lv_mesh::{Field, Mesh, ShapeTable, VectorField};
+use lv_solver::CsrMatrix;
+
+/// Per-worker partial assembly statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WorkerStats {
+    pub chunks: usize,
+    pub elements: usize,
+    pub singular_jacobians: usize,
+}
+
+/// A `Sync` view of the global system (CSR values + RHS) that workers
+/// scatter into concurrently.
+///
+/// # Safety invariant
+///
+/// All concurrent users must write disjoint entries.  The colored schedule
+/// guarantees this: within one color no two chunks share a mesh node, hence
+/// no two workers touch the same matrix row or RHS entry.  Cross-color
+/// writes are ordered by the per-color `Barrier` in the sweep.
+struct SharedSystem<'a> {
+    row_ptr: &'a [usize],
+    col_idx: &'a [usize],
+    values: *mut f64,
+    rhs: *mut f64,
+}
+
+// SAFETY: the raw pointers are only dereferenced under the disjoint-row
+// invariant documented on the type; the shared pattern slices are plain
+// `&[usize]`.
+unsafe impl Sync for SharedSystem<'_> {}
+
+impl SharedSystem<'_> {
+    /// Adds a batch of entries of one row (`values[i]` to `(row, cols[i])`),
+    /// amortizing the row-pointer lookup across the batch — the shared-view
+    /// mirror of [`CsrMatrix::add_row`].
+    ///
+    /// # Safety
+    /// The caller must hold "ownership" of `row` under the coloring
+    /// invariant (no concurrent writer touches the same row), and every
+    /// `(row, cols[i])` must be part of the sparsity pattern.
+    #[inline]
+    unsafe fn add_row(&self, row: usize, cols: &[usize], values: &[f64]) {
+        debug_assert_eq!(cols.len(), values.len());
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        let row_cols = &self.col_idx[start..end];
+        for (&col, &value) in cols.iter().zip(values) {
+            match row_cols.binary_search(&col) {
+                // SAFETY: `start + k` indexes inside the values allocation
+                // (pattern and values have equal length by construction),
+                // and the row is not concurrently written (caller
+                // contract).
+                Ok(k) => unsafe { *self.values.add(start + k) += value },
+                Err(_) => panic!("entry ({row}, {col}) not present in the sparsity pattern"),
+            }
+        }
+    }
+
+    /// Adds `value` to RHS entry `i` under the same ownership contract as
+    /// [`add_row`](Self::add_row).
+    #[inline]
+    unsafe fn add_rhs(&self, i: usize, value: f64) {
+        // SAFETY: `i < NDIME * num_nodes` (checked by the driver) and the
+        // node is not concurrently written (caller contract).
+        unsafe { *self.rhs.add(i) += value };
+    }
+}
+
+/// Phase 8 against the shared system: identical traversal to
+/// [`phases::phase8_scatter_slices`], writing through the disjoint-row view.
+fn scatter_shared(
+    mesh: &Mesh,
+    config: &KernelConfig,
+    v: &crate::workspace::WorkspaceViewsMut,
+    system: &SharedSystem<'_>,
+) {
+    use crate::PNODE;
+    let vs = v.vs;
+    for iv in 0..vs {
+        let Some(elem) = v.element_ids[iv] else { continue };
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node_a) in nodes.iter().enumerate() {
+            let node_a = node_a as usize;
+            for idime in 0..NDIME {
+                // SAFETY: this worker owns every node of `elem` within the
+                // current color (coloring invariant).
+                unsafe {
+                    system
+                        .add_rhs(NDIME * node_a + idime, v.elrbu[(inode * NDIME + idime) * vs + iv])
+                };
+            }
+            if config.semi_implicit {
+                let mut cols = [0usize; PNODE];
+                let mut vals = [0.0f64; PNODE];
+                for (jnode, &node_b) in nodes.iter().enumerate() {
+                    cols[jnode] = node_b as usize;
+                    vals[jnode] = v.elauu[(inode * PNODE + jnode) * vs + iv];
+                }
+                // SAFETY: as above — row `node_a` belongs to this worker.
+                unsafe { system.add_row(node_a, &cols, &vals) };
+            }
+        }
+    }
+}
+
+/// Runs the slice-view phases 1–7 plus the shared scatter for one colored
+/// chunk.
+#[allow(clippy::too_many_arguments)]
+fn assemble_chunk_shared(
+    mesh: &Mesh,
+    shape: &ShapeTable,
+    config: &KernelConfig,
+    h_char: f64,
+    velocity: &VectorField,
+    pressure: &Field,
+    slots: lv_mesh::ChunkSlots<'_>,
+    ws: &mut ElementWorkspace,
+    system: &SharedSystem<'_>,
+) -> usize {
+    ws.reset();
+    let mut v = ws.views_mut();
+    phases::phase1_gather_coords_slices(mesh, &slots, &mut v);
+    phases::phase2_gather_unknowns_slices(mesh, velocity, pressure, &slots, &mut v);
+    let singular = phases::phase3_jacobian_slices(shape, &mut v);
+    phases::phase4_gauss_values_slices(shape, &mut v);
+    phases::phase5_stabilization_slices(config, h_char, &mut v);
+    phases::phase6_convective_slices(shape, config, &mut v);
+    phases::phase7_viscous_slices(shape, config, &mut v);
+    scatter_shared(mesh, config, &v, system);
+    singular
+}
+
+/// The colored parallel sweep: processes every color of `schedule`
+/// sequentially, splitting the chunks of each color across the workers'
+/// workspaces (one scoped thread per workspace).
+///
+/// `matrix` and `rhs` are scattered into without zeroing — the caller owns
+/// the lifecycle, exactly like the serial `assemble_into` internals.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn colored_sweep(
+    mesh: &Mesh,
+    shape: &ShapeTable,
+    config: &KernelConfig,
+    velocity: &VectorField,
+    pressure: &Field,
+    schedule: &ColoredChunks,
+    workspaces: &mut [ElementWorkspace],
+    matrix: &mut CsrMatrix,
+    rhs: &mut [f64],
+) -> WorkerStats {
+    assert!(!workspaces.is_empty(), "the parallel sweep needs at least one workspace");
+    assert_eq!(rhs.len(), NDIME * mesh.num_nodes());
+    for ws in workspaces.iter() {
+        assert_eq!(ws.vector_size(), schedule.vector_size());
+    }
+    let h_char = mesh.characteristic_length();
+    let (row_ptr, col_idx, values) = matrix.pattern_and_values_mut();
+    let system =
+        SharedSystem { row_ptr, col_idx, values: values.as_mut_ptr(), rhs: rhs.as_mut_ptr() };
+
+    let mut stats = WorkerStats::default();
+    let num_workers = workspaces.len();
+    if num_workers == 1 {
+        // Single worker: identical schedule, no reason to pay the scoped
+        // spawn per color.
+        let ws = &mut workspaces[0];
+        for color in 0..schedule.num_colors() {
+            for chunk_id in schedule.color_chunks(color) {
+                let slots = schedule.slots(chunk_id);
+                stats.singular_jacobians += assemble_chunk_shared(
+                    mesh, shape, config, h_char, velocity, pressure, slots, ws, &system,
+                );
+                stats.chunks += 1;
+                stats.elements += slots.len();
+            }
+        }
+        return stats;
+    }
+    // The workers are spawned once for the whole sweep; a barrier separates
+    // the colors (every scatter of color c must land before any chunk of
+    // color c+1 starts — `Barrier::wait` provides the synchronization
+    // edge).  A worker whose contiguous share of a color is empty still
+    // waits at the barrier.
+    let num_colors = schedule.num_colors();
+    let barrier = std::sync::Barrier::new(num_workers);
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_workers);
+        for (worker, ws) in workspaces.iter_mut().enumerate() {
+            let system = &system;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut partial = WorkerStats::default();
+                for color in 0..num_colors {
+                    let chunk_ids = schedule.color_chunks(color);
+                    let chunks_in_color = chunk_ids.len();
+                    // Contiguous split of the color's chunks across the
+                    // workers.
+                    let per_worker = chunks_in_color.div_ceil(num_workers);
+                    let lo = (worker * per_worker).min(chunks_in_color);
+                    let hi = ((worker + 1) * per_worker).min(chunks_in_color);
+                    for chunk_id in chunk_ids.start + lo..chunk_ids.start + hi {
+                        let slots = schedule.slots(chunk_id);
+                        partial.singular_jacobians += assemble_chunk_shared(
+                            mesh, shape, config, h_char, velocity, pressure, slots, ws, system,
+                        );
+                        partial.chunks += 1;
+                        partial.elements += slots.len();
+                    }
+                    barrier.wait();
+                }
+                partial
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("assembly worker panicked")).collect()
+    });
+    for partial in worker_stats {
+        stats.chunks += partial.chunks;
+        stats.elements += partial.elements;
+        stats.singular_jacobians += partial.singular_jacobians;
+    }
+    stats
+}

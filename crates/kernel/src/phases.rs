@@ -21,13 +21,100 @@
 //! * phase 8 checks element validity (padding slots of the last block) and
 //!   scatters the elemental contributions into the global CSR matrix and RHS.
 
+//! # The two numeric paths
+//!
+//! Every phase exists in two forms that must produce **bitwise identical**
+//! results (the integration tests compare `f64::to_bits`):
+//!
+//! * the original **accessor path** (`phaseN_*`) reads and writes the
+//!   workspace through the [`ElementWorkspace`] accessors — one multi-term
+//!   index computation and one bounds check per scalar.  It is kept as the
+//!   readable oracle;
+//! * the **slice path** (`phaseN_*_slices`) operates on the contiguous
+//!   array views of [`WorkspaceViewsMut`]: the index arithmetic is hoisted
+//!   out of the `ivect` loops into per-row subslices, so the inner loops are
+//!   pure unit-stride slice iteration the autovectorizer turns into vector
+//!   loads/stores — the Rust analogue of the paper's unit-stride `ivect`
+//!   refactors.  Floating-point reductions deliberately mirror the accessor
+//!   path's accumulation order term by term (addition is not associative,
+//!   and even `0.0 + x` is not a bitwise no-op when `x` is `-0.0`).
+//!
+//! The slice phases take any [`SlotMap`] (a contiguous mesh-order
+//! [`ElementChunk`] or a colored [`lv_mesh::ChunkSlots`]), which is how the
+//! same kernel serves both the serial sweep and the mesh-colored parallel
+//! sweep.
+
 use crate::config::KernelConfig;
-use crate::workspace::ElementWorkspace;
-use crate::{NDIME, PGAUS, PNODE};
-use lv_mesh::chunks::ElementChunk;
+use crate::workspace::{ElementWorkspace, WorkspaceViewsMut};
+use crate::{NDIME, NDOFN, PGAUS, PNODE};
+use lv_mesh::chunks::{ChunkSlots, ElementChunk};
 use lv_mesh::geometry::Mat3;
 use lv_mesh::{Field, Mesh, ShapeTable, VectorField};
 use lv_solver::CsrMatrix;
+
+/// Slot→element map of one kernel call.
+///
+/// Abstracts over *which* elements a `VECTOR_SIZE` block holds: the
+/// contiguous mesh-order [`ElementChunk`] of the serial sweep and the
+/// non-contiguous [`ChunkSlots`] of the colored parallel sweep.  The slice
+/// phases are generic over this trait (monomorphized — no virtual dispatch
+/// in the hot loops).
+pub trait SlotMap {
+    /// The padded block width (`VECTOR_SIZE`).
+    fn vector_size(&self) -> usize;
+    /// Number of valid slots (`≤ vector_size`).
+    fn len(&self) -> usize;
+    /// Whether the block holds no valid element (never true for blocks
+    /// produced by the chunkers, which always carry ≥ 1 element).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Global element id of slot `i`, or `None` for padding slots.
+    fn element(&self, i: usize) -> Option<usize>;
+}
+
+impl SlotMap for ElementChunk {
+    #[inline]
+    fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+    #[inline]
+    fn element(&self, i: usize) -> Option<usize> {
+        ElementChunk::element(self, i)
+    }
+}
+
+impl SlotMap for ChunkSlots<'_> {
+    #[inline]
+    fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        ChunkSlots::len(self)
+    }
+    #[inline]
+    fn element(&self, i: usize) -> Option<usize> {
+        ChunkSlots::element(self, i)
+    }
+}
+
+/// The logical row `idx` of a flat `ivect`-fastest array: a unit-stride run
+/// of `vs` values.
+#[inline(always)]
+fn row(a: &[f64], idx: usize, vs: usize) -> &[f64] {
+    &a[idx * vs..(idx + 1) * vs]
+}
+
+/// Mutable counterpart of [`row`].
+#[inline(always)]
+fn row_mut(a: &mut [f64], idx: usize, vs: usize) -> &mut [f64] {
+    &mut a[idx * vs..(idx + 1) * vs]
+}
 
 /// Phase 1: gather the element connectivity and nodal coordinates of every
 /// element of the chunk into `elcod`.
@@ -119,6 +206,15 @@ pub fn phase3_jacobian(
             ws.set_gpvol(igaus, ivect, det.abs() * weight);
             let Some(inv) = jac.inverse() else {
                 singular += 1;
+                // A singular slot has no Cartesian derivatives: zero them
+                // instead of leaving whatever the previous chunk wrote (the
+                // cheap `reset` no longer clears `gpcar`, and stale values
+                // would make the result depend on the chunk schedule).
+                for inode in 0..PNODE {
+                    for i in 0..NDIME {
+                        ws.set_gpcar(igaus, inode, i, ivect, 0.0);
+                    }
+                }
                 continue;
             };
             // ∂N_a/∂x_i = Σ_j ∂N_a/∂ξ_j · (J⁻¹)[j][i]
@@ -315,6 +411,418 @@ pub fn phase8_scatter(
                 for (jnode, &node_b) in nodes.iter().enumerate() {
                     matrix.add(node_a, node_b as usize, ws.elauu(inode, jnode, ivect));
                 }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice path: unit-stride kernels over the contiguous workspace views.
+// ---------------------------------------------------------------------------
+
+/// Lanes per strip of the strip-mined phase 3: the Jacobian accumulators of
+/// a strip (`9 × STRIP` doubles) live in registers/L1 while the `inode`
+/// reduction runs over them with unit stride.
+const STRIP: usize = 16;
+
+/// Phase 1, slice path: gather element connectivity and nodal coordinates.
+/// Work A (slot bookkeeping) and work B (the coordinate gather) stay split,
+/// as in the paper's VEC1 loop distribution.
+pub fn phase1_gather_coords_slices(mesh: &Mesh, slots: &impl SlotMap, v: &mut WorkspaceViewsMut) {
+    let vs = v.vs;
+    debug_assert_eq!(vs, slots.vector_size());
+    // Work A: element ids and connectivity bookkeeping.
+    for (iv, id) in v.element_ids.iter_mut().enumerate() {
+        *id = slots.element(iv);
+    }
+    // Work B: coordinate gather (indexed reads from the global mesh arrays,
+    // strided writes into the slot-fastest elcod rows).
+    let coords = mesh.coords();
+    let len = slots.len();
+    for iv in 0..len {
+        let elem = slots.element(iv).expect("slot < len is valid");
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node) in nodes.iter().enumerate() {
+            let base = 3 * node as usize;
+            for idime in 0..NDIME {
+                v.elcod[(inode * NDIME + idime) * vs + iv] = coords[base + idime];
+            }
+        }
+    }
+    // Padding slots replicate the last valid element's geometry so phases
+    // 3–7 never divide by a zero Jacobian; row-major order makes the
+    // replication a unit-stride fill.
+    if len < vs {
+        for idx in 0..PNODE * NDIME {
+            let r = row_mut(v.elcod, idx, vs);
+            let src = r[len - 1];
+            r[len..].fill(src);
+        }
+    }
+}
+
+/// Phase 2, slice path: gather the nodal unknowns (velocity + pressure).
+pub fn phase2_gather_unknowns_slices(
+    mesh: &Mesh,
+    velocity: &VectorField,
+    pressure: &Field,
+    slots: &impl SlotMap,
+    v: &mut WorkspaceViewsMut,
+) {
+    let vs = v.vs;
+    let vel = velocity.as_slice();
+    let pre = pressure.as_slice();
+    let last = slots.element(slots.len() - 1).expect("chunks hold at least one element");
+    for iv in 0..vs {
+        let elem = slots.element(iv).unwrap_or(last);
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node) in nodes.iter().enumerate() {
+            let node = node as usize;
+            for idime in 0..NDIME {
+                v.elvel[(inode * NDOFN + idime) * vs + iv] = vel[NDIME * node + idime];
+            }
+            v.elvel[(inode * NDOFN + NDIME) * vs + iv] = pre[node];
+        }
+    }
+}
+
+/// Phase 3, slice path: Jacobian, determinant, inverse and Cartesian
+/// derivatives, strip-mined over the slots.
+///
+/// The `inode` reduction accumulates the nine Jacobian entries of a strip of
+/// [`STRIP`] slots in unit-stride vector loops; the determinant/inverse is
+/// inherently per-slot scalar work (exactly as the paper observes for its
+/// phase 3); the `gpcar` back-substitution vectorizes again.
+///
+/// Returns the number of slots whose Jacobian was singular.
+pub fn phase3_jacobian_slices(shape: &ShapeTable, v: &mut WorkspaceViewsMut) -> usize {
+    debug_assert_eq!(shape.num_gauss(), PGAUS);
+    let vs = v.vs;
+    let mut singular = 0usize;
+    for igaus in 0..PGAUS {
+        let derivs = shape.derivatives(igaus);
+        let mut s0 = 0usize;
+        while s0 < vs {
+            let sl = STRIP.min(vs - s0);
+            // J[i][j] accumulation: unit stride over the strip lanes.
+            let mut jac = [[0.0f64; STRIP]; NDIME * NDIME];
+            for inode in 0..PNODE {
+                let d = derivs.d[inode];
+                for i in 0..NDIME {
+                    let x = &row(v.elcod, inode * NDIME + i, vs)[s0..s0 + sl];
+                    for (j, &dj) in d.iter().enumerate() {
+                        let acc = &mut jac[i * NDIME + j][..sl];
+                        for (a, &xv) in acc.iter_mut().zip(x) {
+                            *a += dj * xv;
+                        }
+                    }
+                }
+            }
+            // Determinant and inverse: per-lane scalar work.
+            let mut inv = [[0.0f64; STRIP]; NDIME * NDIME];
+            let mut ok = [true; STRIP];
+            let mut all_ok = true;
+            {
+                let gpvol = &mut row_mut(v.gpvol, igaus, vs)[s0..s0 + sl];
+                for (k, out) in gpvol.iter_mut().enumerate() {
+                    let mut m = Mat3::ZERO;
+                    for i in 0..NDIME {
+                        for j in 0..NDIME {
+                            m.m[i][j] = jac[i * NDIME + j][k];
+                        }
+                    }
+                    let det = m.det();
+                    let weight = 1.0; // 2×2×2 Gauss weights are all 1
+                    *out = det.abs() * weight;
+                    match m.inverse() {
+                        Some(minv) => {
+                            for i in 0..NDIME {
+                                for j in 0..NDIME {
+                                    inv[i * NDIME + j][k] = minv.m[i][j];
+                                }
+                            }
+                        }
+                        None => {
+                            singular += 1;
+                            ok[k] = false;
+                            all_ok = false;
+                        }
+                    }
+                }
+            }
+            // ∂N_a/∂x_i back-substitution: unit stride over the strip again.
+            for inode in 0..PNODE {
+                let d = derivs.d[inode];
+                for i in 0..NDIME {
+                    let out =
+                        &mut row_mut(v.gpcar, (igaus * PNODE + inode) * NDIME + i, vs)[s0..s0 + sl];
+                    if all_ok {
+                        for (k, o) in out.iter_mut().enumerate() {
+                            let mut val = 0.0;
+                            for (j, &dj) in d.iter().enumerate() {
+                                val += dj * inv[j * NDIME + i][k];
+                            }
+                            *o = val;
+                        }
+                    } else {
+                        // Singular slots get zeroed derivatives (matching
+                        // the accessor path): leaving the previous chunk's
+                        // values would make the result schedule-dependent.
+                        for (k, o) in out.iter_mut().enumerate() {
+                            if ok[k] {
+                                let mut val = 0.0;
+                                for (j, &dj) in d.iter().enumerate() {
+                                    val += dj * inv[j * NDIME + i][k];
+                                }
+                                *o = val;
+                            } else {
+                                *o = 0.0;
+                            }
+                        }
+                    }
+                }
+            }
+            s0 += sl;
+        }
+    }
+    singular
+}
+
+/// Phase 4, slice path: velocity and velocity gradient at the integration
+/// points — pure unit-stride multiply-accumulate rows.
+pub fn phase4_gauss_values_slices(shape: &ShapeTable, v: &mut WorkspaceViewsMut) {
+    let vs = v.vs;
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        for i in 0..NDIME {
+            row_mut(v.gpvel, igaus * NDIME + i, vs).fill(0.0);
+            for j in 0..NDIME {
+                row_mut(v.gpgve, (igaus * NDIME + i) * NDIME + j, vs).fill(0.0);
+            }
+        }
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            for i in 0..NDIME {
+                let u = row(v.elvel, inode * NDOFN + i, vs);
+                let gv = row_mut(v.gpvel, igaus * NDIME + i, vs);
+                for (g, &ua) in gv.iter_mut().zip(u) {
+                    *g += n_a * ua;
+                }
+                for j in 0..NDIME {
+                    let car = row(v.gpcar, (igaus * PNODE + inode) * NDIME + j, vs);
+                    let gg = row_mut(v.gpgve, (igaus * NDIME + i) * NDIME + j, vs);
+                    for ((g, &ca), &ua) in gg.iter_mut().zip(car).zip(u) {
+                        *g += ca * ua;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 5, slice path: stabilization parameter τ and advection velocity.
+pub fn phase5_stabilization_slices(config: &KernelConfig, h_char: f64, v: &mut WorkspaceViewsMut) {
+    let vs = v.vs;
+    let nu = config.viscosity;
+    let rho = config.density;
+    let inv_dt = 1.0 / config.dt;
+    for igaus in 0..PGAUS {
+        {
+            let u0 = row(v.gpvel, igaus * NDIME, vs);
+            let u1 = row(v.gpvel, igaus * NDIME + 1, vs);
+            let u2 = row(v.gpvel, igaus * NDIME + 2, vs);
+            let tau = row_mut(v.tau, igaus, vs);
+            for (k, t) in tau.iter_mut().enumerate() {
+                let unorm = (u0[k] * u0[k] + u1[k] * u1[k] + u2[k] * u2[k]).sqrt();
+                // Classic SUPG design: τ = (c1 ν/h² + c2 |u|/h + ρ/Δt)⁻¹.
+                *t = 1.0 / (4.0 * nu / (h_char * h_char) + 2.0 * unorm / h_char + rho * inv_dt);
+            }
+        }
+        // The advection velocity is the interpolated velocity itself: a
+        // straight row copy.
+        for i in 0..NDIME {
+            let (src, dst) =
+                (row(v.gpvel, igaus * NDIME + i, vs), row_mut(v.gpadv, igaus * NDIME + i, vs));
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+/// Phase 6, slice path: convective term (Galerkin + SUPG) — the
+/// FLOP-dominant phase, now with every inner loop a unit-stride slice sweep.
+///
+/// The SUPG test-function convection `conv_a = (u·∇)N_a` is hoisted into the
+/// workspace scratch row once per `(igaus, inode)` and reused by both the
+/// RHS and the elemental-matrix accumulation, exactly like the accessor
+/// path's per-slot scalar.
+pub fn phase6_convective_slices(
+    shape: &ShapeTable,
+    config: &KernelConfig,
+    v: &mut WorkspaceViewsMut,
+) {
+    let vs = v.vs;
+    let rho = config.density;
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            let base_a = (igaus * PNODE + inode) * NDIME;
+            {
+                // conv_a = (u·∇)N_a into the scratch row (accessor
+                // accumulation order: 0.0, then the j terms in order).
+                let adv0 = row(v.gpadv, igaus * NDIME, vs);
+                let adv1 = row(v.gpadv, igaus * NDIME + 1, vs);
+                let adv2 = row(v.gpadv, igaus * NDIME + 2, vs);
+                let car0 = row(v.gpcar, base_a, vs);
+                let car1 = row(v.gpcar, base_a + 1, vs);
+                let car2 = row(v.gpcar, base_a + 2, vs);
+                for (k, s) in v.scratch.iter_mut().enumerate() {
+                    let mut conv_a = 0.0;
+                    conv_a += adv0[k] * car0[k];
+                    conv_a += adv1[k] * car1[k];
+                    conv_a += adv2[k] * car2[k];
+                    *s = conv_a;
+                }
+            }
+            for i in 0..NDIME {
+                let vol = &row(v.gpvol, igaus, vs)[..vs];
+                let tau = &row(v.tau, igaus, vs)[..vs];
+                let adv0 = &row(v.gpadv, igaus * NDIME, vs)[..vs];
+                let adv1 = &row(v.gpadv, igaus * NDIME + 1, vs)[..vs];
+                let adv2 = &row(v.gpadv, igaus * NDIME + 2, vs)[..vs];
+                let gve0 = &row(v.gpgve, (igaus * NDIME + i) * NDIME, vs)[..vs];
+                let gve1 = &row(v.gpgve, (igaus * NDIME + i) * NDIME + 1, vs)[..vs];
+                let gve2 = &row(v.gpgve, (igaus * NDIME + i) * NDIME + 2, vs)[..vs];
+                let conv_a = &v.scratch[..vs];
+                let rbu = &mut row_mut(v.elrbu, inode * NDIME + i, vs)[..vs];
+                for k in 0..vs {
+                    let r = &mut rbu[k];
+                    // (u·∇)u_i at the integration point.
+                    let mut ugradu_i = 0.0;
+                    ugradu_i += adv0[k] * gve0[k];
+                    ugradu_i += adv1[k] * gve1[k];
+                    ugradu_i += adv2[k] * gve2[k];
+                    // Galerkin convective residual + SUPG perturbation.
+                    let galerkin = rho * n_a * ugradu_i;
+                    let supg = rho * tau[k] * conv_a[k] * ugradu_i;
+                    *r += -vol[k] * (galerkin + supg);
+                }
+            }
+            if config.semi_implicit {
+                for jnode in 0..PNODE {
+                    let base_b = (igaus * PNODE + jnode) * NDIME;
+                    let vol = &row(v.gpvol, igaus, vs)[..vs];
+                    let tau = &row(v.tau, igaus, vs)[..vs];
+                    let adv0 = &row(v.gpadv, igaus * NDIME, vs)[..vs];
+                    let adv1 = &row(v.gpadv, igaus * NDIME + 1, vs)[..vs];
+                    let adv2 = &row(v.gpadv, igaus * NDIME + 2, vs)[..vs];
+                    let carb0 = &row(v.gpcar, base_b, vs)[..vs];
+                    let carb1 = &row(v.gpcar, base_b + 1, vs)[..vs];
+                    let carb2 = &row(v.gpcar, base_b + 2, vs)[..vs];
+                    let conv_a = &v.scratch[..vs];
+                    let ela = &mut row_mut(v.elauu, inode * PNODE + jnode, vs)[..vs];
+                    for k in 0..vs {
+                        let mut conv_b = 0.0;
+                        conv_b += adv0[k] * carb0[k];
+                        conv_b += adv1[k] * carb1[k];
+                        conv_b += adv2[k] * carb2[k];
+                        let galerkin = n_a * conv_b;
+                        let supg = tau[k] * conv_a[k] * conv_b;
+                        ela[k] += vol[k] * rho * (galerkin + supg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 7, slice path: viscous term and (semi-implicit) elemental matrix
+/// with the lumped mass/Δt diagonal.
+pub fn phase7_viscous_slices(shape: &ShapeTable, config: &KernelConfig, v: &mut WorkspaceViewsMut) {
+    let vs = v.vs;
+    let nu = config.viscosity;
+    let rho = config.density;
+    let inv_dt = 1.0 / config.dt;
+    for igaus in 0..PGAUS {
+        let funcs = shape.functions(igaus);
+        for inode in 0..PNODE {
+            let n_a = funcs.n[inode];
+            let base_a = (igaus * PNODE + inode) * NDIME;
+            for i in 0..NDIME {
+                let vol = &row(v.gpvol, igaus, vs)[..vs];
+                let car0 = &row(v.gpcar, base_a, vs)[..vs];
+                let car1 = &row(v.gpcar, base_a + 1, vs)[..vs];
+                let car2 = &row(v.gpcar, base_a + 2, vs)[..vs];
+                let gve0 = &row(v.gpgve, (igaus * NDIME + i) * NDIME, vs)[..vs];
+                let gve1 = &row(v.gpgve, (igaus * NDIME + i) * NDIME + 1, vs)[..vs];
+                let gve2 = &row(v.gpgve, (igaus * NDIME + i) * NDIME + 2, vs)[..vs];
+                let rbu = &mut row_mut(v.elrbu, inode * NDIME + i, vs)[..vs];
+                for k in 0..vs {
+                    let r = &mut rbu[k];
+                    // RHS: -ν ∇N_a : ∇u
+                    let mut visc = 0.0;
+                    visc += car0[k] * gve0[k];
+                    visc += car1[k] * gve1[k];
+                    visc += car2[k] * gve2[k];
+                    *r += -vol[k] * nu * visc;
+                }
+            }
+            if config.semi_implicit {
+                for jnode in 0..PNODE {
+                    let base_b = (igaus * PNODE + jnode) * NDIME;
+                    let vol = &row(v.gpvol, igaus, vs)[..vs];
+                    let car_a0 = &row(v.gpcar, base_a, vs)[..vs];
+                    let car_a1 = &row(v.gpcar, base_a + 1, vs)[..vs];
+                    let car_a2 = &row(v.gpcar, base_a + 2, vs)[..vs];
+                    let car_b0 = &row(v.gpcar, base_b, vs)[..vs];
+                    let car_b1 = &row(v.gpcar, base_b + 1, vs)[..vs];
+                    let car_b2 = &row(v.gpcar, base_b + 2, vs)[..vs];
+                    // Matrix: ν ∇N_a·∇N_b + (ρ/Δt) N_a N_b.
+                    let mass = rho * inv_dt * n_a * funcs.n[jnode];
+                    let ela = &mut row_mut(v.elauu, inode * PNODE + jnode, vs)[..vs];
+                    for k in 0..vs {
+                        let mut diff = 0.0;
+                        diff += car_a0[k] * car_b0[k];
+                        diff += car_a1[k] * car_b1[k];
+                        diff += car_a2[k] * car_b2[k];
+                        ela[k] += vol[k] * (nu * diff + mass);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Phase 8, slice path: validity check and scatter into the global CSR
+/// matrix and RHS.  The elemental matrix rows go through
+/// [`CsrMatrix::add_row`], which amortizes the row-pointer lookup across the
+/// `jnode` batch.
+pub fn phase8_scatter_slices(
+    mesh: &Mesh,
+    config: &KernelConfig,
+    v: &WorkspaceViewsMut,
+    matrix: &mut CsrMatrix,
+    rhs: &mut [f64],
+) {
+    assert_eq!(rhs.len(), NDIME * mesh.num_nodes());
+    let vs = v.vs;
+    for iv in 0..vs {
+        // The validity check of the paper: padding slots are skipped.
+        let Some(elem) = v.element_ids[iv] else { continue };
+        let nodes = mesh.element_nodes(elem);
+        for (inode, &node_a) in nodes.iter().enumerate() {
+            let node_a = node_a as usize;
+            for idime in 0..NDIME {
+                rhs[NDIME * node_a + idime] += v.elrbu[(inode * NDIME + idime) * vs + iv];
+            }
+            if config.semi_implicit {
+                let mut cols = [0usize; PNODE];
+                let mut vals = [0.0f64; PNODE];
+                for (jnode, &node_b) in nodes.iter().enumerate() {
+                    cols[jnode] = node_b as usize;
+                    vals[jnode] = v.elauu[(inode * PNODE + jnode) * vs + iv];
+                }
+                matrix.add_row(node_a, &cols, &vals);
             }
         }
     }
@@ -557,6 +1065,108 @@ mod tests {
         let global_total: f64 = rhs.iter().sum();
         assert!((elemental_total - global_total).abs() < 1e-9);
         assert!(matrix.frobenius_norm() > 0.0);
+    }
+
+    /// Runs phases 1–7 through both paths on the same chunk and compares
+    /// every workspace array bit for bit, then phase 8 into separate
+    /// systems.
+    fn assert_paths_bitwise_identical(nelem_per_side: usize, vs: usize, semi_implicit: bool) {
+        let mesh = BoxMeshBuilder::new(nelem_per_side, nelem_per_side, nelem_per_side)
+            .lid_driven_cavity()
+            .with_jitter(0.13, 5)
+            .build();
+        let shape = ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2());
+        let chunk =
+            ElementChunk { first_element: 0, len: vs.min(mesh.num_elements()), vector_size: vs };
+        let config = KernelConfig { semi_implicit, ..KernelConfig::default() };
+        let vel = VectorField::taylor_green(&mesh);
+        let pre = Field::from_fn(&mesh, |p| p.x * p.y - 0.5 * p.z);
+        let h = mesh.characteristic_length();
+
+        let mut ws_a = ElementWorkspace::new(vs);
+        ws_a.reset();
+        phase1_gather_coords(&mesh, &chunk, &mut ws_a);
+        phase2_gather_unknowns(&mesh, &vel, &pre, &chunk, &mut ws_a);
+        let singular_a = phase3_jacobian(&shape, &chunk, &mut ws_a);
+        phase4_gauss_values(&shape, &chunk, &mut ws_a);
+        phase5_stabilization(&config, h, &chunk, &mut ws_a);
+        phase6_convective(&shape, &config, &chunk, &mut ws_a);
+        phase7_viscous(&shape, &config, &chunk, &mut ws_a);
+
+        let mut ws_s = ElementWorkspace::new(vs);
+        ws_s.poison(-7.25); // prove no stale-data dependence on the way
+        ws_s.reset();
+        let (row_ptr, col_idx) = mesh.node_graph_csr();
+        let mut mat_s = CsrMatrix::from_pattern(row_ptr.clone(), col_idx.clone());
+        let mut rhs_s = vec![0.0; NDIME * mesh.num_nodes()];
+        {
+            let mut v = ws_s.views_mut();
+            phase1_gather_coords_slices(&mesh, &chunk, &mut v);
+            phase2_gather_unknowns_slices(&mesh, &vel, &pre, &chunk, &mut v);
+            let singular_s = phase3_jacobian_slices(&shape, &mut v);
+            phase4_gauss_values_slices(&shape, &mut v);
+            phase5_stabilization_slices(&config, h, &mut v);
+            phase6_convective_slices(&shape, &config, &mut v);
+            phase7_viscous_slices(&shape, &config, &mut v);
+            assert_eq!(singular_a, singular_s);
+            phase8_scatter_slices(&mesh, &config, &v, &mut mat_s, &mut rhs_s);
+        }
+
+        let va = ws_a.views();
+        let vb = ws_s.views();
+        for (name, a, b) in [
+            ("elcod", va.elcod, vb.elcod),
+            ("elvel", va.elvel, vb.elvel),
+            ("gpvol", va.gpvol, vb.gpvol),
+            ("gpcar", va.gpcar, vb.gpcar),
+            ("gpvel", va.gpvel, vb.gpvel),
+            ("gpgve", va.gpgve, vb.gpgve),
+            ("gpadv", va.gpadv, vb.gpadv),
+            ("tau", va.tau, vb.tau),
+            ("elrbu", va.elrbu, vb.elrbu),
+            ("elauu", va.elauu, vb.elauu),
+        ] {
+            for (k, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{name}[{k}] differs (vs={vs}, semi={semi_implicit}): {x} vs {y}"
+                );
+            }
+        }
+        assert_eq!(va.element_ids, vb.element_ids);
+
+        let mut mat_a = CsrMatrix::from_pattern(row_ptr, col_idx);
+        let mut rhs_a = vec![0.0; NDIME * mesh.num_nodes()];
+        phase8_scatter(&mesh, &config, &chunk, &ws_a, &mut mat_a, &mut rhs_a);
+        for (x, y) in rhs_a.iter().zip(&rhs_s) {
+            assert_eq!(x.to_bits(), y.to_bits(), "phase 8 rhs differs");
+        }
+        for (x, y) in mat_a.values().iter().zip(mat_s.values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "phase 8 matrix differs");
+        }
+    }
+
+    #[test]
+    fn slice_path_is_bitwise_identical_full_chunk() {
+        assert_paths_bitwise_identical(3, 27, true);
+    }
+
+    #[test]
+    fn slice_path_is_bitwise_identical_padded_chunk() {
+        // 27 elements in a 32-slot block: 5 padding slots exercised.
+        assert_paths_bitwise_identical(3, 32, true);
+    }
+
+    #[test]
+    fn slice_path_is_bitwise_identical_explicit_scheme() {
+        assert_paths_bitwise_identical(3, 8, false);
+    }
+
+    #[test]
+    fn slice_path_is_bitwise_identical_odd_strip_tail() {
+        // vs = 21 exercises a partial strip (21 = 16 + 5) in phase 3.
+        assert_paths_bitwise_identical(3, 21, true);
     }
 
     #[test]

@@ -117,6 +117,96 @@ pub struct ElementWorkspace {
     /// Global element id of each slot, `None` for padding slots of the last
     /// chunk (phase 8 checks this before scattering).
     element_ids: Vec<Option<usize>>,
+    /// One extra `VECTOR_SIZE` row of scratch space for the slice-view
+    /// phases (per-slot temporaries hoisted out of inner loops, e.g. the
+    /// SUPG test-function convection of phase 6).  Deliberately *outside*
+    /// [`WorkspaceLayout`]: the layout doubles as the simulated address map
+    /// and must keep describing exactly the arrays Alya's kernel touches.
+    scratch: Vec<f64>,
+}
+
+/// Read-only contiguous views of every workspace array of one
+/// `VECTOR_SIZE` block.
+///
+/// Each field is the whole array as a flat slice in the `ivect`-fastest
+/// layout (e.g. `elcod[(inode*3 + idime)*vs + ivect]`), with the inter-array
+/// padding of [`WorkspaceLayout`] stripped.  Indexing a fixed logical row
+/// therefore yields a unit-stride run of `VECTOR_SIZE` values — the form the
+/// autovectorizer turns into vector loads.
+#[derive(Debug)]
+pub struct WorkspaceViews<'a> {
+    /// Element coordinates.
+    pub elcod: &'a [f64],
+    /// Element unknowns (velocity + pressure).
+    pub elvel: &'a [f64],
+    /// Previous-time-step element unknowns.
+    pub elvel_old: &'a [f64],
+    /// Jacobian determinant × weight per integration point.
+    pub gpvol: &'a [f64],
+    /// Cartesian shape derivatives per integration point.
+    pub gpcar: &'a [f64],
+    /// Velocity at integration points.
+    pub gpvel: &'a [f64],
+    /// Velocity gradient at integration points.
+    pub gpgve: &'a [f64],
+    /// Advection velocity at integration points.
+    pub gpadv: &'a [f64],
+    /// Stabilization parameter per integration point.
+    pub tau: &'a [f64],
+    /// Elemental RHS accumulator.
+    pub elrbu: &'a [f64],
+    /// Elemental matrix accumulator.
+    pub elauu: &'a [f64],
+    /// Global element id per slot (`None` for padding).
+    pub element_ids: &'a [Option<usize>],
+}
+
+/// Mutable contiguous views of every workspace array of one `VECTOR_SIZE`
+/// block, split out of the single flat buffer with `split_at_mut` (no
+/// aliasing, no copies).  See [`WorkspaceViews`] for the layout convention.
+#[derive(Debug)]
+pub struct WorkspaceViewsMut<'a> {
+    /// Element coordinates.
+    pub elcod: &'a mut [f64],
+    /// Element unknowns (velocity + pressure).
+    pub elvel: &'a mut [f64],
+    /// Previous-time-step element unknowns.
+    pub elvel_old: &'a mut [f64],
+    /// Jacobian determinant × weight per integration point.
+    pub gpvol: &'a mut [f64],
+    /// Cartesian shape derivatives per integration point.
+    pub gpcar: &'a mut [f64],
+    /// Velocity at integration points.
+    pub gpvel: &'a mut [f64],
+    /// Velocity gradient at integration points.
+    pub gpgve: &'a mut [f64],
+    /// Advection velocity at integration points.
+    pub gpadv: &'a mut [f64],
+    /// Stabilization parameter per integration point.
+    pub tau: &'a mut [f64],
+    /// Elemental RHS accumulator.
+    pub elrbu: &'a mut [f64],
+    /// Elemental matrix accumulator.
+    pub elauu: &'a mut [f64],
+    /// Global element id per slot (`None` for padding).
+    pub element_ids: &'a mut [Option<usize>],
+    /// One `VECTOR_SIZE` row of scratch space for hoisted per-slot
+    /// temporaries.
+    pub scratch: &'a mut [f64],
+    /// The `VECTOR_SIZE` of the block.
+    pub vs: usize,
+}
+
+/// Carves the next array out of the remaining flat buffer: skips the gap
+/// between the previous array's end (`*pos`) and `start`, returns `len`
+/// elements, and advances both cursors.
+fn carve<'a>(rest: &mut &'a mut [f64], pos: &mut usize, start: usize, len: usize) -> &'a mut [f64] {
+    let taken = std::mem::take(rest);
+    let (_, taken) = taken.split_at_mut(start - *pos);
+    let (out, remainder) = taken.split_at_mut(len);
+    *rest = remainder;
+    *pos = start + len;
+    out
 }
 
 macro_rules! accessors {
@@ -145,6 +235,7 @@ impl ElementWorkspace {
             layout,
             data: vec![0.0; layout.total],
             element_ids: vec![None; vector_size],
+            scratch: vec![0.0; vector_size],
         }
     }
 
@@ -160,11 +251,92 @@ impl ElementWorkspace {
         &self.layout
     }
 
-    /// Zeroes every array and clears the element ids (called at the start of
-    /// each chunk).
+    /// Prepares the workspace for the next chunk: zeroes the **accumulator**
+    /// arrays (`elrbu`, `elauu` — phases 6–7 add into them) and clears the
+    /// element ids (phase 8's validity check).
+    ///
+    /// Everything else is deliberately left stale: phases 1–5 fully
+    /// overwrite `elcod`, `elvel`, `gpvol`, `gpcar`, `gpvel`, `gpgve`,
+    /// `gpadv` and `tau` for every slot before any phase reads them, so
+    /// zeroing the whole flat buffer every chunk (as the original kernel
+    /// did) only burned memory bandwidth.  A workspace full of garbage must
+    /// produce identical results — the integration tests check exactly
+    /// that.
     pub fn reset(&mut self) {
-        self.data.fill(0.0);
+        let vs = self.vs;
+        self.data[self.layout.elrbu..self.layout.elrbu + PNODE * NDIME * vs].fill(0.0);
+        self.data[self.layout.elauu..self.layout.elauu + PNODE * PNODE * vs].fill(0.0);
         self.element_ids.fill(None);
+    }
+
+    /// Fills every workspace array (including the accumulators and scratch)
+    /// with `value` and forgets the element ids.  Test helper: poisoning the
+    /// workspace before a sweep proves no phase reads stale data that
+    /// [`reset`](Self::reset) no longer clears.
+    pub fn poison(&mut self, value: f64) {
+        self.data.fill(value);
+        self.scratch.fill(value);
+        self.element_ids.fill(Some(usize::MAX));
+    }
+
+    /// Read-only contiguous views of every array (see [`WorkspaceViews`]).
+    pub fn views(&self) -> WorkspaceViews<'_> {
+        let vs = self.vs;
+        let l = &self.layout;
+        let arr = |start: usize, elems: usize| &self.data[start..start + elems];
+        WorkspaceViews {
+            elcod: arr(l.elcod, PNODE * NDIME * vs),
+            elvel: arr(l.elvel, PNODE * NDOFN * vs),
+            elvel_old: arr(l.elvel_old, PNODE * NDOFN * vs),
+            gpvol: arr(l.gpvol, PGAUS * vs),
+            gpcar: arr(l.gpcar, PGAUS * PNODE * NDIME * vs),
+            gpvel: arr(l.gpvel, PGAUS * NDIME * vs),
+            gpgve: arr(l.gpgve, PGAUS * NDIME * NDIME * vs),
+            gpadv: arr(l.gpadv, PGAUS * NDIME * vs),
+            tau: arr(l.tau, PGAUS * vs),
+            elrbu: arr(l.elrbu, PNODE * NDIME * vs),
+            elauu: arr(l.elauu, PNODE * PNODE * vs),
+            element_ids: &self.element_ids,
+        }
+    }
+
+    /// Mutable contiguous views of every array, carved out of the flat
+    /// buffer with `split_at_mut` (see [`WorkspaceViewsMut`]).  This is the
+    /// entry point of the slice-view kernel phases: all index arithmetic is
+    /// done once here, so the phase inner loops are pure unit-stride slice
+    /// iteration with no per-scalar bounds checks.
+    pub fn views_mut(&mut self) -> WorkspaceViewsMut<'_> {
+        let vs = self.vs;
+        let l = self.layout;
+        let mut rest: &mut [f64] = &mut self.data;
+        let mut pos = 0usize;
+        let elcod = carve(&mut rest, &mut pos, l.elcod, PNODE * NDIME * vs);
+        let elvel = carve(&mut rest, &mut pos, l.elvel, PNODE * NDOFN * vs);
+        let elvel_old = carve(&mut rest, &mut pos, l.elvel_old, PNODE * NDOFN * vs);
+        let gpvol = carve(&mut rest, &mut pos, l.gpvol, PGAUS * vs);
+        let gpcar = carve(&mut rest, &mut pos, l.gpcar, PGAUS * PNODE * NDIME * vs);
+        let gpvel = carve(&mut rest, &mut pos, l.gpvel, PGAUS * NDIME * vs);
+        let gpgve = carve(&mut rest, &mut pos, l.gpgve, PGAUS * NDIME * NDIME * vs);
+        let gpadv = carve(&mut rest, &mut pos, l.gpadv, PGAUS * NDIME * vs);
+        let tau = carve(&mut rest, &mut pos, l.tau, PGAUS * vs);
+        let elrbu = carve(&mut rest, &mut pos, l.elrbu, PNODE * NDIME * vs);
+        let elauu = carve(&mut rest, &mut pos, l.elauu, PNODE * PNODE * vs);
+        WorkspaceViewsMut {
+            elcod,
+            elvel,
+            elvel_old,
+            gpvol,
+            gpcar,
+            gpvel,
+            gpgve,
+            gpadv,
+            tau,
+            elrbu,
+            elauu,
+            element_ids: &mut self.element_ids,
+            scratch: &mut self.scratch,
+            vs,
+        }
     }
 
     /// Marks slot `ivect` as holding global element `element`.
@@ -365,15 +537,96 @@ mod tests {
     }
 
     #[test]
-    fn reset_clears_data_and_ids() {
+    fn reset_clears_accumulators_and_ids_only() {
         let mut w = ElementWorkspace::new(4);
         w.set_element_id(2, Some(99));
         w.set_gpvol(0, 0, 1.0);
+        w.add_elrbu(1, 2, 3, 5.0);
+        w.add_elauu(0, 1, 2, -4.0);
         w.reset();
+        // Accumulators and ids are cleared...
         assert_eq!(w.element_id(2), None);
-        assert_eq!(w.gpvol(0, 0), 0.0);
-        assert_eq!(w.max_abs(), 0.0);
-        assert!(!w.has_non_finite());
+        assert_eq!(w.elrbu(1, 2, 3), 0.0);
+        assert_eq!(w.elauu(0, 1, 2), 0.0);
+        // ...but the phase-overwritten arrays are deliberately left stale.
+        assert_eq!(w.gpvol(0, 0), 1.0);
+    }
+
+    #[test]
+    fn poison_then_reset_leaves_accumulators_zero() {
+        let mut w = ElementWorkspace::new(8);
+        w.poison(f64::NAN);
+        w.reset();
+        for inode in 0..PNODE {
+            for idime in 0..NDIME {
+                assert_eq!(w.elrbu(inode, idime, 5), 0.0);
+            }
+            for jnode in 0..PNODE {
+                assert_eq!(w.elauu(inode, jnode, 5), 0.0);
+            }
+        }
+        assert_eq!(w.element_id(3), None);
+        // Non-accumulator arrays still hold the poison.
+        assert!(w.gpvol(0, 0).is_nan());
+    }
+
+    #[test]
+    fn views_expose_the_accessor_data() {
+        let mut w = ElementWorkspace::new(4);
+        w.set_elcod(3, 1, 2, 2.5);
+        w.set_gpcar(4, 2, 0, 3, 1.25);
+        w.set_tau(6, 1, 0.5);
+        let v = w.views();
+        assert_eq!(v.elcod[(3 * NDIME + 1) * 4 + 2], 2.5);
+        assert_eq!(v.gpcar[((4 * PNODE + 2) * NDIME) * 4 + 3], 1.25);
+        assert_eq!(v.tau[6 * 4 + 1], 0.5);
+        assert_eq!(v.elcod.len(), PNODE * NDIME * 4);
+        assert_eq!(v.gpgve.len(), PGAUS * NDIME * NDIME * 4);
+        assert_eq!(v.element_ids.len(), 4);
+    }
+
+    #[test]
+    fn views_mut_writes_are_visible_to_the_accessors() {
+        let mut w = ElementWorkspace::new(4);
+        {
+            let v = w.views_mut();
+            assert_eq!(v.vs, 4);
+            v.elvel[(7 * NDOFN + 3) * 4] = -1.0;
+            v.gpvol[2 * 4 + 3] = 9.0;
+            v.elauu[(2 * PNODE + 3) * 4 + 1] = 4.0;
+            v.element_ids[2] = Some(42);
+            v.scratch[3] = 7.0;
+            assert_eq!(v.scratch.len(), 4);
+        }
+        assert_eq!(w.elvel(7, 3, 0), -1.0);
+        assert_eq!(w.gpvol(2, 3), 9.0);
+        assert_eq!(w.elauu(2, 3, 1), 4.0);
+        assert_eq!(w.element_id(2), Some(42));
+    }
+
+    #[test]
+    fn views_cover_every_array_without_overlap() {
+        // The mutable views must carve disjoint regions whose sizes match
+        // the layout (the borrow checker guarantees disjointness; this
+        // checks the arithmetic carves the *right* regions).
+        let mut w = ElementWorkspace::new(16);
+        let v = w.views_mut();
+        let expected = [
+            (PNODE * NDIME, v.elcod.len()),
+            (PNODE * NDOFN, v.elvel.len()),
+            (PNODE * NDOFN, v.elvel_old.len()),
+            (PGAUS, v.gpvol.len()),
+            (PGAUS * PNODE * NDIME, v.gpcar.len()),
+            (PGAUS * NDIME, v.gpvel.len()),
+            (PGAUS * NDIME * NDIME, v.gpgve.len()),
+            (PGAUS * NDIME, v.gpadv.len()),
+            (PGAUS, v.tau.len()),
+            (PNODE * NDIME, v.elrbu.len()),
+            (PNODE * PNODE, v.elauu.len()),
+        ];
+        for (rows, len) in expected {
+            assert_eq!(len, rows * 16);
+        }
     }
 
     #[test]

@@ -56,6 +56,47 @@ impl ElementChunk {
     }
 }
 
+/// A borrowed slot→element map of one kernel call: the valid element ids of
+/// the block plus the padded block width.
+///
+/// This is the schedule-agnostic form of [`ElementChunk`]: a contiguous
+/// mesh-order chunk and a colored chunk (see [`crate::coloring`]) both reduce
+/// to "a list of element ids padded to `VECTOR_SIZE` slots", which is all the
+/// slice-view kernel phases need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSlots<'a> {
+    /// Global element ids of the valid slots (`len() ≤ vector_size`).
+    pub elements: &'a [usize],
+    /// The padded block width (`VECTOR_SIZE`).
+    pub vector_size: usize,
+}
+
+impl ChunkSlots<'_> {
+    /// Number of valid slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the block holds no valid element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Global element id of slot `i`, or `None` for padding slots.
+    #[inline]
+    pub fn element(&self, i: usize) -> Option<usize> {
+        self.elements.get(i).copied()
+    }
+
+    /// Number of padding slots (`vector_size - len`).
+    #[inline]
+    pub fn padding(&self) -> usize {
+        self.vector_size - self.elements.len()
+    }
+}
+
 /// The partition of a mesh into `VECTOR_SIZE` blocks.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ElementChunks {

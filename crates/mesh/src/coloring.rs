@@ -1,0 +1,348 @@
+//! Element coloring and colored `VECTOR_SIZE` chunking for race-free
+//! parallel assembly.
+//!
+//! The assembly kernel scatters elemental contributions into global nodal
+//! arrays (phase 8).  Two elements can be scattered concurrently without
+//! atomics if and only if they share no mesh node: all their global matrix
+//! rows and RHS entries are then disjoint.  This module provides the
+//! two-stage scheduling substrate the multi-threaded sweep uses:
+//!
+//! 1. [`ElementColoring::greedy`] — a first-fit greedy coloring of the
+//!    *elements* (two elements conflict when they share a node).  On a
+//!    structured hexahedral mesh this produces the classic 8 colors; on
+//!    jittered/unstructured variants a few more.
+//! 2. [`ColoredChunks`] — each color's elements packed into `VECTOR_SIZE`
+//!    blocks.  Because any two elements of a color are node-disjoint, **all
+//!    chunks of a color are pairwise node-disjoint**, so a parallel sweep can
+//!    process every chunk of a color concurrently and only the (few) colors
+//!    sequentially.
+//!
+//! Chunking by color necessarily reorders the elements, which changes the
+//! floating-point summation order of the scatter with respect to the serial
+//! mesh-order sweep (addition is commutative but not associative).  The
+//! colored schedule itself is fully deterministic, however: the result of the
+//! colored sweep is bitwise identical for every thread count, and agrees with
+//! the mesh-order serial sweep to rounding accuracy.
+
+use crate::chunks::ChunkSlots;
+use crate::mesh::Mesh;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Maximum number of colors the greedy pass supports (a `u128` bit mask per
+/// node).  A node of a conforming hexahedral mesh touches at most 8 elements
+/// and an element conflicts with at most 26 neighbours, so first-fit needs at
+/// most 27 colors there — 128 leaves ample headroom for degenerate meshes.
+const MAX_COLORS: usize = 128;
+
+/// A partition of the mesh elements into node-disjoint colors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementColoring {
+    /// Color of each element.
+    color_of: Vec<u16>,
+    /// Element ids of each color, in mesh order within the color.
+    classes: Vec<Vec<usize>>,
+}
+
+impl ElementColoring {
+    /// First-fit greedy coloring of the elements of `mesh` in mesh order:
+    /// each element takes the smallest color not already used by an element
+    /// sharing one of its nodes.
+    ///
+    /// # Panics
+    /// Panics if more than 128 colors would be needed (only possible for
+    /// meshes with pathological node multiplicity).
+    pub fn greedy(mesh: &Mesh) -> Self {
+        // used[n] = bit mask of colors already taken by elements touching
+        // node n.
+        let mut used = vec![0u128; mesh.num_nodes()];
+        let mut color_of = Vec::with_capacity(mesh.num_elements());
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for elem in mesh.elements() {
+            let nodes = mesh.element_nodes(elem);
+            let mut mask = 0u128;
+            for &node in nodes {
+                mask |= used[node as usize];
+            }
+            let color = (!mask).trailing_zeros() as usize;
+            assert!(color < MAX_COLORS, "element coloring exceeded {MAX_COLORS} colors");
+            for &node in nodes {
+                used[node as usize] |= 1u128 << color;
+            }
+            if color == classes.len() {
+                classes.push(Vec::new());
+            }
+            classes[color].push(elem);
+            color_of.push(color as u16);
+        }
+        ElementColoring { color_of, classes }
+    }
+
+    /// Number of colors used.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of elements colored.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.color_of.len()
+    }
+
+    /// Color of element `elem`.
+    #[inline]
+    pub fn color_of(&self, elem: usize) -> usize {
+        self.color_of[elem] as usize
+    }
+
+    /// The element ids of each color, in mesh order within a color.
+    #[inline]
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// Checks the coloring invariants against `mesh`, returning a list of
+    /// human-readable problems (empty when valid): every element has exactly
+    /// one color, and no two elements of a color share a node.
+    pub fn validate(&self, mesh: &Mesh) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.color_of.len() != mesh.num_elements() {
+            problems.push(format!(
+                "coloring covers {} elements but the mesh has {}",
+                self.color_of.len(),
+                mesh.num_elements()
+            ));
+            return problems;
+        }
+        let total: usize = self.classes.iter().map(Vec::len).sum();
+        if total != mesh.num_elements() {
+            problems
+                .push(format!("classes hold {total} elements, expected {}", mesh.num_elements()));
+        }
+        for (color, class) in self.classes.iter().enumerate() {
+            let mut owner: Vec<Option<usize>> = vec![None; mesh.num_nodes()];
+            for &elem in class {
+                if self.color_of(elem) != color {
+                    problems.push(format!(
+                        "element {elem} listed under color {color} but tagged {}",
+                        self.color_of(elem)
+                    ));
+                }
+                for &node in mesh.element_nodes(elem) {
+                    match owner[node as usize] {
+                        Some(other) if other != elem => problems.push(format!(
+                            "elements {other} and {elem} of color {color} share node {node}"
+                        )),
+                        _ => owner[node as usize] = Some(elem),
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// The elements of a colored mesh packed into `VECTOR_SIZE` blocks, color by
+/// color.  All chunks of one color are pairwise node-disjoint (see the
+/// module docs), which is the invariant the lock-free parallel scatter
+/// relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColoredChunks {
+    vector_size: usize,
+    /// Element ids of every chunk, chunk-major (chunk `c` owns
+    /// `elements[chunk_bounds[c].0 ..][.. chunk_bounds[c].1]`).
+    elements: Vec<usize>,
+    /// Per chunk: (offset into `elements`, number of valid elements).
+    chunk_bounds: Vec<(usize, usize)>,
+    /// Per color: the range of chunk ids belonging to it.
+    color_ranges: Vec<Range<usize>>,
+}
+
+impl ColoredChunks {
+    /// Packs each color class of `coloring` into blocks of `vector_size`
+    /// elements (the last block of each color may be partially filled).
+    ///
+    /// # Panics
+    /// Panics if `vector_size == 0`.
+    pub fn new(coloring: &ElementColoring, vector_size: usize) -> Self {
+        assert!(vector_size > 0, "VECTOR_SIZE must be positive");
+        let mut elements = Vec::with_capacity(coloring.num_elements());
+        let mut chunk_bounds = Vec::new();
+        let mut color_ranges = Vec::with_capacity(coloring.num_colors());
+        for class in coloring.classes() {
+            let first_chunk = chunk_bounds.len();
+            for block in class.chunks(vector_size) {
+                chunk_bounds.push((elements.len(), block.len()));
+                elements.extend_from_slice(block);
+            }
+            color_ranges.push(first_chunk..chunk_bounds.len());
+        }
+        ColoredChunks { vector_size, elements, chunk_bounds, color_ranges }
+    }
+
+    /// The configured `VECTOR_SIZE`.
+    #[inline]
+    pub fn vector_size(&self) -> usize {
+        self.vector_size
+    }
+
+    /// Total number of chunks across all colors.
+    #[inline]
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_bounds.len()
+    }
+
+    /// Number of colors.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.color_ranges.len()
+    }
+
+    /// Total number of (valid) elements covered.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The chunk ids belonging to `color`.
+    #[inline]
+    pub fn color_chunks(&self, color: usize) -> Range<usize> {
+        self.color_ranges[color].clone()
+    }
+
+    /// The slot map of chunk `chunk_id` (valid element ids plus the padded
+    /// width), directly consumable by the slice-view kernel phases.
+    #[inline]
+    pub fn slots(&self, chunk_id: usize) -> ChunkSlots<'_> {
+        let (start, len) = self.chunk_bounds[chunk_id];
+        ChunkSlots { elements: &self.elements[start..start + len], vector_size: self.vector_size }
+    }
+
+    /// Checks the chunking invariants against `mesh`, returning a list of
+    /// human-readable problems (empty when valid): the chunks partition the
+    /// elements, and no two chunks of one color share a node.
+    pub fn validate(&self, mesh: &Mesh) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut seen = vec![false; mesh.num_elements()];
+        for &elem in &self.elements {
+            if elem >= mesh.num_elements() {
+                problems.push(format!("chunk references element {elem} outside the mesh"));
+                continue;
+            }
+            if seen[elem] {
+                problems.push(format!("element {elem} appears in more than one chunk"));
+            }
+            seen[elem] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            problems.push(format!("element {missing} is not covered by any chunk"));
+        }
+        for color in 0..self.num_colors() {
+            let mut owner: Vec<Option<usize>> = vec![None; mesh.num_nodes()];
+            for chunk_id in self.color_chunks(color) {
+                if self.slots(chunk_id).len() > self.vector_size {
+                    problems.push(format!("chunk {chunk_id} exceeds VECTOR_SIZE"));
+                }
+                for &elem in self.slots(chunk_id).elements {
+                    for &node in mesh.element_nodes(elem) {
+                        match owner[node as usize] {
+                            Some(other) if other != chunk_id => problems.push(format!(
+                                "chunks {other} and {chunk_id} of color {color} share node {node}"
+                            )),
+                            _ => owner[node as usize] = Some(chunk_id),
+                        }
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::BoxMeshBuilder;
+
+    #[test]
+    fn structured_hex_mesh_takes_eight_colors() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        let coloring = ElementColoring::greedy(&mesh);
+        assert_eq!(coloring.num_colors(), 8);
+        assert_eq!(coloring.num_elements(), 64);
+        assert!(coloring.validate(&mesh).is_empty());
+    }
+
+    #[test]
+    fn jittered_cavity_coloring_is_valid() {
+        let mesh = BoxMeshBuilder::new(6, 5, 4).lid_driven_cavity().with_jitter(0.1, 3).build();
+        let coloring = ElementColoring::greedy(&mesh);
+        let problems = coloring.validate(&mesh);
+        assert!(problems.is_empty(), "{problems:?}");
+        // Jitter moves nodes but keeps the connectivity, so the color count
+        // stays the structured 8.
+        assert_eq!(coloring.num_colors(), 8);
+    }
+
+    #[test]
+    fn neighbouring_elements_get_distinct_colors() {
+        let mesh = BoxMeshBuilder::new(4, 1, 1).build();
+        let coloring = ElementColoring::greedy(&mesh);
+        for e in 0..3 {
+            assert_ne!(coloring.color_of(e), coloring.color_of(e + 1));
+        }
+        // A 1-D strip of hexes 2-colors like a path graph.
+        assert_eq!(coloring.num_colors(), 2);
+    }
+
+    #[test]
+    fn colored_chunks_partition_and_stay_disjoint() {
+        let mesh = BoxMeshBuilder::new(6, 6, 6).lid_driven_cavity().build();
+        let coloring = ElementColoring::greedy(&mesh);
+        for vs in [1usize, 8, 32, 64] {
+            let chunks = ColoredChunks::new(&coloring, vs);
+            assert_eq!(chunks.num_elements(), mesh.num_elements());
+            assert_eq!(chunks.num_colors(), coloring.num_colors());
+            let problems = chunks.validate(&mesh);
+            assert!(problems.is_empty(), "vs={vs}: {problems:?}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_is_per_color_ceiling() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build(); // 8 colors x 8 elements
+        let coloring = ElementColoring::greedy(&mesh);
+        let chunks = ColoredChunks::new(&coloring, 3); // ceil(8/3) = 3 per color
+        assert_eq!(chunks.num_chunks(), 24);
+        for color in 0..8 {
+            assert_eq!(chunks.color_chunks(color).len(), 3);
+        }
+        // Last chunk of each color is the 8 mod 3 = 2-element remainder.
+        let last = chunks.color_chunks(0).end - 1;
+        assert_eq!(chunks.slots(last).len(), 2);
+        assert_eq!(chunks.slots(last).vector_size, 3);
+    }
+
+    #[test]
+    fn slots_expose_padding() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build(); // 27 elements
+        let coloring = ElementColoring::greedy(&mesh);
+        let chunks = ColoredChunks::new(&coloring, 32);
+        for chunk_id in 0..chunks.num_chunks() {
+            let slots = chunks.slots(chunk_id);
+            assert!(!slots.is_empty() && slots.len() <= 32);
+            assert!(slots.element(slots.len() - 1).is_some());
+            assert_eq!(slots.element(slots.len()), None);
+            assert_eq!(slots.padding(), 32 - slots.len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_vector_size_rejected() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let coloring = ElementColoring::greedy(&mesh);
+        let _ = ColoredChunks::new(&coloring, 0);
+    }
+}

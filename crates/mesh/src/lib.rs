@@ -24,6 +24,8 @@
 //!   initializers used by the examples.
 //! * [`chunks`] — packing of elements into `VECTOR_SIZE` blocks, exactly the
 //!   application-level parameter the paper sweeps (16 … 512).
+//! * [`coloring`] — node-disjoint coloring of those blocks, the scheduling
+//!   substrate of the multi-threaded assembly sweep.
 //!
 //! The crate is intentionally free of any simulator or compiler-model
 //! concerns: it only describes the discrete problem.
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod chunks;
+pub mod coloring;
 pub mod field;
 pub mod geometry;
 pub mod mesh;
@@ -38,7 +41,8 @@ pub mod quadrature;
 pub mod shape;
 pub mod structured;
 
-pub use chunks::{ElementChunk, ElementChunks};
+pub use chunks::{ChunkSlots, ElementChunk, ElementChunks};
+pub use coloring::{ColoredChunks, ElementColoring};
 pub use field::{Field, VectorField};
 pub use geometry::{Mat3, Point3, Vec3};
 pub use mesh::{BoundaryTag, ElementKind, Mesh};

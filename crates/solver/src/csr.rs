@@ -19,15 +19,27 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Creates a zero matrix with the given sparsity pattern.
     ///
+    /// The column indices of every row must be strictly increasing: sorted
+    /// rows are a structural invariant of the type (the scatter-add entry
+    /// points locate columns by binary search).
+    ///
     /// # Panics
     /// Panics if the pattern is malformed (row pointers not monotonically
-    /// increasing, or a column index out of range).
+    /// increasing, a column index out of range, or unsorted/duplicate
+    /// columns within a row).
     pub fn from_pattern(row_ptr: Vec<usize>, col_idx: Vec<usize>) -> Self {
         assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
         let n = row_ptr.len() - 1;
         assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr/col_idx mismatch");
         assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
         assert!(col_idx.iter().all(|&c| c < n), "column index out of range");
+        for row in 0..n {
+            let cols = &col_idx[row_ptr[row]..row_ptr[row + 1]];
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "columns of row {row} must be strictly increasing"
+            );
+        }
         let values = vec![0.0; col_idx.len()];
         CsrMatrix { n, row_ptr, col_idx, values }
     }
@@ -88,35 +100,63 @@ impl CsrMatrix {
         self.values.fill(0.0);
     }
 
+    /// Position of entry `(row, col)` in the value array, found by binary
+    /// search within the (sorted) row.
+    #[inline]
+    pub fn entry_index(&self, row: usize, col: usize) -> Option<usize> {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        self.col_idx[start..end].binary_search(&col).ok().map(|k| start + k)
+    }
+
     /// Adds `value` to entry `(row, col)`.
     ///
     /// # Panics
     /// Panics if `(row, col)` is not part of the sparsity pattern.
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        match self.entry_index(row, col) {
+            Some(k) => self.values[k] += value,
+            None => panic!("entry ({row}, {col}) not present in the sparsity pattern"),
+        }
+    }
+
+    /// Adds a batch of entries of one row: `values[i]` is added to
+    /// `(row, cols[i])`.  The row-pointer lookup is amortized across the
+    /// batch — this is the entry point phase 8 of the assembly kernel uses
+    /// for the `jnode` loop of each elemental matrix row.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or any `(row, cols[i])` is not
+    /// part of the sparsity pattern.
+    #[inline]
+    pub fn add_row(&mut self, row: usize, cols: &[usize], values: &[f64]) {
+        assert_eq!(cols.len(), values.len(), "cols/values length mismatch");
         let start = self.row_ptr[row];
         let end = self.row_ptr[row + 1];
-        // Rows are short (≈ 27 entries for a hex mesh); a linear scan is
-        // faster than a binary search for these lengths.
-        for k in start..end {
-            if self.col_idx[k] == col {
-                self.values[k] += value;
-                return;
+        let row_cols = &self.col_idx[start..end];
+        let row_vals = &mut self.values[start..end];
+        for (&col, &value) in cols.iter().zip(values) {
+            match row_cols.binary_search(&col) {
+                Ok(k) => row_vals[k] += value,
+                Err(_) => panic!("entry ({row}, {col}) not present in the sparsity pattern"),
             }
         }
-        panic!("entry ({row}, {col}) not present in the sparsity pattern");
     }
 
     /// Returns entry `(row, col)` (0 if not stored).
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        let start = self.row_ptr[row];
-        let end = self.row_ptr[row + 1];
-        for k in start..end {
-            if self.col_idx[k] == col {
-                return self.values[k];
-            }
-        }
-        0.0
+        self.entry_index(row, col).map_or(0.0, |k| self.values[k])
+    }
+
+    /// Splits the matrix into its (shared) sparsity pattern and (mutable)
+    /// values: `(row_ptr, col_idx, values)`.
+    ///
+    /// This is the entry point of the colored parallel assembly sweep: the
+    /// caller hands the pattern and the value storage to a scatter view that
+    /// writes disjoint rows from different threads.
+    pub fn pattern_and_values_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.row_ptr, &self.col_idx, &mut self.values)
     }
 
     /// The diagonal of the matrix.
@@ -239,6 +279,68 @@ mod tests {
     fn add_outside_pattern_panics() {
         let mut m = CsrMatrix::from_pattern(vec![0, 1, 2], vec![0, 1]);
         m.add(0, 1, 1.0);
+    }
+
+    #[test]
+    fn entry_index_finds_every_stored_column() {
+        let m = laplacian_1d(7);
+        for row in 0..7 {
+            for k in m.row_ptr()[row]..m.row_ptr()[row + 1] {
+                assert_eq!(m.entry_index(row, m.col_idx()[k]), Some(k));
+            }
+        }
+        // Columns outside the tridiagonal band are not stored.
+        assert_eq!(m.entry_index(0, 5), None);
+        assert_eq!(m.entry_index(6, 0), None);
+    }
+
+    #[test]
+    fn add_row_matches_individual_adds() {
+        let mut a = laplacian_1d(6);
+        let mut b = laplacian_1d(6);
+        // Unsorted batch, as phase 8 produces (element node order, not
+        // column order).
+        let cols = [3, 1, 2];
+        let vals = [0.5, -2.0, 1.25];
+        a.add_row(2, &cols, &vals);
+        for (&c, &v) in cols.iter().zip(&vals) {
+            b.add(2, c, v);
+        }
+        for c in 0..6 {
+            assert_eq!(a.get(2, c), b.get(2, c));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_row_outside_pattern_panics() {
+        let mut m = laplacian_1d(5);
+        m.add_row(0, &[0, 4], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_row_length_mismatch_panics() {
+        let mut m = laplacian_1d(5);
+        m.add_row(0, &[0, 1], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_row_pattern_rejected() {
+        // Row 0 of a 2x2 matrix has columns [1, 0]: in range, but not
+        // strictly increasing.
+        let _ = CsrMatrix::from_pattern(vec![0, 2, 2], vec![1, 0]);
+    }
+
+    #[test]
+    fn pattern_and_values_mut_exposes_the_same_storage() {
+        let mut m = laplacian_1d(4);
+        let (row_ptr, col_idx, values) = m.pattern_and_values_mut();
+        assert_eq!(row_ptr.len(), 5);
+        assert_eq!(col_idx.len(), values.len());
+        values[0] = 42.0;
+        assert_eq!(m.get(0, 0), 42.0);
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Integration tests of the numeric fast path: the unit-stride slice-view
+//! kernels and the mesh-colored multi-threaded assembly sweep.
+//!
+//! Contract under test (see `crates/kernel/src/phases.rs` and
+//! `crates/kernel/src/parallel.rs`):
+//!
+//! * **slice path == accessor path, bit for bit**, for every `VECTOR_SIZE`
+//!   (including padded last chunks and partial phase-3 strips) and both
+//!   schemes;
+//! * **parallel path is bitwise reproducible for every thread count** and
+//!   agrees with the serial oracle to rounding accuracy (the colored
+//!   schedule permutes the summation order — that is the documented,
+//!   deliberate trade of atomic-free coloring);
+//! * the element coloring and colored chunking uphold their node-disjoint
+//!   invariants;
+//! * a workspace full of stale garbage assembles to identical results (the
+//!   cheap `reset` only clears the accumulators).
+
+use alya_longvec::prelude::*;
+use lv_kernel::ElementWorkspace;
+use lv_mesh::coloring::{ColoredChunks, ElementColoring};
+use lv_mesh::{ElementChunks, Vec3};
+
+/// VECTOR_SIZE values exercised: 1 (degenerate), 8 (several full chunks),
+/// 32 and 64 (padded last chunk on the 27- and 45-element meshes).
+const VECTOR_SIZES: [usize; 4] = [1, 8, 32, 64];
+
+fn cavity(nx: usize, ny: usize, nz: usize) -> Mesh {
+    BoxMeshBuilder::new(nx, ny, nz).lid_driven_cavity().with_jitter(0.12, 23).build()
+}
+
+fn flow_state(mesh: &Mesh) -> (VectorField, lv_mesh::Field) {
+    let mut velocity = VectorField::taylor_green(mesh);
+    velocity.apply_boundary_conditions(mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
+    (velocity, lv_mesh::Field::from_fn(mesh, |p| p.x * p.y - 0.5 * p.z))
+}
+
+fn assert_bitwise(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{k}]: {x} vs {y}");
+    }
+}
+
+fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+    for (k, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() < tol, "{what}[{k}]: {x} vs {y}");
+    }
+}
+
+/// The slice path must reproduce the accessor oracle bit for bit, for every
+/// `VECTOR_SIZE` (padded last chunk included) and both schemes.
+#[test]
+fn slice_path_is_bitwise_identical_to_accessor_oracle() {
+    // 3x3x5 = 45 elements: vs=8 leaves a 5-element padded chunk, vs=32 a
+    // 13-element one, vs=64 pads more than half the single chunk.
+    let mesh = cavity(3, 3, 5);
+    let (velocity, pressure) = flow_state(&mesh);
+    for vs in VECTOR_SIZES {
+        for semi_implicit in [true, false] {
+            let mut config = KernelConfig::new(vs, OptLevel::Vec1);
+            config.semi_implicit = semi_implicit;
+            let asm = NastinAssembly::new(mesh.clone(), config);
+            let mut ws = ElementWorkspace::new(vs);
+            let mut matrix_a = asm.new_matrix();
+            let mut matrix_s = asm.new_matrix();
+            let n = 3 * mesh.num_nodes();
+            let (mut rhs_a, mut rhs_s) = (vec![0.0; n], vec![0.0; n]);
+            let stats_a =
+                asm.assemble_into(&velocity, &pressure, &mut matrix_a, &mut rhs_a, &mut ws);
+            let stats_s =
+                asm.assemble_into_slices(&velocity, &pressure, &mut matrix_s, &mut rhs_s, &mut ws);
+            assert_eq!(stats_a, stats_s, "vs={vs} semi={semi_implicit}");
+            assert_bitwise(&rhs_a, &rhs_s, &format!("rhs vs={vs} semi={semi_implicit}"));
+            assert_bitwise(
+                matrix_a.values(),
+                matrix_s.values(),
+                &format!("matrix vs={vs} semi={semi_implicit}"),
+            );
+        }
+    }
+}
+
+/// The parallel path must be bitwise identical across thread counts
+/// {1, 2, 4} for every `VECTOR_SIZE`, and must match the serial accessor
+/// oracle to rounding accuracy.
+#[test]
+fn parallel_path_is_reproducible_and_matches_oracle() {
+    let mesh = cavity(4, 4, 4);
+    let (velocity, pressure) = flow_state(&mesh);
+    for vs in VECTOR_SIZES {
+        let asm = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, OptLevel::Vec1));
+        let oracle = asm.assemble(&velocity, &pressure);
+        let reference = asm.assemble_parallel(&velocity, &pressure, 1);
+        assert_eq!(reference.stats.elements, oracle.stats.elements);
+        assert_close(&oracle.rhs, &reference.rhs, 1e-11, &format!("rhs vs={vs}"));
+        assert_close(
+            oracle.matrix.values(),
+            reference.matrix.values(),
+            1e-11,
+            &format!("matrix vs={vs}"),
+        );
+        for threads in [2usize, 4] {
+            let out = asm.assemble_parallel(&velocity, &pressure, threads);
+            assert_eq!(out.stats.elements, oracle.stats.elements);
+            assert_eq!(out.stats.singular_jacobians, 0);
+            assert_bitwise(&reference.rhs, &out.rhs, &format!("rhs vs={vs} threads={threads}"));
+            assert_bitwise(
+                reference.matrix.values(),
+                out.matrix.values(),
+                &format!("matrix vs={vs} threads={threads}"),
+            );
+        }
+    }
+}
+
+/// The solved flow must not care which path assembled the system.
+#[test]
+fn solver_result_is_path_independent() {
+    let mesh = cavity(3, 3, 3);
+    let (velocity, pressure) = flow_state(&mesh);
+    let asm = NastinAssembly::new(mesh.clone(), KernelConfig::new(16, OptLevel::Vec1));
+    let mut serial = asm.assemble(&velocity, &pressure);
+    let mut parallel = asm.assemble_parallel(&velocity, &pressure, 4);
+    asm.apply_dirichlet(&mut serial.matrix, &mut serial.rhs);
+    asm.apply_dirichlet(&mut parallel.matrix, &mut parallel.rhs);
+    let n = mesh.num_nodes();
+    let b_serial: Vec<f64> = (0..n).map(|i| serial.rhs[3 * i]).collect();
+    let b_parallel: Vec<f64> = (0..n).map(|i| parallel.rhs[3 * i]).collect();
+    let x_serial =
+        lv_solver::bicgstab(&serial.matrix, &b_serial, &lv_solver::SolveOptions::default())
+            .unwrap();
+    let x_parallel =
+        lv_solver::bicgstab(&parallel.matrix, &b_parallel, &lv_solver::SolveOptions::default())
+            .unwrap();
+    assert!(x_serial.final_residual() < 1e-8);
+    assert!(x_parallel.final_residual() < 1e-8);
+    assert_close(&x_serial.solution, &x_parallel.solution, 1e-6, "solution");
+}
+
+/// Coloring validity: no two elements of a color share a node, no two
+/// chunks of a color share a node, and the chunking covers the mesh.
+#[test]
+fn coloring_invariants_hold_across_meshes_and_vector_sizes() {
+    for mesh in [cavity(4, 4, 4), cavity(5, 3, 2), cavity(2, 2, 2)] {
+        let coloring = ElementColoring::greedy(&mesh);
+        let problems = coloring.validate(&mesh);
+        assert!(problems.is_empty(), "{problems:?}");
+        for vs in VECTOR_SIZES {
+            let chunks = ColoredChunks::new(&coloring, vs);
+            let problems = chunks.validate(&mesh);
+            assert!(problems.is_empty(), "vs={vs}: {problems:?}");
+            assert_eq!(chunks.num_elements(), mesh.num_elements());
+        }
+    }
+}
+
+/// The mesh-order chunking and the colored chunking cover the same element
+/// set (sanity link between the two schedules).
+#[test]
+fn colored_schedule_covers_the_mesh_order_schedule() {
+    let mesh = cavity(4, 3, 3);
+    let coloring = ElementColoring::greedy(&mesh);
+    let colored = ColoredChunks::new(&coloring, 16);
+    let chunks = ElementChunks::new(&mesh, 16);
+    let mut from_colored: Vec<usize> =
+        (0..colored.num_chunks()).flat_map(|c| colored.slots(c).elements.to_vec()).collect();
+    let mut from_order: Vec<usize> = chunks.iter().flat_map(|c| c.elements()).collect();
+    from_colored.sort_unstable();
+    from_order.sort_unstable();
+    assert_eq!(from_colored, from_order);
+}
+
+/// A workspace full of stale garbage (poisoned, then merely `reset`) must
+/// assemble to bitwise-identical results: phases 1–5 fully overwrite their
+/// arrays and `reset` clears the accumulators.
+#[test]
+fn stale_workspace_produces_identical_results() {
+    let mesh = cavity(3, 3, 3);
+    let (velocity, pressure) = flow_state(&mesh);
+    let asm = NastinAssembly::new(mesh.clone(), KernelConfig::new(8, OptLevel::Vec1));
+    let n = 3 * mesh.num_nodes();
+
+    let mut fresh_ws = ElementWorkspace::new(8);
+    let mut fresh_matrix = asm.new_matrix();
+    let mut fresh_rhs = vec![0.0; n];
+    asm.assemble_into(&velocity, &pressure, &mut fresh_matrix, &mut fresh_rhs, &mut fresh_ws);
+
+    for poison in [f64::NAN, 1e300, -3.5] {
+        for use_slices in [false, true] {
+            let mut ws = ElementWorkspace::new(8);
+            ws.poison(poison);
+            let mut matrix = asm.new_matrix();
+            let mut rhs = vec![0.0; n];
+            if use_slices {
+                asm.assemble_into_slices(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws);
+            } else {
+                asm.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut ws);
+            }
+            assert_bitwise(&fresh_rhs, &rhs, &format!("rhs poison={poison} slices={use_slices}"));
+            assert_bitwise(
+                fresh_matrix.values(),
+                matrix.values(),
+                &format!("matrix poison={poison} slices={use_slices}"),
+            );
+        }
+    }
+}
+
+/// Degenerate scheduling edge cases: more threads than chunks, a mesh
+/// smaller than one chunk, and VECTOR_SIZE=1.
+#[test]
+fn parallel_path_handles_degenerate_schedules() {
+    let mesh = cavity(2, 2, 2); // 8 elements -> 8 colors of 1 element each
+    let (velocity, pressure) = flow_state(&mesh);
+    for vs in [1usize, 64] {
+        let asm = NastinAssembly::new(mesh.clone(), KernelConfig::new(vs, OptLevel::Vec1));
+        let oracle = asm.assemble(&velocity, &pressure);
+        let out = asm.assemble_parallel(&velocity, &pressure, 8);
+        assert_eq!(out.stats.elements, 8);
+        assert_close(&oracle.rhs, &out.rhs, 1e-12, "rhs");
+    }
+}
