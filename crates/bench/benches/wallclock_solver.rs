@@ -1,13 +1,43 @@
-//! Criterion wall-clock benchmark of the sparse-solver substrate: SpMV and
-//! the two Krylov solvers on a system assembled by the mini-app.
+//! Criterion wall-clock benchmark of the sparse-solver substrate — and the
+//! **serial-vs-parallel solver comparison** behind `BENCH_solver.json`.
+//!
+//! Two parts:
+//!
+//! 1. the classic Criterion groups: SpMV and the two Krylov solvers on a
+//!    system assembled by the mini-app, serial;
+//! 2. the [`SolverComparison`]: SpMV, CG and BiCGSTAB timed serially and on
+//!    shared worker teams, with built-in validation that every pooled run
+//!    reproduces the serial oracle **bit for bit** (solution, iteration
+//!    count and residual history — the deterministic-kernels contract of
+//!    `lv_solver::parallel`).  The comparison is written to
+//!    `BENCH_solver.json` at the workspace root (override with
+//!    `LV_BENCH_SOLVER_JSON`), the second perf-trajectory artifact CI
+//!    uploads and gates on.
+//!
+//! `LV_BENCH_QUICK=1` shrinks the mesh and repetition count so the whole
+//! bench fits in a CI minute.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lv_core::solverbench::{pressure_poisson, solver_comparisons_to_json, SolverComparison};
 use lv_kernel::{KernelConfig, NastinAssembly, OptLevel};
-use lv_mesh::{BoxMeshBuilder, Field, Vec3, VectorField};
+use lv_mesh::{BoxMeshBuilder, Field, Mesh, Vec3, VectorField};
 use lv_solver::{bicgstab, conjugate_gradient, SolveOptions};
 
+fn quick_mode() -> bool {
+    std::env::var("LV_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench_mesh() -> Mesh {
+    // The solve is BLAS-1/SpMV bound, so the mesh is chosen for system rows
+    // (nodes), not elements: 16^3 elements = 4913 rows / ~118k nnz.  Quick
+    // mode keeps the same mesh and only trims repetitions — a smaller
+    // system would leave each rank's BLAS-1 share comparable to the
+    // dispatch cost, and the CI perf gate would ride on scheduler noise.
+    BoxMeshBuilder::new(16, 16, 16).lid_driven_cavity().build()
+}
+
 fn solver_benchmarks(c: &mut Criterion) {
-    let mesh = BoxMeshBuilder::new(10, 10, 10).lid_driven_cavity().build();
+    let mesh = bench_mesh();
     let mut velocity = VectorField::taylor_green(&mesh);
     velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
     let pressure = Field::zeros(&mesh);
@@ -21,15 +51,47 @@ fn solver_benchmarks(c: &mut Criterion) {
 
     c.bench_function("spmv", |bench| bench.iter(|| out.matrix.spmv(&x, &mut y)));
 
-    let options =
-        SolveOptions { max_iterations: 500, tolerance: 1e-8, jacobi_preconditioner: true };
+    let options = SolveOptions { max_iterations: 500, tolerance: 1e-8, ..Default::default() };
     c.bench_function("bicgstab_momentum", |bench| {
         bench.iter(|| bicgstab(&out.matrix, &b, &options).expect("solve"))
     });
-    c.bench_function("cg_momentum", |bench| {
-        bench.iter(|| conjugate_gradient(&out.matrix, &b, &options))
+    let poisson = pressure_poisson(&out.matrix);
+    c.bench_function("cg_pressure", |bench| {
+        bench.iter(|| conjugate_gradient(&poisson, &b, &options).expect("solve"))
     });
 }
 
-criterion_group!(benches, solver_benchmarks);
+/// The serial-vs-pooled solver comparison, validated bitwise and exported
+/// as `BENCH_solver.json`.
+fn solver_path_comparison(_c: &mut Criterion) {
+    let mesh = bench_mesh();
+    // Min-of-5 even in quick mode: the gate compares these numbers against
+    // a 1.0x floor, so single-outlier noise must not decide CI.
+    let repetitions = if quick_mode() { 5 } else { 10 };
+    let thread_counts = [1usize, 2, 4];
+
+    println!("\n=== solver path comparison (serial vs shared-pool parallel) ===");
+    println!(
+        "workload: {} hexahedral elements, threads {:?}, min of {} reps\n",
+        mesh.num_elements(),
+        thread_counts,
+        repetitions
+    );
+    let config = KernelConfig::new(240, OptLevel::Vec1);
+    let comparison = SolverComparison::measure(&mesh, config, &thread_counts, repetitions);
+    print!("{}", comparison.to_text());
+
+    let host_threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let json = solver_comparisons_to_json(host_threads, &[comparison]);
+    let path = std::env::var("LV_BENCH_SOLVER_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => println!("\ncould not write {path}: {err}"),
+    }
+}
+
+criterion_group!(benches, solver_benchmarks, solver_path_comparison);
 criterion_main!(benches);

@@ -28,10 +28,12 @@ pub mod codesign;
 pub mod experiment;
 pub mod numeric;
 pub mod reproduce;
+pub mod solverbench;
 
 pub use codesign::{run_codesign_loop, CodesignReport, CodesignStep};
 pub use experiment::{RunKey, Runner, SweepConfig};
 pub use numeric::{comparisons_to_json, PathComparison, PathMeasurement};
+pub use solverbench::{solver_comparisons_to_json, SolverComparison, SolverMeasurement};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
@@ -39,6 +41,7 @@ pub mod prelude {
     pub use crate::experiment::{RunKey, Runner, SweepConfig};
     pub use crate::numeric::PathComparison;
     pub use crate::reproduce;
+    pub use crate::solverbench::SolverComparison;
     pub use lv_kernel::{KernelConfig, NastinAssembly, NumericPath, OptLevel, SimulatedMiniApp};
     pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};
     pub use lv_metrics::{RunMetrics, Table};

@@ -96,26 +96,37 @@ impl PathComparison {
         let mut measurements = Vec::new();
 
         for path in paths {
+            // The pooled path reuses one team across the repetitions — the
+            // spawn/join of a transient pool must not sit inside the timed
+            // region (nor would it in a real time-step loop).
+            let team = match path {
+                NumericPath::Parallel { threads } => {
+                    Some(lv_runtime::Team::new(threads.min(workspaces.len())))
+                }
+                _ => None,
+            };
+            let sweep = |matrix: &mut _, rhs: &mut [f64], workspaces: &mut Vec<_>| match &team {
+                Some(team) => {
+                    let workers = team.num_threads();
+                    assembly.assemble_parallel_into_on(
+                        team,
+                        &velocity,
+                        &pressure,
+                        matrix,
+                        rhs,
+                        &mut workspaces[..workers],
+                    )
+                }
+                None => {
+                    assembly.assemble_into_with(path, &velocity, &pressure, matrix, rhs, workspaces)
+                }
+            };
             // One untimed run for warm-up and correctness capture.
-            assembly.assemble_into_with(
-                path,
-                &velocity,
-                &pressure,
-                &mut matrix,
-                &mut rhs,
-                &mut workspaces,
-            );
+            sweep(&mut matrix, &mut rhs, &mut workspaces);
             let mut seconds = f64::INFINITY;
             for _ in 0..repetitions {
                 let start = Instant::now();
-                assembly.assemble_into_with(
-                    path,
-                    &velocity,
-                    &pressure,
-                    &mut matrix,
-                    &mut rhs,
-                    &mut workspaces,
-                );
+                sweep(&mut matrix, &mut rhs, &mut workspaces);
                 seconds = seconds.min(start.elapsed().as_secs_f64());
             }
 

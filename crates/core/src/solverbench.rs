@@ -1,0 +1,404 @@
+//! Wall-clock comparison driver for the serial vs pooled Krylov solvers.
+//!
+//! The solver-side sibling of [`crate::numeric`]: assembles a cavity system
+//! with the mini-app, then times SpMV, CG and BiCGSTAB serially and on
+//! worker teams of the requested sizes.  BiCGSTAB (and the SpMV probe) run
+//! on the assembled non-symmetric momentum matrix; CG runs on the
+//! pressure-like SPD graph Laplacian built on the same mesh sparsity —
+//! the two system kinds a Navier–Stokes time step actually solves.
+//! Like the assembly comparison, every
+//! timed parallel run is validated first — here the contract is *stronger*
+//! than the assembly one: the deterministic kernels of
+//! [`lv_solver::parallel`] make solutions, iteration counts and residual
+//! histories **bitwise identical** to the serial oracle for every thread
+//! count, and the comparison panics on the first deviating bit.  It is the
+//! engine behind the `wallclock_solver` bench and the committed
+//! `BENCH_solver.json` perf-trajectory artifact.
+
+use lv_kernel::{KernelConfig, NastinAssembly};
+use lv_mesh::{Field, Mesh, VectorField};
+use lv_runtime::Team;
+use lv_solver::{
+    bicgstab_on, conjugate_gradient_on, CsrMatrix, SolveOptions, SolveOutcome, VectorOps,
+};
+use std::time::Instant;
+
+/// Timing (and correctness) of one solver method at one thread count.
+#[derive(Debug, Clone)]
+pub struct SolverMeasurement {
+    /// `"spmv"`, `"cg"` or `"bicgstab"`.
+    pub method: &'static str,
+    /// Worker threads (1 = the serial oracle).
+    pub threads: usize,
+    /// Minimum wall-clock seconds across the repetitions (one full solve,
+    /// or one SpMV).
+    pub seconds: f64,
+    /// Speed-up with respect to the serial run of the same method.
+    pub speedup: f64,
+    /// Iterations of the solve (0 for `spmv`).
+    pub iterations: usize,
+    /// Final relative residual of the solve (0 for `spmv`).
+    pub final_residual: f64,
+    /// Whether solution, iteration count and residual history matched the
+    /// serial oracle bit for bit (trivially true for the oracle itself).
+    pub bitwise_equal: bool,
+}
+
+/// Result of a full serial-vs-parallel solver comparison on one mesh.
+#[derive(Debug, Clone)]
+pub struct SolverComparison {
+    /// Rows of the solved system (mesh nodes).
+    pub rows: usize,
+    /// Stored non-zeros of the system matrix.
+    pub nnz: usize,
+    /// Elements of the workload mesh.
+    pub elements: usize,
+    /// Repetitions each measurement was timed for.
+    pub repetitions: usize,
+    /// Per-(method, threads) measurements, serial first within each method.
+    pub measurements: Vec<SolverMeasurement>,
+}
+
+fn assert_bitwise_outcome(oracle: &SolveOutcome, got: &SolveOutcome, what: &str) {
+    assert_eq!(got.iterations, oracle.iterations, "{what}: iteration count diverged");
+    assert_eq!(
+        got.residual_history.len(),
+        oracle.residual_history.len(),
+        "{what}: history length diverged"
+    );
+    for (a, b) in oracle.residual_history.iter().zip(&got.residual_history) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: residual history diverged ({a} vs {b})");
+    }
+    for (a, b) in oracle.solution.iter().zip(&got.solution) {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: solution diverged ({a} vs {b})");
+    }
+}
+
+/// The pressure-like SPD operator on a given sparsity pattern: a shifted
+/// graph Laplacian (off-diagonals −1, diagonal = neighbour count + 1).
+/// Strictly diagonally dominant with positive diagonal, hence symmetric
+/// positive definite — the guaranteed-convergence workload for CG, standing
+/// in for the pressure Poisson solve of a fractional-step scheme.
+pub fn pressure_poisson(template: &CsrMatrix) -> CsrMatrix {
+    let mut m = CsrMatrix::from_pattern(template.row_ptr().to_vec(), template.col_idx().to_vec());
+    let n = m.dim();
+    let (row_ptr, col_idx, values) = m.pattern_and_values_mut();
+    for row in 0..n {
+        let start = row_ptr[row];
+        let end = row_ptr[row + 1];
+        for k in start..end {
+            values[k] = if col_idx[k] == row { (end - start) as f64 } else { -1.0 };
+        }
+    }
+    m
+}
+
+impl SolverComparison {
+    /// Runs the comparison on the systems built from `mesh` under `config`
+    /// (the assembled momentum matrix for SpMV/BiCGSTAB, the SPD graph
+    /// Laplacian on the same pattern for CG): serial oracles, then one
+    /// measurement per entry of `thread_counts` on a team of that size (one
+    /// team per count, reused across the methods — the pooled path), each
+    /// validated bitwise against its oracle.
+    ///
+    /// # Panics
+    /// Panics if any parallel run deviates from the serial oracle in any
+    /// bit of the solution, the residual history or the iteration count.
+    pub fn measure(
+        mesh: &Mesh,
+        config: KernelConfig,
+        thread_counts: &[usize],
+        repetitions: usize,
+    ) -> Self {
+        assert!(repetitions > 0, "need at least one repetition");
+        let assembly = NastinAssembly::new(mesh.clone(), config);
+        let mut velocity = VectorField::taylor_green(mesh);
+        velocity.apply_boundary_conditions(
+            mesh,
+            lv_mesh::Vec3::new(1.0, 0.0, 0.0),
+            lv_mesh::Vec3::ZERO,
+        );
+        let pressure = Field::from_fn(mesh, |p| p.x * p.y - 0.5 * p.z);
+        let mut out = assembly.assemble(&velocity, &pressure);
+        assembly.apply_dirichlet(&mut out.matrix, &mut out.rhs);
+        let matrix = out.matrix;
+        let poisson = pressure_poisson(&matrix);
+        let n = mesh.num_nodes();
+        let b: Vec<f64> = (0..n).map(|i| out.rhs[3 * i]).collect();
+        let options = SolveOptions { max_iterations: 2000, tolerance: 1e-8, ..Default::default() };
+
+        let mut measurements = Vec::new();
+
+        // --- serial oracles ---------------------------------------------
+        let x_probe: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) % 31) as f64 / 31.0 - 0.5).collect();
+        let mut y_oracle = vec![0.0; n];
+        let spmv_serial = time_min(repetitions, || {
+            VectorOps::serial().spmv(&matrix, &x_probe, &mut y_oracle);
+        });
+        measurements.push(SolverMeasurement {
+            method: "spmv",
+            threads: 1,
+            seconds: spmv_serial,
+            speedup: 1.0,
+            iterations: 0,
+            final_residual: 0.0,
+            bitwise_equal: true,
+        });
+
+        let mut cg_oracle: Option<SolveOutcome> = None;
+        let cg_serial = time_min(repetitions, || {
+            cg_oracle = Some(
+                lv_solver::conjugate_gradient(&poisson, &b, &options)
+                    .expect("serial CG must converge on the SPD pressure system"),
+            );
+        });
+        let cg_oracle = cg_oracle.unwrap();
+        measurements.push(SolverMeasurement {
+            method: "cg",
+            threads: 1,
+            seconds: cg_serial,
+            speedup: 1.0,
+            iterations: cg_oracle.iterations,
+            final_residual: cg_oracle.final_residual(),
+            bitwise_equal: true,
+        });
+
+        let mut bi_oracle: Option<SolveOutcome> = None;
+        let bi_serial = time_min(repetitions, || {
+            bi_oracle = Some(
+                lv_solver::bicgstab(&matrix, &b, &options)
+                    .expect("serial BiCGSTAB must converge on the assembled system"),
+            );
+        });
+        let bi_oracle = bi_oracle.unwrap();
+        measurements.push(SolverMeasurement {
+            method: "bicgstab",
+            threads: 1,
+            seconds: bi_serial,
+            speedup: 1.0,
+            iterations: bi_oracle.iterations,
+            final_residual: bi_oracle.final_residual(),
+            bitwise_equal: true,
+        });
+
+        // --- pooled runs -------------------------------------------------
+        for &threads in thread_counts {
+            let threads = threads.max(1);
+            if threads == 1 {
+                continue; // that is the oracle row
+            }
+            let team = Team::new(threads);
+
+            let mut y = vec![0.0; n];
+            let seconds = time_min(repetitions, || {
+                VectorOps::on_team(&team).spmv(&matrix, &x_probe, &mut y);
+            });
+            let bitwise = y_oracle.iter().zip(&y).all(|(a, c)| a.to_bits() == c.to_bits());
+            assert!(bitwise, "parallel SpMV ({threads} threads) deviated from the serial oracle");
+            measurements.push(SolverMeasurement {
+                method: "spmv",
+                threads,
+                seconds,
+                speedup: spmv_serial / seconds,
+                iterations: 0,
+                final_residual: 0.0,
+                bitwise_equal: bitwise,
+            });
+
+            let mut cg: Option<SolveOutcome> = None;
+            let seconds = time_min(repetitions, || {
+                cg = Some(
+                    conjugate_gradient_on(&team, &poisson, &b, &options)
+                        .expect("pooled CG must converge on the SPD pressure system"),
+                );
+            });
+            let cg = cg.unwrap();
+            assert_bitwise_outcome(&cg_oracle, &cg, &format!("CG at {threads} threads"));
+            measurements.push(SolverMeasurement {
+                method: "cg",
+                threads,
+                seconds,
+                speedup: cg_serial / seconds,
+                iterations: cg.iterations,
+                final_residual: cg.final_residual(),
+                bitwise_equal: true,
+            });
+
+            let mut bi: Option<SolveOutcome> = None;
+            let seconds = time_min(repetitions, || {
+                bi = Some(
+                    bicgstab_on(&team, &matrix, &b, &options)
+                        .expect("pooled BiCGSTAB must converge on the assembled system"),
+                );
+            });
+            let bi = bi.unwrap();
+            assert_bitwise_outcome(&bi_oracle, &bi, &format!("BiCGSTAB at {threads} threads"));
+            measurements.push(SolverMeasurement {
+                method: "bicgstab",
+                threads,
+                seconds,
+                speedup: bi_serial / seconds,
+                iterations: bi.iterations,
+                final_residual: bi.final_residual(),
+                bitwise_equal: true,
+            });
+        }
+
+        SolverComparison {
+            rows: matrix.dim(),
+            nnz: matrix.nnz(),
+            elements: mesh.num_elements(),
+            repetitions,
+            measurements,
+        }
+    }
+
+    /// The measurement of `(method, threads)`, if present.
+    pub fn measurement(&self, method: &str, threads: usize) -> Option<&SolverMeasurement> {
+        self.measurements.iter().find(|m| m.method == method && m.threads == threads)
+    }
+
+    /// Best parallel speed-up of a method across the measured thread counts
+    /// (NaN when only the serial row exists).
+    pub fn best_parallel_speedup(&self, method: &str) -> f64 {
+        self.measurements
+            .iter()
+            .filter(|m| m.method == method && m.threads > 1)
+            .map(|m| m.speedup)
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// One JSON object per comparison (hand-rolled: the offline `serde_json`
+    /// shim cannot serialize).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"rows\": {}, \"nnz\": {}, \"elements\": {}, \"repetitions\": {}, \"cases\": [",
+            self.rows, self.nnz, self.elements, self.repetitions
+        ));
+        for (i, m) in self.measurements.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"method\": \"{}\", \"threads\": {}, \"seconds\": {:.9}, \
+                 \"speedup\": {:.4}, \"iterations\": {}, \"final_residual\": {:e}, \
+                 \"bitwise_equal\": {}}}",
+                m.method,
+                m.threads,
+                m.seconds,
+                m.speedup,
+                m.iterations,
+                m.final_residual,
+                m.bitwise_equal
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aligned human-readable table of the comparison.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{} rows, {} nnz ({} elements, min of {} reps)\n",
+            self.rows, self.nnz, self.elements, self.repetitions
+        );
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "  {:<9} {:>2}t {:>10.3} ms  {:>6.2}x  {}\n",
+                m.method,
+                m.threads,
+                m.seconds * 1e3,
+                m.speedup,
+                if m.iterations > 0 {
+                    format!(
+                        "{} iters, residual {:.2e} (bitwise == serial)",
+                        m.iterations, m.final_residual
+                    )
+                } else {
+                    "bitwise == serial".to_string()
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Minimum wall-clock seconds of `f` across `repetitions` runs (minimum,
+/// not mean: the work is deterministic, so the minimum is the least-noise
+/// estimator).
+fn time_min(repetitions: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up run.
+    f();
+    let mut seconds = f64::INFINITY;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        f();
+        seconds = seconds.min(start.elapsed().as_secs_f64());
+    }
+    seconds
+}
+
+/// Serializes a set of solver comparisons as the `BENCH_solver.json`
+/// document.
+pub fn solver_comparisons_to_json(host_threads: usize, comparisons: &[SolverComparison]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"wallclock_solver\",\n  \"host_threads\": {host_threads},\n"
+    ));
+    out.push_str("  \"comparisons\": [\n");
+    for (i, c) in comparisons.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&c.to_json());
+        out.push_str(if i + 1 < comparisons.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_kernel::OptLevel;
+    use lv_mesh::BoxMeshBuilder;
+
+    fn small_comparison() -> SolverComparison {
+        let mesh = BoxMeshBuilder::new(5, 5, 5).lid_driven_cavity().with_jitter(0.1, 7).build();
+        SolverComparison::measure(&mesh, KernelConfig::new(64, OptLevel::Vec1), &[1, 2], 1)
+    }
+
+    #[test]
+    fn comparison_validates_and_reports_every_method() {
+        let c = small_comparison();
+        // serial spmv/cg/bicgstab + parallel-2t spmv/cg/bicgstab
+        assert_eq!(c.measurements.len(), 6);
+        assert_eq!(c.elements, 125);
+        assert_eq!(c.rows, 216);
+        for m in &c.measurements {
+            assert!(m.seconds > 0.0 && m.seconds.is_finite(), "{} {}t", m.method, m.threads);
+            assert!(m.speedup > 0.0);
+            assert!(m.bitwise_equal, "{} at {}t must match the oracle", m.method, m.threads);
+        }
+        let cg2 = c.measurement("cg", 2).unwrap();
+        let cg1 = c.measurement("cg", 1).unwrap();
+        assert_eq!(cg2.iterations, cg1.iterations);
+        assert!(cg2.final_residual < 1e-8);
+        assert!(c.best_parallel_speedup("cg") > 0.0);
+    }
+
+    #[test]
+    fn json_and_text_render_without_serde() {
+        let c = small_comparison();
+        let json = c.to_json();
+        assert!(json.contains("\"method\": \"cg\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"bitwise_equal\": true"));
+        let doc = solver_comparisons_to_json(4, std::slice::from_ref(&c));
+        assert!(doc.contains("\"bench\": \"wallclock_solver\""));
+        assert!(doc.contains("\"host_threads\": 4"));
+        let text = c.to_text();
+        assert!(text.contains("bitwise == serial"));
+        assert!(text.contains("bicgstab"));
+    }
+}

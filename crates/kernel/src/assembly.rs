@@ -111,7 +111,10 @@ impl NastinAssembly {
         );
         let shape = ShapeTable::new(ElementKind::Hex8, &GaussRule::hex_2x2x2());
         let chunks = ElementChunks::new(&mesh, config.vector_size);
-        let coloring = ElementColoring::greedy(&mesh);
+        // Balanced coloring keeps the per-color chunk counts even, so the
+        // parallel sweep's trailing chunks do not idle workers (greedy
+        // first-fit stays around as the validity oracle in lv-mesh).
+        let coloring = ElementColoring::balanced(&mesh);
         let colored = ColoredChunks::new(&coloring, config.vector_size);
         let (row_ptr, col_idx) = mesh.node_graph_csr();
         NastinAssembly { mesh, config, shape, chunks, coloring, colored, row_ptr, col_idx }
@@ -226,9 +229,13 @@ impl NastinAssembly {
     }
 
     /// Runs the full assembly through the **mesh-colored parallel path**:
-    /// slice-view kernels over the colored schedule, one scoped worker
-    /// thread per workspace in `workspaces`, scattering into the shared
-    /// system without atomics (see [`lv_mesh::coloring`]).
+    /// slice-view kernels over the colored schedule, one worker per
+    /// workspace in `workspaces`, scattering into the shared system without
+    /// atomics (see [`lv_mesh::coloring`]).  Spawns a transient
+    /// [`lv_runtime::Team`] sized to `workspaces`; a time-step loop that
+    /// also solves should use
+    /// [`assemble_parallel_into_on`](Self::assemble_parallel_into_on) with
+    /// its own persistent team instead.
     ///
     /// The result is bitwise identical for every worker count and agrees
     /// with the serial paths to rounding accuracy (the colored schedule
@@ -241,9 +248,30 @@ impl NastinAssembly {
         rhs: &mut [f64],
         workspaces: &mut [ElementWorkspace],
     ) -> AssemblyStats {
+        let team = lv_runtime::Team::new(workspaces.len());
+        self.assemble_parallel_into_on(&team, velocity, pressure, matrix, rhs, workspaces)
+    }
+
+    /// [`assemble_parallel_into`](Self::assemble_parallel_into) on a
+    /// caller-provided worker team — the shared-pool path: the same team
+    /// runs the colored assembly sweep *and* the Krylov solves of a time
+    /// step, so workers are spawned once per run instead of once per sweep.
+    ///
+    /// `min(team.num_threads(), workspaces.len())` ranks assemble; the
+    /// result is bitwise identical for every worker count.
+    pub fn assemble_parallel_into_on(
+        &self,
+        team: &lv_runtime::Team,
+        velocity: &VectorField,
+        pressure: &Field,
+        matrix: &mut CsrMatrix,
+        rhs: &mut [f64],
+        workspaces: &mut [ElementWorkspace],
+    ) -> AssemblyStats {
         matrix.zero_values();
         rhs.fill(0.0);
         let partial = parallel::colored_sweep(
+            team,
             &self.mesh,
             &self.shape,
             &self.config,
@@ -534,6 +562,58 @@ mod tests {
             }
         }
         assert_eq!(NumericPath::Parallel { threads: 4 }.name(), "parallel-4t");
+    }
+
+    #[test]
+    fn shared_team_sweep_matches_transient_team_sweep_bitwise() {
+        let mesh = cavity(4);
+        let (v, p) = state(&mesh);
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(16, OptLevel::Vec1));
+        let transient = asm.assemble_parallel(&v, &p, 3);
+        let team = lv_runtime::Team::new(3);
+        let mut matrix = asm.new_matrix();
+        let mut rhs = vec![0.0; NDIME * asm.mesh().num_nodes()];
+        let mut workspaces: Vec<ElementWorkspace> =
+            (0..3).map(|_| ElementWorkspace::new(16)).collect();
+        // Two sweeps on the same pool: reuse must not change anything.
+        for _ in 0..2 {
+            let stats = asm.assemble_parallel_into_on(
+                &team,
+                &v,
+                &p,
+                &mut matrix,
+                &mut rhs,
+                &mut workspaces,
+            );
+            assert_eq!(stats.elements, transient.stats.elements);
+            for (a, b) in transient.rhs.iter().zip(&rhs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in transient.matrix.values().iter().zip(matrix.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn team_larger_than_workspace_set_is_tolerated() {
+        // Surplus ranks only keep the color barriers balanced; the schedule
+        // is still the 2-workspace one, so the result matches it bitwise.
+        let mesh = cavity(3);
+        let (v, p) = state(&mesh);
+        let asm = NastinAssembly::new(mesh, KernelConfig::new(8, OptLevel::Vec1));
+        let reference = asm.assemble_parallel(&v, &p, 2);
+        let team = lv_runtime::Team::new(5);
+        let mut matrix = asm.new_matrix();
+        let mut rhs = vec![0.0; NDIME * asm.mesh().num_nodes()];
+        let mut workspaces: Vec<ElementWorkspace> =
+            (0..2).map(|_| ElementWorkspace::new(8)).collect();
+        let stats =
+            asm.assemble_parallel_into_on(&team, &v, &p, &mut matrix, &mut rhs, &mut workspaces);
+        assert_eq!(stats.elements, 27);
+        for (a, b) in reference.rhs.iter().zip(&rhs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Mesh-colored multi-threaded assembly.
+//! Mesh-colored multi-threaded assembly on the shared worker pool.
 //!
 //! The parallel sweep processes the colors of a [`ColoredChunks`] schedule
 //! sequentially and the chunks *within* a color concurrently: the coloring
@@ -8,23 +8,26 @@
 //!
 //! Each worker owns one [`ElementWorkspace`] for the whole sweep (the
 //! "workhorse collection" idiom, one per thread) and runs the slice-view
-//! phases on its chunks.  The workers are spawned **once per sweep** inside
-//! a `std::thread::scope` and separated color-from-color by a
-//! `std::sync::Barrier` (no per-color spawn cost); the borrow checker
-//! proves every borrow of the mesh, fields and schedule outlives the
-//! workers, and the unsafe disjoint-row scatter is isolated in
-//! [`SharedSystem`] with the coloring invariant spelled out.
+//! phases on its chunks.  The sweep runs as **one job on an
+//! [`lv_runtime::Team`]** — the persistent pool the Krylov solvers share —
+//! with [`Team::barrier`] separating the colors (every scatter of color `c`
+//! must land before any chunk of color `c+1` starts).  A time-step loop
+//! spawns its workers once and reuses them for every assembly *and* every
+//! solve; the per-sweep `std::thread::scope` spawn of PR 2 is gone.  The
+//! unsafe disjoint-row scatter is isolated in [`SharedSystem`] with the
+//! coloring invariant spelled out.
 //!
 //! ## Determinism
 //!
 //! The schedule (color order, chunk order within a color, slot order within
-//! a chunk) is fixed, and concurrent chunks touch disjoint accumulators, so
-//! the result is **bitwise identical for every thread count**.  With respect
-//! to the *mesh-order serial* sweep the colored schedule permutes the
-//! element order, which changes the floating-point summation order: results
-//! agree to rounding accuracy (~1e-12 relative), not bit for bit — the same
-//! trade every colored/atomic-free assembly makes (OP2, Alya's own OpenMP
-//! path).
+//! a chunk) is fixed, the chunk→worker split is the static
+//! [`lv_runtime::partition`], and concurrent chunks touch disjoint
+//! accumulators, so the result is **bitwise identical for every thread
+//! count**.  With respect to the *mesh-order serial* sweep the colored
+//! schedule permutes the element order, which changes the floating-point
+//! summation order: results agree to rounding accuracy (~1e-12 relative),
+//! not bit for bit — the same trade every colored/atomic-free assembly
+//! makes (OP2, Alya's own OpenMP path).
 
 use crate::config::KernelConfig;
 use crate::phases;
@@ -32,6 +35,7 @@ use crate::workspace::ElementWorkspace;
 use crate::NDIME;
 use lv_mesh::coloring::ColoredChunks;
 use lv_mesh::{Field, Mesh, ShapeTable, VectorField};
+use lv_runtime::{partition, SharedSliceMut, Team};
 use lv_solver::CsrMatrix;
 
 /// Per-worker partial assembly statistics.
@@ -164,14 +168,18 @@ fn assemble_chunk_shared(
     singular
 }
 
-/// The colored parallel sweep: processes every color of `schedule`
-/// sequentially, splitting the chunks of each color across the workers'
-/// workspaces (one scoped thread per workspace).
+/// The colored parallel sweep on a worker team: processes every color of
+/// `schedule` sequentially, splitting the chunks of each color across the
+/// workers' workspaces (rank `w` of `team` drives `workspaces[w]`).
 ///
-/// `matrix` and `rhs` are scattered into without zeroing — the caller owns
-/// the lifecycle, exactly like the serial `assemble_into` internals.
+/// The number of assembling workers is `min(team.num_threads(),
+/// workspaces.len())`; surplus team ranks only keep the color barriers
+/// balanced.  `matrix` and `rhs` are scattered into without zeroing — the
+/// caller owns the lifecycle, exactly like the serial `assemble_into`
+/// internals.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn colored_sweep(
+    team: &Team,
     mesh: &Mesh,
     shape: &ShapeTable,
     config: &KernelConfig,
@@ -193,12 +201,12 @@ pub(crate) fn colored_sweep(
         SharedSystem { row_ptr, col_idx, values: values.as_mut_ptr(), rhs: rhs.as_mut_ptr() };
 
     let mut stats = WorkerStats::default();
-    let num_workers = workspaces.len();
+    let num_workers = team.num_threads().min(workspaces.len());
+    let num_colors = schedule.num_colors();
     if num_workers == 1 {
-        // Single worker: identical schedule, no reason to pay the scoped
-        // spawn per color.
+        // Single worker: identical schedule, no reason to pay the dispatch.
         let ws = &mut workspaces[0];
-        for color in 0..schedule.num_colors() {
+        for color in 0..num_colors {
             for chunk_id in schedule.color_chunks(color) {
                 let slots = schedule.slots(chunk_id);
                 stats.singular_jacobians += assemble_chunk_shared(
@@ -210,44 +218,41 @@ pub(crate) fn colored_sweep(
         }
         return stats;
     }
-    // The workers are spawned once for the whole sweep; a barrier separates
+    // One job on the team for the whole sweep; `team.barrier()` separates
     // the colors (every scatter of color c must land before any chunk of
-    // color c+1 starts — `Barrier::wait` provides the synchronization
-    // edge).  A worker whose contiguous share of a color is empty still
-    // waits at the barrier.
-    let num_colors = schedule.num_colors();
-    let barrier = std::sync::Barrier::new(num_workers);
-    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(num_workers);
-        for (worker, ws) in workspaces.iter_mut().enumerate() {
-            let system = &system;
-            let barrier = &barrier;
-            handles.push(scope.spawn(move || {
-                let mut partial = WorkerStats::default();
-                for color in 0..num_colors {
-                    let chunk_ids = schedule.color_chunks(color);
-                    let chunks_in_color = chunk_ids.len();
-                    // Contiguous split of the color's chunks across the
-                    // workers.
-                    let per_worker = chunks_in_color.div_ceil(num_workers);
-                    let lo = (worker * per_worker).min(chunks_in_color);
-                    let hi = ((worker + 1) * per_worker).min(chunks_in_color);
-                    for chunk_id in chunk_ids.start + lo..chunk_ids.start + hi {
-                        let slots = schedule.slots(chunk_id);
-                        partial.singular_jacobians += assemble_chunk_shared(
-                            mesh, shape, config, h_char, velocity, pressure, slots, ws, system,
-                        );
-                        partial.chunks += 1;
-                        partial.elements += slots.len();
-                    }
-                    barrier.wait();
-                }
-                partial
-            }));
+    // color c+1 starts).  A rank whose contiguous share of a color is empty
+    // — or that has no workspace at all — still waits at each barrier.
+    let mut partials = vec![WorkerStats::default(); num_workers];
+    let partials_shared = SharedSliceMut::new(&mut partials);
+    let workspaces_shared = SharedSliceMut::new(&mut workspaces[..num_workers]);
+    team.run(&|rank| {
+        if rank >= num_workers {
+            for _ in 0..num_colors {
+                team.barrier();
+            }
+            return;
         }
-        handles.into_iter().map(|h| h.join().expect("assembly worker panicked")).collect()
+        // SAFETY: rank indices are unique, so each rank gets exclusive
+        // access to its own workspace and stats slot.
+        let ws = unsafe { workspaces_shared.index_mut(rank) };
+        let partial = unsafe { partials_shared.index_mut(rank) };
+        for color in 0..num_colors {
+            let chunk_ids = schedule.color_chunks(color);
+            // Static contiguous split of the color's chunks across the
+            // workers (same split for every run => deterministic).
+            let share = partition(chunk_ids.len(), num_workers, rank);
+            for chunk_id in chunk_ids.start + share.start..chunk_ids.start + share.end {
+                let slots = schedule.slots(chunk_id);
+                partial.singular_jacobians += assemble_chunk_shared(
+                    mesh, shape, config, h_char, velocity, pressure, slots, ws, &system,
+                );
+                partial.chunks += 1;
+                partial.elements += slots.len();
+            }
+            team.barrier();
+        }
     });
-    for partial in worker_stats {
+    for partial in partials {
         stats.chunks += partial.chunks;
         stats.elements += partial.elements;
         stats.singular_jacobians += partial.singular_jacobians;

@@ -10,7 +10,11 @@
 //! 1. [`ElementColoring::greedy`] — a first-fit greedy coloring of the
 //!    *elements* (two elements conflict when they share a node).  On a
 //!    structured hexahedral mesh this produces the classic 8 colors; on
-//!    jittered/unstructured variants a few more.
+//!    jittered/unstructured variants a few more.  [`ElementColoring::balanced`]
+//!    is the scheduling-aware variant: same conflict rule, but each element
+//!    takes the *least-populated* allowed color, which equalizes the
+//!    per-color element counts so the trailing chunks of a parallel sweep
+//!    stay balanced.  `greedy` is kept as the validity oracle.
 //! 2. [`ColoredChunks`] — each color's elements packed into `VECTOR_SIZE`
 //!    blocks.  Because any two elements of a color are node-disjoint, **all
 //!    chunks of a color are pairwise node-disjoint**, so a parallel sweep can
@@ -78,10 +82,72 @@ impl ElementColoring {
         ElementColoring { color_of, classes }
     }
 
+    /// Balance-aware greedy coloring: like [`greedy`](Self::greedy), each
+    /// element in mesh order takes a color no node-sharing neighbour holds —
+    /// but among the allowed colors it takes the **least-populated** one
+    /// (smallest index on ties), opening a new color only when every
+    /// existing one conflicts.
+    ///
+    /// First-fit packs early colors full and leaves the last colors with a
+    /// handful of elements; those short colors become the imbalanced tail
+    /// chunks of the parallel sweep (a color with 3 chunks across 4 workers
+    /// leaves one idle).  Balancing the class sizes removes that tail
+    /// without changing the validity invariant, which is the same as
+    /// `greedy`'s and checked by the same [`validate`](Self::validate).
+    ///
+    /// The choice rule is deterministic, so the coloring — and every
+    /// schedule built on it — is a pure function of the mesh.
+    ///
+    /// # Panics
+    /// Panics if more than 128 colors would be needed.
+    pub fn balanced(mesh: &Mesh) -> Self {
+        let mut used = vec![0u128; mesh.num_nodes()];
+        let mut color_of = Vec::with_capacity(mesh.num_elements());
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for elem in mesh.elements() {
+            let nodes = mesh.element_nodes(elem);
+            let mut mask = 0u128;
+            for &node in nodes {
+                mask |= used[node as usize];
+            }
+            let mut best: Option<usize> = None;
+            for color in 0..classes.len() {
+                // `map_or`, not `is_none_or`: the workspace MSRV is 1.75.
+                if mask & (1u128 << color) == 0
+                    && best.map_or(true, |b| classes[color].len() < classes[b].len())
+                {
+                    best = Some(color);
+                }
+            }
+            let color = best.unwrap_or_else(|| {
+                assert!(
+                    classes.len() < MAX_COLORS,
+                    "element coloring exceeded {MAX_COLORS} colors"
+                );
+                classes.push(Vec::new());
+                classes.len() - 1
+            });
+            for &node in nodes {
+                used[node as usize] |= 1u128 << color;
+            }
+            classes[color].push(elem);
+            color_of.push(color as u16);
+        }
+        ElementColoring { color_of, classes }
+    }
+
     /// Number of colors used.
     #[inline]
     pub fn num_colors(&self) -> usize {
         self.classes.len()
+    }
+
+    /// Spread of the per-color element counts: `max - min` over the color
+    /// classes (0 for a perfectly balanced coloring or an empty mesh).
+    pub fn class_spread(&self) -> usize {
+        let max = self.classes.iter().map(Vec::len).max().unwrap_or(0);
+        let min = self.classes.iter().map(Vec::len).min().unwrap_or(0);
+        max - min
     }
 
     /// Number of elements colored.
@@ -294,6 +360,67 @@ mod tests {
         }
         // A 1-D strip of hexes 2-colors like a path graph.
         assert_eq!(coloring.num_colors(), 2);
+    }
+
+    #[test]
+    fn balanced_coloring_is_valid_and_no_wider_than_greedy_spread() {
+        // Non-cubic boxes give first-fit uneven octant classes; the balanced
+        // variant must stay valid (greedy's validate is the shared oracle)
+        // and must not be *less* balanced.
+        for (nx, ny, nz) in [(4, 4, 4), (5, 3, 2), (7, 4, 3), (3, 3, 5)] {
+            let mesh = BoxMeshBuilder::new(nx, ny, nz).lid_driven_cavity().build();
+            let greedy = ElementColoring::greedy(&mesh);
+            let balanced = ElementColoring::balanced(&mesh);
+            let problems = balanced.validate(&mesh);
+            assert!(problems.is_empty(), "{nx}x{ny}x{nz}: {problems:?}");
+            assert_eq!(balanced.num_elements(), mesh.num_elements());
+            assert!(
+                balanced.class_spread() <= greedy.class_spread(),
+                "{nx}x{ny}x{nz}: balanced spread {} > greedy spread {}",
+                balanced.class_spread(),
+                greedy.class_spread()
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_coloring_tightens_an_actually_imbalanced_case() {
+        // 5x3x2 = 30 elements, 8 octant-parity classes: first-fit yields
+        // classes of size ceil/floor products (spread 4).  The conflict
+        // structure caps how much balancing is possible — interior elements
+        // have a single allowed color — but the boundary freedom must be
+        // spent on the short classes (strictly smaller spread).
+        let mesh = BoxMeshBuilder::new(5, 3, 2).build();
+        let greedy = ElementColoring::greedy(&mesh);
+        let balanced = ElementColoring::balanced(&mesh);
+        assert!(greedy.class_spread() > 3, "greedy spread {}", greedy.class_spread());
+        assert!(
+            balanced.class_spread() < greedy.class_spread(),
+            "balanced spread {} should beat greedy spread {}",
+            balanced.class_spread(),
+            greedy.class_spread()
+        );
+    }
+
+    #[test]
+    fn balanced_coloring_of_structured_hex_keeps_eight_colors() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        let balanced = ElementColoring::balanced(&mesh);
+        assert_eq!(balanced.num_colors(), 8);
+        assert_eq!(balanced.class_spread(), 0); // 64 elements, 8 x 8
+        assert!(balanced.validate(&mesh).is_empty());
+    }
+
+    #[test]
+    fn balanced_chunks_uphold_the_disjointness_invariant() {
+        let mesh = BoxMeshBuilder::new(6, 5, 4).lid_driven_cavity().with_jitter(0.1, 3).build();
+        let balanced = ElementColoring::balanced(&mesh);
+        for vs in [1usize, 8, 32] {
+            let chunks = ColoredChunks::new(&balanced, vs);
+            let problems = chunks.validate(&mesh);
+            assert!(problems.is_empty(), "vs={vs}: {problems:?}");
+            assert_eq!(chunks.num_elements(), mesh.num_elements());
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub mod regression;
 pub mod report;
 pub mod summary;
 
-pub use regression::{linear_regression, RegressionResult};
+pub use regression::{
+    gate_assembly_bench, gate_solver_bench, linear_regression, GateCheck, GateReport,
+    RegressionResult,
+};
 pub use report::Table;
 pub use summary::{PhaseMetrics, RunMetrics};

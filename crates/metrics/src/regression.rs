@@ -1,11 +1,21 @@
-//! Ordinary-least-squares multiple linear regression.
+//! Regression, in both senses.
 //!
-//! Table 6 of the paper explains the cycle counts of the poorly-vectorized
-//! phases (1 and 8) with a multiple linear regression against two
-//! independent variables — L1 data-cache misses per kilo-instruction and the
-//! percentage of memory instructions — and reports the coefficient of
-//! determination R² (0.903 and 0.966).  This module provides exactly that
-//! fit.
+//! **Statistical regression**: Table 6 of the paper explains the cycle
+//! counts of the poorly-vectorized phases (1 and 8) with a multiple linear
+//! regression against two independent variables — L1 data-cache misses per
+//! kilo-instruction and the percentage of memory instructions — and reports
+//! the coefficient of determination R² (0.903 and 0.966).
+//! [`linear_regression`] provides exactly that fit.
+//!
+//! **Performance regression**: the wall-clock benches commit their results
+//! as `BENCH_assembly.json` / `BENCH_solver.json` so the perf trajectory of
+//! the fast paths accumulates with the repo.  [`gate_assembly_bench`] and
+//! [`gate_solver_bench`] turn those artifacts into a CI gate: the build
+//! fails when the slice-path speedup falls below its floor or the pooled
+//! solvers stop beating the serial path on a multi-core host.  The parsers
+//! ([`parse_named_numbers`]) are deliberately tiny, scanning the specific
+//! documents the `lv-core` drivers hand-roll — the offline `serde_json`
+//! shim cannot deserialize.
 
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +128,167 @@ fn solve_small(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     x
 }
 
+// ---------------------------------------------------------------------------
+// Performance-regression gate over the committed bench artifacts.
+// ---------------------------------------------------------------------------
+
+/// Outcome of one gate check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateCheck {
+    /// What was checked.
+    pub label: String,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Human-readable evidence (measured values, thresholds, skip reasons).
+    pub detail: String,
+}
+
+/// The result of gating one bench artifact.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Individual checks, in evaluation order.
+    pub checks: Vec<GateCheck>,
+}
+
+impl GateReport {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Aligned text rendering (one line per check).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                if c.passed { "PASS" } else { "FAIL" },
+                c.label,
+                c.detail
+            ));
+        }
+        out
+    }
+
+    fn push(&mut self, label: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        self.checks.push(GateCheck { label: label.into(), passed, detail: detail.into() });
+    }
+}
+
+/// Parses the number following the first occurrence of `"key":` at or after
+/// byte `from` in `json`.  Returns the value and the byte offset just past
+/// it.  Tailored to the flat documents the `lv-core` drivers emit (no
+/// escaping or nesting games).
+fn number_after(json: &str, from: usize, key: &str) -> Option<(f64, usize)> {
+    let needle = format!("\"{key}\":");
+    let at = json[from..].find(&needle)? + from + needle.len();
+    let rest = json[at..].trim_start();
+    let skipped = json.len() - at - rest.len();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(rest.len());
+    let value: f64 = rest[..end].parse().ok()?;
+    Some((value, at + skipped + end))
+}
+
+/// Scans `json` for every occurrence of `anchor` (e.g. `"path": "slices"`)
+/// and extracts the numeric `field` that follows each within the same
+/// object.  The drivers emit fields in a fixed order with the anchor first,
+/// so "follows" is sufficient.
+pub fn parse_named_numbers(json: &str, anchor: &str, field: &str) -> Vec<f64> {
+    let mut values = Vec::new();
+    let mut from = 0;
+    while let Some(hit) = json[from..].find(anchor) {
+        let at = from + hit + anchor.len();
+        match number_after(json, at, field) {
+            Some((value, next)) => {
+                values.push(value);
+                from = next;
+            }
+            None => break,
+        }
+    }
+    values
+}
+
+/// Extracts `(threads, speedup)` for every case of `method` in a
+/// `BENCH_solver.json` document.
+fn solver_cases(json: &str, method: &str) -> Vec<(usize, f64)> {
+    let anchor = format!("\"method\": \"{method}\"");
+    let mut cases = Vec::new();
+    let mut from = 0;
+    while let Some(hit) = json[from..].find(&anchor) {
+        let at = from + hit + anchor.len();
+        let Some((threads, next)) = number_after(json, at, "threads") else { break };
+        let Some((speedup, next)) = number_after(json, next, "speedup") else { break };
+        cases.push((threads as usize, speedup));
+        from = next;
+    }
+    cases
+}
+
+/// Gates a `BENCH_assembly.json` document: every `VECTOR_SIZE` comparison
+/// must show the slice path at least `min_slice_speedup` times faster than
+/// the accessor oracle (the ROADMAP floor is 1.8× on the CI host).
+pub fn gate_assembly_bench(json: &str, min_slice_speedup: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let speedups = parse_named_numbers(json, "\"path\": \"slices\"", "speedup");
+    if speedups.is_empty() {
+        report.push("assembly slice speedup", false, "no slice-path measurements found");
+        return report;
+    }
+    let worst = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    report.push(
+        "assembly slice speedup",
+        worst >= min_slice_speedup,
+        format!(
+            "worst {worst:.2}x across {} comparison(s), floor {min_slice_speedup:.2}x",
+            speedups.len()
+        ),
+    );
+    report
+}
+
+/// Gates a `BENCH_solver.json` document: on a multi-core host, the pooled
+/// CG and BiCGSTAB must beat the serial path at some measured thread count
+/// ≥ 2 (`min_parallel_speedup` of 1.0 = "must not lose"); on a single-core
+/// host the parallel-vs-serial comparison is meaningless and is recorded as
+/// a skipped (passing) check.
+pub fn gate_solver_bench(json: &str, min_parallel_speedup: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let Some((host_threads, _)) = number_after(json, 0, "host_threads") else {
+        report.push("solver artifact", false, "no host_threads field found");
+        return report;
+    };
+    for method in ["cg", "bicgstab"] {
+        let parallel: Vec<(usize, f64)> =
+            solver_cases(json, method).into_iter().filter(|&(t, _)| t > 1).collect();
+        let label = format!("solver {method} parallel speedup");
+        if parallel.is_empty() {
+            report.push(label, false, "no parallel measurements found");
+            continue;
+        }
+        if host_threads < 2.0 {
+            report.push(
+                label,
+                true,
+                format!("skipped: single-core host (host_threads = {host_threads})"),
+            );
+            continue;
+        }
+        let best = parallel.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+        let at = parallel.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|&(t, _)| t).unwrap_or(0);
+        report.push(
+            label,
+            best >= min_parallel_speedup,
+            format!(
+                "best {best:.2}x at {at} threads, floor {min_parallel_speedup:.2}x \
+                 (host_threads = {host_threads})"
+            ),
+        );
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +349,129 @@ mod tests {
         let x2: Vec<f64> = x1.iter().map(|v| 2.0 * v).collect();
         let y: Vec<f64> = x1.iter().map(|v| v + 1.0).collect();
         let _ = linear_regression(&y, &[x1, x2]);
+    }
+
+    // -------------------------------------------------- perf-gate tests
+
+    /// A miniature BENCH_assembly.json in the exact shape
+    /// `lv_core::numeric::comparisons_to_json` emits.
+    fn assembly_doc(slice_speedups: &[f64]) -> String {
+        let comparisons: Vec<String> = slice_speedups
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"vector_size\": 64, \"elements\": 512, \"colors\": 8, \
+                     \"repetitions\": 3, \"paths\": [\
+                     {{\"path\": \"accessor\", \"seconds\": 0.01, \"speedup\": 1.0000, \
+                     \"bitwise_equal\": true, \"max_abs_delta\": 0e0}}, \
+                     {{\"path\": \"slices\", \"seconds\": 0.005, \"speedup\": {s:.4}, \
+                     \"bitwise_equal\": true, \"max_abs_delta\": 0e0}}]}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"wallclock_assembly\",\n  \"host_threads\": 4,\n  \
+             \"comparisons\": [\n    {}\n  ]\n}}\n",
+            comparisons.join(",\n    ")
+        )
+    }
+
+    /// A miniature BENCH_solver.json in the exact shape
+    /// `lv_core::solverbench::solver_comparisons_to_json` emits.
+    fn solver_doc(host_threads: usize, cg2: f64, bi2: f64) -> String {
+        format!(
+            "{{\n  \"bench\": \"wallclock_solver\",\n  \"host_threads\": {host_threads},\n  \
+             \"comparisons\": [\n    {{\"rows\": 4913, \"nnz\": 117649, \"elements\": 4096, \
+             \"repetitions\": 3, \"cases\": [\
+             {{\"method\": \"cg\", \"threads\": 1, \"seconds\": 0.005, \"speedup\": 1.0000, \
+             \"iterations\": 43, \"final_residual\": 7e-9, \"bitwise_equal\": true}}, \
+             {{\"method\": \"bicgstab\", \"threads\": 1, \"seconds\": 0.003, \"speedup\": 1.0000, \
+             \"iterations\": 14, \"final_residual\": 6e-9, \"bitwise_equal\": true}}, \
+             {{\"method\": \"cg\", \"threads\": 2, \"seconds\": 0.004, \"speedup\": {cg2:.4}, \
+             \"iterations\": 43, \"final_residual\": 7e-9, \"bitwise_equal\": true}}, \
+             {{\"method\": \"bicgstab\", \"threads\": 2, \"seconds\": 0.002, \"speedup\": {bi2:.4}, \
+             \"iterations\": 14, \"final_residual\": 6e-9, \"bitwise_equal\": true}}]}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn assembly_gate_passes_above_the_floor_and_fails_below() {
+        let good = gate_assembly_bench(&assembly_doc(&[2.18, 2.27]), 1.8);
+        assert!(good.passed(), "{}", good.to_text());
+        assert_eq!(good.checks.len(), 1);
+        assert!(good.checks[0].detail.contains("2.18"));
+
+        let bad = gate_assembly_bench(&assembly_doc(&[2.2, 1.5]), 1.8);
+        assert!(!bad.passed());
+        assert!(bad.to_text().contains("FAIL"));
+        assert!(bad.checks[0].detail.contains("1.50"));
+    }
+
+    #[test]
+    fn assembly_gate_fails_on_an_empty_or_foreign_document() {
+        assert!(!gate_assembly_bench("{}", 1.8).passed());
+        assert!(!gate_assembly_bench("not json at all", 1.8).passed());
+    }
+
+    #[test]
+    fn solver_gate_enforces_parallel_wins_on_multicore_hosts() {
+        let good = gate_solver_bench(&solver_doc(4, 1.62, 1.41), 1.0);
+        assert!(good.passed(), "{}", good.to_text());
+        assert_eq!(good.checks.len(), 2);
+        assert!(good.checks[0].detail.contains("1.62"));
+
+        let bad = gate_solver_bench(&solver_doc(4, 0.63, 1.41), 1.0);
+        assert!(!bad.passed());
+        assert!(bad.checks[0].label.contains("cg"));
+        assert!(!bad.checks[0].passed);
+        assert!(bad.checks[1].passed);
+    }
+
+    #[test]
+    fn solver_gate_skips_on_single_core_hosts() {
+        // Parallel lost (0.6x) but the host has one core: the comparison is
+        // meaningless, the gate records a skip and passes.
+        let report = gate_solver_bench(&solver_doc(1, 0.63, 0.67), 1.0);
+        assert!(report.passed(), "{}", report.to_text());
+        assert!(report.to_text().contains("skipped: single-core host"));
+    }
+
+    #[test]
+    fn solver_gate_fails_without_measurements() {
+        let report = gate_solver_bench("{\"host_threads\": 4}", 1.0);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn parser_reads_scientific_notation_and_stops_at_delimiters() {
+        let json = "{\"a\": 1.5e-3, \"b\": 2}";
+        let (a, past_a) = number_after(json, 0, "a").unwrap();
+        assert_eq!(a, 1.5e-3);
+        assert_eq!(&json[past_a..past_a + 1], ",");
+        let (b, _) = number_after(json, 0, "b").unwrap();
+        assert_eq!(b, 2.0);
+        assert_eq!(number_after(json, 0, "missing"), None);
+        assert_eq!(parse_named_numbers(json, "\"a\":", "b"), vec![2.0]);
+    }
+
+    #[test]
+    fn gates_accept_the_real_driver_output_shape() {
+        // Smoke-check against the committed artifact if present (keeps the
+        // parser honest about the exact writer format).
+        if let Ok(json) = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_assembly.json"
+        )) {
+            let report = gate_assembly_bench(&json, 0.0);
+            assert!(report.passed(), "{}", report.to_text());
+        }
+        if let Ok(json) =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json"))
+        {
+            // Floor 0.0: structure check only — the committed artifact may
+            // come from a single-core container.
+            let report = gate_solver_bench(&json, 0.0);
+            assert!(report.passed(), "{}", report.to_text());
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! The deterministic blocked reduction.
+//!
+//! Floating-point addition is not associative, so a reduction whose
+//! combination order depends on the thread count (or worse, on timing)
+//! produces different last bits on every run — poison for a solver whose
+//! residual history is supposed to be a reproducible observable.  The fix
+//! used here is the classic fixed-blocking scheme: the index space is cut
+//! into blocks of [`REDUCTION_BLOCK`] elements, each block is reduced
+//! sequentially in index order, and the per-block partials are combined in
+//! block order on the calling thread.  Block boundaries depend only on `n`,
+//! never on the thread count, so the result is **bitwise identical** whether
+//! the blocks were computed by 1, 2 or 64 threads — the serial path runs the
+//! very same blocked order.
+
+use crate::partition;
+use crate::shared::SharedSliceMut;
+use crate::team::Team;
+use std::ops::Range;
+
+/// Elements per reduction block.  Chosen so a block's inner loop amortizes
+/// the bookkeeping (and vectorizes) while the per-`dot` scratch stays tiny:
+/// a million-row vector needs ~4k partials.
+pub const REDUCTION_BLOCK: usize = 256;
+
+/// Number of reduction blocks covering `0..n`.
+#[inline]
+pub fn num_blocks(n: usize) -> usize {
+    n.div_ceil(REDUCTION_BLOCK)
+}
+
+/// Index range of block `b` of `0..n`.
+#[inline]
+pub fn block_range(n: usize, b: usize) -> Range<usize> {
+    let lo = b * REDUCTION_BLOCK;
+    let hi = (lo + REDUCTION_BLOCK).min(n);
+    lo..hi
+}
+
+/// Reduces `0..n` with the fixed-block scheme: `block_sum` is called once
+/// per [`block_range`] (in parallel across the team when one is given) and
+/// the partials are summed in block order.
+///
+/// `scratch` holds the per-block partials between calls so a solver
+/// iteration does not allocate; it is resized as needed.
+///
+/// The returned sum is bitwise identical for every `team` argument — `None`,
+/// or teams of any size — as long as `block_sum` itself is a pure function
+/// of its range.
+pub fn blocked_reduce<F>(team: Option<&Team>, n: usize, scratch: &mut Vec<f64>, block_sum: F) -> f64
+where
+    F: Fn(Range<usize>) -> f64 + Sync,
+{
+    let blocks = num_blocks(n);
+    scratch.clear();
+    scratch.resize(blocks, 0.0);
+    match team {
+        // Parallel only when every rank gets at least one whole block.
+        Some(team) if team.num_threads() > 1 && blocks >= team.num_threads() => {
+            let threads = team.num_threads();
+            let partials = SharedSliceMut::new(scratch);
+            team.run(&|rank| {
+                for b in partition(blocks, threads, rank) {
+                    // SAFETY: the static partition hands each rank a
+                    // disjoint set of block indices.
+                    unsafe { *partials.index_mut(b) = block_sum(block_range(n, b)) };
+                }
+            });
+        }
+        _ => {
+            for (b, slot) in scratch.iter_mut().enumerate() {
+                *slot = block_sum(block_range(n, b));
+            }
+        }
+    }
+    // Combine in fixed block order, independent of who computed what.
+    scratch.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_block_sum(data: &[f64]) -> impl Fn(Range<usize>) -> f64 + Sync + '_ {
+        move |r| data[r].iter().sum()
+    }
+
+    #[test]
+    fn blocks_tile_the_index_space() {
+        for n in [0usize, 1, REDUCTION_BLOCK - 1, REDUCTION_BLOCK, 5 * REDUCTION_BLOCK + 17] {
+            let mut end = 0;
+            for b in 0..num_blocks(n) {
+                let r = block_range(n, b);
+                assert_eq!(r.start, end);
+                assert!(!r.is_empty());
+                end = r.end;
+            }
+            assert_eq!(end, n);
+        }
+    }
+
+    #[test]
+    fn serial_reduce_matches_block_ordered_sum() {
+        let n = 3 * REDUCTION_BLOCK + 41;
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 97) as f64 / 9.7 - 5.0).collect();
+        let mut scratch = Vec::new();
+        let got = blocked_reduce(None, n, &mut scratch, seq_block_sum(&data));
+        let expect: f64 =
+            (0..num_blocks(n)).map(|b| data[block_range(n, b)].iter().sum::<f64>()).sum();
+        assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn reduce_is_bitwise_identical_for_every_thread_count() {
+        let n = 17 * REDUCTION_BLOCK + 3;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7310081).sin() * 1e3).collect();
+        let mut scratch = Vec::new();
+        let serial = blocked_reduce(None, n, &mut scratch, seq_block_sum(&data));
+        for threads in [1usize, 2, 3, 4, 8] {
+            let team = Team::new(threads);
+            let got = blocked_reduce(Some(&team), n, &mut scratch, seq_block_sum(&data));
+            assert_eq!(got.to_bits(), serial.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back_to_the_serial_path() {
+        let team = Team::new(8);
+        let data = [1.5f64, -2.25, 4.0];
+        let mut scratch = Vec::new();
+        let got = blocked_reduce(Some(&team), 3, &mut scratch, seq_block_sum(&data));
+        assert_eq!(got, 3.25);
+    }
+
+    #[test]
+    fn empty_reduce_is_zero() {
+        let mut scratch = vec![9.0; 4];
+        assert_eq!(blocked_reduce(None, 0, &mut scratch, |_| unreachable!()), 0.0);
+    }
+}

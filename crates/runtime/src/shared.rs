@@ -1,0 +1,125 @@
+//! The disjoint-write shared slice view.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A `Sync` view of a mutable slice that multiple ranks write concurrently
+/// under a *caller-proven* disjointness contract.
+///
+/// This generalizes the `SharedSystem` idiom of the colored assembly sweep
+/// (PR 2): the type erases the exclusive borrow so a shared fork/join
+/// closure can reach the storage, and every dereference is an `unsafe` call
+/// whose contract is "no two concurrent users touch the same index".  All
+/// consumers in this workspace derive that proof from a *static* schedule —
+/// [`partition`](crate::partition) ranges, fixed reduction blocks, or the
+/// mesh coloring — never from locking.
+///
+/// The lifetime parameter pins the borrow of the underlying slice, so the
+/// view can never outlive the data it points into.
+pub struct SharedSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sending/sharing the view only moves the pointer; actual access is
+// gated by the unsafe accessors and their disjointness contract.  `T: Send`
+// is required because distinct threads end up with `&mut T` to elements.
+unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wraps an exclusive slice borrow in a shared disjoint-write view.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSliceMut { ptr: slice.as_mut_ptr(), len: slice.len(), _borrow: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exclusive reference to element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, and no other rank may access index `i` while
+    /// the returned borrow lives.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the disjointness contract is the point of the type
+    pub unsafe fn index_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        // SAFETY: in bounds per the caller contract; aliasing excluded by
+        // the disjointness contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Exclusive sub-slice over `range`.
+    ///
+    /// # Safety
+    /// `range` must be in bounds, and no other rank may access any index of
+    /// `range` while the returned borrow lives.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the disjointness contract is the point of the type
+    pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range {range:?} out of bounds (len {})",
+            self.len
+        );
+        // SAFETY: in bounds per the caller contract; aliasing excluded by
+        // the disjointness contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_round_trip() {
+        let mut data = vec![0i64; 10];
+        let shared = SharedSliceMut::new(&mut data);
+        assert_eq!(shared.len(), 10);
+        assert!(!shared.is_empty());
+        // SAFETY: single-threaded, trivially disjoint.
+        unsafe {
+            *shared.index_mut(3) = 7;
+            shared.range_mut(5..8).fill(1);
+        }
+        assert_eq!(data, vec![0, 0, 0, 7, 0, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn empty_slice_is_empty() {
+        let mut data: Vec<f64> = Vec::new();
+        let shared = SharedSliceMut::new(&mut data);
+        assert!(shared.is_empty());
+        assert_eq!(shared.len(), 0);
+    }
+
+    #[test]
+    fn scoped_threads_write_disjoint_halves() {
+        let mut data = vec![0usize; 100];
+        let shared = SharedSliceMut::new(&mut data);
+        std::thread::scope(|scope| {
+            for half in 0..2 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    // SAFETY: the two halves are disjoint.
+                    let part = unsafe { shared.range_mut(half * 50..(half + 1) * 50) };
+                    part.fill(half + 1);
+                });
+            }
+        });
+        assert!(data[..50].iter().all(|&v| v == 1));
+        assert!(data[50..].iter().all(|&v| v == 2));
+    }
+}

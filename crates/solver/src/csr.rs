@@ -169,9 +169,29 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the vector lengths do not match the matrix dimension.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for (row, out) in y.iter_mut().enumerate() {
+        self.spmv_range(x, 0..self.n, y);
+    }
+
+    /// Sparse matrix–vector product restricted to the rows of `rows`:
+    /// `y[i] = (A·x)[rows.start + i]`, with `y.len() == rows.len()`.
+    ///
+    /// This is the row-partitioned entry point of the parallel solver path:
+    /// output rows are disjoint, so concurrent callers with disjoint ranges
+    /// need no synchronization, and each row is accumulated in column order
+    /// regardless of the partition — the parallel product is **bitwise
+    /// identical** to the serial one for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `x` does not match the matrix dimension, `rows` is out of
+    /// bounds, or `y` does not match `rows`.
+    pub fn spmv_range(&self, x: &[f64], rows: std::ops::Range<usize>, y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert!(rows.end <= self.n, "row range {rows:?} out of bounds for dim {}", self.n);
+        assert_eq!(y.len(), rows.len(), "output length must match the row range");
+        let first = rows.start;
+        for (i, out) in y.iter_mut().enumerate() {
+            let row = first + i;
             let start = self.row_ptr[row];
             let end = self.row_ptr[row + 1];
             let mut sum = 0.0;
@@ -358,6 +378,34 @@ mod tests {
             }
             assert!((y[i] - expect).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn spmv_range_tiles_reproduce_the_full_product() {
+        let m = laplacian_1d(23);
+        let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.31).cos()).collect();
+        let full = m.mul_vec(&x);
+        for parts in [1usize, 2, 5] {
+            let mut tiled = vec![0.0; 23];
+            let per = 23usize.div_ceil(parts);
+            for p in 0..parts {
+                let rows = (p * per).min(23)..((p + 1) * per).min(23);
+                let len = rows.len();
+                m.spmv_range(&x, rows.clone(), &mut tiled[rows.start..rows.start + len]);
+            }
+            for (a, b) in full.iter().zip(&tiled) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn spmv_range_rejects_out_of_bounds_rows() {
+        let m = laplacian_1d(4);
+        let x = vec![0.0; 4];
+        let mut y = vec![0.0; 2];
+        m.spmv_range(&x, 3..5, &mut y);
     }
 
     #[test]

@@ -1,8 +1,26 @@
 //! Jacobi-preconditioned Krylov solvers: Conjugate Gradient (for the
 //! symmetric pressure-like systems) and BiCGSTAB (for the non-symmetric
 //! convection-dominated momentum systems the Nastin assembly produces).
+//!
+//! Both solvers are written once, against the [`crate::parallel::VectorOps`]
+//! kernels, and therefore run serially or on a shared worker pool
+//! ([`lv_runtime::Team`]) with **bitwise identical** solutions, iteration
+//! counts and residual histories for every thread count: SpMV partitions
+//! disjoint output rows, the element-wise updates evaluate the same
+//! expressions under a static partition, and every reduction uses the
+//! fixed-block deterministic order (the serial path runs the same blocked
+//! order).  Three entry styles:
+//!
+//! * [`conjugate_gradient`] / [`bicgstab`] — serial when
+//!   [`SolveOptions::threads`] is 1, otherwise a transient [`Team`] is
+//!   spawned for the solve;
+//! * [`conjugate_gradient_on`] / [`bicgstab_on`] — run on a caller-provided
+//!   team, the pooled path a time-step loop uses so assembly and solve share
+//!   one set of workers.
 
 use crate::csr::CsrMatrix;
+use crate::parallel::VectorOps;
+use lv_runtime::Team;
 use serde::{Deserialize, Serialize};
 
 /// Options controlling an iterative solve.
@@ -14,11 +32,29 @@ pub struct SolveOptions {
     pub tolerance: f64,
     /// Whether to apply the Jacobi (diagonal) preconditioner.
     pub jacobi_preconditioner: bool,
+    /// Worker threads for the solve (1 = serial).  Used by the transparent
+    /// entry points, which spawn a transient [`Team`] when it is above 1;
+    /// the `_on` entry points use their caller's team instead and ignore
+    /// this field.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { max_iterations: 1000, tolerance: 1e-10, jacobi_preconditioner: true }
+        SolveOptions {
+            max_iterations: 1000,
+            tolerance: 1e-10,
+            jacobi_preconditioner: true,
+            threads: 1,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Returns the options with `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -44,24 +80,18 @@ pub struct SolveOutcome {
     pub solution: Vec<f64>,
     /// Iterations performed.
     pub iterations: usize,
-    /// Relative residual history (one entry per iteration, starting with the
-    /// initial residual).
+    /// Relative residual history.  Always seeded with the initial residual,
+    /// so it is non-empty even for a zero-iteration solve (‖b‖ = 0 converges
+    /// immediately with history `[0.0]`).
     pub residual_history: Vec<f64>,
 }
 
 impl SolveOutcome {
-    /// Final relative residual.
+    /// Final relative residual (the last history entry; the history is never
+    /// empty for an outcome produced by the solvers in this module).
     pub fn final_residual(&self) -> f64 {
         self.residual_history.last().copied().unwrap_or(f64::INFINITY)
     }
-}
-
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn norm(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
 }
 
 fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
@@ -72,47 +102,76 @@ fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
     }
 }
 
+/// The immediately-converged outcome of a zero right-hand side.  The history
+/// is seeded with the (zero) initial residual unconditionally: a
+/// zero-iteration solve must still report `final_residual() == 0.0`, not
+/// `INFINITY` from an empty history.
+fn zero_rhs_outcome(n: usize) -> SolveOutcome {
+    SolveOutcome { solution: vec![0.0; n], iterations: 0, residual_history: vec![0.0] }
+}
+
 /// Solves `A·x = b` with the (preconditioned) Conjugate Gradient method.
 /// `A` must be symmetric positive definite for guaranteed convergence.
+/// Spawns a transient worker team when `options.threads > 1`.
 pub fn conjugate_gradient(
     matrix: &CsrMatrix,
     b: &[f64],
     options: &SolveOptions,
 ) -> Result<SolveOutcome, SolverError> {
+    if options.threads > 1 {
+        let team = Team::new(options.threads);
+        conjugate_gradient_with(matrix, b, options, &mut VectorOps::on_team(&team))
+    } else {
+        conjugate_gradient_with(matrix, b, options, &mut VectorOps::serial())
+    }
+}
+
+/// [`conjugate_gradient`] on a caller-provided worker team (the pooled path:
+/// assembly and solves of one time step share the same workers).
+pub fn conjugate_gradient_on(
+    team: &Team,
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    conjugate_gradient_with(matrix, b, options, &mut VectorOps::on_team(team))
+}
+
+fn conjugate_gradient_with(
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+    ops: &mut VectorOps<'_>,
+) -> Result<SolveOutcome, SolverError> {
     let n = matrix.dim();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch);
     }
-    let b_norm = norm(b);
+    let b_norm = ops.norm(b);
     if b_norm == 0.0 {
-        return Ok(SolveOutcome {
-            solution: vec![0.0; n],
-            iterations: 0,
-            residual_history: vec![0.0],
-        });
+        return Ok(zero_rhs_outcome(n));
     }
     let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
-    let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+    let mut z = vec![0.0; n];
+    ops.hadamard(&r, &inv_diag, &mut z);
     let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut history = vec![norm(&r) / b_norm];
+    let mut rz = ops.dot(&r, &z);
+    let mut history = vec![ops.norm(&r) / b_norm];
     let mut ap = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
-        matrix.spmv(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        ops.spmv(matrix, &p, &mut ap);
+        let pap = ops.dot(&p, &ap);
         if pap.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
         }
         let alpha = rz / pap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
-        }
-        let rel = norm(&r) / b_norm;
+        ops.axpy(alpha, &p, &mut x);
+        ops.axpy(-alpha, &ap, &mut r);
+        let rel = ops.norm(&r) / b_norm;
         history.push(rel);
         if rel < options.tolerance {
             return Ok(SolveOutcome {
@@ -121,37 +180,54 @@ pub fn conjugate_gradient(
                 residual_history: history,
             });
         }
-        for i in 0..n {
-            z[i] = r[i] * inv_diag[i];
-        }
-        let rz_new = dot(&r, &z);
+        ops.hadamard(&r, &inv_diag, &mut z);
+        let rz_new = ops.dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
+        ops.xpby(&z, beta, &mut p);
     }
     Err(SolverError::NotConverged { final_residual: *history.last().unwrap() })
 }
 
 /// Solves `A·x = b` with the (preconditioned) BiCGSTAB method; works for
 /// non-symmetric systems such as the convection-dominated momentum equations.
+/// Spawns a transient worker team when `options.threads > 1`.
 pub fn bicgstab(
     matrix: &CsrMatrix,
     b: &[f64],
     options: &SolveOptions,
 ) -> Result<SolveOutcome, SolverError> {
+    if options.threads > 1 {
+        let team = Team::new(options.threads);
+        bicgstab_with(matrix, b, options, &mut VectorOps::on_team(&team))
+    } else {
+        bicgstab_with(matrix, b, options, &mut VectorOps::serial())
+    }
+}
+
+/// [`bicgstab`] on a caller-provided worker team (the pooled path).
+pub fn bicgstab_on(
+    team: &Team,
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    bicgstab_with(matrix, b, options, &mut VectorOps::on_team(team))
+}
+
+fn bicgstab_with(
+    matrix: &CsrMatrix,
+    b: &[f64],
+    options: &SolveOptions,
+    ops: &mut VectorOps<'_>,
+) -> Result<SolveOutcome, SolverError> {
     let n = matrix.dim();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch);
     }
-    let b_norm = norm(b);
+    let b_norm = ops.norm(b);
     if b_norm == 0.0 {
-        return Ok(SolveOutcome {
-            solution: vec![0.0; n],
-            iterations: 0,
-            residual_history: vec![0.0],
-        });
+        return Ok(zero_rhs_outcome(n));
     }
     let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
@@ -163,56 +239,48 @@ pub fn bicgstab(
     let mut omega = 1.0;
     let mut v = vec![0.0; n];
     let mut p = vec![0.0; n];
-    let mut history = vec![norm(&r) / b_norm];
+    let mut history = vec![ops.norm(&r) / b_norm];
     let mut phat = vec![0.0; n];
+    let mut s = vec![0.0; n];
     let mut shat = vec![0.0; n];
     let mut t = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
-        let rho_new = dot(&r0, &r);
+        let rho_new = ops.dot(&r0, &r);
         if rho_new.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
-        }
-        for i in 0..n {
-            phat[i] = p[i] * inv_diag[i];
-        }
-        matrix.spmv(&phat, &mut v);
-        let r0v = dot(&r0, &v);
+        ops.direction_update(&r, beta, omega, &v, &mut p);
+        ops.hadamard(&p, &inv_diag, &mut phat);
+        ops.spmv(matrix, &phat, &mut v);
+        let r0v = ops.dot(&r0, &v);
         if r0v.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
         }
         alpha = rho / r0v;
-        let s: Vec<f64> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
-        if norm(&s) / b_norm < options.tolerance {
-            for i in 0..n {
-                x[i] += alpha * phat[i];
-            }
-            history.push(norm(&s) / b_norm);
+        ops.scaled_diff(&r, alpha, &v, &mut s);
+        let s_rel = ops.norm(&s) / b_norm;
+        if s_rel < options.tolerance {
+            ops.axpy(alpha, &phat, &mut x);
+            history.push(s_rel);
             return Ok(SolveOutcome {
                 solution: x,
                 iterations: iter + 1,
                 residual_history: history,
             });
         }
-        for i in 0..n {
-            shat[i] = s[i] * inv_diag[i];
-        }
-        matrix.spmv(&shat, &mut t);
-        let tt = dot(&t, &t);
+        ops.hadamard(&s, &inv_diag, &mut shat);
+        ops.spmv(matrix, &shat, &mut t);
+        let tt = ops.dot(&t, &t);
         if tt.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
         }
-        omega = dot(&t, &s) / tt;
-        for i in 0..n {
-            x[i] += alpha * phat[i] + omega * shat[i];
-            r[i] = s[i] - omega * t[i];
-        }
-        let rel = norm(&r) / b_norm;
+        omega = ops.dot(&t, &s) / tt;
+        ops.axpy2(alpha, &phat, omega, &shat, &mut x);
+        ops.scaled_diff(&s, omega, &t, &mut r);
+        let rel = ops.norm(&r) / b_norm;
         history.push(rel);
         if rel < options.tolerance {
             return Ok(SolveOutcome {
@@ -232,6 +300,10 @@ pub fn bicgstab(
 mod tests {
     use super::*;
     use crate::dense::DenseMatrix;
+
+    fn norm(a: &[f64]) -> f64 {
+        a.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
 
     /// 1-D Laplacian with Dirichlet boundary rows: SPD, well conditioned.
     fn laplacian(n: usize) -> CsrMatrix {
@@ -265,6 +337,22 @@ mod tests {
 
     fn rhs(n: usize) -> Vec<f64> {
         (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect()
+    }
+
+    /// A diagonally dominant SPD tridiagonal matrix (well conditioned at any
+    /// size, unlike the Laplacian whose condition number grows like n²).
+    fn spd_dominant(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 4.0 + (i % 3) as f64;
+            if i > 0 {
+                row[i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -1.0;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
     }
 
     #[test]
@@ -324,6 +412,23 @@ mod tests {
         assert_eq!(out.iterations, 0);
     }
 
+    /// Regression: a zero-iteration converged solve (‖b‖ = 0) must report a
+    /// zero final residual from a seeded history — not `INFINITY` from an
+    /// empty one.
+    #[test]
+    fn zero_iteration_solve_has_seeded_residual_history() {
+        let a = laplacian(10);
+        for threads in [1usize, 2] {
+            let opts = SolveOptions::default().with_threads(threads);
+            let cg = conjugate_gradient(&a, &[0.0; 10], &opts).unwrap();
+            assert!(!cg.residual_history.is_empty(), "threads={threads}");
+            assert_eq!(cg.final_residual(), 0.0, "threads={threads}");
+            let bi = bicgstab(&a, &[0.0; 10], &opts).unwrap();
+            assert!(!bi.residual_history.is_empty(), "threads={threads}");
+            assert_eq!(bi.final_residual(), 0.0, "threads={threads}");
+        }
+    }
+
     #[test]
     fn dimension_mismatch_is_reported() {
         let a = laplacian(5);
@@ -355,5 +460,52 @@ mod tests {
         let out = conjugate_gradient(&a, &b, &SolveOptions::default()).unwrap();
         let last = out.final_residual();
         assert!(out.residual_history.iter().all(|&r| r >= last - 1e-15));
+    }
+
+    /// The headline guarantee: solutions, iteration counts and residual
+    /// histories are bitwise identical for threads ∈ {1, 2, 4}, both through
+    /// the transparent entry points and on a shared team.
+    #[test]
+    fn solves_are_bitwise_reproducible_across_thread_counts() {
+        let n = 5000; // above SERIAL_CUTOFF so the team paths really fork
+        let a = convection(n);
+        let b = rhs(n);
+        let opts = SolveOptions { tolerance: 1e-9, ..Default::default() };
+
+        let spd = spd_dominant(n);
+        let cg_ref = conjugate_gradient(&spd, &b, &opts).unwrap();
+        let bi_ref = bicgstab(&a, &b, &opts).unwrap();
+        for threads in [1usize, 2, 4] {
+            let team = Team::new(threads);
+            let cg = conjugate_gradient_on(&team, &spd, &b, &opts).unwrap();
+            assert_eq!(cg.iterations, cg_ref.iterations, "cg threads={threads}");
+            assert_eq!(
+                cg.residual_history.len(),
+                cg_ref.residual_history.len(),
+                "cg threads={threads}"
+            );
+            for (x, y) in cg_ref.residual_history.iter().zip(&cg.residual_history) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cg history threads={threads}");
+            }
+            for (x, y) in cg_ref.solution.iter().zip(&cg.solution) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cg solution threads={threads}");
+            }
+
+            let bi = bicgstab_on(&team, &a, &b, &opts).unwrap();
+            assert_eq!(bi.iterations, bi_ref.iterations, "bicgstab threads={threads}");
+            for (x, y) in bi_ref.residual_history.iter().zip(&bi.residual_history) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bicgstab history threads={threads}");
+            }
+            for (x, y) in bi_ref.solution.iter().zip(&bi.solution) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bicgstab solution threads={threads}");
+            }
+
+            // The transparent entry points route through the same kernels.
+            let via_options = bicgstab(&a, &b, &opts.with_threads(threads)).unwrap();
+            assert_eq!(via_options.iterations, bi_ref.iterations);
+            for (x, y) in bi_ref.solution.iter().zip(&via_options.solution) {
+                assert_eq!(x.to_bits(), y.to_bits(), "options.threads={threads}");
+            }
+        }
     }
 }

@@ -13,7 +13,10 @@
 //!   with scatter-add assembly (the destination of phase 8), SpMV, and
 //!   Dirichlet row/column elimination;
 //! * [`krylov`] — Jacobi-preconditioned Conjugate Gradient and BiCGSTAB with
-//!   convergence tracking;
+//!   convergence tracking, serial or on a shared worker pool with bitwise
+//!   identical results for every thread count;
+//! * [`parallel`] — the deterministic parallel kernels behind them:
+//!   row-partitioned SpMV and fixed-block BLAS-1 on an [`lv_runtime::Team`];
 //! * [`dense`] — a tiny dense solver used for cross-checking the sparse path
 //!   in tests.
 
@@ -22,7 +25,12 @@
 pub mod csr;
 pub mod dense;
 pub mod krylov;
+pub mod parallel;
 
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use krylov::{bicgstab, conjugate_gradient, SolveOptions, SolveOutcome, SolverError};
+pub use krylov::{
+    bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, SolveOptions, SolveOutcome,
+    SolverError,
+};
+pub use parallel::VectorOps;

@@ -1,0 +1,323 @@
+//! The parallel linear-algebra subsystem: row-partitioned SpMV and
+//! deterministic BLAS-1 kernels on the shared worker pool.
+//!
+//! Every operation a Krylov iteration performs — SpMV, dot products, norms
+//! and a handful of fused element-wise updates — exists here exactly once,
+//! in a form that runs serially or across an [`lv_runtime::Team`]:
+//!
+//! * **SpMV** partitions the output rows statically
+//!   ([`lv_runtime::partition`]); rows are disjoint, each row accumulates in
+//!   column order, so the product is bitwise identical for every thread
+//!   count (no coloring needed — the ROADMAP observation that started this
+//!   subsystem).
+//! * **Element-wise updates** (`axpy` and friends) evaluate the same
+//!   per-element expression under the same static partition — bitwise
+//!   identical by construction.
+//! * **Reductions** (`dot`, `norm`) use the fixed-block scheme of
+//!   [`lv_runtime::blocked_reduce`]: block boundaries depend only on the
+//!   length, partials combine in block order, so the value is bitwise
+//!   identical for every thread count *including the serial path, which
+//!   runs the very same blocked order*.
+//!
+//! The consequence the tests pin down: a CG or BiCGSTAB solve produces
+//! **bitwise identical solutions, iteration counts and residual histories**
+//! whether it runs serially or on a team of any size.
+
+use crate::csr::CsrMatrix;
+use lv_runtime::{blocked_reduce, partition, SharedSliceMut, Team};
+
+/// Element-wise operations on vectors shorter than this stay on the calling
+/// thread even when a team is available: below it, the fork/join hand-shake
+/// costs more than the loop.  Determinism is unaffected (the per-element
+/// results do not depend on who computes them), only scheduling is.
+pub const SERIAL_CUTOFF: usize = 1024;
+
+/// The vector/matrix kernels of a solve, bound to an optional worker team.
+///
+/// Holds the reduction scratch so per-iteration dot products do not
+/// allocate.  Construct one per solve ([`VectorOps::serial`] or
+/// [`VectorOps::on_team`]) and pass it to the Krylov drivers.
+#[derive(Debug)]
+pub struct VectorOps<'t> {
+    team: Option<&'t Team>,
+    scratch: Vec<f64>,
+}
+
+impl<'t> VectorOps<'t> {
+    /// Serial kernels (the classic single-thread path).
+    pub fn serial() -> Self {
+        VectorOps { team: None, scratch: Vec::new() }
+    }
+
+    /// Kernels running on `team`.  A one-thread team degrades to the serial
+    /// path with zero dispatch.
+    pub fn on_team(team: &'t Team) -> Self {
+        VectorOps {
+            team: if team.num_threads() > 1 { Some(team) } else { None },
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The worker count this instance schedules for (1 when serial).
+    pub fn threads(&self) -> usize {
+        self.team.map_or(1, Team::num_threads)
+    }
+
+    /// Runs `f` once per non-empty partition range of `0..n` — across the
+    /// team when it pays, on the caller otherwise.
+    #[inline]
+    fn for_ranges(&self, n: usize, f: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+        match self.team {
+            Some(team) if n >= SERIAL_CUTOFF => {
+                let threads = team.num_threads();
+                team.run(&|rank| {
+                    let range = partition(n, threads, rank);
+                    if !range.is_empty() {
+                        f(range);
+                    }
+                });
+            }
+            _ => f(0..n),
+        }
+    }
+
+    /// `y = A·x`, row-partitioned across the team.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match the matrix dimension.
+    pub fn spmv(&mut self, matrix: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        let n = matrix.dim();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let out = SharedSliceMut::new(y);
+        self.for_ranges(n, &|rows| {
+            // SAFETY: partition ranges are disjoint, so each rank owns its
+            // output rows exclusively.
+            let slice = unsafe { out.range_mut(rows.clone()) };
+            matrix.spmv_range(x, rows, slice);
+        });
+    }
+
+    /// Blocked dot product `aᵀb` (deterministic for every thread count).
+    pub fn dot(&mut self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        // Same cutoff as the element-wise ops: below it the fork/join costs
+        // more than the reduction.  The serial path runs the identical
+        // blocked order, so the value does not depend on the choice.
+        let team = if a.len() >= SERIAL_CUTOFF { self.team } else { None };
+        blocked_reduce(team, a.len(), &mut self.scratch, |r| {
+            a[r.clone()].iter().zip(&b[r]).map(|(x, y)| x * y).sum()
+        })
+    }
+
+    /// Blocked Euclidean norm ‖a‖.
+    pub fn norm(&mut self, a: &[f64]) -> f64 {
+        self.dot(a, a).sqrt()
+    }
+
+    /// `y[i] += alpha * x[i]`.
+    pub fn axpy(&mut self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), y.len());
+        let out = SharedSliceMut::new(y);
+        self.for_ranges(x.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let ys = unsafe { out.range_mut(range.clone()) };
+            for (yi, xi) in ys.iter_mut().zip(&x[range]) {
+                *yi += alpha * xi;
+            }
+        });
+    }
+
+    /// `x[i] += alpha * p[i] + omega * s[i]` — the fused BiCGSTAB solution
+    /// update, kept as one expression so the parallel path reproduces the
+    /// serial rounding exactly.
+    pub fn axpy2(&mut self, alpha: f64, p: &[f64], omega: f64, s: &[f64], x: &mut [f64]) {
+        assert_eq!(p.len(), x.len());
+        assert_eq!(s.len(), x.len());
+        let out = SharedSliceMut::new(x);
+        self.for_ranges(p.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let xs = unsafe { out.range_mut(range.clone()) };
+            for ((xi, pi), si) in xs.iter_mut().zip(&p[range.clone()]).zip(&s[range]) {
+                *xi += alpha * pi + omega * si;
+            }
+        });
+    }
+
+    /// `out[i] = a[i] * b[i]` — the Jacobi preconditioner application.
+    pub fn hadamard(&mut self, a: &[f64], b: &[f64], out: &mut [f64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), out.len());
+        let shared = SharedSliceMut::new(out);
+        self.for_ranges(a.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let os = unsafe { shared.range_mut(range.clone()) };
+            for ((oi, ai), bi) in os.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
+                *oi = ai * bi;
+            }
+        });
+    }
+
+    /// `p[i] = z[i] + beta * p[i]` — the CG direction update.
+    pub fn xpby(&mut self, z: &[f64], beta: f64, p: &mut [f64]) {
+        assert_eq!(z.len(), p.len());
+        let out = SharedSliceMut::new(p);
+        self.for_ranges(z.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let ps = unsafe { out.range_mut(range.clone()) };
+            for (pi, zi) in ps.iter_mut().zip(&z[range]) {
+                *pi = zi + beta * *pi;
+            }
+        });
+    }
+
+    /// `out[i] = a[i] - c * b[i]` — residual-style updates
+    /// (`s = r - alpha*v`, `r = s - omega*t`).
+    pub fn scaled_diff(&mut self, a: &[f64], c: f64, b: &[f64], out: &mut [f64]) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), out.len());
+        let shared = SharedSliceMut::new(out);
+        self.for_ranges(a.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let os = unsafe { shared.range_mut(range.clone()) };
+            for ((oi, ai), bi) in os.iter_mut().zip(&a[range.clone()]).zip(&b[range]) {
+                *oi = ai - c * bi;
+            }
+        });
+    }
+
+    /// `p[i] = r[i] + beta * (p[i] - omega * v[i])` — the BiCGSTAB direction
+    /// update, fused to match the serial expression bit for bit.
+    pub fn direction_update(&mut self, r: &[f64], beta: f64, omega: f64, v: &[f64], p: &mut [f64]) {
+        assert_eq!(r.len(), p.len());
+        assert_eq!(v.len(), p.len());
+        let out = SharedSliceMut::new(p);
+        self.for_ranges(r.len(), &|range| {
+            // SAFETY: disjoint partition ranges.
+            let ps = unsafe { out.range_mut(range.clone()) };
+            for ((pi, ri), vi) in ps.iter_mut().zip(&r[range.clone()]).zip(&v[range]) {
+                *pi = ri + beta * (*pi - omega * vi);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_a(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.137).sin() * 3.0 + 0.25).collect()
+    }
+
+    fn vec_b(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.731).cos() - 0.125).collect()
+    }
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 3.0 + (i % 5) as f64;
+            if i > 0 {
+                row[i - 1] = -1.25;
+            }
+            if i + 1 < n {
+                row[i + 1] = -0.75;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    /// The contract the whole subsystem rests on: every kernel is bitwise
+    /// identical between the serial path and teams of 1, 2 and 4 threads.
+    /// `n` is chosen above `SERIAL_CUTOFF` so the team paths really fork.
+    #[test]
+    fn kernels_are_bitwise_identical_across_thread_counts() {
+        let n = 4 * SERIAL_CUTOFF + 333;
+        let a = vec_a(n);
+        let b = vec_b(n);
+        let m = tridiag(n);
+
+        let mut serial = VectorOps::serial();
+        let dot_s = serial.dot(&a, &b);
+        let norm_s = serial.norm(&a);
+        let mut spmv_s = vec![0.0; n];
+        serial.spmv(&m, &a, &mut spmv_s);
+        let mut axpy_s = b.clone();
+        serial.axpy(1.5, &a, &mut axpy_s);
+
+        for threads in [1usize, 2, 4] {
+            let team = Team::new(threads);
+            let mut ops = VectorOps::on_team(&team);
+            assert_eq!(ops.dot(&a, &b).to_bits(), dot_s.to_bits(), "dot threads={threads}");
+            assert_eq!(ops.norm(&a).to_bits(), norm_s.to_bits(), "norm threads={threads}");
+            let mut y = vec![0.0; n];
+            ops.spmv(&m, &a, &mut y);
+            for (s, p) in spmv_s.iter().zip(&y) {
+                assert_eq!(s.to_bits(), p.to_bits(), "spmv threads={threads}");
+            }
+            let mut y = b.clone();
+            ops.axpy(1.5, &a, &mut y);
+            for (s, p) in axpy_s.iter().zip(&y) {
+                assert_eq!(s.to_bits(), p.to_bits(), "axpy threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_updates_match_their_scalar_expressions() {
+        let n = 2 * SERIAL_CUTOFF + 7;
+        let r = vec_a(n);
+        let v = vec_b(n);
+        let team = Team::new(3);
+        let mut ops = VectorOps::on_team(&team);
+        let (alpha, beta, omega) = (0.375, -1.5, 0.625);
+
+        let mut p = vec_b(n);
+        let expect: Vec<f64> =
+            r.iter().zip(&p).zip(&v).map(|((ri, pi), vi)| ri + beta * (pi - omega * vi)).collect();
+        ops.direction_update(&r, beta, omega, &v, &mut p);
+        assert_eq!(p, expect);
+
+        let mut x = vec_a(n);
+        let expect: Vec<f64> =
+            x.iter().zip(&r).zip(&v).map(|((xi, pi), si)| xi + (alpha * pi + omega * si)).collect();
+        ops.axpy2(alpha, &r, omega, &v, &mut x);
+        assert_eq!(x, expect);
+
+        let mut out = vec![0.0; n];
+        ops.hadamard(&r, &v, &mut out);
+        assert_eq!(out, r.iter().zip(&v).map(|(a, b)| a * b).collect::<Vec<_>>());
+
+        ops.scaled_diff(&r, omega, &v, &mut out);
+        assert_eq!(out, r.iter().zip(&v).map(|(a, b)| a - omega * b).collect::<Vec<_>>());
+
+        let mut p = vec_b(n);
+        let expect: Vec<f64> = r.iter().zip(&p).map(|(zi, pi)| zi + beta * pi).collect();
+        ops.xpby(&r, beta, &mut p);
+        assert_eq!(p, expect);
+    }
+
+    #[test]
+    fn short_vectors_stay_on_the_caller_and_stay_correct() {
+        let n = 100; // below SERIAL_CUTOFF
+        let a = vec_a(n);
+        let b = vec_b(n);
+        let team = Team::new(4);
+        let mut ops = VectorOps::on_team(&team);
+        let mut serial = VectorOps::serial();
+        assert_eq!(ops.dot(&a, &b).to_bits(), serial.dot(&a, &b).to_bits());
+        let mut y1 = b.clone();
+        let mut y2 = b.clone();
+        ops.axpy(0.5, &a, &mut y1);
+        serial.axpy(0.5, &a, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn one_thread_team_degrades_to_serial() {
+        let team = Team::new(1);
+        let ops = VectorOps::on_team(&team);
+        assert_eq!(ops.threads(), 1);
+    }
+}

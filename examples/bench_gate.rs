@@ -1,0 +1,61 @@
+//! The perf-regression gate: reads the wall-clock bench artifacts
+//! (`BENCH_assembly.json`, `BENCH_solver.json`) and exits non-zero when a
+//! fast path regressed past its floor.  CI runs it right after the quick
+//! benches regenerate the artifacts.
+//!
+//! ```text
+//! cargo run --release --example bench_gate
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `LV_GATE_MIN_SLICE_SPEEDUP` — floor for the slice-over-accessor
+//!   assembly speedup (default 1.8, the ROADMAP target for the CI host);
+//! * `LV_GATE_MIN_SOLVER_SPEEDUP` — floor for the best pooled CG/BiCGSTAB
+//!   speedup over serial on multi-core hosts (default 1.0: parallel must
+//!   not lose; single-core hosts skip this check);
+//! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` — artifact paths (default:
+//!   the workspace root copies the benches write).
+
+use lv_metrics::{gate_assembly_bench, gate_solver_bench, GateReport};
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn run_gate(label: &str, path: &str, gate: impl Fn(&str) -> GateReport) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(json) => {
+            let report = gate(&json);
+            println!("{label} ({path}):");
+            print!("{}", report.to_text());
+            report.passed()
+        }
+        Err(err) => {
+            println!("{label} ({path}): cannot read artifact: {err}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let min_slice = env_f64("LV_GATE_MIN_SLICE_SPEEDUP", 1.8);
+    let min_solver = env_f64("LV_GATE_MIN_SOLVER_SPEEDUP", 1.0);
+    let assembly_path = std::env::var("LV_BENCH_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_assembly.json").into());
+    let solver_path = std::env::var("LV_BENCH_SOLVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json").into());
+
+    println!("perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x)\n");
+    let assembly_ok =
+        run_gate("assembly bench", &assembly_path, |json| gate_assembly_bench(json, min_slice));
+    let solver_ok =
+        run_gate("solver bench", &solver_path, |json| gate_solver_bench(json, min_solver));
+
+    if assembly_ok && solver_ok {
+        println!("\ngate passed");
+    } else {
+        println!("\ngate FAILED");
+        std::process::exit(1);
+    }
+}

@@ -3,8 +3,17 @@
 //! assembly (the paper's mini-app), Dirichlet conditions and a Krylov solve
 //! per step.
 //!
+//! The whole time step runs on one shared worker pool **end to end**: the
+//! mesh-colored assembly sweep and the three BiCGSTAB solves reuse the same
+//! [`Team`], spawned once for the run.  Both the colored schedule and the
+//! solver kernels are deterministic, so the entire trajectory — iteration
+//! counts, residuals, kinetic energies — is **bitwise identical for every
+//! thread count** (the colored sweep runs at any worker count, one worker
+//! included; vs the mesh-order serial sweep it agrees to rounding
+//! accuracy).
+//!
 //! ```text
-//! cargo run --release --example cavity_flow -- [steps]
+//! cargo run --release --example cavity_flow -- [steps] [threads]
 //! ```
 
 use alya_longvec::prelude::*;
@@ -12,6 +21,8 @@ use lv_mesh::Vec3;
 
 fn main() {
     let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let threads: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let threads = threads.max(1);
 
     let mesh = BoxMeshBuilder::new(8, 8, 8).lid_driven_cavity().build();
     let config = KernelConfig::new(128, OptLevel::Vec1).with_viscosity(5e-2).with_dt(0.05);
@@ -23,30 +34,45 @@ fn main() {
     let pressure = Field::zeros(&mesh);
 
     println!(
-        "lid-driven cavity: {} elements, dt = {}, nu = {}, {} steps",
+        "lid-driven cavity: {} elements, dt = {}, nu = {}, {} steps, {} worker thread(s)",
         mesh.num_elements(),
         config.dt,
         config.viscosity,
-        steps
+        steps,
+        threads
     );
     println!("{:>5} {:>14} {:>12} {:>16}", "step", "solver iters", "residual", "kinetic energy");
 
+    // One pool for the whole run: the colored assembly sweep and the Krylov
+    // solves of every step share these workers.
+    let team = Team::new(threads);
     let mut matrix = assembly.new_matrix();
     let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
-    let mut workspace = lv_kernel::ElementWorkspace::new(config.vector_size);
+    let mut workspaces: Vec<lv_kernel::ElementWorkspace> =
+        (0..threads).map(|_| lv_kernel::ElementWorkspace::new(config.vector_size)).collect();
 
     for step in 1..=steps {
-        assembly.assemble_into(&velocity, &pressure, &mut matrix, &mut rhs, &mut workspace);
+        // Always the colored sweep (a one-worker team runs it serially):
+        // the trajectory is bitwise identical for every thread count.
+        assembly.assemble_parallel_into_on(
+            &team,
+            &velocity,
+            &pressure,
+            &mut matrix,
+            &mut rhs,
+            &mut workspaces,
+        );
         assembly.apply_dirichlet(&mut matrix, &mut rhs);
 
-        // Solve the three momentum-increment systems (shared matrix).
+        // Solve the three momentum-increment systems (shared matrix) on the
+        // same pool.
         let n = mesh.num_nodes();
         let mut increment = VectorField::zeros(&mesh);
         let mut total_iters = 0;
         let mut worst_residual: f64 = 0.0;
         for dim in 0..3 {
             let b: Vec<f64> = (0..n).map(|i| rhs[3 * i + dim]).collect();
-            let solve = bicgstab(&matrix, &b, &SolveOptions::default())
+            let solve = bicgstab_on(&team, &matrix, &b, &SolveOptions::default())
                 .expect("momentum system must converge");
             total_iters += solve.iterations;
             worst_residual = worst_residual.max(solve.final_residual());

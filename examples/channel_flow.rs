@@ -4,7 +4,7 @@
 //! platforms for a single `VECTOR_SIZE`.
 //!
 //! ```text
-//! cargo run --release --example channel_flow -- [n] [vector_size]
+//! cargo run --release --example channel_flow -- [n] [vector_size] [threads]
 //! ```
 
 use alya_longvec::prelude::*;
@@ -13,31 +13,49 @@ use lv_mesh::Vec3;
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let vector_size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let threads: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
 
     let mesh = ChannelMeshBuilder::new(n, 4).with_jitter(0.1, 3).build();
     println!(
-        "channel mesh: {} elements ({}x{}x{} cross-section blocks), VECTOR_SIZE = {}",
+        "channel mesh: {} elements ({}x{}x{} cross-section blocks), VECTOR_SIZE = {}, \
+         {} worker thread(s)",
         mesh.num_elements(),
         4 * n,
         n,
         n,
-        vector_size
+        vector_size,
+        threads
     );
 
     // ----------------------------------------------------- numeric assembly
+    // One shared pool runs both the colored assembly sweep and the solve.
     let config = KernelConfig::new(vector_size, OptLevel::Vec1).with_viscosity(1e-2);
     let assembly = NastinAssembly::new(mesh.clone(), config);
     let mut velocity = VectorField::constant(&mesh, Vec3::new(1.0, 0.0, 0.0));
     velocity.apply_boundary_conditions(&mesh, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
     let pressure = Field::from_fn(&mesh, |p| 1.0 - p.x / 4.0);
-    let mut out = assembly.assemble(&velocity, &pressure);
-    assembly.apply_dirichlet(&mut out.matrix, &mut out.rhs);
-    let b: Vec<f64> = (0..mesh.num_nodes()).map(|i| out.rhs[3 * i]).collect();
-    let solve = bicgstab(&out.matrix, &b, &SolveOptions::default()).expect("solve");
+    let team = Team::new(threads);
+    let mut matrix = assembly.new_matrix();
+    let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
+    let mut workspaces: Vec<lv_kernel::ElementWorkspace> =
+        (0..threads).map(|_| lv_kernel::ElementWorkspace::new(vector_size)).collect();
+    // Always the colored sweep (a one-worker team runs it serially), so the
+    // printed numbers are identical for every thread count.
+    let stats = assembly.assemble_parallel_into_on(
+        &team,
+        &velocity,
+        &pressure,
+        &mut matrix,
+        &mut rhs,
+        &mut workspaces,
+    );
+    assembly.apply_dirichlet(&mut matrix, &mut rhs);
+    let b: Vec<f64> = (0..mesh.num_nodes()).map(|i| rhs[3 * i]).collect();
+    let solve = bicgstab_on(&team, &matrix, &b, &SolveOptions::default()).expect("solve");
     println!(
         "assembled {} elements in {} chunks; x-momentum solve: {} iterations, residual {:.1e}\n",
-        out.stats.elements,
-        out.stats.chunks,
+        stats.elements,
+        stats.chunks,
         solve.iterations,
         solve.final_residual()
     );

@@ -14,8 +14,12 @@
 //!   legality analysis, loop transforms, code generation, remarks);
 //! * [`kernel`] (`lv-kernel`) — the Nastin assembly mini-app: numeric path
 //!   and simulated path, eight phases, four cumulative code variants;
+//! * [`runtime`] (`lv-runtime`) — the shared worker-pool runtime: persistent
+//!   thread team, barriers, static partitioning, deterministic blocked
+//!   reductions;
 //! * [`solver`] (`lv-solver`) — CSR matrices and Krylov solvers for complete
-//!   CFD time steps;
+//!   CFD time steps, serial or on the shared pool with bitwise identical
+//!   results;
 //! * [`metrics`] (`lv-metrics`) — the Section 2.2 metrics, regression and
 //!   report tables;
 //! * [`core`] (`lv-core`) — the experiment runner, the per-table/figure
@@ -29,6 +33,7 @@ pub use lv_core as core;
 pub use lv_kernel as kernel;
 pub use lv_mesh as mesh;
 pub use lv_metrics as metrics;
+pub use lv_runtime as runtime;
 pub use lv_sim as sim;
 pub use lv_solver as solver;
 
@@ -38,6 +43,9 @@ pub mod prelude {
     pub use lv_kernel::{KernelConfig, NastinAssembly, OptLevel, SimulatedMiniApp};
     pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};
     pub use lv_metrics::{RunMetrics, Table};
+    pub use lv_runtime::Team;
     pub use lv_sim::{Machine, MachineConfig, Platform, PlatformKind};
-    pub use lv_solver::{bicgstab, conjugate_gradient, CsrMatrix, SolveOptions};
+    pub use lv_solver::{
+        bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, CsrMatrix, SolveOptions,
+    };
 }
