@@ -18,7 +18,9 @@
 //! bench fits in a CI minute.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lv_core::solverbench::{pressure_poisson, solver_comparisons_to_json, SolverComparison};
+use lv_core::solverbench::{
+    pressure_poisson, solver_bench_to_json, RenumberingReport, SolverComparison,
+};
 use lv_kernel::{KernelConfig, NastinAssembly, OptLevel};
 use lv_mesh::{BoxMeshBuilder, Field, Mesh, Vec3, VectorField};
 use lv_solver::{bicgstab, conjugate_gradient, SolveOptions};
@@ -81,9 +83,16 @@ fn solver_path_comparison(_c: &mut Criterion) {
     let comparison = SolverComparison::measure(&mesh, config, &thread_counts, repetitions);
     print!("{}", comparison.to_text());
 
+    // The renumbering observables ride along in the artifact: the 12^3
+    // cavity (the wallclock_assembly workload), scrambled to emulate an
+    // imported node order, then recovered by reverse Cuthill-McKee.
+    let rcm_mesh = BoxMeshBuilder::new(12, 12, 12).lid_driven_cavity().build();
+    let renumbering = RenumberingReport::measure(&rcm_mesh, 240, 0x5eed);
+    print!("\n{}", renumbering.to_text());
+
     let host_threads =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-    let json = solver_comparisons_to_json(host_threads, &[comparison]);
+    let json = solver_bench_to_json(host_threads, &[comparison], Some(&renumbering));
     let path = std::env::var("LV_BENCH_SOLVER_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json").to_string()
     });

@@ -33,7 +33,10 @@ pub mod solverbench;
 pub use codesign::{run_codesign_loop, CodesignReport, CodesignStep};
 pub use experiment::{RunKey, Runner, SweepConfig};
 pub use numeric::{comparisons_to_json, PathComparison, PathMeasurement};
-pub use solverbench::{solver_comparisons_to_json, SolverComparison, SolverMeasurement};
+pub use solverbench::{
+    solver_bench_to_json, solver_comparisons_to_json, RenumberingReport, SolverComparison,
+    SolverMeasurement,
+};
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {

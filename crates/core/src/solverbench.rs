@@ -1,25 +1,36 @@
-//! Wall-clock comparison driver for the serial vs pooled Krylov solvers.
+//! Wall-clock comparison driver for the serial vs pooled Krylov solvers —
+//! and for the multi-RHS (SpMM) momentum path.
 //!
 //! The solver-side sibling of [`crate::numeric`]: assembles a cavity system
 //! with the mini-app, then times SpMV, CG and BiCGSTAB serially and on
 //! worker teams of the requested sizes.  BiCGSTAB (and the SpMV probe) run
-//! on the assembled non-symmetric momentum matrix; CG runs on the
-//! pressure-like SPD graph Laplacian built on the same mesh sparsity —
-//! the two system kinds a Navier–Stokes time step actually solves.
+//! on the assembled non-symmetric momentum matrix — asserted non-symmetric,
+//! so the bench demonstrably covers the path the examples run; CG runs on
+//! the pressure-like SPD graph Laplacian built on the same mesh sparsity —
+//! the two system kinds a Navier–Stokes time step actually solves.  On top
+//! of the serial-vs-pooled axis, the comparison measures the multi-RHS
+//! axis: three sequential SpMVs vs one fused [`CsrMatrix::spmm3`]
+//! (`spmv3` / `spmm3` rows) and three sequential momentum solves vs one
+//! batched [`lv_solver::bicgstab3_on`] (`bicgstab_x3` / `bicgstab3` rows).
 //! Like the assembly comparison, every
 //! timed parallel run is validated first — here the contract is *stronger*
 //! than the assembly one: the deterministic kernels of
 //! [`lv_solver::parallel`] make solutions, iteration counts and residual
 //! histories **bitwise identical** to the serial oracle for every thread
-//! count, and the comparison panics on the first deviating bit.  It is the
-//! engine behind the `wallclock_solver` bench and the committed
-//! `BENCH_solver.json` perf-trajectory artifact.
+//! count (and the batched solve bitwise identical to the sequential one,
+//! per component), and the comparison panics on the first deviating bit.
+//! It is the engine behind the `wallclock_solver` bench and the committed
+//! `BENCH_solver.json` perf-trajectory artifact, which also records the
+//! matrix [`lv_solver::ProfileStats`] and the [`RenumberingReport`] so the
+//! bandwidth the RCM pass saves stays visible in the trajectory.
 
 use lv_kernel::{KernelConfig, NastinAssembly};
+use lv_mesh::renumber::{reverse_cuthill_mckee, LocalityReport, NodePermutation};
 use lv_mesh::{Field, Mesh, VectorField};
 use lv_runtime::Team;
 use lv_solver::{
-    bicgstab_on, conjugate_gradient_on, CsrMatrix, SolveOptions, SolveOutcome, VectorOps,
+    bicgstab3_on, bicgstab_on, conjugate_gradient_on, CsrMatrix, MultiVector, ProfileStats,
+    SolveOptions, SolveOutcome, VectorOps,
 };
 use std::time::Instant;
 
@@ -55,6 +66,14 @@ pub struct SolverComparison {
     pub elements: usize,
     /// Repetitions each measurement was timed for.
     pub repetitions: usize,
+    /// Whether the assembled momentum matrix is numerically symmetric
+    /// (must be `false`: BiCGSTAB is exercised on the true non-symmetric
+    /// operator, not an SPD stand-in).
+    pub momentum_symmetric: bool,
+    /// Bandwidth of the momentum matrix pattern.
+    pub bandwidth: usize,
+    /// Row-span / fill statistics of the momentum matrix pattern.
+    pub profile: ProfileStats,
     /// Per-(method, threads) measurements, serial first within each method.
     pub measurements: Vec<SolverMeasurement>,
 }
@@ -122,9 +141,16 @@ impl SolverComparison {
         let mut out = assembly.assemble(&velocity, &pressure);
         assembly.apply_dirichlet(&mut out.matrix, &mut out.rhs);
         let matrix = out.matrix;
+        let momentum_symmetric = matrix.is_symmetric(1e-12);
+        assert!(
+            !momentum_symmetric,
+            "the assembled momentum matrix must be non-symmetric — BiCGSTAB has to be \
+             exercised on the operator the examples actually solve"
+        );
         let poisson = pressure_poisson(&matrix);
         let n = mesh.num_nodes();
         let b: Vec<f64> = (0..n).map(|i| out.rhs[3 * i]).collect();
+        let b3 = MultiVector::from_interleaved(&out.rhs);
         let options = SolveOptions { max_iterations: 2000, tolerance: 1e-8, ..Default::default() };
 
         let mut measurements = Vec::new();
@@ -178,6 +204,97 @@ impl SolverComparison {
             speedup: 1.0,
             iterations: bi_oracle.iterations,
             final_residual: bi_oracle.final_residual(),
+            bitwise_equal: true,
+        });
+
+        // --- the multi-RHS axis: 3 sequential streams vs one fused --------
+        let x3 = MultiVector::from_columns([
+            &x_probe,
+            &(0..n).map(|i| ((i * 17 + 3) % 29) as f64 / 29.0 - 0.5).collect::<Vec<_>>(),
+            &(0..n).map(|i| ((i * 23 + 11) % 37) as f64 / 37.0 - 0.5).collect::<Vec<_>>(),
+        ]);
+        // Both timed regions write into preallocated storage — the baseline
+        // must not be charged allocations or copies the fused path skips.
+        let mut y3_seq = MultiVector::zeros(n);
+        let spmv3_serial = time_min(repetitions, || {
+            let mut ops = VectorOps::serial();
+            for c in 0..3 {
+                ops.spmv(&matrix, x3.component(c), y3_seq.component_mut(c));
+            }
+        });
+        measurements.push(SolverMeasurement {
+            method: "spmv3",
+            threads: 1,
+            seconds: spmv3_serial,
+            speedup: 1.0,
+            iterations: 0,
+            final_residual: 0.0,
+            bitwise_equal: true,
+        });
+
+        let mut y3 = MultiVector::zeros(n);
+        let spmm3_serial = time_min(repetitions, || {
+            VectorOps::serial().spmm3(&matrix, &x3, &mut y3, [true; 3]);
+        });
+        assert_eq!(y3, y3_seq, "fused spmm3 deviated from three sequential SpMVs");
+        measurements.push(SolverMeasurement {
+            method: "spmm3",
+            threads: 1,
+            seconds: spmm3_serial,
+            speedup: spmv3_serial / spmm3_serial,
+            iterations: 0,
+            final_residual: 0.0,
+            bitwise_equal: true,
+        });
+
+        let mut seq3_oracle: Option<[SolveOutcome; 3]> = None;
+        let seq3_serial = time_min(repetitions, || {
+            let solves: Vec<SolveOutcome> = (0..3)
+                .map(|c| {
+                    lv_solver::bicgstab(&matrix, b3.component(c), &options)
+                        .expect("serial per-component momentum solve must converge")
+                })
+                .collect();
+            seq3_oracle = Some(solves.try_into().expect("three components"));
+        });
+        let seq3_oracle = seq3_oracle.unwrap();
+        measurements.push(SolverMeasurement {
+            method: "bicgstab_x3",
+            threads: 1,
+            seconds: seq3_serial,
+            speedup: 1.0,
+            iterations: seq3_oracle.iter().map(|s| s.iterations).sum(),
+            final_residual: seq3_oracle
+                .iter()
+                .map(SolveOutcome::final_residual)
+                .fold(0.0, f64::max),
+            bitwise_equal: true,
+        });
+
+        let validate_batched = |outcomes: [Result<SolveOutcome, lv_solver::SolverError>; 3],
+                                what: &str|
+         -> [SolveOutcome; 3] {
+            let outcomes = outcomes.map(|o| o.expect("batched momentum solve must converge"));
+            for (c, (oracle, got)) in seq3_oracle.iter().zip(&outcomes).enumerate() {
+                assert_bitwise_outcome(oracle, got, &format!("{what} component {c}"));
+            }
+            outcomes
+        };
+        let mut bi3: Option<[Result<SolveOutcome, lv_solver::SolverError>; 3]> = None;
+        let bi3_serial = time_min(repetitions, || {
+            bi3 = Some(lv_solver::bicgstab3(&matrix, &b3, &options));
+        });
+        let bi3_outcomes = validate_batched(bi3.unwrap(), "serial batched BiCGSTAB");
+        measurements.push(SolverMeasurement {
+            method: "bicgstab3",
+            threads: 1,
+            seconds: bi3_serial,
+            speedup: seq3_serial / bi3_serial,
+            iterations: bi3_outcomes.iter().map(|s| s.iterations).sum(),
+            final_residual: bi3_outcomes
+                .iter()
+                .map(SolveOutcome::final_residual)
+                .fold(0.0, f64::max),
             bitwise_equal: true,
         });
 
@@ -242,6 +359,25 @@ impl SolverComparison {
                 final_residual: bi.final_residual(),
                 bitwise_equal: true,
             });
+
+            let mut bi3: Option<[Result<SolveOutcome, lv_solver::SolverError>; 3]> = None;
+            let seconds = time_min(repetitions, || {
+                bi3 = Some(bicgstab3_on(&team, &matrix, &b3, &options));
+            });
+            let outcomes =
+                validate_batched(bi3.unwrap(), &format!("batched BiCGSTAB at {threads} threads"));
+            measurements.push(SolverMeasurement {
+                method: "bicgstab3",
+                threads,
+                seconds,
+                speedup: seq3_serial / seconds,
+                iterations: outcomes.iter().map(|s| s.iterations).sum(),
+                final_residual: outcomes
+                    .iter()
+                    .map(SolveOutcome::final_residual)
+                    .fold(0.0, f64::max),
+                bitwise_equal: true,
+            });
         }
 
         SolverComparison {
@@ -249,6 +385,9 @@ impl SolverComparison {
             nnz: matrix.nnz(),
             elements: mesh.num_elements(),
             repetitions,
+            momentum_symmetric,
+            bandwidth: matrix.bandwidth(),
+            profile: matrix.profile_stats(),
             measurements,
         }
     }
@@ -273,8 +412,18 @@ impl SolverComparison {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"rows\": {}, \"nnz\": {}, \"elements\": {}, \"repetitions\": {}, \"cases\": [",
-            self.rows, self.nnz, self.elements, self.repetitions
+            "{{\"rows\": {}, \"nnz\": {}, \"elements\": {}, \"repetitions\": {}, \
+             \"momentum_symmetric\": {}, \"bandwidth\": {}, \"max_row_span\": {}, \
+             \"mean_row_span\": {:.2}, \"nnz_per_row\": {:.2}, \"cases\": [",
+            self.rows,
+            self.nnz,
+            self.elements,
+            self.repetitions,
+            self.momentum_symmetric,
+            self.bandwidth,
+            self.profile.max_row_span,
+            self.profile.mean_row_span,
+            self.profile.mean_nnz_per_row
         ));
         for (i, m) in self.measurements.iter().enumerate() {
             if i > 0 {
@@ -300,8 +449,16 @@ impl SolverComparison {
     /// Aligned human-readable table of the comparison.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "{} rows, {} nnz ({} elements, min of {} reps)\n",
-            self.rows, self.nnz, self.elements, self.repetitions
+            "{} rows, {} nnz ({} elements, min of {} reps); bandwidth {}, max row span {}, \
+             {:.1} nnz/row, symmetric: {}\n",
+            self.rows,
+            self.nnz,
+            self.elements,
+            self.repetitions,
+            self.bandwidth,
+            self.profile.max_row_span,
+            self.profile.mean_nnz_per_row,
+            self.momentum_symmetric
         );
         for m in &self.measurements {
             out.push_str(&format!(
@@ -339,14 +496,142 @@ fn time_min(repetitions: usize, mut f: impl FnMut()) -> f64 {
     seconds
 }
 
+/// The renumbering observables committed with the solver artifact: the
+/// bandwidth and gather locality of the momentum-system pattern in the
+/// "as-imported" (scrambled) node order versus after reverse Cuthill–McKee.
+///
+/// The structured generators number nodes lexicographically — already
+/// bandwidth-optimal for a box, a luxury real unstructured meshes lack — so
+/// the honest "before" state is a deterministic scramble emulating an
+/// imported mesh; the generator-order bandwidth is recorded alongside as
+/// the floor RCM is chasing.
+#[derive(Debug, Clone)]
+pub struct RenumberingReport {
+    /// Mesh nodes (= matrix rows).
+    pub rows: usize,
+    /// Stored non-zeros of the pattern.
+    pub nnz: usize,
+    /// `VECTOR_SIZE` used for the gather-span metrics.
+    pub vector_size: usize,
+    /// Pattern bandwidth in the scrambled ("imported") order.
+    pub bandwidth_before: usize,
+    /// Pattern bandwidth after RCM.
+    pub bandwidth_after: usize,
+    /// Pattern bandwidth in the pristine generator order (the optimum RCM
+    /// is chasing).
+    pub bandwidth_generator: usize,
+    /// `bandwidth_before / bandwidth_after`.
+    pub bandwidth_ratio: f64,
+    /// Max row span before RCM.
+    pub max_row_span_before: usize,
+    /// Max row span after RCM.
+    pub max_row_span_after: usize,
+    /// Mean phase-1/2 chunk gather span before RCM.
+    pub mean_chunk_span_before: f64,
+    /// Mean phase-1/2 chunk gather span after RCM.
+    pub mean_chunk_span_after: f64,
+}
+
+impl RenumberingReport {
+    /// Measures the renumbering win on `mesh`: scramble (seeded,
+    /// deterministic), measure, RCM, measure again.
+    pub fn measure(mesh: &Mesh, vector_size: usize, seed: u64) -> Self {
+        let pattern = |m: &Mesh| {
+            let (row_ptr, col_idx) = m.node_graph_csr();
+            CsrMatrix::from_pattern(row_ptr, col_idx)
+        };
+        let generator_matrix = pattern(mesh);
+        let scrambled = mesh.renumber_nodes(&NodePermutation::scrambled(mesh.num_nodes(), seed));
+        let renumbered = scrambled.renumber_nodes(&reverse_cuthill_mckee(&scrambled));
+        let before_matrix = pattern(&scrambled);
+        let after_matrix = pattern(&renumbered);
+        let before_locality = LocalityReport::measure(&scrambled, vector_size);
+        let after_locality = LocalityReport::measure(&renumbered, vector_size);
+        RenumberingReport {
+            rows: mesh.num_nodes(),
+            nnz: before_matrix.nnz(),
+            vector_size,
+            bandwidth_before: before_matrix.bandwidth(),
+            bandwidth_after: after_matrix.bandwidth(),
+            bandwidth_generator: generator_matrix.bandwidth(),
+            // A diagonal-only pattern has bandwidth 0 before *and* after any
+            // permutation; report a neutral 1.0 instead of inf/NaN.
+            bandwidth_ratio: if after_matrix.bandwidth() == 0 {
+                1.0
+            } else {
+                before_matrix.bandwidth() as f64 / after_matrix.bandwidth() as f64
+            },
+            max_row_span_before: before_matrix.profile_stats().max_row_span,
+            max_row_span_after: after_matrix.profile_stats().max_row_span,
+            mean_chunk_span_before: before_locality.mean_chunk_span,
+            mean_chunk_span_after: after_locality.mean_chunk_span,
+        }
+    }
+
+    /// Hand-rolled JSON object (same reasoning as
+    /// [`SolverComparison::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rows\": {}, \"nnz\": {}, \"vector_size\": {}, \"bandwidth_before\": {}, \
+             \"bandwidth_after\": {}, \"bandwidth_generator\": {}, \"bandwidth_ratio\": {:.2}, \
+             \"max_row_span_before\": {}, \"max_row_span_after\": {}, \
+             \"mean_chunk_span_before\": {:.1}, \"mean_chunk_span_after\": {:.1}}}",
+            self.rows,
+            self.nnz,
+            self.vector_size,
+            self.bandwidth_before,
+            self.bandwidth_after,
+            self.bandwidth_generator,
+            self.bandwidth_ratio,
+            self.max_row_span_before,
+            self.max_row_span_after,
+            self.mean_chunk_span_before,
+            self.mean_chunk_span_after
+        )
+    }
+
+    /// Human-readable summary line.
+    pub fn to_text(&self) -> String {
+        format!(
+            "renumbering ({} rows, VS {}): bandwidth {} -> {} ({:.1}x; generator order {}), \
+             max row span {} -> {}, mean chunk gather span {:.0} -> {:.0}\n",
+            self.rows,
+            self.vector_size,
+            self.bandwidth_before,
+            self.bandwidth_after,
+            self.bandwidth_ratio,
+            self.bandwidth_generator,
+            self.max_row_span_before,
+            self.max_row_span_after,
+            self.mean_chunk_span_before,
+            self.mean_chunk_span_after
+        )
+    }
+}
+
 /// Serializes a set of solver comparisons as the `BENCH_solver.json`
 /// document.
 pub fn solver_comparisons_to_json(host_threads: usize, comparisons: &[SolverComparison]) -> String {
+    solver_bench_to_json(host_threads, comparisons, None)
+}
+
+/// Serializes the full solver artifact: comparisons plus the optional
+/// renumbering section.
+pub fn solver_bench_to_json(
+    host_threads: usize,
+    comparisons: &[SolverComparison],
+    renumbering: Option<&RenumberingReport>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
         "  \"bench\": \"wallclock_solver\",\n  \"host_threads\": {host_threads},\n"
     ));
+    if let Some(report) = renumbering {
+        out.push_str("  \"renumbering\": ");
+        out.push_str(&report.to_json());
+        out.push_str(",\n");
+    }
     out.push_str("  \"comparisons\": [\n");
     for (i, c) in comparisons.iter().enumerate() {
         out.push_str("    ");
@@ -371,8 +656,9 @@ mod tests {
     #[test]
     fn comparison_validates_and_reports_every_method() {
         let c = small_comparison();
-        // serial spmv/cg/bicgstab + parallel-2t spmv/cg/bicgstab
-        assert_eq!(c.measurements.len(), 6);
+        // serial spmv/cg/bicgstab + spmv3/spmm3/bicgstab_x3/bicgstab3 +
+        // parallel-2t spmv/cg/bicgstab/bicgstab3
+        assert_eq!(c.measurements.len(), 11);
         assert_eq!(c.elements, 125);
         assert_eq!(c.rows, 216);
         for m in &c.measurements {
@@ -385,6 +671,18 @@ mod tests {
         assert_eq!(cg2.iterations, cg1.iterations);
         assert!(cg2.final_residual < 1e-8);
         assert!(c.best_parallel_speedup("cg") > 0.0);
+        // The momentum matrix is the true non-symmetric operator and its
+        // structure is recorded for the renumbering trajectory.
+        assert!(!c.momentum_symmetric);
+        assert!(c.bandwidth > 0);
+        assert!(c.profile.max_row_span > 0);
+        assert!(c.profile.mean_nnz_per_row > 1.0);
+        // The batched solve covers all three components.
+        let bi3 = c.measurement("bicgstab3", 1).unwrap();
+        let seq3 = c.measurement("bicgstab_x3", 1).unwrap();
+        assert_eq!(bi3.iterations, seq3.iterations);
+        assert_eq!(bi3.final_residual.to_bits(), seq3.final_residual.to_bits());
+        assert!(c.measurement("spmm3", 1).is_some());
     }
 
     #[test]
@@ -394,11 +692,33 @@ mod tests {
         assert!(json.contains("\"method\": \"cg\""));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"bitwise_equal\": true"));
+        assert!(json.contains("\"momentum_symmetric\": false"));
+        assert!(json.contains("\"bandwidth\": "));
+        assert!(json.contains("\"method\": \"spmm3\""));
+        assert!(json.contains("\"method\": \"bicgstab3\""));
         let doc = solver_comparisons_to_json(4, std::slice::from_ref(&c));
         assert!(doc.contains("\"bench\": \"wallclock_solver\""));
         assert!(doc.contains("\"host_threads\": 4"));
+        assert!(!doc.contains("\"renumbering\""));
         let text = c.to_text();
         assert!(text.contains("bitwise == serial"));
         assert!(text.contains("bicgstab"));
+        assert!(text.contains("bandwidth"));
+    }
+
+    #[test]
+    fn renumbering_report_shows_the_rcm_win_and_renders() {
+        let mesh = BoxMeshBuilder::new(6, 6, 6).lid_driven_cavity().build();
+        let report = RenumberingReport::measure(&mesh, 64, 0x5eed);
+        assert_eq!(report.rows, 343);
+        assert!(report.bandwidth_before > report.bandwidth_after);
+        assert!(report.bandwidth_ratio >= 2.0, "ratio {:.2}", report.bandwidth_ratio);
+        assert!(report.bandwidth_generator <= report.bandwidth_after);
+        assert!(report.mean_chunk_span_before > report.mean_chunk_span_after);
+        let json = report.to_json();
+        assert!(json.contains("\"bandwidth_ratio\""));
+        assert!(report.to_text().contains("bandwidth"));
+        let doc = solver_bench_to_json(2, &[], Some(&report));
+        assert!(doc.contains("\"renumbering\": {\"rows\": 343"));
     }
 }

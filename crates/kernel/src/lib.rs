@@ -39,6 +39,7 @@
 pub mod assembly;
 pub mod config;
 pub mod miniapp;
+pub mod momentum;
 pub mod parallel;
 pub mod phases;
 pub mod workload;
@@ -47,6 +48,7 @@ pub mod workspace;
 pub use assembly::{AssemblyOutput, AssemblyStats, NastinAssembly, NumericPath};
 pub use config::{KernelConfig, OptLevel, PAPER_VECTOR_SIZES};
 pub use miniapp::{MiniAppRun, SimulatedMiniApp};
+pub use momentum::{solve_momentum_on, MomentumPath, MomentumSolve};
 pub use workspace::{ElementWorkspace, WorkspaceViews, WorkspaceViewsMut};
 
 /// Spatial dimensions (3-D flow, as in the paper's production case).

@@ -26,6 +26,8 @@
 //!   application-level parameter the paper sweeps (16 … 512).
 //! * [`coloring`] — node-disjoint coloring of those blocks, the scheduling
 //!   substrate of the multi-threaded assembly sweep.
+//! * [`renumber`] — reverse Cuthill–McKee node renumbering and the
+//!   gather-locality / bandwidth metrics it improves.
 //!
 //! The crate is intentionally free of any simulator or compiler-model
 //! concerns: it only describes the discrete problem.
@@ -38,6 +40,7 @@ pub mod field;
 pub mod geometry;
 pub mod mesh;
 pub mod quadrature;
+pub mod renumber;
 pub mod shape;
 pub mod structured;
 
@@ -47,6 +50,7 @@ pub use field::{Field, VectorField};
 pub use geometry::{Mat3, Point3, Vec3};
 pub use mesh::{BoundaryTag, ElementKind, Mesh};
 pub use quadrature::{GaussRule, QuadraturePoint};
+pub use renumber::{node_bandwidth, reverse_cuthill_mckee, LocalityReport, NodePermutation};
 pub use shape::{ShapeDerivatives, ShapeFunctions, ShapeTable};
 pub use structured::{BoxMeshBuilder, ChannelMeshBuilder};
 

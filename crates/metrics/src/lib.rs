@@ -19,8 +19,8 @@ pub mod report;
 pub mod summary;
 
 pub use regression::{
-    gate_assembly_bench, gate_solver_bench, linear_regression, GateCheck, GateReport,
-    RegressionResult,
+    gate_assembly_bench, gate_renumbering_bench, gate_rolling_window, gate_solver_bench,
+    gate_spmm_bench, linear_regression, GateCheck, GateReport, RegressionResult,
 };
 pub use report::Table;
 pub use summary::{PhaseMetrics, RunMetrics};

@@ -289,6 +289,92 @@ pub fn gate_solver_bench(json: &str, min_parallel_speedup: f64) -> GateReport {
     report
 }
 
+/// Gates the multi-RHS (SpMM) rows of a `BENCH_solver.json` document: the
+/// fused `spmm3` must beat three sequential SpMV streams by at least
+/// `min_ratio` at some measured thread count (the ISSUE floor is 1.2×; this
+/// is a single-address-space memory-traffic win, so it holds on single-core
+/// hosts too and is never skipped).
+pub fn gate_spmm_bench(json: &str, min_ratio: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let ratios = parse_named_numbers(json, "\"method\": \"spmm3\"", "speedup");
+    if ratios.is_empty() {
+        report.push("spmm3 fused-stream speedup", false, "no spmm3 measurements found");
+        return report;
+    }
+    let best = ratios.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    report.push(
+        "spmm3 fused-stream speedup",
+        best >= min_ratio,
+        format!("best {best:.2}x over 3 sequential SpMVs, floor {min_ratio:.2}x"),
+    );
+    report
+}
+
+/// Gates the renumbering section of a `BENCH_solver.json` document: the
+/// reverse Cuthill–McKee pass must reduce the measured CSR bandwidth of the
+/// scrambled ("imported-order") mesh by at least `min_ratio` (ISSUE floor:
+/// 2×).
+pub fn gate_renumbering_bench(json: &str, min_ratio: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let ratios = parse_named_numbers(json, "\"renumbering\":", "bandwidth_ratio");
+    match ratios.first() {
+        None => report.push("rcm bandwidth reduction", false, "no renumbering section found"),
+        Some(&ratio) => report.push(
+            "rcm bandwidth reduction",
+            ratio >= min_ratio,
+            format!("measured {ratio:.2}x, floor {min_ratio:.2}x"),
+        ),
+    }
+    report
+}
+
+/// Gates a perf metric's trajectory across the last `window` bench
+/// artifacts: fails only on a **sustained** downward trend — every step of
+/// the window non-increasing (plateaus count: min-of-N metrics quantize)
+/// *and* the total decline exceeding `tolerance` (a fraction of the
+/// window's first value).  A single noisy run breaks the non-increasing
+/// requirement, so one-off dips pass; fewer than `window` artifacts is
+/// recorded as a skipped (passing) check, so the gate arms itself only
+/// once CI history has accumulated.  A one-step regression that then
+/// plateaus is out of scope here by design — the absolute floors
+/// ([`gate_spmm_bench`] and friends) catch those.
+pub fn gate_rolling_window(
+    label: &str,
+    series: &[f64],
+    window: usize,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    assert!(window >= 2, "a trend needs a window of at least 2");
+    if series.len() < window {
+        report.push(
+            label,
+            true,
+            format!("skipped: {} artifact(s) of {window} needed for a trend", series.len()),
+        );
+        return report;
+    }
+    let recent = &series[series.len() - window..];
+    let monotone_down = recent.windows(2).all(|w| w[1] <= w[0]);
+    let first = recent[0];
+    let last = recent[recent.len() - 1];
+    let decline = if first > 0.0 { (first - last) / first } else { 0.0 };
+    let sustained = monotone_down && decline > tolerance;
+    report.push(
+        label,
+        !sustained,
+        format!(
+            "last {window} of {}: [{}], decline {:.1}% (tolerance {:.1}%, monotone: {})",
+            series.len(),
+            recent.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", "),
+            decline * 100.0,
+            tolerance * 100.0,
+            monotone_down
+        ),
+    );
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +540,80 @@ mod tests {
         assert_eq!(parse_named_numbers(json, "\"a\":", "b"), vec![2.0]);
     }
 
+    /// A miniature artifact with the PR-4 additions: a renumbering section
+    /// and the spmm3 / bicgstab3 rows.
+    fn solver_doc_with_spmm(bandwidth_ratio: f64, spmm: f64) -> String {
+        format!(
+            "{{\n  \"bench\": \"wallclock_solver\",\n  \"host_threads\": 1,\n  \
+             \"renumbering\": {{\"rows\": 2197, \"nnz\": 50653, \"vector_size\": 240, \
+             \"bandwidth_before\": 2190, \"bandwidth_after\": 700, \
+             \"bandwidth_generator\": 183, \"bandwidth_ratio\": {bandwidth_ratio:.2}, \
+             \"max_row_span_before\": 4000, \"max_row_span_after\": 1400, \
+             \"mean_chunk_span_before\": 2100.0, \"mean_chunk_span_after\": 800.0}},\n  \
+             \"comparisons\": [\n    {{\"rows\": 4913, \"nnz\": 117649, \"elements\": 4096, \
+             \"repetitions\": 5, \"momentum_symmetric\": false, \"bandwidth\": 324, \
+             \"max_row_span\": 649, \"mean_row_span\": 600.00, \"nnz_per_row\": 23.95, \
+             \"cases\": [\
+             {{\"method\": \"spmv3\", \"threads\": 1, \"seconds\": 0.0003, \"speedup\": 1.0000, \
+             \"iterations\": 0, \"final_residual\": 0e0, \"bitwise_equal\": true}}, \
+             {{\"method\": \"spmm3\", \"threads\": 1, \"seconds\": 0.0002, \"speedup\": {spmm:.4}, \
+             \"iterations\": 0, \"final_residual\": 0e0, \"bitwise_equal\": true}}, \
+             {{\"method\": \"bicgstab3\", \"threads\": 1, \"seconds\": 0.002, \"speedup\": 1.3000, \
+             \"iterations\": 42, \"final_residual\": 6e-9, \"bitwise_equal\": true}}]}}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn spmm_gate_enforces_the_fused_stream_floor() {
+        let good = gate_spmm_bench(&solver_doc_with_spmm(3.1, 1.55), 1.2);
+        assert!(good.passed(), "{}", good.to_text());
+        assert!(good.checks[0].detail.contains("1.55"));
+        let bad = gate_spmm_bench(&solver_doc_with_spmm(3.1, 1.05), 1.2);
+        assert!(!bad.passed());
+        // Old artifacts without spmm3 rows fail loudly, not silently.
+        assert!(!gate_spmm_bench(&solver_doc(1, 1.0, 1.0), 1.2).passed());
+    }
+
+    #[test]
+    fn renumbering_gate_enforces_the_bandwidth_floor() {
+        let good = gate_renumbering_bench(&solver_doc_with_spmm(3.1, 1.5), 2.0);
+        assert!(good.passed(), "{}", good.to_text());
+        assert!(good.checks[0].detail.contains("3.10"));
+        let bad = gate_renumbering_bench(&solver_doc_with_spmm(1.4, 1.5), 2.0);
+        assert!(!bad.passed());
+        assert!(!gate_renumbering_bench(&solver_doc(1, 1.0, 1.0), 2.0).passed());
+    }
+
+    #[test]
+    fn rolling_window_gate_fails_only_on_sustained_decline() {
+        // Too little history: skipped, passing.
+        let report = gate_rolling_window("spmm3 trend", &[1.5, 1.4], 3, 0.05);
+        assert!(report.passed());
+        assert!(report.to_text().contains("skipped"));
+        // Monotone decline past tolerance across the window: fail.
+        let report = gate_rolling_window("spmm3 trend", &[1.6, 1.5, 1.4, 1.2], 3, 0.05);
+        assert!(!report.passed(), "{}", report.to_text());
+        // Single-run noise (a dip that recovers) is tolerated.
+        let report = gate_rolling_window("spmm3 trend", &[1.6, 1.2, 1.5, 1.45], 3, 0.05);
+        assert!(report.passed(), "{}", report.to_text());
+        // A plateau inside a declining window still counts as sustained
+        // (min-of-N metrics quantize; equal neighbours are not recovery).
+        let report = gate_rolling_window("spmm3 trend", &[1.6, 1.5, 1.5, 1.3], 3, 0.05);
+        assert!(!report.passed(), "{}", report.to_text());
+        // A slow monotone drift inside the tolerance is tolerated too.
+        let report = gate_rolling_window("spmm3 trend", &[1.50, 1.49, 1.48], 3, 0.05);
+        assert!(report.passed(), "{}", report.to_text());
+        // Longer history: only the last `window` artifacts decide.
+        let report = gate_rolling_window("spmm3 trend", &[0.5, 1.6, 1.5, 1.3, 1.1], 3, 0.05);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rolling_window_rejects_degenerate_windows() {
+        let _ = gate_rolling_window("x", &[1.0], 1, 0.05);
+    }
+
     #[test]
     fn gates_accept_the_real_driver_output_shape() {
         // Smoke-check against the committed artifact if present (keeps the
@@ -471,6 +631,10 @@ mod tests {
             // Floor 0.0: structure check only — the committed artifact may
             // come from a single-core container.
             let report = gate_solver_bench(&json, 0.0);
+            assert!(report.passed(), "{}", report.to_text());
+            let report = gate_spmm_bench(&json, 0.0);
+            assert!(report.passed(), "{}", report.to_text());
+            let report = gate_renumbering_bench(&json, 0.0);
             assert!(report.passed(), "{}", report.to_text());
         }
     }

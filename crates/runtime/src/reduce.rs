@@ -76,6 +76,65 @@ where
     scratch.iter().sum()
 }
 
+/// Three reductions over the same index space in one pass: `block_sum`
+/// returns the three per-block partials of block `b`, and each component's
+/// partials are combined independently in block order.
+///
+/// Each component of the result is **bitwise identical** to a
+/// [`blocked_reduce`] whose `block_sum` computes that component alone — the
+/// block boundaries and the combination order are the same — which is the
+/// contract the multi-RHS solver kernels rest on: a fused three-vector dot
+/// product reproduces the three single-vector dot products bit for bit while
+/// paying one fork/join instead of three.
+///
+/// `scratch` holds `3 * num_blocks(n)` partials between calls.
+pub fn blocked_reduce3<F>(
+    team: Option<&Team>,
+    n: usize,
+    scratch: &mut Vec<f64>,
+    block_sum: F,
+) -> [f64; 3]
+where
+    F: Fn(Range<usize>) -> [f64; 3] + Sync,
+{
+    let blocks = num_blocks(n);
+    scratch.clear();
+    scratch.resize(3 * blocks, 0.0);
+    match team {
+        Some(team) if team.num_threads() > 1 && blocks >= team.num_threads() => {
+            let threads = team.num_threads();
+            let partials = SharedSliceMut::new(scratch);
+            team.run(&|rank| {
+                for b in partition(blocks, threads, rank) {
+                    let sums = block_sum(block_range(n, b));
+                    // SAFETY: the static partition hands each rank a
+                    // disjoint set of block indices, hence disjoint
+                    // 3-element scratch slots.
+                    unsafe {
+                        let slot = partials.range_mut(3 * b..3 * b + 3);
+                        slot.copy_from_slice(&sums);
+                    }
+                }
+            });
+        }
+        _ => {
+            for b in 0..blocks {
+                let sums = block_sum(block_range(n, b));
+                scratch[3 * b..3 * b + 3].copy_from_slice(&sums);
+            }
+        }
+    }
+    // Combine each component in fixed block order, independent of who
+    // computed what.
+    let mut out = [0.0f64; 3];
+    for b in 0..blocks {
+        for (k, acc) in out.iter_mut().enumerate() {
+            *acc += scratch[3 * b + k];
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +194,44 @@ mod tests {
     fn empty_reduce_is_zero() {
         let mut scratch = vec![9.0; 4];
         assert_eq!(blocked_reduce(None, 0, &mut scratch, |_| unreachable!()), 0.0);
+    }
+
+    /// The fused three-way reduction contract: each component is bitwise
+    /// identical to its own single `blocked_reduce`, for every thread count.
+    #[test]
+    fn reduce3_components_match_single_reductions_bitwise() {
+        let n = 9 * REDUCTION_BLOCK + 77;
+        let data: [Vec<f64>; 3] = [
+            (0..n).map(|i| (i as f64 * 0.31).sin() * 1e2).collect(),
+            (0..n).map(|i| (i as f64 * 0.77).cos() - 0.5).collect(),
+            (0..n).map(|i| ((i * 13 + 7) % 101) as f64 / 10.1).collect(),
+        ];
+        let mut scratch = Vec::new();
+        let singles: Vec<f64> =
+            data.iter().map(|d| blocked_reduce(None, n, &mut scratch, seq_block_sum(d))).collect();
+        let fused_sum = |r: Range<usize>| -> [f64; 3] {
+            [
+                data[0][r.clone()].iter().sum(),
+                data[1][r.clone()].iter().sum(),
+                data[2][r].iter().sum(),
+            ]
+        };
+        let serial3 = blocked_reduce3(None, n, &mut scratch, fused_sum);
+        for k in 0..3 {
+            assert_eq!(serial3[k].to_bits(), singles[k].to_bits(), "serial component {k}");
+        }
+        for threads in [1usize, 2, 3, 4] {
+            let team = Team::new(threads);
+            let got = blocked_reduce3(Some(&team), n, &mut scratch, fused_sum);
+            for k in 0..3 {
+                assert_eq!(got[k].to_bits(), singles[k].to_bits(), "threads={threads} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce3_of_empty_input_is_zero() {
+        let mut scratch = vec![1.0; 6];
+        assert_eq!(blocked_reduce3(None, 0, &mut scratch, |_| unreachable!()), [0.0; 3]);
     }
 }

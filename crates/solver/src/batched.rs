@@ -1,0 +1,532 @@
+//! Batched (multi-RHS) Krylov solvers: the three momentum-increment systems
+//! of a semi-implicit time step solved in **one** iteration loop.
+//!
+//! The three momentum components share the system matrix by construction,
+//! so solving them one after another streams the CSR values and column
+//! indices three times per Krylov iteration — pure waste for a memory-bound
+//! solver.  The drivers here run the classic CG/BiCGSTAB recurrences with
+//! per-component scalars over a [`MultiVector`], so each iteration pays
+//! **one** matrix traversal ([`VectorOps::spmm3`]) and one fork/join per
+//! fused BLAS-1 operation for all three components.
+//!
+//! The contract, pinned down bit by bit in the tests: **each component's
+//! iterates are bitwise identical to the corresponding single-RHS solve**
+//! ([`crate::krylov::conjugate_gradient`] / [`crate::krylov::bicgstab`]) at
+//! every thread count — same solutions, same iteration counts, same residual
+//! histories, same error outcomes.  This holds because every fused kernel
+//! performs, per component, the exact operation sequence of its
+//! single-vector sibling, and because components that converge (or break
+//! down) early are **masked, not dropped**: their vectors stay frozen in the
+//! multi-vector while the remaining components keep iterating, so nothing
+//! about the survivors' arithmetic changes.
+
+use crate::csr::CsrMatrix;
+use crate::krylov::{
+    jacobi_inverse_diagonal, zero_rhs_outcome, SolveOptions, SolveOutcome, SolverError,
+};
+use crate::multivector::MultiVector;
+use crate::parallel::VectorOps;
+use lv_runtime::Team;
+
+/// Per-component results of a batched three-RHS solve, in component order
+/// (x, y, z).  Each entry is exactly what the corresponding single-RHS
+/// solver would have returned.
+pub type BatchedOutcome = [Result<SolveOutcome, SolverError>; 3];
+
+/// Book-keeping shared by both batched drivers: which components still
+/// iterate, their finished results and their residual histories.
+struct ComponentTracker {
+    active: [bool; 3],
+    results: [Option<Result<SolveOutcome, SolverError>>; 3],
+    histories: [Vec<f64>; 3],
+}
+
+impl ComponentTracker {
+    fn new() -> Self {
+        ComponentTracker {
+            active: [true; 3],
+            results: [None, None, None],
+            histories: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|&a| a)
+    }
+
+    fn fail(&mut self, c: usize, error: SolverError) {
+        self.results[c] = Some(Err(error));
+        self.active[c] = false;
+    }
+
+    fn converge(&mut self, c: usize, x: &MultiVector, iterations: usize) {
+        self.results[c] = Some(Ok(SolveOutcome {
+            solution: x.component(c).to_vec(),
+            iterations,
+            residual_history: std::mem::take(&mut self.histories[c]),
+        }));
+        self.active[c] = false;
+    }
+
+    /// Components still active after the iteration limit: `NotConverged`
+    /// with the last recorded relative residual, like the single solvers.
+    fn finish(mut self) -> BatchedOutcome {
+        for c in 0..3 {
+            if self.active[c] {
+                let final_residual =
+                    *self.histories[c].last().expect("an active component has a seeded history");
+                self.results[c] = Some(Err(SolverError::NotConverged { final_residual }));
+            }
+        }
+        self.results.map(|r| r.expect("every component must be resolved"))
+    }
+}
+
+/// Solves the three systems `A·x_c = b_c` with batched preconditioned
+/// Conjugate Gradient (one matrix traversal per iteration for all three
+/// right-hand sides).  Spawns a transient worker team when
+/// `options.threads > 1`.
+pub fn conjugate_gradient3(
+    matrix: &CsrMatrix,
+    b: &MultiVector,
+    options: &SolveOptions,
+) -> BatchedOutcome {
+    if options.threads > 1 {
+        let team = Team::new(options.threads);
+        conjugate_gradient3_with(matrix, b, options, &mut VectorOps::on_team(&team))
+    } else {
+        conjugate_gradient3_with(matrix, b, options, &mut VectorOps::serial())
+    }
+}
+
+/// [`conjugate_gradient3`] on a caller-provided worker team (the pooled
+/// path of a time-step loop).
+pub fn conjugate_gradient3_on(
+    team: &Team,
+    matrix: &CsrMatrix,
+    b: &MultiVector,
+    options: &SolveOptions,
+) -> BatchedOutcome {
+    conjugate_gradient3_with(matrix, b, options, &mut VectorOps::on_team(team))
+}
+
+fn conjugate_gradient3_with(
+    matrix: &CsrMatrix,
+    b: &MultiVector,
+    options: &SolveOptions,
+    ops: &mut VectorOps<'_>,
+) -> BatchedOutcome {
+    let n = matrix.dim();
+    if b.len() != n {
+        return [
+            Err(SolverError::DimensionMismatch),
+            Err(SolverError::DimensionMismatch),
+            Err(SolverError::DimensionMismatch),
+        ];
+    }
+    let mut tracker = ComponentTracker::new();
+    let b_norm = ops.norm3(b, [true; 3]);
+    for (c, &bn) in b_norm.iter().enumerate() {
+        if bn == 0.0 {
+            tracker.results[c] = Some(Ok(zero_rhs_outcome(n)));
+            tracker.active[c] = false;
+        }
+    }
+    let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
+
+    let mut x = MultiVector::zeros(n);
+    let mut r = b.clone();
+    let mut z = MultiVector::zeros(n);
+    ops.hadamard3(&r, &inv_diag, &mut z, tracker.active);
+    let mut p = z.clone();
+    let mut rz = ops.dot3(&r, &z, tracker.active);
+    let r_norm = ops.norm3(&r, tracker.active);
+    for c in 0..3 {
+        if tracker.active[c] {
+            tracker.histories[c].push(r_norm[c] / b_norm[c]);
+        }
+    }
+    let mut ap = MultiVector::zeros(n);
+
+    for iter in 0..options.max_iterations {
+        if !tracker.any_active() {
+            break;
+        }
+        ops.spmm3(matrix, &p, &mut ap, tracker.active);
+        let pap = ops.dot3(&p, &ap, tracker.active);
+        let mut alpha = [0.0f64; 3];
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            if pap[c].abs() < 1e-300 {
+                tracker.fail(c, SolverError::Breakdown);
+            } else {
+                alpha[c] = rz[c] / pap[c];
+            }
+        }
+        ops.axpy3(alpha, &p, &mut x, tracker.active);
+        ops.axpy3([-alpha[0], -alpha[1], -alpha[2]], &ap, &mut r, tracker.active);
+        let rel = ops.norm3(&r, tracker.active);
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            let rel_c = rel[c] / b_norm[c];
+            tracker.histories[c].push(rel_c);
+            if rel_c < options.tolerance {
+                tracker.converge(c, &x, iter + 1);
+            }
+        }
+        if !tracker.any_active() {
+            break;
+        }
+        ops.hadamard3(&r, &inv_diag, &mut z, tracker.active);
+        let rz_new = ops.dot3(&r, &z, tracker.active);
+        let mut beta = [0.0f64; 3];
+        for c in 0..3 {
+            if tracker.active[c] {
+                beta[c] = rz_new[c] / rz[c];
+                rz[c] = rz_new[c];
+            }
+        }
+        ops.xpby3(&z, beta, &mut p, tracker.active);
+    }
+    tracker.finish()
+}
+
+/// Solves the three systems `A·x_c = b_c` with batched preconditioned
+/// BiCGSTAB — the non-symmetric (momentum) workhorse.  Spawns a transient
+/// worker team when `options.threads > 1`.
+pub fn bicgstab3(matrix: &CsrMatrix, b: &MultiVector, options: &SolveOptions) -> BatchedOutcome {
+    if options.threads > 1 {
+        let team = Team::new(options.threads);
+        bicgstab3_with(matrix, b, options, &mut VectorOps::on_team(&team))
+    } else {
+        bicgstab3_with(matrix, b, options, &mut VectorOps::serial())
+    }
+}
+
+/// [`bicgstab3`] on a caller-provided worker team (the pooled path of a
+/// time-step loop).
+pub fn bicgstab3_on(
+    team: &Team,
+    matrix: &CsrMatrix,
+    b: &MultiVector,
+    options: &SolveOptions,
+) -> BatchedOutcome {
+    bicgstab3_with(matrix, b, options, &mut VectorOps::on_team(team))
+}
+
+fn bicgstab3_with(
+    matrix: &CsrMatrix,
+    b: &MultiVector,
+    options: &SolveOptions,
+    ops: &mut VectorOps<'_>,
+) -> BatchedOutcome {
+    let n = matrix.dim();
+    if b.len() != n {
+        return [
+            Err(SolverError::DimensionMismatch),
+            Err(SolverError::DimensionMismatch),
+            Err(SolverError::DimensionMismatch),
+        ];
+    }
+    let mut tracker = ComponentTracker::new();
+    let b_norm = ops.norm3(b, [true; 3]);
+    for (c, &bn) in b_norm.iter().enumerate() {
+        if bn == 0.0 {
+            tracker.results[c] = Some(Ok(zero_rhs_outcome(n)));
+            tracker.active[c] = false;
+        }
+    }
+    let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
+
+    let mut x = MultiVector::zeros(n);
+    let mut r = b.clone();
+    let r0 = r.clone();
+    let mut rho = [1.0f64; 3];
+    let mut alpha = [1.0f64; 3];
+    let mut omega = [1.0f64; 3];
+    let mut v = MultiVector::zeros(n);
+    let mut p = MultiVector::zeros(n);
+    let r_norm = ops.norm3(&r, tracker.active);
+    for c in 0..3 {
+        if tracker.active[c] {
+            tracker.histories[c].push(r_norm[c] / b_norm[c]);
+        }
+    }
+    let mut phat = MultiVector::zeros(n);
+    let mut s = MultiVector::zeros(n);
+    let mut shat = MultiVector::zeros(n);
+    let mut t = MultiVector::zeros(n);
+
+    for iter in 0..options.max_iterations {
+        if !tracker.any_active() {
+            break;
+        }
+        let rho_new = ops.dot3(&r0, &r, tracker.active);
+        let mut beta = [0.0f64; 3];
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            if rho_new[c].abs() < 1e-300 {
+                tracker.fail(c, SolverError::Breakdown);
+            } else {
+                beta[c] = (rho_new[c] / rho[c]) * (alpha[c] / omega[c]);
+                rho[c] = rho_new[c];
+            }
+        }
+        ops.direction_update3(&r, beta, omega, &v, &mut p, tracker.active);
+        ops.hadamard3(&p, &inv_diag, &mut phat, tracker.active);
+        ops.spmm3(matrix, &phat, &mut v, tracker.active);
+        let r0v = ops.dot3(&r0, &v, tracker.active);
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            if r0v[c].abs() < 1e-300 {
+                tracker.fail(c, SolverError::Breakdown);
+            } else {
+                alpha[c] = rho[c] / r0v[c];
+            }
+        }
+        ops.scaled_diff3(&r, alpha, &v, &mut s, tracker.active);
+        let s_norm = ops.norm3(&s, tracker.active);
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            let s_rel = s_norm[c] / b_norm[c];
+            if s_rel < options.tolerance {
+                // Early half-step convergence: apply the half update to this
+                // component only (the single solver's `x += alpha * phat`).
+                let mut only = [false; 3];
+                only[c] = true;
+                ops.axpy3(alpha, &phat, &mut x, only);
+                tracker.histories[c].push(s_rel);
+                tracker.converge(c, &x, iter + 1);
+            }
+        }
+        if !tracker.any_active() {
+            break;
+        }
+        ops.hadamard3(&s, &inv_diag, &mut shat, tracker.active);
+        ops.spmm3(matrix, &shat, &mut t, tracker.active);
+        let tt = ops.dot3(&t, &t, tracker.active);
+        for (c, ttc) in tt.iter().enumerate() {
+            if tracker.active[c] && ttc.abs() < 1e-300 {
+                tracker.fail(c, SolverError::Breakdown);
+            }
+        }
+        let ts = ops.dot3(&t, &s, tracker.active);
+        for c in 0..3 {
+            if tracker.active[c] {
+                omega[c] = ts[c] / tt[c];
+            }
+        }
+        ops.axpy2_3(alpha, &phat, omega, &shat, &mut x, tracker.active);
+        ops.scaled_diff3(&s, omega, &t, &mut r, tracker.active);
+        let rel = ops.norm3(&r, tracker.active);
+        for c in 0..3 {
+            if !tracker.active[c] {
+                continue;
+            }
+            let rel_c = rel[c] / b_norm[c];
+            tracker.histories[c].push(rel_c);
+            if rel_c < options.tolerance {
+                tracker.converge(c, &x, iter + 1);
+            } else if omega[c].abs() < 1e-300 {
+                tracker.fail(c, SolverError::Breakdown);
+            }
+        }
+    }
+    tracker.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::{bicgstab, conjugate_gradient};
+
+    /// 1-D SPD tridiagonal (diagonally dominant at any size).
+    fn spd(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 4.0 + (i % 3) as f64;
+            if i > 0 {
+                row[i - 1] = -1.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -1.0;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    /// Non-symmetric convection-diffusion-like tridiagonal.
+    fn convection(n: usize) -> CsrMatrix {
+        let mut dense = vec![vec![0.0; n]; n];
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 4.0;
+            if i > 0 {
+                row[i - 1] = -2.0;
+            }
+            if i + 1 < n {
+                row[i + 1] = -0.5;
+            }
+        }
+        CsrMatrix::from_dense(&dense)
+    }
+
+    fn rhs3(n: usize) -> MultiVector {
+        MultiVector::from_columns([
+            &(0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect::<Vec<_>>(),
+            &(0..n).map(|i| (i as f64 * 0.37).sin() * 2.0).collect::<Vec<_>>(),
+            &(0..n).map(|i| ((i * 13 + 1) % 17) as f64 / 1.7 - 4.0).collect::<Vec<_>>(),
+        ])
+    }
+
+    fn assert_same_outcome(single: &SolveOutcome, batched: &SolveOutcome, what: &str) {
+        assert_eq!(batched.iterations, single.iterations, "{what}: iterations");
+        assert_eq!(
+            batched.residual_history.len(),
+            single.residual_history.len(),
+            "{what}: history length"
+        );
+        for (a, b) in single.residual_history.iter().zip(&batched.residual_history) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: history entry");
+        }
+        for (a, b) in single.solution.iter().zip(&batched.solution) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: solution entry");
+        }
+    }
+
+    /// The headline contract: each component of the batched solve is bitwise
+    /// identical to its single-RHS solve, serial and on teams.
+    #[test]
+    fn batched_solves_match_single_rhs_solves_bitwise() {
+        let n = 3000; // above SERIAL_CUTOFF so teams really fork
+        let b = rhs3(n);
+        let options = SolveOptions { tolerance: 1e-9, ..Default::default() };
+
+        let spd_m = spd(n);
+        let conv_m = convection(n);
+        let cg_singles: Vec<SolveOutcome> =
+            (0..3).map(|c| conjugate_gradient(&spd_m, b.component(c), &options).unwrap()).collect();
+        let bi_singles: Vec<SolveOutcome> =
+            (0..3).map(|c| bicgstab(&conv_m, b.component(c), &options).unwrap()).collect();
+
+        let cg_batched = conjugate_gradient3(&spd_m, &b, &options);
+        let bi_batched = bicgstab3(&conv_m, &b, &options);
+        for c in 0..3 {
+            assert_same_outcome(
+                &cg_singles[c],
+                cg_batched[c].as_ref().unwrap(),
+                &format!("cg serial c={c}"),
+            );
+            assert_same_outcome(
+                &bi_singles[c],
+                bi_batched[c].as_ref().unwrap(),
+                &format!("bicgstab serial c={c}"),
+            );
+        }
+
+        for threads in [2usize, 4] {
+            let team = Team::new(threads);
+            let cg = conjugate_gradient3_on(&team, &spd_m, &b, &options);
+            let bi = bicgstab3_on(&team, &conv_m, &b, &options);
+            for c in 0..3 {
+                assert_same_outcome(
+                    &cg_singles[c],
+                    cg[c].as_ref().unwrap(),
+                    &format!("cg threads={threads} c={c}"),
+                );
+                assert_same_outcome(
+                    &bi_singles[c],
+                    bi[c].as_ref().unwrap(),
+                    &format!("bicgstab threads={threads} c={c}"),
+                );
+            }
+        }
+    }
+
+    /// Components converge at different iteration counts; the early ones are
+    /// masked, and the late ones still match their single solves exactly.
+    #[test]
+    fn staggered_convergence_is_masked_not_dropped() {
+        let n = 400;
+        let m = spd(n);
+        // Component 1 is a scaled unit vector (converges fast), component 0
+        // and 2 are rough.
+        let mut e = vec![0.0; n];
+        e[n / 2] = 1.0;
+        let b = MultiVector::from_columns([
+            &(0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect::<Vec<_>>(),
+            &e,
+            &(0..n).map(|i| (i as f64 * 0.61).cos()).collect::<Vec<_>>(),
+        ]);
+        let options = SolveOptions::default();
+        let batched = conjugate_gradient3(&m, &b, &options);
+        let mut iteration_counts = [0usize; 3];
+        for c in 0..3 {
+            let single = conjugate_gradient(&m, b.component(c), &options).unwrap();
+            assert_same_outcome(&single, batched[c].as_ref().unwrap(), &format!("c={c}"));
+            iteration_counts[c] = single.iterations;
+        }
+        assert!(
+            iteration_counts.iter().any(|&i| i != iteration_counts[0]),
+            "workload should converge at staggered iteration counts, got {iteration_counts:?}"
+        );
+    }
+
+    #[test]
+    fn zero_rhs_component_converges_immediately() {
+        let n = 50;
+        let m = spd(n);
+        let zero = vec![0.0; n];
+        let ones = vec![1.0; n];
+        let b = MultiVector::from_columns([&ones, &zero, &ones]);
+        let out = conjugate_gradient3(&m, &b, &SolveOptions::default());
+        let zero_out = out[1].as_ref().unwrap();
+        assert_eq!(zero_out.iterations, 0);
+        assert_eq!(zero_out.final_residual(), 0.0);
+        assert_eq!(zero_out.solution, vec![0.0; n]);
+        assert!(out[0].as_ref().unwrap().final_residual() < 1e-9);
+        let out = bicgstab3(&m, &b, &SolveOptions::default());
+        assert_eq!(out[1].as_ref().unwrap().iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_reported_for_every_component() {
+        let m = spd(5);
+        let b = MultiVector::zeros(4);
+        for result in conjugate_gradient3(&m, &b, &SolveOptions::default()) {
+            assert_eq!(result.unwrap_err(), SolverError::DimensionMismatch);
+        }
+        for result in bicgstab3(&m, &b, &SolveOptions::default()) {
+            assert_eq!(result.unwrap_err(), SolverError::DimensionMismatch);
+        }
+    }
+
+    #[test]
+    fn iteration_limit_reports_not_converged_per_component() {
+        let n = 200;
+        let m = spd(n);
+        let b = rhs3(n);
+        let options = SolveOptions { max_iterations: 2, tolerance: 1e-14, ..Default::default() };
+        let batched = conjugate_gradient3(&m, &b, &options);
+        for (c, outcome) in batched.into_iter().enumerate() {
+            let single = conjugate_gradient(&m, b.component(c), &options).unwrap_err();
+            let got = outcome.unwrap_err();
+            match (single, got) {
+                (
+                    SolverError::NotConverged { final_residual: a },
+                    SolverError::NotConverged { final_residual: b },
+                ) => assert_eq!(a.to_bits(), b.to_bits(), "c={c}"),
+                other => panic!("expected NotConverged pair, got {other:?}"),
+            }
+        }
+    }
+}

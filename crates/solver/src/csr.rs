@@ -5,7 +5,20 @@
 //! point ([`CsrMatrix::add`]) is exactly the operation phase 8 performs for
 //! every (element, local-row, local-column) triple.
 
+use crate::multivector::MultiVector;
 use serde::{Deserialize, Serialize};
+
+/// Structural profile of a CSR matrix: the row-span and fill statistics the
+/// bandwidth-minimizing renumbering pass is measured by.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileStats {
+    /// Maximum row span (`max_col - min_col + 1` over non-empty rows).
+    pub max_row_span: usize,
+    /// Mean row span over non-empty rows.
+    pub mean_row_span: f64,
+    /// Mean stored non-zeros per row.
+    pub mean_nnz_per_row: f64,
+}
 
 /// A square sparse matrix in CSR format.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -207,6 +220,161 @@ impl CsrMatrix {
         let mut y = vec![0.0; self.n];
         self.spmv(x, &mut y);
         y
+    }
+
+    /// Sparse matrix–multi-vector product `Y = A·X` for three right-hand
+    /// sides: one traversal of the matrix values and column indices serves
+    /// all three vectors, which is where the memory-bound solver recovers
+    /// bandwidth (the values/col_idx streams dominate SpMV traffic).
+    ///
+    /// Each component accumulates in column order with its own accumulator,
+    /// so component `c` of the result is **bitwise identical** to
+    /// `spmv(x.component(c), …)`.
+    ///
+    /// # Panics
+    /// Panics if the multi-vector lengths do not match the matrix dimension.
+    pub fn spmm3(&self, x: &MultiVector, y: &mut MultiVector) {
+        assert_eq!(y.len(), self.n);
+        let [y0, y1, y2] = y.components_mut();
+        self.spmm3_range(x.components(), 0..self.n, [y0, y1, y2], [true; 3]);
+    }
+
+    /// [`spmm3`](Self::spmm3) restricted to the rows of `rows` — the
+    /// row-partitioned entry point of the parallel multi-RHS path, with the
+    /// same disjoint-output contract as [`spmv_range`](Self::spmv_range).
+    ///
+    /// `active` masks components: an inactive component's output slice is
+    /// left untouched (and its `x` gathers skipped), while the traversal of
+    /// the matrix values/column indices stays **single** regardless of the
+    /// mask — that is the whole point of the fused path, and it must not be
+    /// lost when the batched solvers freeze an early-converged component.
+    /// The mask entries are loop-invariant, so the compiler unswitches the
+    /// inner loop into straight-line variants.
+    ///
+    /// # Panics
+    /// Panics if any input does not match the matrix dimension or any output
+    /// slice does not match `rows`.
+    pub fn spmm3_range(
+        &self,
+        x: [&[f64]; 3],
+        rows: std::ops::Range<usize>,
+        y: [&mut [f64]; 3],
+        active: [bool; 3],
+    ) {
+        for xc in &x {
+            assert_eq!(xc.len(), self.n);
+        }
+        assert!(rows.end <= self.n, "row range {rows:?} out of bounds for dim {}", self.n);
+        let [y0, y1, y2] = y;
+        assert_eq!(y0.len(), rows.len(), "output length must match the row range");
+        assert_eq!(y1.len(), rows.len(), "output length must match the row range");
+        assert_eq!(y2.len(), rows.len(), "output length must match the row range");
+        let [x0, x1, x2] = x;
+        let first = rows.start;
+        for i in 0..rows.len() {
+            let row = first + i;
+            let start = self.row_ptr[row];
+            let end = self.row_ptr[row + 1];
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            let mut s2 = 0.0;
+            for k in start..end {
+                let a = self.values[k];
+                let col = self.col_idx[k];
+                if active[0] {
+                    s0 += a * x0[col];
+                }
+                if active[1] {
+                    s1 += a * x1[col];
+                }
+                if active[2] {
+                    s2 += a * x2[col];
+                }
+            }
+            if active[0] {
+                y0[i] = s0;
+            }
+            if active[1] {
+                y1[i] = s1;
+            }
+            if active[2] {
+                y2[i] = s2;
+            }
+        }
+    }
+
+    /// Bandwidth of the sparsity pattern: the maximum `|row - col|` over the
+    /// stored entries (0 for a diagonal or empty matrix).  This is the
+    /// quantity the reverse Cuthill–McKee renumbering minimizes — it bounds
+    /// how far apart in memory an SpMV's `x` gathers can land.
+    pub fn bandwidth(&self) -> usize {
+        let mut bandwidth = 0usize;
+        for row in 0..self.n {
+            for &col in &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]] {
+                bandwidth = bandwidth.max(row.abs_diff(col));
+            }
+        }
+        bandwidth
+    }
+
+    /// Row-span and fill statistics of the sparsity pattern (rows are
+    /// sorted, so the span of a row is `last - first + 1`).
+    pub fn profile_stats(&self) -> ProfileStats {
+        let mut max_span = 0usize;
+        let mut span_sum = 0.0f64;
+        let mut occupied = 0usize;
+        for row in 0..self.n {
+            let cols = &self.col_idx[self.row_ptr[row]..self.row_ptr[row + 1]];
+            if let (Some(&first), Some(&last)) = (cols.first(), cols.last()) {
+                let span = last - first + 1;
+                max_span = max_span.max(span);
+                span_sum += span as f64;
+                occupied += 1;
+            }
+        }
+        ProfileStats {
+            max_row_span: max_span,
+            mean_row_span: if occupied > 0 { span_sum / occupied as f64 } else { 0.0 },
+            mean_nnz_per_row: if self.n > 0 { self.nnz() as f64 / self.n as f64 } else { 0.0 },
+        }
+    }
+
+    /// The symmetrically permuted matrix `P·A·Pᵀ`: entry `(r, c)` moves to
+    /// `(forward[r], forward[c])`.  Rows of the result are re-sorted so the
+    /// strictly-increasing-columns invariant holds.
+    ///
+    /// This is how a node renumbering is pushed through an already assembled
+    /// system; the permuted values are the same `f64`s (moved, never
+    /// recombined), so permuting forth and back is lossless.
+    ///
+    /// # Panics
+    /// Panics if `forward` is not a permutation of `0..dim()`.
+    pub fn permuted(&self, forward: &[usize]) -> CsrMatrix {
+        assert_eq!(forward.len(), self.n, "permutation must cover every row");
+        let mut inverse = vec![usize::MAX; self.n];
+        for (old, &new) in forward.iter().enumerate() {
+            assert!(new < self.n, "forward map sends {old} outside the matrix");
+            assert!(inverse[new] == usize::MAX, "forward map is not injective");
+            inverse[new] = old;
+        }
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        row_ptr.push(0);
+        for &old_row in &inverse {
+            entries.clear();
+            for k in self.row_ptr[old_row]..self.row_ptr[old_row + 1] {
+                entries.push((forward[self.col_idx[k]], self.values[k]));
+            }
+            entries.sort_unstable_by_key(|&(col, _)| col);
+            for &(col, value) in &entries {
+                col_idx.push(col);
+                values.push(value);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { n: self.n, row_ptr, col_idx, values }
     }
 
     /// Turns `row` into an identity row (zero off-diagonals, unit diagonal)
@@ -430,6 +598,114 @@ mod tests {
     fn bad_pattern_rejected() {
         // column index 5 out of range for a 2x2 matrix
         let _ = CsrMatrix::from_pattern(vec![0, 1, 2], vec![0, 5]);
+    }
+
+    #[test]
+    fn spmm3_components_match_single_spmv_bitwise() {
+        let m = laplacian_1d(40);
+        let x = MultiVector::from_columns([
+            &(0..40).map(|i| (i as f64 * 0.3).sin()).collect::<Vec<_>>(),
+            &(0..40).map(|i| (i as f64 * 0.7).cos() * 2.0).collect::<Vec<_>>(),
+            &(0..40).map(|i| ((i * 7 + 1) % 13) as f64 - 6.0).collect::<Vec<_>>(),
+        ]);
+        let mut y = MultiVector::zeros(40);
+        m.spmm3(&x, &mut y);
+        for c in 0..3 {
+            let single = m.mul_vec(x.component(c));
+            for (a, b) in single.iter().zip(y.component(c)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "component {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm3_range_tiles_reproduce_the_full_product() {
+        let m = laplacian_1d(17);
+        let x = MultiVector::from_columns([
+            &(0..17).map(|i| i as f64).collect::<Vec<_>>(),
+            &(0..17).map(|i| (i as f64).sqrt()).collect::<Vec<_>>(),
+            &(0..17).map(|i| -(i as f64)).collect::<Vec<_>>(),
+        ]);
+        let mut full = MultiVector::zeros(17);
+        m.spmm3(&x, &mut full);
+        let mut tiled = MultiVector::zeros(17);
+        for rows in [0..5usize, 5..11, 11..17] {
+            let [y0, y1, y2] = tiled.components_mut();
+            m.spmm3_range(
+                x.components(),
+                rows.clone(),
+                [&mut y0[rows.clone()], &mut y1[rows.clone()], &mut y2[rows.clone()]],
+                [true; 3],
+            );
+        }
+        assert_eq!(full, tiled);
+    }
+
+    #[test]
+    fn spmm3_range_mask_freezes_inactive_components() {
+        let m = laplacian_1d(12);
+        let x = MultiVector::from_columns([
+            &(0..12).map(|i| i as f64).collect::<Vec<_>>(),
+            &(0..12).map(|i| (i as f64 * 0.4).sin()).collect::<Vec<_>>(),
+            &(0..12).map(|i| 2.0 - i as f64).collect::<Vec<_>>(),
+        ]);
+        let mut full = MultiVector::zeros(12);
+        m.spmm3(&x, &mut full);
+        let mut masked = MultiVector::zeros(12);
+        masked.component_mut(1).fill(7.5);
+        {
+            let [y0, y1, y2] = masked.components_mut();
+            m.spmm3_range(x.components(), 0..12, [y0, y1, y2], [true, false, true]);
+        }
+        assert_eq!(masked.component(0), full.component(0));
+        assert_eq!(masked.component(1), &[7.5; 12], "inactive component was written");
+        assert_eq!(masked.component(2), full.component(2));
+    }
+
+    #[test]
+    fn bandwidth_and_profile_of_tridiagonal() {
+        let m = laplacian_1d(8);
+        assert_eq!(m.bandwidth(), 1);
+        let p = m.profile_stats();
+        assert_eq!(p.max_row_span, 3);
+        // 6 interior rows span 3, the 2 end rows span 2.
+        assert!((p.mean_row_span - (6.0 * 3.0 + 2.0 * 2.0) / 8.0).abs() < 1e-12);
+        assert!((p.mean_nnz_per_row - 22.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_of_diagonal_matrix_is_zero() {
+        let m = CsrMatrix::from_dense(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        assert_eq!(m.bandwidth(), 0);
+        assert_eq!(m.profile_stats().max_row_span, 1);
+    }
+
+    #[test]
+    fn permuted_matrix_moves_entries_and_roundtrips() {
+        let m = laplacian_1d(6);
+        // Reversal permutation: forward[i] = 5 - i.
+        let forward: Vec<usize> = (0..6).map(|i| 5 - i).collect();
+        let p = m.permuted(&forward);
+        for r in 0..6 {
+            for c in 0..6 {
+                assert_eq!(p.get(forward[r], forward[c]).to_bits(), m.get(r, c).to_bits());
+            }
+        }
+        // The reversed tridiagonal keeps bandwidth 1.
+        assert_eq!(p.bandwidth(), 1);
+        // Applying the inverse permutation restores the original bit for bit.
+        let mut inverse = vec![0usize; 6];
+        for (old, &new) in forward.iter().enumerate() {
+            inverse[new] = old;
+        }
+        assert_eq!(p.permuted(&inverse), m);
+    }
+
+    #[test]
+    #[should_panic]
+    fn permuted_rejects_non_permutations() {
+        let m = laplacian_1d(3);
+        let _ = m.permuted(&[0, 0, 1]);
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl SolveOutcome {
     }
 }
 
-fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
+pub(crate) fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
     if enabled {
         matrix.diagonal().iter().map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 }).collect()
     } else {
@@ -106,7 +106,7 @@ fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
 /// is seeded with the (zero) initial residual unconditionally: a
 /// zero-iteration solve must still report `final_residual() == 0.0`, not
 /// `INFINITY` from an empty history.
-fn zero_rhs_outcome(n: usize) -> SolveOutcome {
+pub(crate) fn zero_rhs_outcome(n: usize) -> SolveOutcome {
     SolveOutcome { solution: vec![0.0; n], iterations: 0, residual_history: vec![0.0] }
 }
 

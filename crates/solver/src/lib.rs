@@ -15,6 +15,9 @@
 //! * [`krylov`] — Jacobi-preconditioned Conjugate Gradient and BiCGSTAB with
 //!   convergence tracking, serial or on a shared worker pool with bitwise
 //!   identical results for every thread count;
+//! * [`multivector`] / [`batched`] — the three-RHS SoA vector and the fused
+//!   momentum solvers: one matrix traversal per Krylov iteration serves all
+//!   three components, each bitwise identical to its single-RHS solve;
 //! * [`parallel`] — the deterministic parallel kernels behind them:
 //!   row-partitioned SpMV and fixed-block BLAS-1 on an [`lv_runtime::Team`];
 //! * [`dense`] — a tiny dense solver used for cross-checking the sparse path
@@ -22,15 +25,21 @@
 
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod csr;
 pub mod dense;
 pub mod krylov;
+pub mod multivector;
 pub mod parallel;
 
-pub use csr::CsrMatrix;
+pub use batched::{
+    bicgstab3, bicgstab3_on, conjugate_gradient3, conjugate_gradient3_on, BatchedOutcome,
+};
+pub use csr::{CsrMatrix, ProfileStats};
 pub use dense::DenseMatrix;
 pub use krylov::{
     bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, SolveOptions, SolveOutcome,
     SolverError,
 };
+pub use multivector::{MultiVector, NRHS};
 pub use parallel::VectorOps;

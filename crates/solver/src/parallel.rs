@@ -24,7 +24,8 @@
 //! whether it runs serially or on a team of any size.
 
 use crate::csr::CsrMatrix;
-use lv_runtime::{blocked_reduce, partition, SharedSliceMut, Team};
+use crate::multivector::MultiVector;
+use lv_runtime::{blocked_reduce, blocked_reduce3, partition, SharedSliceMut, Team};
 
 /// Element-wise operations on vectors shorter than this stay on the calling
 /// thread even when a team is available: below it, the fork/join hand-shake
@@ -200,6 +201,254 @@ impl<'t> VectorOps<'t> {
             }
         });
     }
+
+    // --------------------------------------------------------------------
+    // The 3-wide (multi-RHS) kernels.  Every one of them performs, per
+    // active component, the exact floating-point operation sequence of its
+    // single-vector sibling above — the fusion only amortizes the matrix
+    // traversal (spmm3) and the fork/join dispatch (one per operation
+    // instead of one per component), never the arithmetic.  `active` masks
+    // converged components: they are skipped, not dropped, so a frozen
+    // component's iterate stays bit-for-bit at its converged value.
+    // --------------------------------------------------------------------
+
+    /// `Y = A·X` for the three components, one matrix traversal — also with
+    /// a partial mask: [`CsrMatrix::spmm3_range`] skips the stores (and `x`
+    /// gathers) of inactive components but still streams values/col_idx
+    /// exactly once, so freezing an early-converged component never costs
+    /// the fused-traversal win.  Per active component the accumulation is
+    /// bitwise identical to [`spmv`](Self::spmv).
+    pub fn spmm3(
+        &mut self,
+        matrix: &CsrMatrix,
+        x: &MultiVector,
+        y: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = matrix.dim();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let xs = x.components();
+        let ys = y.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|rows| {
+            // SAFETY: partition ranges are disjoint, so each rank owns its
+            // output rows of all three components exclusively.
+            let [y0, y1, y2] = [
+                unsafe { ys[0].range_mut(rows.clone()) },
+                unsafe { ys[1].range_mut(rows.clone()) },
+                unsafe { ys[2].range_mut(rows.clone()) },
+            ];
+            matrix.spmm3_range(xs, rows.clone(), [y0, y1, y2], active);
+        });
+    }
+
+    /// Component-wise dot products `aᵀ_c b_c` in one fused blocked
+    /// reduction: each active component's value is bitwise identical to
+    /// [`dot`](Self::dot) of that component (inactive slots return 0).
+    pub fn dot3(&mut self, a: &MultiVector, b: &MultiVector, active: [bool; 3]) -> [f64; 3] {
+        let n = a.len();
+        assert_eq!(b.len(), n);
+        let xs = a.components();
+        let ys = b.components();
+        let team = if n >= SERIAL_CUTOFF { self.team } else { None };
+        blocked_reduce3(team, n, &mut self.scratch, |r| {
+            let mut out = [0.0f64; 3];
+            for c in 0..3 {
+                if active[c] {
+                    out[c] =
+                        xs[c][r.clone()].iter().zip(&ys[c][r.clone()]).map(|(x, y)| x * y).sum();
+                }
+            }
+            out
+        })
+    }
+
+    /// Component-wise Euclidean norms ‖a_c‖ (0 for inactive components).
+    pub fn norm3(&mut self, a: &MultiVector, active: [bool; 3]) -> [f64; 3] {
+        let d = self.dot3(a, a, active);
+        [d[0].sqrt(), d[1].sqrt(), d[2].sqrt()]
+    }
+
+    /// `y_c[i] += alpha_c * x_c[i]` for the active components.
+    pub fn axpy3(
+        &mut self,
+        alpha: [f64; 3],
+        x: &MultiVector,
+        y: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = x.len();
+        assert_eq!(y.len(), n);
+        let xs = x.components();
+        let ys = y.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let out = unsafe { ys[c].range_mut(range.clone()) };
+                for (yi, xi) in out.iter_mut().zip(&xs[c][range.clone()]) {
+                    *yi += alpha[c] * xi;
+                }
+            }
+        });
+    }
+
+    /// `x_c[i] += alpha_c * p_c[i] + omega_c * s_c[i]` — the fused BiCGSTAB
+    /// solution update, three components wide.
+    pub fn axpy2_3(
+        &mut self,
+        alpha: [f64; 3],
+        p: &MultiVector,
+        omega: [f64; 3],
+        s: &MultiVector,
+        x: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = p.len();
+        assert_eq!(s.len(), n);
+        assert_eq!(x.len(), n);
+        let ps = p.components();
+        let ss = s.components();
+        let xs = x.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let out = unsafe { xs[c].range_mut(range.clone()) };
+                for ((xi, pi), si) in
+                    out.iter_mut().zip(&ps[c][range.clone()]).zip(&ss[c][range.clone()])
+                {
+                    *xi += alpha[c] * pi + omega[c] * si;
+                }
+            }
+        });
+    }
+
+    /// `out_c[i] = a_c[i] * d[i]` — the Jacobi preconditioner applied to the
+    /// three components (`d` is shared: it depends only on the matrix).
+    pub fn hadamard3(
+        &mut self,
+        a: &MultiVector,
+        d: &[f64],
+        out: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = a.len();
+        assert_eq!(d.len(), n);
+        assert_eq!(out.len(), n);
+        let xs = a.components();
+        let os = out.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let slot = unsafe { os[c].range_mut(range.clone()) };
+                for ((oi, ai), di) in
+                    slot.iter_mut().zip(&xs[c][range.clone()]).zip(&d[range.clone()])
+                {
+                    *oi = ai * di;
+                }
+            }
+        });
+    }
+
+    /// `p_c[i] = z_c[i] + beta_c * p_c[i]` — the CG direction update, three
+    /// components wide.
+    pub fn xpby3(
+        &mut self,
+        z: &MultiVector,
+        beta: [f64; 3],
+        p: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = z.len();
+        assert_eq!(p.len(), n);
+        let zs = z.components();
+        let ps = p.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let out = unsafe { ps[c].range_mut(range.clone()) };
+                for (pi, zi) in out.iter_mut().zip(&zs[c][range.clone()]) {
+                    *pi = zi + beta[c] * *pi;
+                }
+            }
+        });
+    }
+
+    /// `out_c[i] = a_c[i] - k_c * b_c[i]` — the residual-style updates, three
+    /// components wide.
+    pub fn scaled_diff3(
+        &mut self,
+        a: &MultiVector,
+        k: [f64; 3],
+        b: &MultiVector,
+        out: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = a.len();
+        assert_eq!(b.len(), n);
+        assert_eq!(out.len(), n);
+        let xs = a.components();
+        let ys = b.components();
+        let os = out.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let slot = unsafe { os[c].range_mut(range.clone()) };
+                for ((oi, ai), bi) in
+                    slot.iter_mut().zip(&xs[c][range.clone()]).zip(&ys[c][range.clone()])
+                {
+                    *oi = ai - k[c] * bi;
+                }
+            }
+        });
+    }
+
+    /// `p_c[i] = r_c[i] + beta_c * (p_c[i] - omega_c * v_c[i])` — the
+    /// BiCGSTAB direction update, three components wide.
+    pub fn direction_update3(
+        &mut self,
+        r: &MultiVector,
+        beta: [f64; 3],
+        omega: [f64; 3],
+        v: &MultiVector,
+        p: &mut MultiVector,
+        active: [bool; 3],
+    ) {
+        let n = r.len();
+        assert_eq!(v.len(), n);
+        assert_eq!(p.len(), n);
+        let rs = r.components();
+        let vs = v.components();
+        let ps = p.components_mut().map(SharedSliceMut::new);
+        self.for_ranges(n, &|range| {
+            for c in 0..3 {
+                if !active[c] {
+                    continue;
+                }
+                // SAFETY: disjoint partition ranges per component.
+                let out = unsafe { ps[c].range_mut(range.clone()) };
+                for ((pi, ri), vi) in
+                    out.iter_mut().zip(&rs[c][range.clone()]).zip(&vs[c][range.clone()])
+                {
+                    *pi = ri + beta[c] * (*pi - omega[c] * vi);
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -319,5 +568,114 @@ mod tests {
         let team = Team::new(1);
         let ops = VectorOps::on_team(&team);
         assert_eq!(ops.threads(), 1);
+    }
+
+    fn multi(n: usize) -> MultiVector {
+        MultiVector::from_columns([
+            &vec_a(n),
+            &vec_b(n),
+            &(0..n).map(|i| ((i * 11 + 5) % 23) as f64 / 2.3 - 5.0).collect::<Vec<_>>(),
+        ])
+    }
+
+    /// Each 3-wide kernel reproduces its single-vector sibling bit for bit,
+    /// per component, serially and across teams.
+    #[test]
+    fn three_wide_kernels_match_single_kernels_bitwise() {
+        let n = 3 * SERIAL_CUTOFF + 111;
+        let a = multi(n);
+        let b = multi(n);
+        let d = vec_a(n);
+        let m = tridiag(n);
+        let all = [true; 3];
+        let (alpha, beta, omega) = ([0.5, -1.25, 2.0], [1.5, 0.25, -0.75], [0.125, -2.0, 0.5]);
+
+        for threads in [1usize, 2, 4] {
+            let team = Team::new(threads);
+            let mut ops = VectorOps::on_team(&team);
+            let mut single = VectorOps::serial();
+
+            let mut y3 = MultiVector::zeros(n);
+            ops.spmm3(&m, &a, &mut y3, all);
+            let dots = ops.dot3(&a, &b, all);
+            let norms = ops.norm3(&a, all);
+            let mut axpy_m = b.clone();
+            ops.axpy3(alpha, &a, &mut axpy_m, all);
+            let mut had_m = MultiVector::zeros(n);
+            ops.hadamard3(&a, &d, &mut had_m, all);
+            let mut xpby_m = b.clone();
+            ops.xpby3(&a, beta, &mut xpby_m, all);
+            let mut diff_m = MultiVector::zeros(n);
+            ops.scaled_diff3(&a, omega, &b, &mut diff_m, all);
+            let mut dir_m = b.clone();
+            ops.direction_update3(&a, beta, omega, &b, &mut dir_m, all);
+            let mut axpy2_m = a.clone();
+            ops.axpy2_3(alpha, &a, omega, &b, &mut axpy2_m, all);
+
+            for c in 0..3 {
+                let (ac, bc) = (a.component(c), b.component(c));
+                let mut y = vec![0.0; n];
+                single.spmv(&m, ac, &mut y);
+                assert_eq!(y, y3.component(c), "spmm3 t={threads} c={c}");
+                assert_eq!(
+                    single.dot(ac, bc).to_bits(),
+                    dots[c].to_bits(),
+                    "dot3 t={threads} c={c}"
+                );
+                assert_eq!(
+                    single.norm(ac).to_bits(),
+                    norms[c].to_bits(),
+                    "norm3 t={threads} c={c}"
+                );
+                let mut y = bc.to_vec();
+                single.axpy(alpha[c], ac, &mut y);
+                assert_eq!(y, axpy_m.component(c), "axpy3 t={threads} c={c}");
+                let mut y = vec![0.0; n];
+                single.hadamard(ac, &d, &mut y);
+                assert_eq!(y, had_m.component(c), "hadamard3 t={threads} c={c}");
+                let mut y = bc.to_vec();
+                single.xpby(ac, beta[c], &mut y);
+                assert_eq!(y, xpby_m.component(c), "xpby3 t={threads} c={c}");
+                let mut y = vec![0.0; n];
+                single.scaled_diff(ac, omega[c], bc, &mut y);
+                assert_eq!(y, diff_m.component(c), "scaled_diff3 t={threads} c={c}");
+                let mut y = bc.to_vec();
+                single.direction_update(ac, beta[c], omega[c], bc, &mut y);
+                assert_eq!(y, dir_m.component(c), "direction_update3 t={threads} c={c}");
+                let mut y = ac.to_vec();
+                single.axpy2(alpha[c], ac, omega[c], bc, &mut y);
+                assert_eq!(y, axpy2_m.component(c), "axpy2_3 t={threads} c={c}");
+            }
+        }
+    }
+
+    /// Masked components are frozen: their storage is untouched, the active
+    /// components still match their single-kernel results.
+    #[test]
+    fn inactive_components_are_left_untouched() {
+        let n = 2 * SERIAL_CUTOFF;
+        let a = multi(n);
+        let m = tridiag(n);
+        let team = Team::new(2);
+        let mut ops = VectorOps::on_team(&team);
+        let mask = [true, false, true];
+
+        let mut y = multi(n);
+        let frozen = y.component(1).to_vec();
+        ops.spmm3(&m, &a, &mut y, mask);
+        assert_eq!(y.component(1), frozen.as_slice(), "spmm3 touched a masked component");
+        let mut single = VectorOps::serial();
+        let mut expect = vec![0.0; n];
+        single.spmv(&m, a.component(2), &mut expect);
+        assert_eq!(expect, y.component(2));
+
+        let mut y = multi(n);
+        let frozen = y.component(1).to_vec();
+        ops.axpy3([2.0, 3.0, 4.0], &a, &mut y, mask);
+        assert_eq!(y.component(1), frozen.as_slice(), "axpy3 touched a masked component");
+
+        let dots = ops.dot3(&a, &a, mask);
+        assert_eq!(dots[1], 0.0, "masked dot slot must be zero");
+        assert_eq!(dots[0].to_bits(), single.dot(a.component(0), a.component(0)).to_bits());
     }
 }

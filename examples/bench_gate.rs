@@ -14,10 +14,26 @@
 //! * `LV_GATE_MIN_SOLVER_SPEEDUP` — floor for the best pooled CG/BiCGSTAB
 //!   speedup over serial on multi-core hosts (default 1.0: parallel must
 //!   not lose; single-core hosts skip this check);
+//! * `LV_GATE_MIN_SPMM_SPEEDUP` — floor for the fused `spmm3` over three
+//!   sequential SpMV streams (default 1.2; a memory-traffic win, so it is
+//!   enforced on single-core hosts too);
+//! * `LV_GATE_MIN_BANDWIDTH_RATIO` — floor for the RCM bandwidth reduction
+//!   recorded in the artifact's renumbering section (default 2.0);
+//! * `LV_BENCH_HISTORY_DIR` — optional directory of prior
+//!   `BENCH_solver.json` artifacts (any `*.json`, consumed in sorted file
+//!   order, oldest first).  When at least `LV_GATE_TREND_WINDOW` (default
+//!   3) artifacts exist, the gate also fails on a *sustained* downward
+//!   trend of the spmm3 ratio across the last window — monotone decline
+//!   beyond `LV_GATE_TREND_TOLERANCE` (default 0.05, i.e. 5%) — while
+//!   tolerating single-run noise;
 //! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` — artifact paths (default:
 //!   the workspace root copies the benches write).
 
-use lv_metrics::{gate_assembly_bench, gate_solver_bench, GateReport};
+use lv_metrics::regression::parse_named_numbers;
+use lv_metrics::{
+    gate_assembly_bench, gate_renumbering_bench, gate_rolling_window, gate_solver_bench,
+    gate_spmm_bench, GateReport,
+};
 
 fn env_f64(key: &str, default: f64) -> f64 {
     std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -38,21 +54,87 @@ fn run_gate(label: &str, path: &str, gate: impl Fn(&str) -> GateReport) -> bool 
     }
 }
 
+/// Extracts the spmm3 fused-stream ratio of every artifact in `dir` (sorted
+/// file order, oldest first), appending the current artifact's ratio last.
+/// A history entry that *is* the current artifact — the same file, or a
+/// byte-identical copy CI persisted into the dir before gating — is
+/// skipped, so the trailing value is never double-counted.
+fn spmm_history(dir: &str, current_json: &str) -> Vec<f64> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    let mut series = Vec::new();
+    for path in paths {
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if json == current_json {
+                continue;
+            }
+            if let Some(&ratio) =
+                parse_named_numbers(&json, "\"method\": \"spmm3\"", "speedup").first()
+            {
+                series.push(ratio);
+            }
+        }
+    }
+    if let Some(&ratio) =
+        parse_named_numbers(current_json, "\"method\": \"spmm3\"", "speedup").first()
+    {
+        series.push(ratio);
+    }
+    series
+}
+
 fn main() {
     let min_slice = env_f64("LV_GATE_MIN_SLICE_SPEEDUP", 1.8);
     let min_solver = env_f64("LV_GATE_MIN_SOLVER_SPEEDUP", 1.0);
+    let min_spmm = env_f64("LV_GATE_MIN_SPMM_SPEEDUP", 1.2);
+    let min_bandwidth = env_f64("LV_GATE_MIN_BANDWIDTH_RATIO", 2.0);
+    // Clamped to 2: a trend needs at least two points, and a misconfigured
+    // knob must degrade to a gate decision, not a panic.
+    let trend_window = (env_f64("LV_GATE_TREND_WINDOW", 3.0) as usize).max(2);
+    let trend_tolerance = env_f64("LV_GATE_TREND_TOLERANCE", 0.05);
     let assembly_path = std::env::var("LV_BENCH_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_assembly.json").into());
     let solver_path = std::env::var("LV_BENCH_SOLVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json").into());
 
-    println!("perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x)\n");
+    println!(
+        "perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x, \
+         spmm floor {min_spmm:.2}x, bandwidth floor {min_bandwidth:.2}x)\n"
+    );
     let assembly_ok =
         run_gate("assembly bench", &assembly_path, |json| gate_assembly_bench(json, min_slice));
     let solver_ok =
         run_gate("solver bench", &solver_path, |json| gate_solver_bench(json, min_solver));
+    let spmm_ok = run_gate("multi-RHS bench", &solver_path, |json| gate_spmm_bench(json, min_spmm));
+    let renumber_ok =
+        run_gate("renumbering", &solver_path, |json| gate_renumbering_bench(json, min_bandwidth));
 
-    if assembly_ok && solver_ok {
+    // Rolling-window trend over the artifact history, when CI provides one.
+    let trend_ok = match std::env::var("LV_BENCH_HISTORY_DIR") {
+        Ok(dir) => {
+            let current = std::fs::read_to_string(&solver_path).unwrap_or_default();
+            let series = spmm_history(&dir, &current);
+            let report =
+                gate_rolling_window("spmm3 ratio trend", &series, trend_window, trend_tolerance);
+            println!("artifact trend ({dir}, {} artifact(s) incl. current):", series.len());
+            print!("{}", report.to_text());
+            report.passed()
+        }
+        Err(_) => {
+            println!("artifact trend: skipped (LV_BENCH_HISTORY_DIR not set)");
+            true
+        }
+    };
+
+    if assembly_ok && solver_ok && spmm_ok && renumber_ok && trend_ok {
         println!("\ngate passed");
     } else {
         println!("\ngate FAILED");

@@ -4,27 +4,36 @@
 //! platforms for a single `VECTOR_SIZE`.
 //!
 //! ```text
-//! cargo run --release --example channel_flow -- [n] [vector_size] [threads]
+//! cargo run --release --example channel_flow -- [n] [vector_size] [threads] [seq|batched]
 //! ```
 
 use alya_longvec::prelude::*;
+use lv_kernel::{solve_momentum_on, MomentumPath};
 use lv_mesh::Vec3;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let vector_size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(240);
     let threads: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+    let path = match std::env::args().nth(4) {
+        None => MomentumPath::Batched,
+        Some(arg) => MomentumPath::from_arg(&arg).unwrap_or_else(|| {
+            eprintln!("unknown momentum path '{arg}' (expected seq|batched), using 'batched'");
+            MomentumPath::Batched
+        }),
+    };
 
     let mesh = ChannelMeshBuilder::new(n, 4).with_jitter(0.1, 3).build();
     println!(
         "channel mesh: {} elements ({}x{}x{} cross-section blocks), VECTOR_SIZE = {}, \
-         {} worker thread(s)",
+         {} worker thread(s), {} momentum solve",
         mesh.num_elements(),
         4 * n,
         n,
         n,
         vector_size,
-        threads
+        threads,
+        path.name()
     );
 
     // ----------------------------------------------------- numeric assembly
@@ -50,14 +59,16 @@ fn main() {
         &mut workspaces,
     );
     assembly.apply_dirichlet(&mut matrix, &mut rhs);
-    let b: Vec<f64> = (0..mesh.num_nodes()).map(|i| rhs[3 * i]).collect();
-    let solve = bicgstab_on(&team, &matrix, &b, &SolveOptions::default()).expect("solve");
+    let solve = solve_momentum_on(&team, &matrix, &rhs, &SolveOptions::default(), path)
+        .expect("momentum solve");
     println!(
-        "assembled {} elements in {} chunks; x-momentum solve: {} iterations, residual {:.1e}\n",
+        "assembled {} elements in {} chunks; momentum solve ({}): {:?} iterations, \
+         worst residual {:.1e}\n",
         stats.elements,
         stats.chunks,
+        path.name(),
         solve.iterations,
-        solve.final_residual()
+        solve.worst_residual
     );
 
     // ----------------------------------------- simulated cross-platform view
