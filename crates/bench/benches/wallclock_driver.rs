@@ -1,0 +1,47 @@
+//! Wall-clock benchmark of the fractional-step driver — the end-to-end
+//! time-step cost behind `BENCH_driver.json`.
+//!
+//! Times complete cavity steps (assembly → batched momentum solve →
+//! pressure Poisson → correction, all on one shared pool) at several team
+//! sizes, with the per-phase breakdown the artifact records.  Every
+//! multi-threaded trajectory is validated **bitwise** against the 1-thread
+//! oracle before its timing is trusted (the driver's determinism contract —
+//! the measurement panics on the first deviating bit).
+//!
+//! The report is written to `BENCH_driver.json` at the workspace root
+//! (override with `LV_BENCH_DRIVER_JSON`), the third perf-trajectory
+//! artifact CI uploads.  `LV_BENCH_QUICK=1` trims steps and repetitions to
+//! fit a CI minute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_driver::{driver_bench_to_json, DriverBenchReport, Scenario, ScenarioKind, StepperConfig};
+
+fn quick_mode() -> bool {
+    std::env::var("LV_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn driver_step_comparison(_c: &mut Criterion) {
+    let (steps, repetitions) = if quick_mode() { (2, 3) } else { (4, 5) };
+    let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 8);
+    let config = StepperConfig::default();
+    let thread_counts = [1usize, 2, 4];
+
+    println!("\n=== fractional-step driver comparison (full steps, shared pool) ===");
+    println!(
+        "workload: cavity 8^3, {steps} step(s) per run, threads {thread_counts:?}, \
+         min of {repetitions} rep(s)\n"
+    );
+    let report = DriverBenchReport::measure(&scenario, config, steps, &thread_counts, repetitions);
+    print!("{}", report.to_text());
+
+    let host_threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let json = driver_bench_to_json(host_threads, std::slice::from_ref(&report));
+    let path = std::env::var("LV_BENCH_DRIVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_driver.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_driver.json");
+    println!("\nwrote {path}");
+}
+
+criterion_group!(benches, driver_step_comparison);
+criterion_main!(benches);

@@ -57,9 +57,16 @@ fn solver_benchmarks(c: &mut Criterion) {
     c.bench_function("bicgstab_momentum", |bench| {
         bench.iter(|| bicgstab(&out.matrix, &b, &options).expect("solve"))
     });
-    let poisson = pressure_poisson(&out.matrix);
+    // The real assembled pressure Laplacian (gauge-pinned SPD), the same
+    // operator the fractional-step driver's Poisson solve runs on.
+    let poisson = pressure_poisson(&mesh, 240);
+    let b_poisson = {
+        let mut b = b.clone();
+        b[0] = 0.0;
+        b
+    };
     c.bench_function("cg_pressure", |bench| {
-        bench.iter(|| conjugate_gradient(&poisson, &b, &options).expect("solve"))
+        bench.iter(|| conjugate_gradient(&poisson, &b_poisson, &options).expect("solve"))
     });
 }
 

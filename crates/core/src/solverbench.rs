@@ -6,8 +6,9 @@
 //! worker teams of the requested sizes.  BiCGSTAB (and the SpMV probe) run
 //! on the assembled non-symmetric momentum matrix — asserted non-symmetric,
 //! so the bench demonstrably covers the path the examples run; CG runs on
-//! the pressure-like SPD graph Laplacian built on the same mesh sparsity —
-//! the two system kinds a Navier–Stokes time step actually solves.  On top
+//! the **real assembled pressure Laplacian** (`∫ ∇N_a·∇N_b`, gauge-pinned,
+//! asserted SPD — the operator `lv-driver`'s pressure-Poisson solve runs
+//! on) — the two system kinds a Navier–Stokes time step actually solves.  On top
 //! of the serial-vs-pooled axis, the comparison measures the multi-RHS
 //! axis: three sequential SpMVs vs one fused [`CsrMatrix::spmm3`]
 //! (`spmv3` / `spmm3` rows) and three sequential momentum solves vs one
@@ -93,23 +94,24 @@ fn assert_bitwise_outcome(oracle: &SolveOutcome, got: &SolveOutcome, what: &str)
     }
 }
 
-/// The pressure-like SPD operator on a given sparsity pattern: a shifted
-/// graph Laplacian (off-diagonals −1, diagonal = neighbour count + 1).
-/// Strictly diagonally dominant with positive diagonal, hence symmetric
-/// positive definite — the guaranteed-convergence workload for CG, standing
-/// in for the pressure Poisson solve of a fractional-step scheme.
-pub fn pressure_poisson(template: &CsrMatrix) -> CsrMatrix {
-    let mut m = CsrMatrix::from_pattern(template.row_ptr().to_vec(), template.col_idx().to_vec());
-    let n = m.dim();
-    let (row_ptr, col_idx, values) = m.pattern_and_values_mut();
-    for row in 0..n {
-        let start = row_ptr[row];
-        let end = row_ptr[row + 1];
-        for k in start..end {
-            values[k] = if col_idx[k] == row { (end - start) as f64 } else { -1.0 };
-        }
-    }
-    m
+/// The pressure operator the CG rows exercise: the **real** finite-element
+/// Laplacian `L_ab = ∫ ∇N_a·∇N_b dΩ` assembled from the mesh by
+/// [`lv_kernel::projection`], symmetrically pinned at node 0 (the gauge of
+/// the pure-Neumann operator) so it is symmetric positive definite.  This
+/// replaced the synthetic shifted graph Laplacian the bench used before the
+/// fractional-step driver existed: the CG measurements now run on exactly
+/// the operator the driver's pressure-Poisson solve runs on.
+///
+/// # Panics
+/// Panics if the assembled, pinned operator is not symmetric (the SPD
+/// precondition of CG).
+pub fn pressure_poisson(mesh: &Mesh, vector_size: usize) -> CsrMatrix {
+    let matrix = lv_kernel::pressure_laplacian(mesh, vector_size, &[0]);
+    assert!(
+        matrix.is_symmetric(1e-12),
+        "the pinned pressure Laplacian must be symmetric — CG requires an SPD operator"
+    );
+    matrix
 }
 
 impl SolverComparison {
@@ -147,9 +149,15 @@ impl SolverComparison {
             "the assembled momentum matrix must be non-symmetric — BiCGSTAB has to be \
              exercised on the operator the examples actually solve"
         );
-        let poisson = pressure_poisson(&matrix);
+        let poisson = pressure_poisson(mesh, config.vector_size);
         let n = mesh.num_nodes();
         let b: Vec<f64> = (0..n).map(|i| out.rhs[3 * i]).collect();
+        // The Poisson RHS respects the gauge: the pinned unknown is zero.
+        let b_poisson = {
+            let mut b = b.clone();
+            b[0] = 0.0;
+            b
+        };
         let b3 = MultiVector::from_interleaved(&out.rhs);
         let options = SolveOptions { max_iterations: 2000, tolerance: 1e-8, ..Default::default() };
 
@@ -174,7 +182,7 @@ impl SolverComparison {
         let mut cg_oracle: Option<SolveOutcome> = None;
         let cg_serial = time_min(repetitions, || {
             cg_oracle = Some(
-                lv_solver::conjugate_gradient(&poisson, &b, &options)
+                lv_solver::conjugate_gradient(&poisson, &b_poisson, &options)
                     .expect("serial CG must converge on the SPD pressure system"),
             );
         });
@@ -325,7 +333,7 @@ impl SolverComparison {
             let mut cg: Option<SolveOutcome> = None;
             let seconds = time_min(repetitions, || {
                 cg = Some(
-                    conjugate_gradient_on(&team, &poisson, &b, &options)
+                    conjugate_gradient_on(&team, &poisson, &b_poisson, &options)
                         .expect("pooled CG must converge on the SPD pressure system"),
                 );
             });

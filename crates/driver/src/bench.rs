@@ -1,0 +1,230 @@
+//! Wall-clock measurement of full fractional steps — the engine behind the
+//! `wallclock_driver` bench and the committed `BENCH_driver.json` artifact.
+//!
+//! Each case runs a fresh [`Stepper`] for a fixed number of steps on a team
+//! of the requested size, recording the per-phase breakdown (assembly /
+//! momentum / Poisson / correction) of the fastest repetition.  Before any
+//! timing is trusted, every multi-threaded trajectory is validated **bitwise**
+//! against the single-threaded oracle — the driver's determinism contract —
+//! and the measurement panics on the first deviating bit.
+
+use crate::scenario::Scenario;
+use crate::stepper::{SimState, StepTimings, Stepper, StepperConfig};
+use lv_runtime::Team;
+
+/// Timing of one `(threads,)` driver case.
+#[derive(Debug, Clone)]
+pub struct DriverMeasurement {
+    /// Worker threads of the shared team.
+    pub threads: usize,
+    /// Total wall-clock seconds of the fastest repetition (all steps).
+    pub seconds: f64,
+    /// Per-phase breakdown of that repetition.
+    pub timings: StepTimings,
+    /// Speed-up over the single-threaded case.
+    pub speedup: f64,
+    /// Whether the final state matched the 1-thread oracle bit for bit.
+    pub bitwise_equal: bool,
+}
+
+/// A full driver wall-clock comparison on one scenario.
+#[derive(Debug, Clone)]
+pub struct DriverBenchReport {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Mesh elements.
+    pub elements: usize,
+    /// Mesh nodes (= solver rows per component).
+    pub rows: usize,
+    /// Steps per repetition.
+    pub steps: usize,
+    /// Repetitions per case.
+    pub repetitions: usize,
+    /// Per-thread-count measurements, 1-thread oracle first.
+    pub cases: Vec<DriverMeasurement>,
+}
+
+fn assert_states_bitwise(oracle: &SimState, got: &SimState, threads: usize) {
+    assert_eq!(oracle.step, got.step, "step count diverged at {threads} threads");
+    assert_eq!(
+        oracle.time.to_bits(),
+        got.time.to_bits(),
+        "simulation time diverged at {threads} threads"
+    );
+    for (a, b) in oracle.velocity.as_slice().iter().zip(got.velocity.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "velocity diverged at {threads} threads");
+    }
+    for (a, b) in oracle.pressure.as_slice().iter().zip(got.pressure.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "pressure diverged at {threads} threads");
+    }
+}
+
+impl DriverBenchReport {
+    /// Times `steps` fractional steps of `scenario` at every entry of
+    /// `thread_counts` (the 1-thread case is always measured first as the
+    /// oracle), `repetitions` fresh runs per case, keeping the fastest.
+    ///
+    /// # Panics
+    /// Panics if a step fails to converge or a multi-threaded trajectory
+    /// deviates from the single-threaded oracle in any bit.
+    pub fn measure(
+        scenario: &Scenario,
+        config: StepperConfig,
+        steps: usize,
+        thread_counts: &[usize],
+        repetitions: usize,
+    ) -> Self {
+        assert!(steps > 0 && repetitions > 0);
+        let mesh = scenario.build_mesh();
+        let mut cases = Vec::new();
+        let mut oracle: Option<SimState> = None;
+        let mut serial_seconds = f64::NAN;
+        let mut counts: Vec<usize> = vec![1];
+        counts.extend(thread_counts.iter().copied().filter(|&t| t > 1));
+        for threads in counts {
+            let team = Team::new(threads);
+            let mut best_total = f64::INFINITY;
+            let mut best_timings = StepTimings::default();
+            let mut final_state: Option<SimState> = None;
+            for _ in 0..repetitions {
+                let mut stepper = Stepper::with_mesh(scenario.clone(), config, mesh.clone());
+                let mut timings = StepTimings::default();
+                for report in stepper.run_on(&team, steps).expect("driver step must converge") {
+                    timings.accumulate(&report.timings);
+                }
+                if timings.total() < best_total {
+                    best_total = timings.total();
+                    best_timings = timings;
+                }
+                final_state = Some(stepper.state().clone());
+            }
+            let final_state = final_state.expect("at least one repetition ran");
+            let bitwise_equal = match &oracle {
+                None => {
+                    serial_seconds = best_total;
+                    oracle = Some(final_state);
+                    true
+                }
+                Some(oracle) => {
+                    assert_states_bitwise(oracle, &final_state, threads);
+                    true
+                }
+            };
+            cases.push(DriverMeasurement {
+                threads,
+                seconds: best_total,
+                timings: best_timings,
+                speedup: serial_seconds / best_total,
+                bitwise_equal,
+            });
+        }
+        DriverBenchReport {
+            scenario: scenario.kind.name().to_string(),
+            elements: mesh.num_elements(),
+            rows: mesh.num_nodes(),
+            steps,
+            repetitions,
+            cases,
+        }
+    }
+
+    /// Hand-rolled JSON object (the offline `serde_json` shim cannot
+    /// serialize).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"scenario\": \"{}\", \"elements\": {}, \"rows\": {}, \"steps\": {}, \
+             \"repetitions\": {}, \"cases\": [",
+            self.scenario, self.elements, self.rows, self.steps, self.repetitions
+        ));
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"threads\": {}, \"seconds\": {:.9}, \"assembly_seconds\": {:.9}, \
+                 \"momentum_seconds\": {:.9}, \"poisson_seconds\": {:.9}, \
+                 \"correction_seconds\": {:.9}, \"speedup\": {:.4}, \"bitwise_equal\": {}}}",
+                c.threads,
+                c.seconds,
+                c.timings.assembly,
+                c.timings.momentum,
+                c.timings.poisson,
+                c.timings.correction,
+                c.speedup,
+                c.bitwise_equal
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Aligned human-readable table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{}: {} elements / {} rows, {} step(s), min of {} rep(s)\n",
+            self.scenario, self.elements, self.rows, self.steps, self.repetitions
+        );
+        for c in &self.cases {
+            out.push_str(&format!(
+                "  {:>2}t {:>9.3} ms  {:>5.2}x  (assembly {:.1}% | momentum {:.1}% | \
+                 poisson {:.1}% | correction {:.1}%)  bitwise == 1t\n",
+                c.threads,
+                c.seconds * 1e3,
+                c.speedup,
+                100.0 * c.timings.assembly / c.seconds,
+                100.0 * c.timings.momentum / c.seconds,
+                100.0 * c.timings.poisson / c.seconds,
+                100.0 * c.timings.correction / c.seconds,
+            ));
+        }
+        out
+    }
+}
+
+/// Serializes driver reports as the `BENCH_driver.json` document.
+pub fn driver_bench_to_json(host_threads: usize, reports: &[DriverBenchReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench\": \"wallclock_driver\",\n  \"host_threads\": {host_threads},\n"
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&r.to_json());
+        out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+    use lv_kernel::MomentumPath;
+
+    #[test]
+    fn driver_bench_measures_validates_and_renders() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let config =
+            StepperConfig::default().with_vector_size(32).with_momentum_path(MomentumPath::Batched);
+        let report = DriverBenchReport::measure(&scenario, config, 1, &[2], 1);
+        assert_eq!(report.cases.len(), 2);
+        assert_eq!(report.cases[0].threads, 1);
+        assert_eq!(report.cases[1].threads, 2);
+        for c in &report.cases {
+            assert!(c.seconds > 0.0 && c.seconds.is_finite());
+            assert!(c.timings.total() > 0.0);
+            assert!(c.bitwise_equal);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"scenario\": \"cavity\""));
+        assert!(json.contains("\"poisson_seconds\""));
+        let doc = driver_bench_to_json(4, std::slice::from_ref(&report));
+        assert!(doc.contains("\"bench\": \"wallclock_driver\""));
+        assert!(doc.contains("\"host_threads\": 4"));
+        assert!(report.to_text().contains("bitwise == 1t"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Binary checkpoint/restart for the fractional-step driver.
+//!
+//! A checkpoint stores the complete [`SimState`] — step index, time,
+//! velocity, pressure — plus the scenario identity it belongs to, with every
+//! `f64` written as its exact little-endian bit pattern.  Restarting from a
+//! checkpoint therefore reproduces the uninterrupted trajectory **bitwise**:
+//! the stepper is a pure function of the state (Δt is recomputed from the
+//! restored velocity by the same CFL rule), so no auxiliary solver state
+//! needs to be saved.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   8 B   "LVCKPT01"
+//! name    u32 length + UTF-8 scenario registry name
+//! resolution u32, viscosity f64, density f64   (scenario identity)
+//! step    u64, time f64
+//! velocity u64 length + f64 values (NDIME-interleaved)
+//! pressure u64 length + f64 values
+//! checksum u64   FNV-1a over everything after the magic
+//! ```
+
+use crate::scenario::{Scenario, ScenarioKind};
+use crate::stepper::SimState;
+use lv_mesh::{Field, Mesh, VectorField};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LVCKPT01";
+
+/// FNV-1a over a byte stream — tiny, dependency-free integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_f64s(buf: &mut Vec<u8>, values: &[f64]) {
+    buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.data.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated checkpoint"));
+        }
+        let slice = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self) -> io::Result<Vec<f64>> {
+        let len = self.u64()? as usize;
+        // Guard against absurd lengths before allocating.
+        if len > self.data.len() / 8 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt field length"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+/// The decoded contents of a checkpoint file.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Scenario registry name the run belonged to.
+    pub scenario: String,
+    /// Scenario resolution.
+    pub resolution: usize,
+    /// Scenario viscosity (exact bits).
+    pub viscosity: f64,
+    /// Scenario density (exact bits).
+    pub density: f64,
+    /// Completed steps.
+    pub step: u64,
+    /// Simulation time (exact bits).
+    pub time: f64,
+    /// Raw interleaved velocity values.
+    pub velocity: Vec<f64>,
+    /// Raw pressure values.
+    pub pressure: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// Rebuilds a [`SimState`] over `mesh`, validating the field sizes.
+    ///
+    /// # Errors
+    /// Returns [`io::ErrorKind::InvalidData`] if the stored fields do not
+    /// match the mesh.
+    pub fn into_state(self, mesh: &Mesh) -> io::Result<SimState> {
+        let n = mesh.num_nodes();
+        if self.velocity.len() != lv_mesh::NDIME * n || self.pressure.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint fields ({} velocity / {} pressure values) do not match a \
+                     {n}-node mesh",
+                    self.velocity.len(),
+                    self.pressure.len()
+                ),
+            ));
+        }
+        let mut velocity = VectorField::zeros(mesh);
+        velocity.as_mut_slice().copy_from_slice(&self.velocity);
+        let pressure = Field::from_values(mesh, self.pressure);
+        Ok(SimState { step: self.step, time: self.time, velocity, pressure })
+    }
+
+    /// Checks that this checkpoint belongs to `scenario` (same kind,
+    /// resolution and exact physical parameters).
+    ///
+    /// # Errors
+    /// Returns [`io::ErrorKind::InvalidData`] describing the first mismatch.
+    pub fn validate_scenario(&self, scenario: &Scenario) -> io::Result<()> {
+        let mismatch = |what: &str| {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint does not match the requested scenario: {what} differs"),
+            ))
+        };
+        if ScenarioKind::from_name(&self.scenario) != Some(scenario.kind) {
+            return mismatch("scenario kind");
+        }
+        if self.resolution != scenario.resolution {
+            return mismatch("resolution");
+        }
+        if self.viscosity.to_bits() != scenario.viscosity.to_bits() {
+            return mismatch("viscosity");
+        }
+        if self.density.to_bits() != scenario.density.to_bits() {
+            return mismatch("density");
+        }
+        Ok(())
+    }
+}
+
+/// Serializes `state` to `path` **atomically**: the bytes go to a
+/// `<path>.tmp` sibling first and are renamed over the target only after a
+/// successful `fsync`, so a crash (or full disk) mid-write can never
+/// destroy the previous good checkpoint — the exact kill scenario periodic
+/// checkpointing exists to survive.
+///
+/// # Errors
+/// Any I/O error of creating, writing or renaming the file.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    scenario: &Scenario,
+    state: &SimState,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    let name = scenario.kind.name().as_bytes();
+    payload.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    payload.extend_from_slice(name);
+    payload.extend_from_slice(&(scenario.resolution as u32).to_le_bytes());
+    payload.extend_from_slice(&scenario.viscosity.to_le_bytes());
+    payload.extend_from_slice(&scenario.density.to_le_bytes());
+    payload.extend_from_slice(&state.step.to_le_bytes());
+    payload.extend_from_slice(&state.time.to_le_bytes());
+    push_f64s(&mut payload, state.velocity.as_slice());
+    push_f64s(&mut payload, state.pressure.as_slice());
+    let checksum = fnv1a(&payload);
+
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write_tmp = || -> io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&payload)?;
+        file.write_all(&checksum.to_le_bytes())?;
+        file.sync_all()
+    };
+    let result = write_tmp().and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Reads and verifies a checkpoint from `path`.
+///
+/// # Errors
+/// I/O errors, a bad magic, a truncated file or a checksum mismatch.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an lv-driver checkpoint"));
+    }
+    let payload = &bytes[MAGIC.len()..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(payload) != stored {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "checkpoint checksum mismatch"));
+    }
+    let mut r = Reader { data: payload, at: 0 };
+    let name_len = r.u32()? as usize;
+    let scenario = String::from_utf8(r.take(name_len)?.to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "corrupt scenario name"))?;
+    let resolution = r.u32()? as usize;
+    let viscosity = r.f64()?;
+    let density = r.f64()?;
+    let step = r.u64()?;
+    let time = r.f64()?;
+    let velocity = r.f64s()?;
+    let pressure = r.f64s()?;
+    Ok(Checkpoint { scenario, resolution, viscosity, density, step, time, velocity, pressure })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lv_ckpt_test_{tag}_{}.bin", std::process::id()))
+    }
+
+    fn sample() -> (Scenario, Mesh, SimState) {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 3);
+        let mesh = scenario.build_mesh();
+        let (mut velocity, mut pressure) = scenario.initial_state(&mesh);
+        velocity.set(5, lv_mesh::Vec3::new(0.123456789, -9.87e-5, 3.25));
+        *pressure.value_mut(7) = -0.5f64.powi(30);
+        let state = SimState { step: 42, time: 1.0625, velocity, pressure };
+        (scenario, mesh, state)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bitwise() {
+        let (scenario, mesh, state) = sample();
+        let path = temp_path("roundtrip");
+        save_checkpoint(&path, &scenario, &state).expect("save");
+        let loaded = load_checkpoint(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        loaded.validate_scenario(&scenario).expect("identity");
+        assert_eq!(loaded.step, 42);
+        assert_eq!(loaded.time.to_bits(), state.time.to_bits());
+        let restored = loaded.into_state(&mesh).expect("state");
+        for (a, b) in state.velocity.as_slice().iter().zip(restored.velocity.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in state.pressure.as_slice().iter().zip(restored.pressure.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn corruption_and_mismatch_are_detected() {
+        let (scenario, mesh, state) = sample();
+        let path = temp_path("corrupt");
+        save_checkpoint(&path, &scenario, &state).expect("save");
+        // Flip one payload byte: the checksum must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+
+        // Wrong magic.
+        let path = temp_path("magic");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(load_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+
+        // Scenario mismatch and mesh mismatch.
+        let path = temp_path("mismatch");
+        save_checkpoint(&path, &scenario, &state).expect("save");
+        let loaded = load_checkpoint(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+        let other = Scenario::new(ScenarioKind::Channel, 3);
+        assert!(loaded.validate_scenario(&other).is_err());
+        let finer = Scenario::new(ScenarioKind::LidDrivenCavity, 5);
+        assert!(loaded.validate_scenario(&finer).is_err());
+        let wrong_mesh = finer.build_mesh();
+        assert!(loaded.into_state(&wrong_mesh).is_err());
+        let _ = mesh;
+    }
+}

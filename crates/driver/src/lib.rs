@@ -1,0 +1,32 @@
+//! # lv-driver
+//!
+//! The **fractional-step simulation driver**: the subsystem that turns the
+//! repo's kernels — colored parallel assembly (`lv-kernel`), pooled/batched
+//! Krylov solvers (`lv-solver`), the shared worker-pool runtime
+//! (`lv-runtime`) and the mesh-true projection operators
+//! ([`lv_kernel::projection`]) — into an end-to-end incompressible
+//! Navier–Stokes solver.  Until this crate, every example stopped at the
+//! momentum predictor with pressure identically zero; the driver closes the
+//! loop with a Chorin pressure-projection step.
+//!
+//! * [`stepper`] — the [`Stepper`]: predictor → pressure Poisson →
+//!   correction, all on one shared [`lv_runtime::Team`], CFL-adaptive Δt,
+//!   per-step diagnostics, bitwise reproducible across thread counts;
+//! * [`scenario`] — the [`Scenario`] registry: lid-driven cavity, channel,
+//!   Taylor–Green vortex (with analytic error norms) and a decaying shear
+//!   layer, each with its own BCs, initial fields and pressure pins;
+//! * [`checkpoint`] — binary checkpoint/restart with bitwise-identical
+//!   resumption;
+//! * [`bench`] — the wall-clock engine behind `BENCH_driver.json`.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod checkpoint;
+pub mod scenario;
+pub mod stepper;
+
+pub use bench::{driver_bench_to_json, DriverBenchReport, DriverMeasurement};
+pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
+pub use scenario::{taylor_green_velocity, Scenario, ScenarioKind};
+pub use stepper::{SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig};

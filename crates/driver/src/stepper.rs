@@ -1,0 +1,603 @@
+//! The Chorin fractional-step time integrator.
+//!
+//! One [`Stepper::step_on`] call advances the state through the three
+//! sub-steps of a pressure-projection scheme, all on **one** shared
+//! [`Team`]:
+//!
+//! 1. **Predictor** — the existing mini-app machinery: colored parallel
+//!    assembly of the semi-implicit momentum system, the weak pressure
+//!    gradient `−∫ N_a ∂p/∂x_i` of the current pressure added to the RHS,
+//!    Dirichlet rows applied, and the (batched or sequential) pooled
+//!    BiCGSTAB momentum solve for the velocity increment → `u*`.
+//! 2. **Pressure Poisson** — `L φ = −(ρ/Δt) d(u*)` with the mesh-true
+//!    Laplacian assembled by [`lv_kernel::PressureOperators`] (symmetrically
+//!    pinned per scenario), solved with pooled CG.
+//! 3. **Correction** — `u ← u* − (Δt/ρ) M⁻¹ g(φ)` with the lumped-mass
+//!    nodal gradient, re-imposition of the scenario's velocity BCs, and the
+//!    incremental pressure update `p ← p + φ`.
+//!
+//! Every kernel in the chain (colored sweeps, pooled Krylov, fixed-order
+//! diagnostics) is bitwise reproducible across thread counts, so a whole
+//! trajectory is **bitwise identical for threads ∈ {1, 2, 4, …}** — which is
+//! also what makes checkpoint/restart exactly resumable: the state is
+//! `(step, time, velocity, pressure)` and the step map is a pure function
+//! of it.
+//!
+//! Δt is either fixed or CFL-adaptive (`Δt = clamp(C·h/‖u‖_∞)`), recomputed
+//! from the state at the start of every step — deterministic, and therefore
+//! restart-safe without storing it.
+
+use crate::scenario::Scenario;
+use lv_kernel::{
+    solve_momentum_on, weak_divergence_vector_norm, ElementWorkspace, KernelConfig, MomentumPath,
+    NastinAssembly, OptLevel, PressureOperators,
+};
+use lv_mesh::{Field, Mesh, VectorField};
+use lv_runtime::Team;
+use lv_solver::{conjugate_gradient_on, CsrMatrix, SolveOptions, SolverError};
+use std::time::Instant;
+
+/// Number of spatial dimensions (velocity components per node).
+const NDIME: usize = lv_kernel::NDIME;
+
+/// Configuration of a [`Stepper`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct StepperConfig {
+    /// `VECTOR_SIZE` of the assembly and projection sweeps.
+    pub vector_size: usize,
+    /// Scheduling of the three momentum-component solves.
+    pub momentum_path: MomentumPath,
+    /// Options of the momentum BiCGSTAB solve.
+    pub momentum_options: SolveOptions,
+    /// Options of the pressure-Poisson CG solve.
+    pub poisson_options: SolveOptions,
+    /// CFL number for adaptive time stepping (`Δt = C·h/‖u‖_∞`, clamped to
+    /// `[dt_min, dt_max]`); `None` runs at the fixed `dt`.
+    pub cfl: Option<f64>,
+    /// Fixed time step (also the fallback when the CFL clamp saturates).
+    pub dt: f64,
+    /// Lower Δt clamp of the CFL controller.
+    pub dt_min: f64,
+    /// Upper Δt clamp of the CFL controller.
+    pub dt_max: f64,
+    /// Projection sweeps per step.  Each sweep solves one Poisson system and
+    /// applies one lumped-mass correction; because the correction is an
+    /// *approximate* projection (the FE Laplacian `L` is a consistent but
+    /// not exact stand-in for the discrete composition `D·M⁻¹·G`), the
+    /// sweeps act as Richardson iterations on the divergence constraint,
+    /// contracting the weak divergence by ~2× each.  1 is the classic
+    /// scheme; the default 3 drives the predictor's discrete divergence
+    /// down by an order of magnitude.
+    pub projection_sweeps: usize,
+}
+
+impl Default for StepperConfig {
+    fn default() -> Self {
+        StepperConfig {
+            vector_size: 128,
+            momentum_path: MomentumPath::Batched,
+            momentum_options: SolveOptions {
+                max_iterations: 2000,
+                tolerance: 1e-10,
+                ..Default::default()
+            },
+            poisson_options: SolveOptions {
+                max_iterations: 4000,
+                tolerance: 1e-10,
+                ..Default::default()
+            },
+            cfl: Some(0.4),
+            dt: 0.02,
+            dt_min: 1e-4,
+            dt_max: 0.1,
+            projection_sweeps: 3,
+        }
+    }
+}
+
+impl StepperConfig {
+    /// Builder: fixed time step (disables the CFL controller).
+    pub fn with_fixed_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "time step must be positive");
+        self.cfl = None;
+        self.dt = dt;
+        self
+    }
+
+    /// Builder: CFL-adaptive time stepping with the given Courant number.
+    pub fn with_cfl(mut self, cfl: f64) -> Self {
+        assert!(cfl > 0.0, "CFL number must be positive");
+        self.cfl = Some(cfl);
+        self
+    }
+
+    /// Builder: momentum scheduling path.
+    pub fn with_momentum_path(mut self, path: MomentumPath) -> Self {
+        self.momentum_path = path;
+        self
+    }
+
+    /// Builder: `VECTOR_SIZE` of the sweeps.
+    pub fn with_vector_size(mut self, vector_size: usize) -> Self {
+        assert!(vector_size > 0, "VECTOR_SIZE must be positive");
+        self.vector_size = vector_size;
+        self
+    }
+}
+
+/// The complete simulation state: everything a checkpoint stores and a
+/// restart needs.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    /// Completed steps.
+    pub step: u64,
+    /// Simulation time.
+    pub time: f64,
+    /// Nodal velocity.
+    pub velocity: VectorField,
+    /// Nodal pressure.
+    pub pressure: Field,
+}
+
+/// Wall-clock breakdown of one step, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTimings {
+    /// Momentum assembly + pressure force + Dirichlet rows.
+    pub assembly: f64,
+    /// Momentum (predictor) solve.
+    pub momentum: f64,
+    /// Weak divergence + pressure-Poisson CG solve(s).
+    pub poisson: f64,
+    /// Weak gradient, velocity correction, BCs and pressure update.
+    pub correction: f64,
+}
+
+impl StepTimings {
+    /// Total step wall-clock.
+    pub fn total(&self) -> f64 {
+        self.assembly + self.momentum + self.poisson + self.correction
+    }
+
+    /// Accumulates another step's timings (used by the bench).
+    pub fn accumulate(&mut self, other: &StepTimings) {
+        self.assembly += other.assembly;
+        self.momentum += other.momentum;
+        self.poisson += other.poisson;
+        self.correction += other.correction;
+    }
+}
+
+/// Diagnostics and timings of one completed step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Step index after the step (1-based).
+    pub step: u64,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Δt used by the step.
+    pub dt: f64,
+    /// Total momentum (BiCGSTAB) iterations across the three components.
+    pub momentum_iterations: usize,
+    /// Worst final relative residual of the momentum components.
+    pub momentum_residual: f64,
+    /// Total pressure-Poisson CG iterations across the projection sweeps.
+    pub poisson_iterations: usize,
+    /// Worst final relative residual of the Poisson solves.
+    pub poisson_residual: f64,
+    /// Discrete divergence `‖d(u*)‖₂` of the predictor velocity (the weak
+    /// divergence vector `d_a = ∫ N_a ∇·u` the projection drives to zero).
+    pub divergence_pre: f64,
+    /// Discrete divergence `‖d(u)‖₂` after the projection correction.
+    pub divergence_post: f64,
+    /// Kinetic energy `½ρ∫|u|²` after the step.
+    pub kinetic_energy: f64,
+    /// Wall-clock breakdown.
+    pub timings: StepTimings,
+}
+
+/// Why a step failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepError {
+    /// The momentum (predictor) solve failed.
+    Momentum(SolverError),
+    /// The pressure-Poisson solve failed.
+    Poisson(SolverError),
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Momentum(e) => write!(f, "momentum solve failed: {e:?}"),
+            StepError::Poisson(e) => write!(f, "pressure-Poisson solve failed: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// The fractional-step simulation driver: owns the assembled operators, the
+/// reusable work buffers and the evolving [`SimState`].
+#[derive(Debug)]
+pub struct Stepper {
+    scenario: Scenario,
+    config: StepperConfig,
+    assembly: NastinAssembly,
+    operators: PressureOperators,
+    laplacian: CsrMatrix,
+    pins: Vec<usize>,
+    h_char: f64,
+    state: SimState,
+    matrix: CsrMatrix,
+    rhs: Vec<f64>,
+    grad: Vec<f64>,
+    div: Vec<f64>,
+    poisson_rhs: Vec<f64>,
+    workspaces: Vec<ElementWorkspace>,
+}
+
+impl Stepper {
+    /// Builds a stepper for `scenario` from its initial state.
+    pub fn new(scenario: Scenario, config: StepperConfig) -> Self {
+        let mesh = scenario.build_mesh();
+        Self::with_mesh(scenario, config, mesh)
+    }
+
+    /// Builds a stepper on a caller-provided mesh (e.g. a renumbered one —
+    /// the scenario only supplies physics, BCs and initial fields).
+    pub fn with_mesh(scenario: Scenario, config: StepperConfig, mesh: Mesh) -> Self {
+        let (velocity, pressure) = scenario.initial_state(&mesh);
+        let state = SimState { step: 0, time: 0.0, velocity, pressure };
+        Self::from_state(scenario, config, mesh, state)
+    }
+
+    /// Builds a stepper resuming from an existing state (the restart path;
+    /// see [`crate::checkpoint`]).
+    ///
+    /// # Panics
+    /// Panics if the state's field sizes do not match the mesh.
+    pub fn from_state(
+        scenario: Scenario,
+        config: StepperConfig,
+        mesh: Mesh,
+        state: SimState,
+    ) -> Self {
+        assert_eq!(
+            state.velocity.num_nodes(),
+            mesh.num_nodes(),
+            "restart velocity does not match the mesh"
+        );
+        assert_eq!(
+            state.pressure.len(),
+            mesh.num_nodes(),
+            "restart pressure does not match the mesh"
+        );
+        let kernel_config = KernelConfig::new(config.vector_size, OptLevel::Vec1)
+            .with_viscosity(scenario.viscosity)
+            .with_density(scenario.density)
+            .with_dt(config.dt);
+        let assembly = NastinAssembly::new(mesh.clone(), kernel_config);
+        let operators = PressureOperators::new(&mesh, config.vector_size);
+        let pins = scenario.pressure_pins(&mesh);
+        let mut laplacian = operators.assemble_laplacian();
+        laplacian.pin_rows_symmetric(&pins);
+        debug_assert!(laplacian.is_symmetric(1e-12), "pinned pressure Laplacian must stay SPD");
+        let n = mesh.num_nodes();
+        let matrix = assembly.new_matrix();
+        let h_char = mesh.characteristic_length();
+        Stepper {
+            scenario,
+            config,
+            assembly,
+            operators,
+            laplacian,
+            pins,
+            h_char,
+            state,
+            matrix,
+            rhs: vec![0.0; NDIME * n],
+            grad: vec![0.0; NDIME * n],
+            div: vec![0.0; n],
+            poisson_rhs: vec![0.0; n],
+            workspaces: Vec::new(),
+        }
+    }
+
+    /// The scenario this stepper runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The stepper configuration.
+    pub fn config(&self) -> &StepperConfig {
+        &self.config
+    }
+
+    /// The mesh.
+    pub fn mesh(&self) -> &Mesh {
+        self.assembly.mesh()
+    }
+
+    /// The current simulation state.
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// The projection operators (for external diagnostics).
+    pub fn operators(&self) -> &PressureOperators {
+        &self.operators
+    }
+
+    /// The Δt the next step will use, given the current state.
+    pub fn next_dt(&self) -> f64 {
+        match self.config.cfl {
+            Some(cfl) => {
+                let umax = self.state.velocity.max_magnitude().max(1e-9);
+                (cfl * self.h_char / umax).clamp(self.config.dt_min, self.config.dt_max)
+            }
+            None => self.config.dt,
+        }
+    }
+
+    /// Kinetic energy of the current state.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.operators.kinetic_energy(&self.state.velocity, self.scenario.density)
+    }
+
+    /// Continuous `‖∇·u‖_{L2}` of the current state (the pointwise
+    /// divergence of the Q1 interpolant; see
+    /// [`PressureOperators::weak_divergence_norm`] for the discrete measure
+    /// the projection controls).
+    pub fn divergence_norm(&self) -> f64 {
+        self.operators.divergence_l2(&self.state.velocity)
+    }
+
+    /// Discrete divergence `‖d(u)‖₂` of the current state.
+    pub fn weak_divergence_norm(&self) -> f64 {
+        self.operators.weak_divergence_norm(&self.state.velocity)
+    }
+
+    /// Continuous L2 error against the scenario's analytic velocity at the
+    /// current time, for scenarios that have one.
+    pub fn analytic_velocity_error(&self) -> Option<f64> {
+        let time = self.state.time;
+        // Probe whether the scenario has an analytic solution at all.
+        self.scenario.analytic_velocity(lv_mesh::Vec3::ZERO, time)?;
+        let scenario = &self.scenario;
+        Some(self.operators.velocity_l2_error(&self.state.velocity, |p| {
+            scenario.analytic_velocity(p, time).expect("analytic solution probed above").to_array()
+        }))
+    }
+
+    fn ensure_workspaces(&mut self, threads: usize) {
+        while self.workspaces.len() < threads {
+            self.workspaces.push(ElementWorkspace::new(self.config.vector_size));
+        }
+    }
+
+    /// Advances the state by one fractional step on the caller's team.
+    ///
+    /// # Errors
+    /// Returns [`StepError`] if the momentum or Poisson solve fails to
+    /// converge; the state is left unchanged in that case only up to the
+    /// failed sub-step (a failed run should be abandoned, not resumed).
+    pub fn step_on(&mut self, team: &Team) -> Result<StepReport, StepError> {
+        let mut timings = StepTimings::default();
+        let dt = self.next_dt();
+        self.assembly.set_dt(dt);
+        let rho = self.scenario.density;
+        let t_new = self.state.time + dt;
+        self.ensure_workspaces(team.num_threads());
+
+        // --- 1. predictor: assemble + pressure force + Dirichlet ---------
+        let t0 = Instant::now();
+        self.assembly.assemble_parallel_into_on(
+            team,
+            &self.state.velocity,
+            &self.state.pressure,
+            &mut self.matrix,
+            &mut self.rhs,
+            &mut self.workspaces,
+        );
+        // Momentum RHS gets the −∇p force of the current pressure: the
+        // mini-app assembles only convection/viscous/mass terms, the weak
+        // pressure gradient closes the equation.
+        self.operators.weak_gradient_on(team, self.state.pressure.as_slice(), &mut self.grad);
+        for (r, g) in self.rhs.iter_mut().zip(&self.grad) {
+            *r -= g;
+        }
+        self.assembly.apply_dirichlet(&mut self.matrix, &mut self.rhs);
+        timings.assembly = t0.elapsed().as_secs_f64();
+
+        // --- momentum solve → u* ------------------------------------------
+        let t0 = Instant::now();
+        let solve = solve_momentum_on(
+            team,
+            &self.matrix,
+            &self.rhs,
+            &self.config.momentum_options,
+            self.config.momentum_path,
+        )
+        .map_err(StepError::Momentum)?;
+        for (v, d) in self.state.velocity.as_mut_slice().iter_mut().zip(&solve.increment) {
+            *v += d;
+        }
+        self.scenario.apply_velocity_bcs(self.assembly.mesh(), &mut self.state.velocity, t_new);
+        timings.momentum = t0.elapsed().as_secs_f64();
+
+        // --- 2+3. projection sweeps: Poisson solve + correction -----------
+        let mut poisson_iterations = 0;
+        let mut poisson_residual = 0.0f64;
+        let mut divergence_pre = 0.0f64;
+        let scale = -rho / dt;
+        let correction = dt / rho;
+        for sweep in 0..self.config.projection_sweeps.max(1) {
+            let t0 = Instant::now();
+            self.operators.weak_divergence_on(team, &self.state.velocity, &mut self.div);
+            if sweep == 0 {
+                // ‖d(u*)‖₂ of the raw predictor field, read off the first
+                // sweep's divergence vector — no extra sweep over the mesh.
+                divergence_pre = weak_divergence_vector_norm(&self.div);
+            }
+            for (b, d) in self.poisson_rhs.iter_mut().zip(&self.div) {
+                *b = scale * d;
+            }
+            for &pin in &self.pins {
+                self.poisson_rhs[pin] = 0.0;
+            }
+            let phi = conjugate_gradient_on(
+                team,
+                &self.laplacian,
+                &self.poisson_rhs,
+                &self.config.poisson_options,
+            )
+            .map_err(StepError::Poisson)?;
+            poisson_iterations += phi.iterations;
+            poisson_residual = poisson_residual.max(phi.final_residual());
+            timings.poisson += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            self.operators.weak_gradient_on(team, &phi.solution, &mut self.grad);
+            let vel = self.state.velocity.as_mut_slice();
+            for (node, &mass) in self.operators.lumped_mass().iter().enumerate() {
+                let f = correction / mass;
+                for i in 0..NDIME {
+                    vel[NDIME * node + i] -= f * self.grad[NDIME * node + i];
+                }
+            }
+            self.scenario.apply_velocity_bcs(self.assembly.mesh(), &mut self.state.velocity, t_new);
+            for (p, f) in self.state.pressure.as_mut_slice().iter_mut().zip(&phi.solution) {
+                *p += f;
+            }
+            timings.correction += t0.elapsed().as_secs_f64();
+        }
+        self.operators.weak_divergence_on(team, &self.state.velocity, &mut self.div);
+        let divergence_post = weak_divergence_vector_norm(&self.div);
+
+        self.state.step += 1;
+        self.state.time = t_new;
+        Ok(StepReport {
+            step: self.state.step,
+            time: self.state.time,
+            dt,
+            momentum_iterations: solve.total_iterations(),
+            momentum_residual: solve.worst_residual,
+            poisson_iterations,
+            poisson_residual,
+            divergence_pre,
+            divergence_post,
+            kinetic_energy: self.kinetic_energy(),
+            timings,
+        })
+    }
+
+    /// Runs `steps` fractional steps, returning the per-step reports.
+    ///
+    /// # Errors
+    /// Stops at the first failed step (see [`Stepper::step_on`]).
+    pub fn run_on(&mut self, team: &Team, steps: usize) -> Result<Vec<StepReport>, StepError> {
+        let mut reports = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            reports.push(self.step_on(team)?);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+
+    fn quick_config() -> StepperConfig {
+        StepperConfig::default().with_vector_size(32)
+    }
+
+    #[test]
+    fn cavity_step_produces_flow_and_reduces_divergence() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 5);
+        let mut stepper = Stepper::new(scenario, quick_config());
+        assert_eq!(stepper.state().step, 0);
+        assert!(stepper.kinetic_energy() > 0.0, "lid nodes already move");
+        let team = Team::new(1);
+        let report = stepper.step_on(&team).expect("step");
+        assert_eq!(report.step, 1);
+        assert!(report.dt > 0.0 && report.time > 0.0);
+        assert!(report.momentum_iterations > 0);
+        assert!(report.momentum_residual < 1e-8);
+        assert!(report.poisson_iterations > 0);
+        assert!(report.poisson_residual < 1e-8);
+        // The projection must reduce the divergence of the predictor field.
+        assert!(report.divergence_post < report.divergence_pre);
+        assert!(report.kinetic_energy > 0.0);
+        assert!(report.timings.total() > 0.0);
+        // Pressure is no longer the zero spectator field.
+        assert!(stepper.state().pressure.max_abs() > 0.0);
+        assert!(stepper.analytic_velocity_error().is_none());
+    }
+
+    #[test]
+    fn cfl_controller_tracks_the_velocity_scale() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let stepper = Stepper::new(scenario.clone(), quick_config().with_cfl(0.5));
+        // umax = 1 (the lid): dt = 0.5 · h = 0.5/4, clamped by dt_max = 0.1.
+        assert!((stepper.next_dt() - 0.1).abs() < 1e-12, "dt {}", stepper.next_dt());
+        let fixed = Stepper::new(scenario, quick_config().with_fixed_dt(0.025));
+        assert_eq!(fixed.next_dt(), 0.025);
+    }
+
+    #[test]
+    fn trajectory_is_bitwise_reproducible_across_thread_counts() {
+        let scenario = Scenario::new(ScenarioKind::TaylorGreenVortex, 4);
+        let mut reference: Option<SimState> = None;
+        for threads in [1usize, 2, 3] {
+            let mut stepper = Stepper::new(scenario.clone(), quick_config());
+            let team = Team::new(threads);
+            stepper.run_on(&team, 2).expect("run");
+            let state = stepper.state();
+            match &reference {
+                None => reference = Some(state.clone()),
+                Some(oracle) => {
+                    assert_eq!(oracle.time.to_bits(), state.time.to_bits(), "t={threads}");
+                    for (a, b) in oracle.velocity.as_slice().iter().zip(state.velocity.as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "velocity at {threads} threads");
+                    }
+                    for (a, b) in oracle.pressure.as_slice().iter().zip(state.pressure.as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "pressure at {threads} threads");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_paths_produce_the_same_trajectory() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(2);
+        let mut batched = Stepper::new(scenario.clone(), quick_config());
+        batched.run_on(&team, 2).expect("batched run");
+        let mut sequential =
+            Stepper::new(scenario, quick_config().with_momentum_path(MomentumPath::Sequential));
+        sequential.run_on(&team, 2).expect("sequential run");
+        for (a, b) in
+            batched.state().velocity.as_slice().iter().zip(sequential.state().velocity.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn channel_scenario_steps_with_outflow_pins() {
+        let scenario = Scenario::new(ScenarioKind::Channel, 3);
+        let mut stepper = Stepper::new(scenario, quick_config());
+        let team = Team::new(2);
+        let report = stepper.step_on(&team).expect("channel step");
+        assert!(report.divergence_post.is_finite());
+        // The pinned outflow pressure stays exactly zero.
+        let mesh = stepper.mesh().clone();
+        for node in 0..mesh.num_nodes() {
+            if mesh.boundary_tag(node) == lv_mesh::BoundaryTag::Outflow {
+                assert_eq!(stepper.state().pressure.value(node), 0.0);
+            }
+        }
+    }
+}

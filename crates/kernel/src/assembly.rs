@@ -130,6 +130,18 @@ impl NastinAssembly {
         &self.config
     }
 
+    /// Changes the time-step size for subsequent assemblies (the CFL-adaptive
+    /// driver shrinks and grows Δt between steps).  Only the phase-5/7
+    /// time-integration terms read Δt; the chunking, coloring and sparsity
+    /// pattern are untouched, so this is free.
+    ///
+    /// # Panics
+    /// Panics if `dt` is not positive.
+    pub fn set_dt(&mut self, dt: f64) {
+        assert!(dt > 0.0, "time step must be positive");
+        self.config.dt = dt;
+    }
+
     /// The `VECTOR_SIZE` blocking of the mesh.
     pub fn chunks(&self) -> &ElementChunks {
         &self.chunks

@@ -42,6 +42,7 @@ pub mod miniapp;
 pub mod momentum;
 pub mod parallel;
 pub mod phases;
+pub mod projection;
 pub mod workload;
 pub mod workspace;
 
@@ -49,6 +50,7 @@ pub use assembly::{AssemblyOutput, AssemblyStats, NastinAssembly, NumericPath};
 pub use config::{KernelConfig, OptLevel, PAPER_VECTOR_SIZES};
 pub use miniapp::{MiniAppRun, SimulatedMiniApp};
 pub use momentum::{solve_momentum_on, MomentumPath, MomentumSolve};
+pub use projection::{pressure_laplacian, weak_divergence_vector_norm, PressureOperators};
 pub use workspace::{ElementWorkspace, WorkspaceViews, WorkspaceViewsMut};
 
 /// Spatial dimensions (3-D flow, as in the paper's production case).

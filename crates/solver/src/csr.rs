@@ -396,6 +396,30 @@ impl CsrMatrix {
         rhs[row] = value;
     }
 
+    /// Pins a set of rows **symmetrically**: every pinned row *and* column
+    /// is zeroed and the pinned diagonals set to 1.  Unlike
+    /// [`dirichlet_row`](Self::dirichlet_row) this preserves symmetry, so a
+    /// symmetric positive semi-definite operator (e.g. the pure-Neumann
+    /// pressure Laplacian, whose kernel is the constants) stays symmetric —
+    /// and becomes positive definite once at least one node per connected
+    /// component is pinned.  The pinned unknowns are forced to zero, so the
+    /// caller only has to zero the matching right-hand-side entries.
+    pub fn pin_rows_symmetric(&mut self, rows: &[usize]) {
+        let mut pinned = vec![false; self.n];
+        for &row in rows {
+            assert!(row < self.n, "pinned row {row} out of range");
+            pinned[row] = true;
+        }
+        for row in 0..self.n {
+            for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+                let col = self.col_idx[k];
+                if pinned[row] || pinned[col] {
+                    self.values[k] = if row == col { 1.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+
     /// Frobenius norm of the stored values.
     pub fn frobenius_norm(&self) -> f64 {
         self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
@@ -433,6 +457,34 @@ mod tests {
             }
         }
         CsrMatrix::from_dense(&dense)
+    }
+
+    #[test]
+    fn pin_rows_symmetric_preserves_symmetry_and_pins() {
+        let mut m = laplacian_1d(6);
+        m.pin_rows_symmetric(&[0, 3]);
+        // Pinned rows and columns are identity rows/columns...
+        assert!(m.is_symmetric(0.0), "symmetric elimination must stay symmetric");
+        for &pin in &[0usize, 3] {
+            assert_eq!(m.get(pin, pin), 1.0);
+            for col in 0..6 {
+                if col != pin {
+                    assert_eq!(m.get(pin, col), 0.0, "row {pin} col {col}");
+                    assert_eq!(m.get(col, pin), 0.0, "col {pin} row {col}");
+                }
+            }
+        }
+        // ...while untouched entries keep their values.
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(1, 2), -1.0);
+        assert_eq!(m.get(4, 5), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pin_rows_symmetric_rejects_out_of_range() {
+        let mut m = laplacian_1d(4);
+        m.pin_rows_symmetric(&[7]);
     }
 
     #[test]

@@ -1,32 +1,24 @@
-//! Lid-driven cavity flow: the classic internal-flow benchmark, run as a
-//! sequence of semi-implicit momentum steps using the full pipeline —
-//! assembly (the paper's mini-app), Dirichlet conditions and a Krylov solve
-//! per step.
+//! Lid-driven cavity flow — now a thin wrapper over the fractional-step
+//! driver: every step runs predictor (colored parallel assembly + pooled
+//! batched momentum solve), pressure-Poisson projection and velocity
+//! correction on **one** shared worker pool, so the pressure field evolves
+//! instead of staying the zero spectator it was when this example carried
+//! its own hand-rolled momentum-only loop.
 //!
-//! The whole time step runs on one shared worker pool **end to end**: the
-//! mesh-colored assembly sweep and the momentum solve reuse the same
-//! [`Team`], spawned once for the run.  The momentum solve goes through
-//! `lv_kernel::solve_momentum_on` behind the [`MomentumPath`] flag: the
-//! default **batched** path streams the matrix once per Krylov iteration
-//! for all three velocity components (SpMM), the **sequential** path is the
-//! three-single-solves oracle — the two are bitwise identical per
-//! component, so the printed trajectory does not depend on the flag.
-//!
-//! The `order` argument exercises the renumbering pipeline: `orig` keeps
-//! the generator's (already bandwidth-optimal) node order, `scrambled`
+//! The `order` argument still exercises the renumbering pipeline: `orig`
+//! keeps the generator's (already bandwidth-optimal) node order, `scrambled`
 //! emulates the arbitrary numbering of an imported unstructured mesh, and
-//! `rcm` applies reverse Cuthill–McKee on top of the scramble, printing the
-//! locality metrics it recovers.  Everything downstream — fields, boundary
-//! conditions, assembly, solver — runs on the renumbered mesh unchanged.
+//! `rcm` applies reverse Cuthill–McKee on top of the scramble.  The driver
+//! runs on the renumbered mesh unchanged ([`Stepper::with_mesh`]).
 //!
 //! ```text
 //! cargo run --release --example cavity_flow -- [steps] [threads] [seq|batched] [orig|scrambled|rcm]
 //! ```
 
 use alya_longvec::prelude::*;
-use lv_kernel::{solve_momentum_on, MomentumPath};
+use lv_driver::{Scenario, ScenarioKind, Stepper, StepperConfig};
+use lv_kernel::MomentumPath;
 use lv_mesh::renumber::{reverse_cuthill_mckee, LocalityReport, NodePermutation};
-use lv_mesh::Vec3;
 
 fn main() {
     let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -51,8 +43,9 @@ fn main() {
         },
     };
 
-    let mut mesh = BoxMeshBuilder::new(8, 8, 8).lid_driven_cavity().build();
-    let config = KernelConfig::new(128, OptLevel::Vec1).with_viscosity(5e-2).with_dt(0.05);
+    let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 8);
+    let config = StepperConfig::default().with_momentum_path(path);
+    let mut mesh = scenario.build_mesh();
     match order.as_str() {
         "scrambled" | "rcm" => {
             // Emulate an imported unstructured mesh: scramble the generator's
@@ -81,70 +74,49 @@ fn main() {
         }
         _ => {}
     }
-    let assembly = NastinAssembly::new(mesh.clone(), config);
-
-    // Initial state: fluid at rest, lid moving with unit velocity.
-    let mut velocity = VectorField::zeros(&mesh);
-    velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
-    let pressure = Field::zeros(&mesh);
 
     println!(
-        "lid-driven cavity: {} elements, dt = {}, nu = {}, {} steps, {} worker thread(s), \
+        "lid-driven cavity: {} elements, nu = {}, {} steps, {} worker thread(s), \
          {} momentum solve, {} node order",
         mesh.num_elements(),
-        config.dt,
-        config.viscosity,
+        scenario.viscosity,
         steps,
         threads,
         path.name(),
         order
     );
-    println!("{:>5} {:>14} {:>12} {:>16}", "step", "solver iters", "residual", "kinetic energy");
+    println!(
+        "{:>5} {:>9} {:>8} {:>8} {:>12} {:>12} {:>16} {:>12}",
+        "step", "dt", "mom-it", "poi-it", "div(pre)", "div(post)", "kinetic energy", "max |p|"
+    );
 
-    // One pool for the whole run: the colored assembly sweep and the Krylov
-    // solves of every step share these workers.
+    // One pool for the whole run: assembly, momentum solve, Poisson solve
+    // and correction of every step share these workers, and the trajectory
+    // is bitwise identical for every thread count.
     let team = Team::new(threads);
-    let mut matrix = assembly.new_matrix();
-    let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
-    let mut workspaces: Vec<lv_kernel::ElementWorkspace> =
-        (0..threads).map(|_| lv_kernel::ElementWorkspace::new(config.vector_size)).collect();
-
-    for step in 1..=steps {
-        // Always the colored sweep (a one-worker team runs it serially):
-        // the trajectory is bitwise identical for every thread count.
-        assembly.assemble_parallel_into_on(
-            &team,
-            &velocity,
-            &pressure,
-            &mut matrix,
-            &mut rhs,
-            &mut workspaces,
-        );
-        assembly.apply_dirichlet(&mut matrix, &mut rhs);
-
-        // Solve the three momentum-increment systems (shared matrix) on the
-        // same pool — one SpMM-fused solve or three sequential ones,
-        // depending on the flag; bitwise the same either way.
-        let solve = solve_momentum_on(&team, &matrix, &rhs, &SolveOptions::default(), path)
-            .expect("momentum system must converge");
-
-        // Advance the velocity and re-impose the boundary conditions.
-        let n = mesh.num_nodes();
-        let mut increment = VectorField::zeros(&mesh);
-        increment.as_mut_slice().copy_from_slice(&solve.increment);
-        velocity.axpy(1.0, &increment);
-        velocity.apply_boundary_conditions(&mesh, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO);
-
-        let kinetic: f64 = (0..n).map(|i| 0.5 * velocity.get(i).norm_sq()).sum();
+    let mut stepper = Stepper::with_mesh(scenario, config, mesh);
+    for _ in 0..steps {
+        let report = stepper.step_on(&team).expect("fractional step must converge");
         println!(
-            "{step:>5} {:>14} {:>12.2e} {kinetic:>16.6}",
-            solve.total_iterations(),
-            solve.worst_residual
+            "{:>5} {:>9.5} {:>8} {:>8} {:>12.3e} {:>12.3e} {:>16.6} {:>12.4}",
+            report.step,
+            report.dt,
+            report.momentum_iterations,
+            report.poisson_iterations,
+            report.divergence_pre,
+            report.divergence_post,
+            report.kinetic_energy,
+            stepper.state().pressure.max_abs()
         );
     }
 
-    println!("\nfinal maximum velocity magnitude: {:.4}", velocity.max_magnitude());
     println!(
-        "(the lid drives a recirculating vortex; interior velocities stay below the lid speed)"
+        "\nfinal maximum velocity magnitude: {:.4} (t = {:.3})",
+        stepper.state().velocity.max_magnitude(),
+        stepper.state().time
+    );
+    println!(
+        "(the lid drives a recirculating vortex; interior velocities stay below the lid speed, \
+         and the projection keeps the discrete divergence in check)"
     );
 }

@@ -1,19 +1,20 @@
 //! Channel flow: an inflow/outflow configuration (the external-aerodynamics
-//! style workload that motivates the paper's introduction), used here to
-//! compare the simulated behaviour of the mini-app across all three HPC
-//! platforms for a single `VECTOR_SIZE`.
+//! style workload that motivates the paper's introduction).  The time loop
+//! is a thin wrapper over the fractional-step driver — predictor, pressure
+//! Poisson (pinned on the outflow plane) and correction on one shared pool —
+//! followed by the simulated cross-platform view of the mini-app.
 //!
 //! ```text
-//! cargo run --release --example channel_flow -- [n] [vector_size] [threads] [seq|batched]
+//! cargo run --release --example channel_flow -- [n] [steps] [threads] [seq|batched]
 //! ```
 
 use alya_longvec::prelude::*;
-use lv_kernel::{solve_momentum_on, MomentumPath};
-use lv_mesh::Vec3;
+use lv_driver::{Scenario, ScenarioKind, Stepper, StepperConfig};
+use lv_kernel::MomentumPath;
 
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let vector_size: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(240);
+    let steps: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(3);
     let threads: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
     let path = match std::env::args().nth(4) {
         None => MomentumPath::Batched,
@@ -23,61 +24,60 @@ fn main() {
         }),
     };
 
-    let mesh = ChannelMeshBuilder::new(n, 4).with_jitter(0.1, 3).build();
+    let scenario = Scenario::new(ScenarioKind::Channel, n);
+    let config = StepperConfig::default().with_momentum_path(path);
+    let mut stepper = Stepper::new(scenario.clone(), config);
     println!(
-        "channel mesh: {} elements ({}x{}x{} cross-section blocks), VECTOR_SIZE = {}, \
+        "channel mesh: {} elements ({}x{}x{} cross-section blocks), {} steps, \
          {} worker thread(s), {} momentum solve",
-        mesh.num_elements(),
+        stepper.mesh().num_elements(),
         4 * n,
         n,
         n,
-        vector_size,
+        steps,
         threads,
         path.name()
     );
 
-    // ----------------------------------------------------- numeric assembly
-    // One shared pool runs both the colored assembly sweep and the solve.
-    let config = KernelConfig::new(vector_size, OptLevel::Vec1).with_viscosity(1e-2);
-    let assembly = NastinAssembly::new(mesh.clone(), config);
-    let mut velocity = VectorField::constant(&mesh, Vec3::new(1.0, 0.0, 0.0));
-    velocity.apply_boundary_conditions(&mesh, Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
-    let pressure = Field::from_fn(&mesh, |p| 1.0 - p.x / 4.0);
+    // ------------------------------------------------ fractional-step run
+    // One shared pool drives assembly, momentum solve, Poisson projection
+    // and correction; pressure is pinned to zero on the outflow plane.
     let team = Team::new(threads);
-    let mut matrix = assembly.new_matrix();
-    let mut rhs = vec![0.0; 3 * mesh.num_nodes()];
-    let mut workspaces: Vec<lv_kernel::ElementWorkspace> =
-        (0..threads).map(|_| lv_kernel::ElementWorkspace::new(vector_size)).collect();
-    // Always the colored sweep (a one-worker team runs it serially), so the
-    // printed numbers are identical for every thread count.
-    let stats = assembly.assemble_parallel_into_on(
-        &team,
-        &velocity,
-        &pressure,
-        &mut matrix,
-        &mut rhs,
-        &mut workspaces,
-    );
-    assembly.apply_dirichlet(&mut matrix, &mut rhs);
-    let solve = solve_momentum_on(&team, &matrix, &rhs, &SolveOptions::default(), path)
-        .expect("momentum solve");
     println!(
-        "assembled {} elements in {} chunks; momentum solve ({}): {:?} iterations, \
-         worst residual {:.1e}\n",
-        stats.elements,
-        stats.chunks,
-        path.name(),
-        solve.iterations,
-        solve.worst_residual
+        "{:>5} {:>9} {:>8} {:>8} {:>12} {:>12} {:>16}",
+        "step", "dt", "mom-it", "poi-it", "div(pre)", "div(post)", "kinetic energy"
+    );
+    for _ in 0..steps {
+        let report = stepper.step_on(&team).expect("fractional step must converge");
+        println!(
+            "{:>5} {:>9.5} {:>8} {:>8} {:>12.3e} {:>12.3e} {:>16.6}",
+            report.step,
+            report.dt,
+            report.momentum_iterations,
+            report.poisson_iterations,
+            report.divergence_pre,
+            report.divergence_post,
+            report.kinetic_energy
+        );
+    }
+    println!(
+        "after {} steps: t = {:.3}, max |u| = {:.4}, max |p| = {:.4}\n",
+        steps,
+        stepper.state().time,
+        stepper.state().velocity.max_magnitude(),
+        stepper.state().pressure.max_abs()
     );
 
     // ----------------------------------------- simulated cross-platform view
+    let kernel_config = KernelConfig::new(240, OptLevel::Vec1)
+        .with_viscosity(scenario.viscosity)
+        .with_density(scenario.density);
     println!("simulated mini-app on the three platforms (scalar vs auto-vectorized, VEC1 code):");
     println!(
         "{:>15} {:>16} {:>16} {:>10} {:>8} {:>8}",
         "platform", "scalar cycles", "vector cycles", "speed-up", "Mv", "AVL"
     );
-    let app = SimulatedMiniApp::new(&mesh, config);
+    let app = SimulatedMiniApp::new(stepper.mesh(), kernel_config);
     for kind in PlatformKind::ALL {
         let platform = Platform::from_kind(kind);
         let scalar = app.run(platform, false);

@@ -20,6 +20,10 @@
 //! * [`solver`] (`lv-solver`) — CSR matrices and Krylov solvers for complete
 //!   CFD time steps, serial or on the shared pool with bitwise identical
 //!   results;
+//! * [`driver`] (`lv-driver`) — the fractional-step simulation driver:
+//!   Chorin pressure projection over the mesh-true Laplacian/divergence/
+//!   gradient operators, the scenario registry, CFL-adaptive Δt and binary
+//!   checkpoint/restart with bitwise-identical resumption;
 //! * [`metrics`] (`lv-metrics`) — the Section 2.2 metrics, regression and
 //!   report tables;
 //! * [`core`] (`lv-core`) — the experiment runner, the per-table/figure
@@ -30,6 +34,7 @@
 
 pub use lv_compiler as compiler;
 pub use lv_core as core;
+pub use lv_driver as driver;
 pub use lv_kernel as kernel;
 pub use lv_mesh as mesh;
 pub use lv_metrics as metrics;
@@ -40,6 +45,7 @@ pub use lv_solver as solver;
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {
     pub use lv_core::prelude::*;
+    pub use lv_driver::{Scenario, ScenarioKind, Stepper, StepperConfig};
     pub use lv_kernel::{KernelConfig, NastinAssembly, OptLevel, SimulatedMiniApp};
     pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};
     pub use lv_metrics::{RunMetrics, Table};

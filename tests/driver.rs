@@ -1,0 +1,201 @@
+//! Integration tests of the fractional-step simulation driver — the
+//! end-to-end contracts of the subsystem:
+//!
+//! * **Determinism** — a full cavity run (assembly, batched momentum solve,
+//!   pressure-Poisson projection, correction, CFL-adaptive Δt) is bitwise
+//!   identical for threads ∈ {1, 2, 4}, and a killed-and-restarted run
+//!   (checkpoint at mid-trajectory, fresh process state, resume) matches
+//!   the uninterrupted trajectory bitwise at every thread count;
+//! * **Physics** — the Taylor–Green analytic L2 velocity error decreases
+//!   monotonically with mesh resolution (8³ → 12³ → 16³), and the
+//!   projection reduces the predictor's discrete divergence by ≥10×.
+
+use alya_longvec::prelude::*;
+use lv_driver::{load_checkpoint, save_checkpoint, SimState, StepReport};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn assert_states_bitwise(oracle: &SimState, got: &SimState, what: &str) {
+    assert_eq!(oracle.step, got.step, "{what}: step count");
+    assert_eq!(oracle.time.to_bits(), got.time.to_bits(), "{what}: simulation time");
+    for (i, (a, b)) in oracle.velocity.as_slice().iter().zip(got.velocity.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: velocity entry {i} ({a} vs {b})");
+    }
+    for (i, (a, b)) in oracle.pressure.as_slice().iter().zip(got.pressure.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: pressure entry {i} ({a} vs {b})");
+    }
+}
+
+fn cavity_scenario() -> Scenario {
+    Scenario::new(ScenarioKind::LidDrivenCavity, 6)
+}
+
+fn quick_config() -> StepperConfig {
+    // Small VECTOR_SIZE so the 6^3 mesh still spans several chunks per color.
+    StepperConfig::default().with_vector_size(32)
+}
+
+#[test]
+fn full_cavity_run_is_bitwise_identical_across_thread_counts() {
+    let mut oracle: Option<SimState> = None;
+    let mut oracle_reports: Option<Vec<StepReport>> = None;
+    for threads in THREAD_COUNTS {
+        let team = Team::new(threads);
+        let mut stepper = Stepper::new(cavity_scenario(), quick_config());
+        let reports = stepper.run_on(&team, 3).expect("cavity run must converge");
+        assert_eq!(reports.len(), 3);
+        match (&oracle, &oracle_reports) {
+            (None, _) => {
+                oracle = Some(stepper.state().clone());
+                oracle_reports = Some(reports);
+            }
+            (Some(reference), Some(reference_reports)) => {
+                assert_states_bitwise(
+                    reference,
+                    stepper.state(),
+                    &format!("cavity at {threads} threads"),
+                );
+                // The diagnostics are part of the determinism contract too:
+                // identical Δt (CFL), solver iterations and divergence norms.
+                for (a, b) in reference_reports.iter().zip(&reports) {
+                    assert_eq!(a.dt.to_bits(), b.dt.to_bits(), "dt at {threads} threads");
+                    assert_eq!(a.momentum_iterations, b.momentum_iterations);
+                    assert_eq!(a.poisson_iterations, b.poisson_iterations);
+                    assert_eq!(a.divergence_pre.to_bits(), b.divergence_pre.to_bits());
+                    assert_eq!(a.divergence_post.to_bits(), b.divergence_post.to_bits());
+                    assert_eq!(a.kinetic_energy.to_bits(), b.kinetic_energy.to_bits());
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn checkpoint_restart_is_bitwise_identical_to_uninterrupted_run() {
+    let path =
+        std::env::temp_dir().join(format!("lv_driver_restart_test_{}.ckpt", std::process::id()));
+    for threads in THREAD_COUNTS {
+        let team = Team::new(threads);
+
+        // The uninterrupted trajectory: 5 steps straight through.
+        let mut uninterrupted = Stepper::new(cavity_scenario(), quick_config());
+        uninterrupted.run_on(&team, 5).expect("uninterrupted run");
+
+        // The killed run: 2 steps, checkpoint, drop everything.
+        let mut first_half = Stepper::new(cavity_scenario(), quick_config());
+        first_half.run_on(&team, 2).expect("first half");
+        save_checkpoint(&path, first_half.scenario(), first_half.state()).expect("save");
+        drop(first_half);
+
+        // The restarted run: fresh stepper from the checkpoint, 3 more steps.
+        let checkpoint = load_checkpoint(&path).expect("load");
+        let scenario = cavity_scenario();
+        checkpoint.validate_scenario(&scenario).expect("identity");
+        assert_eq!(checkpoint.step, 2);
+        let mesh = scenario.build_mesh();
+        let state = checkpoint.into_state(&mesh).expect("state");
+        let mut resumed = Stepper::from_state(scenario, quick_config(), mesh, state);
+        resumed.run_on(&team, 3).expect("second half");
+
+        assert_states_bitwise(
+            uninterrupted.state(),
+            resumed.state(),
+            &format!("restart at {threads} threads"),
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn restart_state_is_thread_count_portable() {
+    // Checkpoint written by a 1-thread run, resumed on 4 threads (and the
+    // other way around): same bits as the uninterrupted 1-thread run —
+    // checkpoints are portable across pool sizes because every kernel is.
+    let path =
+        std::env::temp_dir().join(format!("lv_driver_portable_test_{}.ckpt", std::process::id()));
+    let team1 = Team::new(1);
+    let team4 = Team::new(4);
+
+    let mut uninterrupted = Stepper::new(cavity_scenario(), quick_config());
+    uninterrupted.run_on(&team1, 4).expect("uninterrupted run");
+
+    let mut writer = Stepper::new(cavity_scenario(), quick_config());
+    writer.run_on(&team1, 2).expect("writer run");
+    save_checkpoint(&path, writer.scenario(), writer.state()).expect("save");
+
+    let checkpoint = load_checkpoint(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    let scenario = cavity_scenario();
+    let mesh = scenario.build_mesh();
+    let state = checkpoint.into_state(&mesh).expect("state");
+    let mut resumed = Stepper::from_state(scenario, quick_config(), mesh, state);
+    resumed.run_on(&team4, 2).expect("resumed run");
+    assert_states_bitwise(uninterrupted.state(), resumed.state(), "cross-thread restart");
+}
+
+#[test]
+fn taylor_green_error_decreases_with_resolution_and_projection_reduces_divergence() {
+    let team = Team::new(2);
+    let mut errors = Vec::new();
+    for n in [8usize, 12, 16] {
+        let scenario = Scenario::new(ScenarioKind::TaylorGreenVortex, n);
+        // Fixed Δt shared by every resolution: all runs reach the same final
+        // time, so the error differences are purely spatial.
+        let config = StepperConfig::default().with_fixed_dt(0.02);
+        let mut stepper = Stepper::new(scenario, config);
+        let reports = stepper.run_on(&team, 2).expect("taylor-green run");
+        let error = stepper.analytic_velocity_error().expect("analytic scenario");
+        assert!(error.is_finite() && error > 0.0);
+        errors.push((n, error));
+
+        // The projection contract, measured where it is cleanest: the first
+        // step's predictor comes from an unprojected state, and the
+        // projected field must carry ≥10× less discrete divergence (the
+        // 8^3 mesh is exempt — its coarse lumped-mass projection contracts
+        // slower; the ISSUE floor is stated for the resolved meshes).
+        let first = &reports[0];
+        assert!(
+            first.divergence_post < first.divergence_pre,
+            "projection must reduce ‖d‖ at {n}^3"
+        );
+        if n >= 12 {
+            assert!(
+                first.divergence_post * 10.0 <= first.divergence_pre,
+                "{n}^3: predictor ‖d‖ {:.3e} must drop ≥10x, got {:.3e} ({:.1}x)",
+                first.divergence_pre,
+                first.divergence_post,
+                first.divergence_pre / first.divergence_post
+            );
+        }
+    }
+    for pair in errors.windows(2) {
+        let (coarse_n, coarse) = pair[0];
+        let (fine_n, fine) = pair[1];
+        assert!(
+            fine < coarse,
+            "L2 error must decrease with resolution: {coarse:.4e} at {coarse_n}^3 vs \
+             {fine:.4e} at {fine_n}^3"
+        );
+    }
+}
+
+#[test]
+fn pressure_field_is_no_longer_a_zero_spectator() {
+    // The motivating defect of the ISSUE: before the driver, every example
+    // ran with pressure identically zero.  One projected step produces a
+    // non-trivial pressure field whose gradient feeds the next predictor.
+    let team = Team::new(1);
+    let mut stepper = Stepper::new(cavity_scenario(), quick_config());
+    assert_eq!(stepper.state().pressure.max_abs(), 0.0);
+    stepper.step_on(&team).expect("step");
+    assert!(stepper.state().pressure.max_abs() > 1e-3);
+    // And the registry covers all four scenarios end to end (one step each).
+    for scenario in Scenario::registry() {
+        let scenario = Scenario::new(scenario.kind, 4);
+        let mut stepper = Stepper::new(scenario, quick_config());
+        let report = stepper.step_on(&team).expect("registry step");
+        assert!(report.kinetic_energy.is_finite());
+        assert!(report.divergence_post.is_finite());
+    }
+}

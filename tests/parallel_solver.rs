@@ -99,8 +99,15 @@ fn full_solves_are_reproducible_across_thread_counts() {
         );
     }
 
-    // CG on the SPD pressure-like operator over the same sparsity.
-    let poisson = alya_longvec::core::solverbench::pressure_poisson(&matrix);
+    // CG on the real assembled pressure Laplacian (gauge-pinned SPD), the
+    // operator the fractional-step driver's Poisson solve runs on.
+    let mesh = BoxMeshBuilder::new(10, 10, 10).lid_driven_cavity().with_jitter(0.1, 13).build();
+    let poisson = alya_longvec::core::solverbench::pressure_poisson(&mesh, 64);
+    let b = {
+        let mut b = b;
+        b[0] = 0.0; // the pinned gauge unknown
+        b
+    };
     let oracle = conjugate_gradient(&poisson, &b, &options).expect("serial CG must converge");
     for threads in THREAD_COUNTS {
         let team = Team::new(threads);
