@@ -14,7 +14,10 @@
 //! fit a CI minute.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lv_driver::{driver_bench_to_json, DriverBenchReport, Scenario, ScenarioKind, StepperConfig};
+use lv_driver::{
+    driver_bench_to_json, measure_pressure_solvers, DriverBenchReport, Scenario, ScenarioKind,
+    StepperConfig,
+};
 
 fn quick_mode() -> bool {
     std::env::var("LV_BENCH_QUICK").is_ok_and(|v| v != "0")
@@ -34,9 +37,27 @@ fn driver_step_comparison(_c: &mut Criterion) {
     let report = DriverBenchReport::measure(&scenario, config, steps, &thread_counts, repetitions);
     print!("{}", report.to_text());
 
+    let solver_reps = if quick_mode() { 2 } else { 5 };
+    println!("\n--- pressure solver: Jacobi-CG vs MG-CG (8^3 / 12^3 / 16^3 cavity) ---");
+    let pressure = measure_pressure_solvers(&[8, 12, 16], solver_reps);
+    for c in &pressure {
+        println!(
+            "  {:>2}^3 ({:>5} rows): cg {:>4} it / {:>8.3} ms   mgcg {:>3} it / {:>8.3} ms   \
+             ({} levels, matrix-free streams {:.1}% of CSR)",
+            c.resolution,
+            c.rows,
+            c.cg_iterations,
+            c.cg_seconds * 1e3,
+            c.mgcg_iterations,
+            c.mgcg_seconds * 1e3,
+            c.mgcg_levels,
+            100.0 * c.matrix_free_streamed_bytes as f64 / c.csr_streamed_bytes as f64
+        );
+    }
+
     let host_threads =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-    let json = driver_bench_to_json(host_threads, std::slice::from_ref(&report));
+    let json = driver_bench_to_json(host_threads, std::slice::from_ref(&report), &pressure);
     let path = std::env::var("LV_BENCH_DRIVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_driver.json").into());
     std::fs::write(&path, &json).expect("write BENCH_driver.json");

@@ -10,7 +10,12 @@
 
 use crate::scenario::Scenario;
 use crate::stepper::{SimState, StepTimings, Stepper, StepperConfig};
+use lv_kernel::{build_pressure_multigrid, pressure_laplacian, MatrixFreeLaplacian};
 use lv_runtime::Team;
+use lv_solver::{
+    conjugate_gradient, mg_preconditioned_cg, LinearOperator, MultigridOptions, SolveOptions,
+};
+use std::time::Instant;
 
 /// Timing of one `(threads,)` driver case.
 #[derive(Debug, Clone)]
@@ -182,8 +187,139 @@ impl DriverBenchReport {
     }
 }
 
-/// Serializes driver reports as the `BENCH_driver.json` document.
-pub fn driver_bench_to_json(host_threads: usize, reports: &[DriverBenchReport]) -> String {
+/// One resolution of the pressure-solver comparison: plain Jacobi-CG
+/// against MG-CG on the identical pinned Poisson system, plus the
+/// streamed-bytes bandwidth proxy of the assembled CSR operator against the
+/// matrix-free one.
+#[derive(Debug, Clone)]
+pub struct PressureSolverCase {
+    /// Elements per direction of the cavity box (`n³` mesh).
+    pub resolution: usize,
+    /// Solver rows (mesh nodes).
+    pub rows: usize,
+    /// Iterations of the Jacobi-CG solve.
+    pub cg_iterations: usize,
+    /// Fastest Jacobi-CG wall-clock (seconds).
+    pub cg_seconds: f64,
+    /// Iterations of the MG-CG solve.
+    pub mgcg_iterations: usize,
+    /// Fastest MG-CG wall-clock (seconds).
+    pub mgcg_seconds: f64,
+    /// Multigrid levels of the V-cycle hierarchy.
+    pub mgcg_levels: usize,
+    /// Bytes one CSR `A·x` streams (operator data only).
+    pub csr_streamed_bytes: usize,
+    /// Bytes one matrix-free `A·x` streams (operator data only).
+    pub matrix_free_streamed_bytes: usize,
+}
+
+/// Measures the pressure-solver comparison on lid-driven-cavity boxes at the
+/// given resolutions: the same deterministic right-hand side solved to the
+/// driver's tolerance by Jacobi-CG and MG-CG (fastest of `repetitions`,
+/// serial — iteration counts are thread-invariant by the determinism
+/// contract).
+///
+/// # Panics
+/// Panics if a solve fails to converge or the cavity box is not recognised
+/// as a structured lattice (the multigrid glue must always succeed here).
+pub fn measure_pressure_solvers(
+    resolutions: &[usize],
+    repetitions: usize,
+) -> Vec<PressureSolverCase> {
+    assert!(repetitions > 0);
+    let options = SolveOptions { max_iterations: 4000, tolerance: 1e-10, ..Default::default() };
+    let mut cases = Vec::new();
+    for &n in resolutions {
+        let scenario = Scenario::new(crate::scenario::ScenarioKind::LidDrivenCavity, n);
+        let mesh = scenario.build_mesh();
+        let pins = scenario.pressure_pins(&mesh);
+        let laplacian = pressure_laplacian(&mesh, 128, &pins);
+        let matrix_free = MatrixFreeLaplacian::new(&mesh, &pins);
+        // A deterministic smooth-plus-noise RHS with the pinned rows zeroed —
+        // representative of a projection right-hand side without depending
+        // on the trajectory.
+        let mut rhs: Vec<f64> = (0..laplacian.dim())
+            .map(|i| {
+                let t =
+                    (i as u64).wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((t >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+            })
+            .collect();
+        for &pin in &pins {
+            rhs[pin] = 0.0;
+        }
+
+        let mut multigrid =
+            build_pressure_multigrid(&mesh, &laplacian, &MultigridOptions::default())
+                .expect("cavity boxes are structured lattices");
+        let mgcg_levels = multigrid.num_levels();
+
+        let mut cg_iterations = 0;
+        let mut cg_seconds = f64::INFINITY;
+        let mut mgcg_iterations = 0;
+        let mut mgcg_seconds = f64::INFINITY;
+        for _ in 0..repetitions {
+            let t0 = Instant::now();
+            let cg = conjugate_gradient(&laplacian, &rhs, &options).expect("CG converges");
+            cg_seconds = cg_seconds.min(t0.elapsed().as_secs_f64());
+            cg_iterations = cg.iterations;
+
+            let t0 = Instant::now();
+            let mg = mg_preconditioned_cg(&laplacian, &mut multigrid, &rhs, &options)
+                .expect("MG-CG converges");
+            mgcg_seconds = mgcg_seconds.min(t0.elapsed().as_secs_f64());
+            mgcg_iterations = mg.iterations;
+        }
+
+        cases.push(PressureSolverCase {
+            resolution: n,
+            rows: laplacian.dim(),
+            cg_iterations,
+            cg_seconds,
+            mgcg_iterations,
+            mgcg_seconds,
+            mgcg_levels,
+            csr_streamed_bytes: LinearOperator::streamed_bytes(&laplacian),
+            matrix_free_streamed_bytes: matrix_free.streamed_bytes(),
+        });
+    }
+    cases
+}
+
+/// Renders the `pressure_solver` cases as a JSON array (hand-rolled, like
+/// every artifact writer in this workspace — the offline `serde_json` shim
+/// cannot serialize).
+pub fn pressure_solver_cases_to_json(cases: &[PressureSolverCase]) -> String {
+    let mut out = String::from("[\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"resolution\": {}, \"rows\": {}, \"cg_iterations\": {}, \
+             \"cg_seconds\": {:.9}, \"mgcg_iterations\": {}, \"mgcg_seconds\": {:.9}, \
+             \"mgcg_levels\": {}, \"csr_streamed_bytes\": {}, \
+             \"matrix_free_streamed_bytes\": {}}}",
+            c.resolution,
+            c.rows,
+            c.cg_iterations,
+            c.cg_seconds,
+            c.mgcg_iterations,
+            c.mgcg_seconds,
+            c.mgcg_levels,
+            c.csr_streamed_bytes,
+            c.matrix_free_streamed_bytes
+        ));
+        out.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Serializes driver reports (and the pressure-solver comparison, when
+/// measured) as the `BENCH_driver.json` document.
+pub fn driver_bench_to_json(
+    host_threads: usize,
+    reports: &[DriverBenchReport],
+    pressure: &[PressureSolverCase],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
@@ -195,7 +331,12 @@ pub fn driver_bench_to_json(host_threads: usize, reports: &[DriverBenchReport]) 
         out.push_str(&r.to_json());
         out.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !pressure.is_empty() {
+        out.push_str(",\n  \"pressure_solver\": ");
+        out.push_str(&pressure_solver_cases_to_json(pressure));
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -222,9 +363,27 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"scenario\": \"cavity\""));
         assert!(json.contains("\"poisson_seconds\""));
-        let doc = driver_bench_to_json(4, std::slice::from_ref(&report));
+        let doc = driver_bench_to_json(4, std::slice::from_ref(&report), &[]);
         assert!(doc.contains("\"bench\": \"wallclock_driver\""));
         assert!(doc.contains("\"host_threads\": 4"));
+        assert!(!doc.contains("\"pressure_solver\""));
         assert!(report.to_text().contains("bitwise == 1t"));
+    }
+
+    #[test]
+    fn pressure_solver_comparison_favors_multigrid() {
+        let cases = measure_pressure_solvers(&[6, 8], 1);
+        assert_eq!(cases.len(), 2);
+        for c in &cases {
+            assert_eq!(c.rows, (c.resolution + 1).pow(3));
+            assert!(c.mgcg_iterations < c.cg_iterations, "MG-CG must cut iterations");
+            assert!(c.mgcg_levels >= 2);
+            assert!(c.matrix_free_streamed_bytes < c.csr_streamed_bytes);
+            assert!(c.cg_seconds > 0.0 && c.mgcg_seconds > 0.0);
+        }
+        let doc = driver_bench_to_json(4, &[], &cases);
+        assert!(doc.contains("\"pressure_solver\": ["));
+        assert!(doc.contains("\"mgcg_iterations\""));
+        assert!(doc.contains("\"matrix_free_streamed_bytes\""));
     }
 }

@@ -26,7 +26,12 @@ pub mod checkpoint;
 pub mod scenario;
 pub mod stepper;
 
-pub use bench::{driver_bench_to_json, DriverBenchReport, DriverMeasurement};
+pub use bench::{
+    driver_bench_to_json, measure_pressure_solvers, pressure_solver_cases_to_json,
+    DriverBenchReport, DriverMeasurement, PressureSolverCase,
+};
 pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
 pub use scenario::{taylor_green_velocity, Scenario, ScenarioKind};
-pub use stepper::{SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig};
+pub use stepper::{
+    PressureSolver, SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig,
+};

@@ -11,7 +11,10 @@
 //!    BiCGSTAB momentum solve for the velocity increment → `u*`.
 //! 2. **Pressure Poisson** — `L φ = −(ρ/Δt) d(u*)` with the mesh-true
 //!    Laplacian assembled by [`lv_kernel::PressureOperators`] (symmetrically
-//!    pinned per scenario), solved with pooled CG.
+//!    pinned per scenario), solved with pooled CG — by default
+//!    preconditioned by the geometric-multigrid V-cycle when the mesh is a
+//!    structured box lattice ([`PressureSolver::MgCg`]), plain
+//!    Jacobi-preconditioned CG otherwise.
 //! 3. **Correction** — `u ← u* − (Δt/ρ) M⁻¹ g(φ)` with the lumped-mass
 //!    nodal gradient, re-imposition of the scenario's velocity BCs, and the
 //!    incremental pressure update `p ← p + φ`.
@@ -29,16 +32,51 @@
 
 use crate::scenario::Scenario;
 use lv_kernel::{
-    solve_momentum_on, weak_divergence_vector_norm, ElementWorkspace, KernelConfig, MomentumPath,
-    NastinAssembly, OptLevel, PressureOperators,
+    build_pressure_multigrid, solve_momentum_on, weak_divergence_vector_norm, ElementWorkspace,
+    KernelConfig, MomentumPath, NastinAssembly, OptLevel, PressureOperators,
 };
 use lv_mesh::{Field, Mesh, VectorField};
 use lv_runtime::Team;
-use lv_solver::{conjugate_gradient_on, CsrMatrix, SolveOptions, SolverError};
+use lv_solver::{
+    conjugate_gradient_on, mg_preconditioned_cg_on, CsrMatrix, GeometricMultigrid,
+    MultigridOptions, SolveOptions, SolverError,
+};
 use std::time::Instant;
 
 /// Number of spatial dimensions (velocity components per node).
 const NDIME: usize = lv_kernel::NDIME;
+
+/// Which Krylov setup solves the pressure-Poisson system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PressureSolver {
+    /// Jacobi-preconditioned Conjugate Gradient (the pre-multigrid default).
+    Cg,
+    /// Conjugate Gradient preconditioned by the geometric-multigrid V-cycle
+    /// ([`lv_kernel::build_pressure_multigrid`]).  Falls back to [`Cg`]
+    /// (`PressureSolver::Cg`) when the mesh is not a recognisable structured
+    /// box lattice; [`Stepper::pressure_solver`] reports the path actually
+    /// taken.
+    MgCg,
+}
+
+impl PressureSolver {
+    /// Stable CLI/report name (`cg` / `mgcg`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PressureSolver::Cg => "cg",
+            PressureSolver::MgCg => "mgcg",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`name`](Self::name)).
+    pub fn from_name(name: &str) -> Option<PressureSolver> {
+        match name {
+            "cg" => Some(PressureSolver::Cg),
+            "mgcg" => Some(PressureSolver::MgCg),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a [`Stepper`] run.
 #[derive(Debug, Clone, Copy)]
@@ -51,6 +89,8 @@ pub struct StepperConfig {
     pub momentum_options: SolveOptions,
     /// Options of the pressure-Poisson CG solve.
     pub poisson_options: SolveOptions,
+    /// Which solver setup handles the pressure-Poisson system.
+    pub pressure_solver: PressureSolver,
     /// CFL number for adaptive time stepping (`Δt = C·h/‖u‖_∞`, clamped to
     /// `[dt_min, dt_max]`); `None` runs at the fixed `dt`.
     pub cfl: Option<f64>,
@@ -86,6 +126,7 @@ impl Default for StepperConfig {
                 tolerance: 1e-10,
                 ..Default::default()
             },
+            pressure_solver: PressureSolver::MgCg,
             cfl: Some(0.4),
             dt: 0.02,
             dt_min: 1e-4,
@@ -121,6 +162,12 @@ impl StepperConfig {
     pub fn with_vector_size(mut self, vector_size: usize) -> Self {
         assert!(vector_size > 0, "VECTOR_SIZE must be positive");
         self.vector_size = vector_size;
+        self
+    }
+
+    /// Builder: pressure-Poisson solver setup.
+    pub fn with_pressure_solver(mut self, solver: PressureSolver) -> Self {
+        self.pressure_solver = solver;
         self
     }
 }
@@ -224,6 +271,7 @@ pub struct Stepper {
     assembly: NastinAssembly,
     operators: PressureOperators,
     laplacian: CsrMatrix,
+    multigrid: Option<GeometricMultigrid>,
     pins: Vec<usize>,
     h_char: f64,
     state: SimState,
@@ -281,6 +329,15 @@ impl Stepper {
         let mut laplacian = operators.assemble_laplacian();
         laplacian.pin_rows_symmetric(&pins);
         debug_assert!(laplacian.is_symmetric(1e-12), "pinned pressure Laplacian must stay SPD");
+        // The V-cycle hierarchy is a pure function of the mesh and the
+        // pinned Laplacian, so a restarted stepper rebuilds it identically
+        // (bitwise) and trajectories stay exactly resumable.
+        let multigrid = match config.pressure_solver {
+            PressureSolver::MgCg => {
+                build_pressure_multigrid(&mesh, &laplacian, &MultigridOptions::default())
+            }
+            PressureSolver::Cg => None,
+        };
         let n = mesh.num_nodes();
         let matrix = assembly.new_matrix();
         let h_char = mesh.characteristic_length();
@@ -290,6 +347,7 @@ impl Stepper {
             assembly,
             operators,
             laplacian,
+            multigrid,
             pins,
             h_char,
             state,
@@ -325,6 +383,22 @@ impl Stepper {
     /// The projection operators (for external diagnostics).
     pub fn operators(&self) -> &PressureOperators {
         &self.operators
+    }
+
+    /// The pressure-Poisson path actually in use: [`PressureSolver::MgCg`]
+    /// only when the configured multigrid hierarchy could be built for this
+    /// mesh, [`PressureSolver::Cg`] otherwise.
+    pub fn pressure_solver(&self) -> PressureSolver {
+        if self.multigrid.is_some() {
+            PressureSolver::MgCg
+        } else {
+            PressureSolver::Cg
+        }
+    }
+
+    /// Rows per multigrid level (finest first), when the V-cycle is active.
+    pub fn multigrid_levels(&self) -> Option<Vec<usize>> {
+        self.multigrid.as_ref().map(GeometricMultigrid::level_rows)
     }
 
     /// The Δt the next step will use, given the current state.
@@ -444,12 +518,21 @@ impl Stepper {
             for &pin in &self.pins {
                 self.poisson_rhs[pin] = 0.0;
             }
-            let phi = conjugate_gradient_on(
-                team,
-                &self.laplacian,
-                &self.poisson_rhs,
-                &self.config.poisson_options,
-            )
+            let phi = match &mut self.multigrid {
+                Some(mg) => mg_preconditioned_cg_on(
+                    team,
+                    &self.laplacian,
+                    mg,
+                    &self.poisson_rhs,
+                    &self.config.poisson_options,
+                ),
+                None => conjugate_gradient_on(
+                    team,
+                    &self.laplacian,
+                    &self.poisson_rhs,
+                    &self.config.poisson_options,
+                ),
+            }
             .map_err(StepError::Poisson)?;
             poisson_iterations += phi.iterations;
             poisson_residual = poisson_residual.max(phi.final_residual());
@@ -583,6 +666,30 @@ mod tests {
         {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn multigrid_is_the_default_pressure_path_and_cuts_iterations() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 8);
+        let team = Team::new(1);
+        let mut mgcg = Stepper::new(scenario.clone(), quick_config());
+        assert_eq!(mgcg.pressure_solver(), PressureSolver::MgCg);
+        assert_eq!(mgcg.multigrid_levels(), Some(vec![729, 125, 27]));
+        let mut cg =
+            Stepper::new(scenario, quick_config().with_pressure_solver(PressureSolver::Cg));
+        assert_eq!(cg.pressure_solver(), PressureSolver::Cg);
+        let mg_report = mgcg.step_on(&team).expect("mgcg step");
+        let cg_report = cg.step_on(&team).expect("cg step");
+        assert!(
+            mg_report.poisson_iterations < cg_report.poisson_iterations,
+            "MG-CG {} vs CG {} iterations",
+            mg_report.poisson_iterations,
+            cg_report.poisson_iterations
+        );
+        // Both converge to the same tolerance: the physics diagnostics agree
+        // to solver precision.
+        assert!((mg_report.kinetic_energy - cg_report.kinetic_energy).abs() < 1e-8);
+        assert!((mg_report.divergence_post - cg_report.divergence_post).abs() < 1e-8);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod assembly;
 pub mod config;
+pub mod matrixfree;
 pub mod miniapp;
 pub mod momentum;
 pub mod parallel;
@@ -48,6 +49,7 @@ pub mod workspace;
 
 pub use assembly::{AssemblyOutput, AssemblyStats, NastinAssembly, NumericPath};
 pub use config::{KernelConfig, OptLevel, PAPER_VECTOR_SIZES};
+pub use matrixfree::{build_pressure_multigrid, MatrixFreeLaplacian};
 pub use miniapp::{MiniAppRun, SimulatedMiniApp};
 pub use momentum::{solve_momentum_on, MomentumPath, MomentumSolve};
 pub use projection::{pressure_laplacian, weak_divergence_vector_norm, PressureOperators};

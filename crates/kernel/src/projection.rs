@@ -246,6 +246,16 @@ impl PressureOperators {
         matrix
     }
 
+    /// The matrix-free counterpart of
+    /// [`assemble_laplacian`](Self::assemble_laplacian) with the rows and
+    /// columns in `pins` eliminated (matching
+    /// [`CsrMatrix::pin_rows_symmetric`]): the same `L·x` from a reference
+    /// stiffness block plus per-element geometric factors, streaming a
+    /// fraction of the CSR bytes.
+    pub fn matrix_free_laplacian(&self, pins: &[usize]) -> crate::matrixfree::MatrixFreeLaplacian {
+        crate::matrixfree::MatrixFreeLaplacian::new(&self.mesh, pins)
+    }
+
     fn laplacian_chunk(&self, slots: &ChunkSlots<'_>, sink: &MatrixSink<'_>) {
         for slot in 0..slots.len() {
             let Some(elem) = slots.element(slot) else { continue };

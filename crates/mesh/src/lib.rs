@@ -38,6 +38,7 @@ pub mod chunks;
 pub mod coloring;
 pub mod field;
 pub mod geometry;
+pub mod hierarchy;
 pub mod mesh;
 pub mod quadrature;
 pub mod renumber;
@@ -48,6 +49,7 @@ pub use chunks::{ChunkSlots, ElementChunk, ElementChunks};
 pub use coloring::{ColoredChunks, ElementColoring};
 pub use field::{Field, VectorField};
 pub use geometry::{Mat3, Point3, Vec3};
+pub use hierarchy::{trilinear_stencil, BoxLattice, TrilinearStencil};
 pub use mesh::{BoundaryTag, ElementKind, Mesh};
 pub use quadrature::{GaussRule, QuadraturePoint};
 pub use renumber::{node_bandwidth, reverse_cuthill_mckee, LocalityReport, NodePermutation};

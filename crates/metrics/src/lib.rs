@@ -19,8 +19,10 @@ pub mod report;
 pub mod summary;
 
 pub use regression::{
-    gate_assembly_bench, gate_renumbering_bench, gate_rolling_window, gate_solver_bench,
-    gate_spmm_bench, linear_regression, GateCheck, GateReport, RegressionResult,
+    best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
+    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_solver_bench,
+    gate_spmm_bench, linear_regression, parse_host_threads, worst_slice_speedup, GateCheck,
+    GateReport, RegressionResult,
 };
 pub use report::Table;
 pub use summary::{PhaseMetrics, RunMetrics};

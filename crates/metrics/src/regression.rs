@@ -328,6 +328,148 @@ pub fn gate_renumbering_bench(json: &str, min_ratio: f64) -> GateReport {
     report
 }
 
+/// One parsed row of the `pressure_solver` block of `BENCH_driver.json`.
+#[derive(Debug, Clone, PartialEq)]
+struct PressureSolverRow {
+    resolution: usize,
+    cg_iterations: usize,
+    cg_seconds: f64,
+    mgcg_iterations: usize,
+    mgcg_seconds: f64,
+}
+
+/// Parses every row of the `pressure_solver` comparison block.
+fn pressure_solver_rows(json: &str) -> Vec<PressureSolverRow> {
+    let Some(block) = json.find("\"pressure_solver\":") else { return Vec::new() };
+    let mut rows = Vec::new();
+    let mut from = block;
+    while let Some(hit) = json[from..].find("\"resolution\":") {
+        let at = from + hit;
+        let Some((resolution, next)) = number_after(json, at, "resolution") else { break };
+        let Some((cg_it, next)) = number_after(json, next, "cg_iterations") else { break };
+        let Some((cg_s, next)) = number_after(json, next, "cg_seconds") else { break };
+        let Some((mg_it, next)) = number_after(json, next, "mgcg_iterations") else { break };
+        let Some((mg_s, next)) = number_after(json, next, "mgcg_seconds") else { break };
+        rows.push(PressureSolverRow {
+            resolution: resolution as usize,
+            cg_iterations: cg_it as usize,
+            cg_seconds: cg_s,
+            mgcg_iterations: mg_it as usize,
+            mgcg_seconds: mg_s,
+        });
+        from = next;
+    }
+    rows
+}
+
+/// Gates the `pressure_solver` block of a `BENCH_driver.json` document — the
+/// mesh-independence contract of the geometric multigrid preconditioner:
+///
+/// * MG-CG takes at most `max_iterations` iterations at the **largest**
+///   measured resolution (the ISSUE ceiling is 15 at 16³);
+/// * the iteration count is non-increasing as the resolution grows
+///   (8³ → 12³ → 16³) — the signature of an effective V-cycle;
+/// * on a multi-core host, MG-CG beats plain Jacobi-CG in wall-clock by at
+///   least `min_speedup` at the largest resolution (skipped and recorded on
+///   single-core hosts, where the wall-clock comparison is noise-dominated).
+pub fn gate_multigrid_bench(json: &str, max_iterations: usize, min_speedup: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let rows = pressure_solver_rows(json);
+    if rows.is_empty() {
+        report.push("multigrid pressure solve", false, "no pressure_solver block found");
+        return report;
+    }
+    let largest = rows.iter().max_by_key(|r| r.resolution).expect("non-empty");
+    report.push(
+        "mgcg iteration ceiling",
+        largest.mgcg_iterations <= max_iterations,
+        format!(
+            "{} iterations at {}³ (cg: {}), ceiling {max_iterations}",
+            largest.mgcg_iterations, largest.resolution, largest.cg_iterations
+        ),
+    );
+
+    let mut sorted = rows.clone();
+    sorted.sort_by_key(|r| r.resolution);
+    let non_increasing = sorted.windows(2).all(|w| w[1].mgcg_iterations <= w[0].mgcg_iterations);
+    report.push(
+        "mgcg iterations non-increasing with resolution",
+        non_increasing,
+        format!(
+            "[{}]",
+            sorted
+                .iter()
+                .map(|r| format!("{}³: {}", r.resolution, r.mgcg_iterations))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+
+    let label = "mgcg wall-clock vs cg";
+    match number_after(json, 0, "host_threads") {
+        Some((host_threads, _)) if host_threads >= 2.0 => {
+            let speedup = largest.cg_seconds / largest.mgcg_seconds;
+            report.push(
+                label,
+                speedup >= min_speedup,
+                format!(
+                    "{speedup:.2}x at {}³ (cg {:.3} ms, mgcg {:.3} ms), floor {min_speedup:.2}x",
+                    largest.resolution,
+                    largest.cg_seconds * 1e3,
+                    largest.mgcg_seconds * 1e3
+                ),
+            );
+        }
+        Some((host_threads, _)) => {
+            report.push(
+                label,
+                true,
+                format!("skipped: single-core host (host_threads = {host_threads})"),
+            );
+        }
+        None => report.push(label, false, "no host_threads field found"),
+    }
+    report
+}
+
+/// The worst (minimum) slice-path speedup of a `BENCH_assembly.json`
+/// document — the per-artifact scalar the assembly trend gate tracks.
+pub fn worst_slice_speedup(json: &str) -> Option<f64> {
+    let speedups = parse_named_numbers(json, "\"path\": \"slices\"", "speedup");
+    speedups.into_iter().min_by(f64::total_cmp)
+}
+
+/// The best parallel (threads ≥ 2) CG/BiCGSTAB speedup of a
+/// `BENCH_solver.json` document — the per-artifact scalar the pooled-solver
+/// trend gate tracks.  `None` when the artifact has no parallel rows.
+pub fn best_parallel_solver_speedup(json: &str) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for method in ["cg", "bicgstab"] {
+        for (threads, speedup) in solver_cases(json, method) {
+            if threads > 1 && best.map_or(true, |b| speedup > b) {
+                best = Some(speedup);
+            }
+        }
+    }
+    best
+}
+
+/// The 1-thread per-phase seconds of the first run in a `BENCH_driver.json`
+/// document (`phase` ∈ assembly/momentum/poisson/correction, or `total` for
+/// the whole step) — the per-artifact scalar the driver trend gate tracks.
+pub fn driver_phase_seconds(json: &str, phase: &str) -> Option<f64> {
+    let at = json.find("\"threads\": 1")?;
+    if phase == "total" {
+        return number_after(json, at, "seconds").map(|(v, _)| v);
+    }
+    number_after(json, at, &format!("{phase}_seconds")).map(|(v, _)| v)
+}
+
+/// The `host_threads` field of any bench artifact.
+pub fn parse_host_threads(json: &str) -> Option<usize> {
+    number_after(json, 0, "host_threads").map(|(v, _)| v as usize)
+}
+
 /// Gates a perf metric's trajectory across the last `window` bench
 /// artifacts: fails only on a **sustained** downward trend — every step of
 /// the window non-increasing (plateaus count: min-of-N metrics quantize)
@@ -370,6 +512,48 @@ pub fn gate_rolling_window(
             decline * 100.0,
             tolerance * 100.0,
             monotone_down
+        ),
+    );
+    report
+}
+
+/// [`gate_rolling_window`] for **lower-is-better** metrics (wall-clock
+/// seconds): fails only on a sustained upward trend — every step of the
+/// window non-decreasing *and* the total growth exceeding `tolerance` (a
+/// fraction of the window's first value).  Skips (passing) below `window`
+/// artifacts, exactly like the higher-is-better gate.
+pub fn gate_rolling_window_low(
+    label: &str,
+    series: &[f64],
+    window: usize,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    assert!(window >= 2, "a trend needs a window of at least 2");
+    if series.len() < window {
+        report.push(
+            label,
+            true,
+            format!("skipped: {} artifact(s) of {window} needed for a trend", series.len()),
+        );
+        return report;
+    }
+    let recent = &series[series.len() - window..];
+    let monotone_up = recent.windows(2).all(|w| w[1] >= w[0]);
+    let first = recent[0];
+    let last = recent[recent.len() - 1];
+    let growth = if first > 0.0 { (last - first) / first } else { 0.0 };
+    let sustained = monotone_up && growth > tolerance;
+    report.push(
+        label,
+        !sustained,
+        format!(
+            "last {window} of {}: [{}], growth {:.1}% (tolerance {:.1}%, monotone: {})",
+            series.len(),
+            recent.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", "),
+            growth * 100.0,
+            tolerance * 100.0,
+            monotone_up
         ),
     );
     report
@@ -612,6 +796,101 @@ mod tests {
     #[should_panic(expected = "window")]
     fn rolling_window_rejects_degenerate_windows() {
         let _ = gate_rolling_window("x", &[1.0], 1, 0.05);
+    }
+
+    #[test]
+    fn lower_is_better_window_fails_only_on_sustained_growth() {
+        // Too little history: skipped, passing.
+        let report = gate_rolling_window_low("poisson s", &[0.01, 0.02], 3, 0.10);
+        assert!(report.passed());
+        assert!(report.to_text().contains("skipped"));
+        // Monotone growth past tolerance: fail.
+        let report = gate_rolling_window_low("poisson s", &[0.010, 0.012, 0.015], 3, 0.10);
+        assert!(!report.passed(), "{}", report.to_text());
+        // A spike that recovers is tolerated.
+        let report = gate_rolling_window_low("poisson s", &[0.010, 0.018, 0.011], 3, 0.10);
+        assert!(report.passed(), "{}", report.to_text());
+        // Slow drift inside the tolerance is tolerated.
+        let report = gate_rolling_window_low("poisson s", &[0.0100, 0.0101, 0.0105], 3, 0.10);
+        assert!(report.passed(), "{}", report.to_text());
+    }
+
+    /// A miniature BENCH_driver.json in the exact shape
+    /// `lv_driver::bench::driver_bench_to_json` emits, with a
+    /// `pressure_solver` block.
+    fn driver_doc(host_threads: usize, mgcg_iters: &[(usize, usize)], mgcg_ms: f64) -> String {
+        let cases: Vec<String> = mgcg_iters
+            .iter()
+            .map(|&(n, it)| {
+                format!(
+                    "{{\"resolution\": {n}, \"rows\": {}, \"cg_iterations\": 61, \
+                     \"cg_seconds\": 0.004000000, \"mgcg_iterations\": {it}, \
+                     \"mgcg_seconds\": {:.9}, \"mgcg_levels\": 3, \
+                     \"csr_streamed_bytes\": 1881984, \"matrix_free_streamed_bytes\": 364544}}",
+                    (n + 1).pow(3),
+                    mgcg_ms * 1e-3
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"wallclock_driver\",\n  \"host_threads\": {host_threads},\n  \
+             \"runs\": [\n    {{\"scenario\": \"cavity\", \"elements\": 512, \"rows\": 729, \
+             \"steps\": 2, \"repetitions\": 3, \"cases\": [{{\"threads\": 1, \
+             \"seconds\": 0.080000000, \"assembly_seconds\": 0.020000000, \
+             \"momentum_seconds\": 0.030000000, \"poisson_seconds\": 0.025000000, \
+             \"correction_seconds\": 0.005000000, \"speedup\": 1.0000, \
+             \"bitwise_equal\": true}}]}}\n  ],\n  \"pressure_solver\": [\n    {}\n  ]\n}}\n",
+            cases.join(",\n    ")
+        )
+    }
+
+    #[test]
+    fn multigrid_gate_enforces_ceiling_trend_and_speedup() {
+        let good =
+            gate_multigrid_bench(&driver_doc(4, &[(8, 12), (12, 11), (16, 11)], 2.0), 15, 1.0);
+        assert!(good.passed(), "{}", good.to_text());
+        assert_eq!(good.checks.len(), 3);
+        assert!(good.checks[0].detail.contains("11 iterations at 16³"));
+        assert!(good.checks[2].detail.contains("2.00x"));
+
+        // Iteration ceiling breached at the largest resolution.
+        let bad =
+            gate_multigrid_bench(&driver_doc(4, &[(8, 12), (12, 14), (16, 30)], 2.0), 15, 1.0);
+        assert!(!bad.checks[0].passed, "{}", bad.to_text());
+
+        // Iterations growing with resolution: the V-cycle lost its mesh
+        // independence.
+        let bad =
+            gate_multigrid_bench(&driver_doc(4, &[(8, 10), (12, 12), (16, 14)], 2.0), 15, 1.0);
+        assert!(bad.checks[0].passed);
+        assert!(!bad.checks[1].passed, "{}", bad.to_text());
+
+        // MG-CG slower than CG on a multi-core host: fail; on a single-core
+        // host the wall-clock comparison is skipped and recorded.
+        let slow = driver_doc(4, &[(8, 12), (12, 11), (16, 11)], 9.0);
+        assert!(!gate_multigrid_bench(&slow, 15, 1.0).passed());
+        let single = driver_doc(1, &[(8, 12), (12, 11), (16, 11)], 9.0);
+        let report = gate_multigrid_bench(&single, 15, 1.0);
+        assert!(report.passed(), "{}", report.to_text());
+        assert!(report.to_text().contains("skipped: single-core host"));
+
+        // Artifacts without the block fail loudly.
+        assert!(!gate_multigrid_bench("{\"host_threads\": 4}", 15, 1.0).passed());
+    }
+
+    #[test]
+    fn trend_scalars_read_the_artifact_shapes() {
+        let doc = driver_doc(4, &[(8, 12), (16, 11)], 2.0);
+        assert_eq!(driver_phase_seconds(&doc, "poisson"), Some(0.025));
+        assert_eq!(driver_phase_seconds(&doc, "assembly"), Some(0.02));
+        assert_eq!(driver_phase_seconds(&doc, "total"), Some(0.08));
+        assert_eq!(driver_phase_seconds("{}", "poisson"), None);
+        assert_eq!(parse_host_threads(&doc), Some(4));
+
+        assert_eq!(worst_slice_speedup(&assembly_doc(&[2.2, 1.9, 2.4])), Some(1.9));
+        assert_eq!(worst_slice_speedup("{}"), None);
+        assert_eq!(best_parallel_solver_speedup(&solver_doc(4, 1.62, 1.41)), Some(1.62));
+        assert_eq!(best_parallel_solver_speedup("{}"), None);
     }
 
     #[test]

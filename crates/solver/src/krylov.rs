@@ -19,6 +19,7 @@
 //!   one set of workers.
 
 use crate::csr::CsrMatrix;
+use crate::operator::{JacobiPreconditioner, LinearOperator, Preconditioner};
 use crate::parallel::VectorOps;
 use lv_runtime::Team;
 use serde::{Deserialize, Serialize};
@@ -94,12 +95,18 @@ impl SolveOutcome {
     }
 }
 
-pub(crate) fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
+/// Inverse diagonal of any operator backend (1.0 for near-zero pivots, or
+/// everywhere when disabled — the identity preconditioner).
+pub(crate) fn inverse_diagonal(operator: &dyn LinearOperator, enabled: bool) -> Vec<f64> {
     if enabled {
-        matrix.diagonal().iter().map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 }).collect()
+        operator.diagonal().iter().map(|&d| if d.abs() > 1e-300 { 1.0 / d } else { 1.0 }).collect()
     } else {
-        vec![1.0; matrix.dim()]
+        vec![1.0; operator.dim()]
     }
+}
+
+pub(crate) fn jacobi_inverse_diagonal(matrix: &CsrMatrix, enabled: bool) -> Vec<f64> {
+    inverse_diagonal(matrix, enabled)
 }
 
 /// The immediately-converged outcome of a zero right-hand side.  The history
@@ -118,12 +125,7 @@ pub fn conjugate_gradient(
     b: &[f64],
     options: &SolveOptions,
 ) -> Result<SolveOutcome, SolverError> {
-    if options.threads > 1 {
-        let team = Team::new(options.threads);
-        conjugate_gradient_with(matrix, b, options, &mut VectorOps::on_team(&team))
-    } else {
-        conjugate_gradient_with(matrix, b, options, &mut VectorOps::serial())
-    }
+    conjugate_gradient_operator(matrix, b, options)
 }
 
 /// [`conjugate_gradient`] on a caller-provided worker team (the pooled path:
@@ -134,16 +136,49 @@ pub fn conjugate_gradient_on(
     b: &[f64],
     options: &SolveOptions,
 ) -> Result<SolveOutcome, SolverError> {
-    conjugate_gradient_with(matrix, b, options, &mut VectorOps::on_team(team))
+    conjugate_gradient_operator_on(team, matrix, b, options)
 }
 
-fn conjugate_gradient_with(
-    matrix: &CsrMatrix,
+/// [`conjugate_gradient`] against any [`LinearOperator`] backend (assembled
+/// CSR or matrix-free).  Spawns a transient worker team when
+/// `options.threads > 1`.
+pub fn conjugate_gradient_operator(
+    operator: &dyn LinearOperator,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    let mut precond = JacobiPreconditioner::new(operator, options.jacobi_preconditioner);
+    if options.threads > 1 {
+        let team = Team::new(options.threads);
+        conjugate_gradient_with(operator, b, options, &mut VectorOps::on_team(&team), &mut precond)
+    } else {
+        conjugate_gradient_with(operator, b, options, &mut VectorOps::serial(), &mut precond)
+    }
+}
+
+/// [`conjugate_gradient_operator`] on a caller-provided worker team.
+pub fn conjugate_gradient_operator_on(
+    team: &Team,
+    operator: &dyn LinearOperator,
+    b: &[f64],
+    options: &SolveOptions,
+) -> Result<SolveOutcome, SolverError> {
+    let mut precond = JacobiPreconditioner::new(operator, options.jacobi_preconditioner);
+    conjugate_gradient_with(operator, b, options, &mut VectorOps::on_team(team), &mut precond)
+}
+
+/// The shared preconditioned-CG driver.  `precond` must apply a fixed SPD
+/// operator (Jacobi, or the multigrid V-cycle); the `jacobi_preconditioner`
+/// flag of `options` is the *caller's* business — it is already baked into
+/// `precond` by the public entry points.
+pub(crate) fn conjugate_gradient_with(
+    operator: &dyn LinearOperator,
     b: &[f64],
     options: &SolveOptions,
     ops: &mut VectorOps<'_>,
+    precond: &mut dyn Preconditioner,
 ) -> Result<SolveOutcome, SolverError> {
-    let n = matrix.dim();
+    let n = operator.dim();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch);
     }
@@ -151,19 +186,18 @@ fn conjugate_gradient_with(
     if b_norm == 0.0 {
         return Ok(zero_rhs_outcome(n));
     }
-    let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut z = vec![0.0; n];
-    ops.hadamard(&r, &inv_diag, &mut z);
+    precond.apply(ops, &r, &mut z);
     let mut p = z.clone();
     let mut rz = ops.dot(&r, &z);
     let mut history = vec![ops.norm(&r) / b_norm];
     let mut ap = vec![0.0; n];
 
     for iter in 0..options.max_iterations {
-        ops.spmv(matrix, &p, &mut ap);
+        ops.apply(operator, &p, &mut ap);
         let pap = ops.dot(&p, &ap);
         if pap.abs() < 1e-300 {
             return Err(SolverError::Breakdown);
@@ -180,7 +214,7 @@ fn conjugate_gradient_with(
                 residual_history: history,
             });
         }
-        ops.hadamard(&r, &inv_diag, &mut z);
+        precond.apply(ops, &r, &mut z);
         let rz_new = ops.dot(&r, &z);
         let beta = rz_new / rz;
         rz = rz_new;

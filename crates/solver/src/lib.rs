@@ -18,6 +18,13 @@
 //! * [`multivector`] / [`batched`] — the three-RHS SoA vector and the fused
 //!   momentum solvers: one matrix traversal per Krylov iteration serves all
 //!   three components, each bitwise identical to its single-RHS solve;
+//! * [`operator`] — the [`LinearOperator`] abstraction the Krylov loops
+//!   consume: anything that can apply `y = A·x` over a row range and expose
+//!   its diagonal (assembled CSR and matrix-free operators alike);
+//! * [`multigrid`] — geometric-multigrid V-cycle (trilinear interpolation,
+//!   Galerkin coarse operators, damped-Jacobi smoothing, dense-LU coarsest
+//!   solve) and the [`mg_preconditioned_cg`] solver it preconditions,
+//!   bitwise reproducible at every thread count;
 //! * [`parallel`] — the deterministic parallel kernels behind them:
 //!   row-partitioned SpMV and fixed-block BLAS-1 on an [`lv_runtime::Team`];
 //! * [`dense`] — a tiny dense solver used for cross-checking the sparse path
@@ -29,7 +36,9 @@ pub mod batched;
 pub mod csr;
 pub mod dense;
 pub mod krylov;
+pub mod multigrid;
 pub mod multivector;
+pub mod operator;
 pub mod parallel;
 
 pub use batched::{
@@ -38,8 +47,13 @@ pub use batched::{
 pub use csr::{CsrMatrix, ProfileStats};
 pub use dense::DenseMatrix;
 pub use krylov::{
-    bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, SolveOptions, SolveOutcome,
-    SolverError,
+    bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, conjugate_gradient_operator,
+    conjugate_gradient_operator_on, SolveOptions, SolveOutcome, SolverError,
+};
+pub use multigrid::{
+    mg_preconditioned_cg, mg_preconditioned_cg_on, GeometricMultigrid, Interpolation,
+    MultigridOptions,
 };
 pub use multivector::{MultiVector, NRHS};
+pub use operator::{JacobiPreconditioner, LinearOperator, Preconditioner};
 pub use parallel::VectorOps;

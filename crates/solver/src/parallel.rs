@@ -25,6 +25,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::multivector::MultiVector;
+use crate::operator::LinearOperator;
 use lv_runtime::{blocked_reduce, blocked_reduce3, partition, SharedSliceMut, Team};
 
 /// Element-wise operations on vectors shorter than this stay on the calling
@@ -82,12 +83,26 @@ impl<'t> VectorOps<'t> {
         }
     }
 
-    /// `y = A·x`, row-partitioned across the team.
+    /// Runs `f` once per non-empty static-partition range of `0..n` — across
+    /// the team when `n` clears [`SERIAL_CUTOFF`], on the caller otherwise.
+    ///
+    /// This is the scheduling primitive behind every kernel in this type,
+    /// exposed so rectangular operators (the multigrid grid transfers) can
+    /// inherit the same partitioning — and therefore the same determinism
+    /// contract — as the square kernels.  `f` must write only state it owns
+    /// for its range; ranges are disjoint.
+    #[inline]
+    pub fn partitioned_rows(&self, n: usize, f: &(dyn Fn(std::ops::Range<usize>) + Sync)) {
+        self.for_ranges(n, f);
+    }
+
+    /// `y = A·x` for any [`LinearOperator`] backend, row-partitioned across
+    /// the team.  With a [`CsrMatrix`] this is exactly [`spmv`](Self::spmv).
     ///
     /// # Panics
-    /// Panics if the vector lengths do not match the matrix dimension.
-    pub fn spmv(&mut self, matrix: &CsrMatrix, x: &[f64], y: &mut [f64]) {
-        let n = matrix.dim();
+    /// Panics if the vector lengths do not match the operator dimension.
+    pub fn apply(&mut self, operator: &dyn LinearOperator, x: &[f64], y: &mut [f64]) {
+        let n = operator.dim();
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let out = SharedSliceMut::new(y);
@@ -95,8 +110,16 @@ impl<'t> VectorOps<'t> {
             // SAFETY: partition ranges are disjoint, so each rank owns its
             // output rows exclusively.
             let slice = unsafe { out.range_mut(rows.clone()) };
-            matrix.spmv_range(x, rows, slice);
+            operator.apply_range(x, rows, slice);
         });
+    }
+
+    /// `y = A·x`, row-partitioned across the team.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match the matrix dimension.
+    pub fn spmv(&mut self, matrix: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        self.apply(matrix, x, y);
     }
 
     /// Blocked dot product `aᵀb` (deterministic for every thread count).

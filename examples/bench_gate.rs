@@ -1,7 +1,7 @@
 //! The perf-regression gate: reads the wall-clock bench artifacts
-//! (`BENCH_assembly.json`, `BENCH_solver.json`) and exits non-zero when a
-//! fast path regressed past its floor.  CI runs it right after the quick
-//! benches regenerate the artifacts.
+//! (`BENCH_assembly.json`, `BENCH_solver.json`, `BENCH_driver.json`) and
+//! exits non-zero when a fast path regressed past its floor.  CI runs it
+//! right after the quick benches regenerate the artifacts.
 //!
 //! ```text
 //! cargo run --release --example bench_gate
@@ -19,20 +19,31 @@
 //!   enforced on single-core hosts too);
 //! * `LV_GATE_MIN_BANDWIDTH_RATIO` — floor for the RCM bandwidth reduction
 //!   recorded in the artifact's renumbering section (default 2.0);
-//! * `LV_BENCH_HISTORY_DIR` — optional directory of prior
-//!   `BENCH_solver.json` artifacts (any `*.json`, consumed in sorted file
-//!   order, oldest first).  When at least `LV_GATE_TREND_WINDOW` (default
-//!   3) artifacts exist, the gate also fails on a *sustained* downward
-//!   trend of the spmm3 ratio across the last window — monotone decline
-//!   beyond `LV_GATE_TREND_TOLERANCE` (default 0.05, i.e. 5%) — while
-//!   tolerating single-run noise;
-//! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` — artifact paths (default:
-//!   the workspace root copies the benches write).
+//! * `LV_GATE_MAX_MGCG_ITERATIONS` — ceiling for the MG-CG iteration count
+//!   at the largest measured resolution (default 15, the ISSUE ceiling at
+//!   16³); the same gate also enforces non-increasing iterations with
+//!   resolution and, on multi-core hosts, MG-CG beating plain CG by
+//!   `LV_GATE_MIN_MGCG_SPEEDUP` (default 1.0);
+//! * `LV_BENCH_HISTORY_DIR` — optional directory of prior bench artifacts
+//!   (consumed in sorted file order, oldest first; files ending in
+//!   `-assembly.json` / `-driver.json` belong to those artifacts, anything
+//!   else is treated as a solver artifact — the pre-suffix history CI
+//!   accumulated).  When at least `LV_GATE_TREND_WINDOW` (default 3)
+//!   artifacts of a kind exist, the gate also fails on a *sustained* trend
+//!   across the last window — monotone decline of the spmm3 ratio, the
+//!   worst assembly slice speedup or the best pooled solver speedup beyond
+//!   `LV_GATE_TREND_TOLERANCE` (default 0.05), or monotone growth of a
+//!   driver phase's 1-thread wall-clock beyond
+//!   `LV_GATE_TREND_TOLERANCE_WALLCLOCK` (default 0.25; wall-clock is far
+//!   noisier than a ratio) — while tolerating single-run noise;
+//! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` / `LV_BENCH_DRIVER_JSON` —
+//!   artifact paths (default: the workspace root copies the benches write).
 
 use lv_metrics::regression::parse_named_numbers;
 use lv_metrics::{
-    gate_assembly_bench, gate_renumbering_bench, gate_rolling_window, gate_solver_bench,
-    gate_spmm_bench, GateReport,
+    best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
+    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_solver_bench,
+    gate_spmm_bench, parse_host_threads, worst_slice_speedup, GateReport,
 };
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -54,18 +65,40 @@ fn run_gate(label: &str, path: &str, gate: impl Fn(&str) -> GateReport) -> bool 
     }
 }
 
-/// Extracts the spmm3 fused-stream ratio of every artifact in `dir` (sorted
-/// file order, oldest first), appending the current artifact's ratio last.
-/// A history entry that *is* the current artifact — the same file, or a
+/// Which history files belong to which artifact: CI persists rolling copies
+/// as `<stamp>-<kind>.json`.  Unsuffixed files are the solver history from
+/// before the assembly/driver artifacts joined the cache.
+fn history_kind(name: &str) -> &'static str {
+    if name.ends_with("-assembly.json") {
+        "assembly"
+    } else if name.ends_with("-driver.json") {
+        "driver"
+    } else {
+        "solver"
+    }
+}
+
+/// Extracts one scalar per artifact of `kind` in `dir` (sorted file order,
+/// oldest first), appending the current artifact's value last.  A history
+/// entry that *is* the current artifact — the same file, or a
 /// byte-identical copy CI persisted into the dir before gating — is
-/// skipped, so the trailing value is never double-counted.
-fn spmm_history(dir: &str, current_json: &str) -> Vec<f64> {
+/// skipped, so the trailing value is never double-counted.  Artifacts the
+/// extractor cannot read (older formats) are skipped silently.
+fn history_series(
+    dir: &str,
+    kind: &str,
+    current_json: &str,
+    extract: impl Fn(&str) -> Option<f64>,
+) -> Vec<f64> {
     let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map(|entries| {
             entries
                 .filter_map(Result::ok)
                 .map(|e| e.path())
                 .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                .filter(|p| {
+                    p.file_name().and_then(|n| n.to_str()).is_some_and(|n| history_kind(n) == kind)
+                })
                 .collect()
         })
         .unwrap_or_default();
@@ -76,19 +109,22 @@ fn spmm_history(dir: &str, current_json: &str) -> Vec<f64> {
             if json == current_json {
                 continue;
             }
-            if let Some(&ratio) =
-                parse_named_numbers(&json, "\"method\": \"spmm3\"", "speedup").first()
-            {
-                series.push(ratio);
+            if let Some(value) = extract(&json) {
+                series.push(value);
             }
         }
     }
-    if let Some(&ratio) =
-        parse_named_numbers(current_json, "\"method\": \"spmm3\"", "speedup").first()
-    {
-        series.push(ratio);
+    if let Some(value) = extract(current_json) {
+        series.push(value);
     }
     series
+}
+
+/// Runs one rolling-window trend check and prints its report.
+fn run_trend(report: GateReport, dir: &str, points: usize) -> bool {
+    println!("artifact trend ({dir}, {points} artifact(s) incl. current):");
+    print!("{}", report.to_text());
+    report.passed()
 }
 
 fn main() {
@@ -100,14 +136,20 @@ fn main() {
     // knob must degrade to a gate decision, not a panic.
     let trend_window = (env_f64("LV_GATE_TREND_WINDOW", 3.0) as usize).max(2);
     let trend_tolerance = env_f64("LV_GATE_TREND_TOLERANCE", 0.05);
+    let wallclock_tolerance = env_f64("LV_GATE_TREND_TOLERANCE_WALLCLOCK", 0.25);
+    let max_mgcg_iterations = env_f64("LV_GATE_MAX_MGCG_ITERATIONS", 15.0) as usize;
+    let min_mgcg_speedup = env_f64("LV_GATE_MIN_MGCG_SPEEDUP", 1.0);
     let assembly_path = std::env::var("LV_BENCH_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_assembly.json").into());
     let solver_path = std::env::var("LV_BENCH_SOLVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json").into());
+    let driver_path = std::env::var("LV_BENCH_DRIVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_driver.json").into());
 
     println!(
         "perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x, \
-         spmm floor {min_spmm:.2}x, bandwidth floor {min_bandwidth:.2}x)\n"
+         spmm floor {min_spmm:.2}x, bandwidth floor {min_bandwidth:.2}x, \
+         mgcg ceiling {max_mgcg_iterations} it / floor {min_mgcg_speedup:.2}x)\n"
     );
     let assembly_ok =
         run_gate("assembly bench", &assembly_path, |json| gate_assembly_bench(json, min_slice));
@@ -116,17 +158,73 @@ fn main() {
     let spmm_ok = run_gate("multi-RHS bench", &solver_path, |json| gate_spmm_bench(json, min_spmm));
     let renumber_ok =
         run_gate("renumbering", &solver_path, |json| gate_renumbering_bench(json, min_bandwidth));
+    let multigrid_ok = run_gate("multigrid pressure solve", &driver_path, |json| {
+        gate_multigrid_bench(json, max_mgcg_iterations, min_mgcg_speedup)
+    });
 
-    // Rolling-window trend over the artifact history, when CI provides one.
+    // Rolling-window trends over the artifact history, when CI provides one.
     let trend_ok = match std::env::var("LV_BENCH_HISTORY_DIR") {
         Ok(dir) => {
-            let current = std::fs::read_to_string(&solver_path).unwrap_or_default();
-            let series = spmm_history(&dir, &current);
-            let report =
-                gate_rolling_window("spmm3 ratio trend", &series, trend_window, trend_tolerance);
-            println!("artifact trend ({dir}, {} artifact(s) incl. current):", series.len());
-            print!("{}", report.to_text());
-            report.passed()
+            let mut ok = true;
+
+            let solver_json = std::fs::read_to_string(&solver_path).unwrap_or_default();
+            let spmm = history_series(&dir, "solver", &solver_json, |json| {
+                parse_named_numbers(json, "\"method\": \"spmm3\"", "speedup").first().copied()
+            });
+            ok &= run_trend(
+                gate_rolling_window("spmm3 ratio trend", &spmm, trend_window, trend_tolerance),
+                &dir,
+                spmm.len(),
+            );
+            // The pooled speedup only means something with real cores; on a
+            // single-core host the series would trend with scheduler noise.
+            if parse_host_threads(&solver_json).unwrap_or(1) >= 2 {
+                let pooled =
+                    history_series(&dir, "solver", &solver_json, best_parallel_solver_speedup);
+                ok &= run_trend(
+                    gate_rolling_window(
+                        "pooled solver speedup trend",
+                        &pooled,
+                        trend_window,
+                        trend_tolerance,
+                    ),
+                    &dir,
+                    pooled.len(),
+                );
+            } else {
+                println!("artifact trend: pooled solver speedup skipped (single-core host)");
+            }
+
+            let assembly_json = std::fs::read_to_string(&assembly_path).unwrap_or_default();
+            let slices = history_series(&dir, "assembly", &assembly_json, worst_slice_speedup);
+            ok &= run_trend(
+                gate_rolling_window(
+                    "assembly slice speedup trend",
+                    &slices,
+                    trend_window,
+                    trend_tolerance,
+                ),
+                &dir,
+                slices.len(),
+            );
+
+            let driver_json = std::fs::read_to_string(&driver_path).unwrap_or_default();
+            for phase in ["assembly", "momentum", "poisson", "correction"] {
+                let seconds = history_series(&dir, "driver", &driver_json, |json| {
+                    driver_phase_seconds(json, phase)
+                });
+                ok &= run_trend(
+                    gate_rolling_window_low(
+                        &format!("driver {phase} 1t seconds trend"),
+                        &seconds,
+                        trend_window,
+                        wallclock_tolerance,
+                    ),
+                    &dir,
+                    seconds.len(),
+                );
+            }
+            ok
         }
         Err(_) => {
             println!("artifact trend: skipped (LV_BENCH_HISTORY_DIR not set)");
@@ -134,7 +232,7 @@ fn main() {
         }
     };
 
-    if assembly_ok && solver_ok && spmm_ok && renumber_ok && trend_ok {
+    if assembly_ok && solver_ok && spmm_ok && renumber_ok && multigrid_ok && trend_ok {
         println!("\ngate passed");
     } else {
         println!("\ngate FAILED");

@@ -15,14 +15,19 @@
 //! * `--restart <path>` — resume from a checkpoint (bitwise identical to the
 //!   uninterrupted run — the driver's determinism contract);
 //! * `--fixed-dt <dt>` — fixed time step instead of the CFL controller;
-//! * `--seq` — sequential momentum solves instead of the batched SpMM path.
+//! * `--seq` — sequential momentum solves instead of the batched SpMM path;
+//! * `--pressure-solver <cg|mgcg>` — pressure-Poisson setup: plain
+//!   Jacobi-CG or the geometric-multigrid-preconditioned CG (the default;
+//!   falls back to `cg` when the mesh is not a structured box lattice).
 //!
 //! `taylor-green` with `n = 0` (the default) runs the 8³ → 12³ → 16³
 //! resolution sweep and reports the analytic L2 velocity error at a common
 //! final time — the error must decrease monotonically with resolution.
 
 use alya_longvec::prelude::*;
-use lv_driver::{load_checkpoint, save_checkpoint, Scenario, Stepper, StepperConfig};
+use lv_driver::{
+    load_checkpoint, save_checkpoint, PressureSolver, Scenario, Stepper, StepperConfig,
+};
 use lv_kernel::MomentumPath;
 
 struct Cli {
@@ -35,6 +40,7 @@ struct Cli {
     restart: Option<String>,
     fixed_dt: Option<f64>,
     path: MomentumPath,
+    pressure_solver: PressureSolver,
 }
 
 fn parse_cli() -> Cli {
@@ -49,6 +55,7 @@ fn parse_cli() -> Cli {
         restart: None,
         fixed_dt: None,
         path: MomentumPath::Batched,
+        pressure_solver: PressureSolver::MgCg,
     };
     let mut positional = 0;
     let mut i = 1;
@@ -73,6 +80,14 @@ fn parse_cli() -> Cli {
             "--seq" => {
                 cli.path = MomentumPath::Sequential;
                 i += 1;
+            }
+            "--pressure-solver" => {
+                let name = args.get(i + 1).cloned().unwrap_or_default();
+                cli.pressure_solver = PressureSolver::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("--pressure-solver must be 'cg' or 'mgcg' (got '{name}')");
+                    std::process::exit(2);
+                });
+                i += 2;
             }
             arg => {
                 match positional {
@@ -99,11 +114,13 @@ fn print_registry() {
         println!("  {:<14} {}", scenario.kind.name(), scenario.kind.describe());
     }
     println!("\nusage: simulate <scenario> [n] [steps] [threads] [--checkpoint p] [--every k]");
-    println!("       [--restart p] [--fixed-dt dt] [--seq]");
+    println!("       [--restart p] [--fixed-dt dt] [--seq] [--pressure-solver cg|mgcg]");
 }
 
 fn stepper_config(cli: &Cli) -> StepperConfig {
-    let mut config = StepperConfig::default().with_momentum_path(cli.path);
+    let mut config = StepperConfig::default()
+        .with_momentum_path(cli.path)
+        .with_pressure_solver(cli.pressure_solver);
     if let Some(dt) = cli.fixed_dt {
         config = config.with_fixed_dt(dt);
     }
@@ -205,13 +222,15 @@ fn main() {
 
     let mesh_elements = stepper.mesh().num_elements();
     println!(
-        "scenario '{}': {} elements, nu = {}, {} steps, {} worker thread(s), {} momentum solve",
+        "scenario '{}': {} elements, nu = {}, {} steps, {} worker thread(s), {} momentum solve, \
+         {} pressure solve",
         scenario.kind.name(),
         mesh_elements,
         scenario.viscosity,
         cli.steps,
         cli.threads,
-        cli.path.name()
+        cli.path.name(),
+        stepper.pressure_solver().name()
     );
     println!(
         "{:>5} {:>9} {:>9} {:>7} {:>7} {:>12} {:>12} {:>14}",
