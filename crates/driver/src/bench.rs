@@ -92,7 +92,8 @@ impl DriverBenchReport {
             let mut best_timings = StepTimings::default();
             let mut final_state: Option<SimState> = None;
             for _ in 0..repetitions {
-                let mut stepper = Stepper::with_mesh(scenario.clone(), config, mesh.clone());
+                let mut stepper =
+                    Stepper::with_mesh(scenario.clone(), config.clone(), mesh.clone());
                 let mut timings = StepTimings::default();
                 for report in stepper.run_on(&team, steps).expect("driver step must converge") {
                     timings.accumulate(&report.timings);

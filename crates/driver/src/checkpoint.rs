@@ -19,12 +19,25 @@
 //! pressure u64 length + f64 values
 //! checksum u64   FNV-1a over everything after the magic
 //! ```
+//!
+//! ## The checkpoint ring
+//!
+//! A [`CheckpointRing`] of depth K keeps the last K generations as plain
+//! files in this exact format, named `<base>.0` (newest) through
+//! `<base>.K-1` (oldest).  A save rotates `.i → .i+1` (dropping the oldest)
+//! and then writes `.0` with the same atomic tmp + fsync + rename protocol
+//! as [`save_checkpoint`], so no crash point can lose more than the
+//! in-flight generation.  [`CheckpointRing::load_latest`] walks `.0`, `.1`,
+//! … and returns the newest generation that decodes and passes its
+//! checksum, reporting every corrupt/truncated generation it had to skip —
+//! a bit-flipped newest checkpoint degrades a restart by one save interval
+//! instead of killing it.
 
 use crate::scenario::{Scenario, ScenarioKind};
 use crate::stepper::SimState;
 use lv_mesh::{Field, Mesh, VectorField};
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"LVCKPT01";
 
@@ -233,6 +246,111 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
     Ok(Checkpoint { scenario, resolution, viscosity, density, step, time, velocity, pressure })
 }
 
+/// A successful [`CheckpointRing::load_latest`]: which generation actually
+/// restored the run, and what was skipped to get there.
+#[derive(Debug)]
+pub struct RingRecovery {
+    /// The decoded checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Generation it came from (0 = newest slot).
+    pub generation: usize,
+    /// The slot file it was read from.
+    pub path: PathBuf,
+    /// Newer generations that existed but failed to load, with the error
+    /// message each produced (empty on a clean restart).
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// A rotating ring of the last K checkpoints (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CheckpointRing {
+    base: PathBuf,
+    depth: usize,
+}
+
+impl CheckpointRing {
+    /// A ring of `depth ≥ 1` generations rooted at `base` (the slot files
+    /// are `<base>.0` … `<base>.depth-1`).
+    pub fn new(base: impl Into<PathBuf>, depth: usize) -> Self {
+        assert!(depth >= 1, "a checkpoint ring needs at least one slot");
+        CheckpointRing { base: base.into(), depth }
+    }
+
+    /// Number of generations the ring keeps.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The slot file of `generation` (0 = newest).
+    pub fn slot(&self, generation: usize) -> PathBuf {
+        let mut name = self.base.as_os_str().to_owned();
+        name.push(format!(".{generation}"));
+        PathBuf::from(name)
+    }
+
+    /// Saves a new generation: rotates every existing slot one step towards
+    /// the oldest (dropping `.depth-1`) and writes the state to `.0`
+    /// atomically.  Returns the path of the new newest slot.
+    ///
+    /// # Errors
+    /// Any I/O error of the rotation renames or the checkpoint write.
+    pub fn save(&self, scenario: &Scenario, state: &SimState) -> io::Result<PathBuf> {
+        let oldest = self.slot(self.depth - 1);
+        if oldest.exists() {
+            std::fs::remove_file(&oldest)?;
+        }
+        for generation in (0..self.depth - 1).rev() {
+            let from = self.slot(generation);
+            if from.exists() {
+                std::fs::rename(&from, self.slot(generation + 1))?;
+            }
+        }
+        let newest = self.slot(0);
+        save_checkpoint(&newest, scenario, state)?;
+        Ok(newest)
+    }
+
+    /// Loads the newest generation that decodes and passes its checksum,
+    /// skipping (and reporting) corrupt, truncated or missing newer slots.
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::NotFound`] when no slot exists at all, or the last
+    /// slot's error (wrapped with the list of everything skipped) when every
+    /// existing generation is damaged.
+    pub fn load_latest(&self) -> io::Result<RingRecovery> {
+        let mut skipped = Vec::new();
+        let mut any_exist = false;
+        for generation in 0..self.depth {
+            let path = self.slot(generation);
+            if !path.exists() {
+                continue;
+            }
+            any_exist = true;
+            match load_checkpoint(&path) {
+                Ok(checkpoint) => {
+                    return Ok(RingRecovery { checkpoint, generation, path, skipped })
+                }
+                Err(e) => skipped.push((path, e.to_string())),
+            }
+        }
+        if !any_exist {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no checkpoint ring generations at {}.*", self.base.display()),
+            ));
+        }
+        let detail = skipped
+            .iter()
+            .map(|(p, e)| format!("{}: {e}", p.display()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("every checkpoint ring generation is damaged ({detail})"),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,5 +419,156 @@ mod tests {
         let wrong_mesh = finer.build_mesh();
         assert!(loaded.into_state(&wrong_mesh).is_err());
         let _ = mesh;
+    }
+
+    #[test]
+    fn truncation_at_every_section_boundary_is_invalid_data() {
+        let (scenario, _mesh, state) = sample();
+        let path = temp_path("truncate");
+        save_checkpoint(&path, &scenario, &state).expect("save");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Cumulative section boundaries of the format, in order.
+        let name_len = scenario.kind.name().len();
+        let nv = state.velocity.as_slice().len();
+        let np = state.pressure.as_slice().len();
+        let sections: [usize; 12] = [
+            8,        // magic
+            4,        // name length
+            name_len, // name bytes
+            4,        // resolution
+            8,        // viscosity
+            8,        // density
+            8,        // step
+            8,        // time
+            8,        // velocity length
+            8 * nv,   // velocity values
+            8,        // pressure length
+            8 * np,   // pressure values
+        ];
+        let mut at = 0;
+        let mut boundaries = vec![0usize];
+        for s in sections {
+            at += s;
+            boundaries.push(at);
+        }
+        assert_eq!(at + 8, bytes.len(), "boundary arithmetic must cover the whole file");
+
+        for &cut in &boundaries {
+            let truncated = &bytes[..cut];
+            let path = temp_path(&format!("truncate_{cut}"));
+            std::fs::write(&path, truncated).unwrap();
+            let err = load_checkpoint(&path).expect_err("truncated checkpoint must not load");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidData,
+                "cut at {cut}: got {err} ({:?})",
+                err.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn payload_and_checksum_bit_flips_are_invalid_data() {
+        let (scenario, _mesh, state) = sample();
+        let path = temp_path("bitflip");
+        save_checkpoint(&path, &scenario, &state).expect("save");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // A single bit flipped anywhere in the payload, and anywhere in the
+        // trailing checksum, must both surface as the checksum-mismatch
+        // InvalidData error.
+        for at in [MAGIC.len() + 1, bytes.len() / 2, bytes.len() - 8, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x10;
+            let path = temp_path(&format!("bitflip_{at}"));
+            std::fs::write(&path, &corrupt).unwrap();
+            let err = load_checkpoint(&path).expect_err("corrupt checkpoint must not load");
+            std::fs::remove_file(&path).ok();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {at}");
+            assert!(err.to_string().contains("checksum"), "flip at {at}: {err}");
+        }
+    }
+
+    fn ring_base(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lv_ring_test_{tag}_{}", std::process::id()))
+    }
+
+    fn clear_ring(ring: &CheckpointRing) {
+        for generation in 0..ring.depth() {
+            std::fs::remove_file(ring.slot(generation)).ok();
+        }
+    }
+
+    #[test]
+    fn ring_rotates_and_loads_the_newest_generation() {
+        let (scenario, _mesh, mut state) = sample();
+        let ring = CheckpointRing::new(ring_base("rotate"), 3);
+        clear_ring(&ring);
+        for step in [10u64, 11, 12, 13] {
+            state.step = step;
+            let newest = ring.save(&scenario, &state).expect("ring save");
+            assert_eq!(newest, ring.slot(0));
+        }
+        // Depth 3: steps 13/12/11 survive, 10 was dropped.
+        for (generation, step) in [(0usize, 13u64), (1, 12), (2, 11)] {
+            let ckpt = load_checkpoint(ring.slot(generation)).expect("slot loads");
+            assert_eq!(ckpt.step, step, "generation {generation}");
+        }
+        let recovery = ring.load_latest().expect("latest");
+        assert_eq!(recovery.generation, 0);
+        assert_eq!(recovery.checkpoint.step, 13);
+        assert!(recovery.skipped.is_empty());
+        clear_ring(&ring);
+    }
+
+    #[test]
+    fn ring_falls_back_past_corrupt_and_truncated_generations() {
+        let (scenario, _mesh, mut state) = sample();
+        let ring = CheckpointRing::new(ring_base("fallback"), 3);
+        clear_ring(&ring);
+        for step in [20u64, 21, 22] {
+            state.step = step;
+            ring.save(&scenario, &state).expect("ring save");
+        }
+
+        // Newest generation bit-flipped: fall back to generation 1.
+        let mut bytes = std::fs::read(ring.slot(0)).unwrap();
+        bytes[30] ^= 0xff;
+        std::fs::write(ring.slot(0), &bytes).unwrap();
+        let recovery = ring.load_latest().expect("fallback");
+        assert_eq!(recovery.generation, 1);
+        assert_eq!(recovery.checkpoint.step, 21);
+        assert_eq!(recovery.skipped.len(), 1);
+        assert_eq!(recovery.skipped[0].0, ring.slot(0));
+        assert!(recovery.skipped[0].1.contains("checksum"));
+
+        // Generation 1 truncated too: generation 2 carries the restart.
+        let bytes = std::fs::read(ring.slot(1)).unwrap();
+        std::fs::write(ring.slot(1), &bytes[..bytes.len() / 2]).unwrap();
+        let recovery = ring.load_latest().expect("second fallback");
+        assert_eq!(recovery.generation, 2);
+        assert_eq!(recovery.checkpoint.step, 20);
+        assert_eq!(recovery.skipped.len(), 2);
+
+        // Every generation damaged: a structured InvalidData error naming
+        // each slot, never a panic.
+        let bytes = std::fs::read(ring.slot(2)).unwrap();
+        std::fs::write(ring.slot(2), &bytes[..10]).unwrap();
+        let err = ring.load_latest().expect_err("all damaged");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        for generation in 0..3 {
+            let name = ring.slot(generation).display().to_string();
+            assert!(err.to_string().contains(&name), "{err} must name {name}");
+        }
+        clear_ring(&ring);
+
+        // An empty ring is NotFound, not InvalidData.
+        let empty = CheckpointRing::new(ring_base("empty"), 2);
+        clear_ring(&empty);
+        assert_eq!(empty.load_latest().expect_err("empty").kind(), io::ErrorKind::NotFound);
     }
 }

@@ -16,13 +16,18 @@
 //!   Taylor–Green vortex (with analytic error norms) and a decaying shear
 //!   layer, each with its own BCs, initial fields and pressure pins;
 //! * [`checkpoint`] — binary checkpoint/restart with bitwise-identical
-//!   resumption;
+//!   resumption, plus the [`CheckpointRing`] that rotates the last K
+//!   generations and falls back past corrupt ones on load;
+//! * [`fault`] — the deterministic [`FaultPlan`] injection harness that
+//!   exercises every recovery path (solver breakdowns, NaN-poisoned RHS,
+//!   corrupted checkpoints) reproducibly in tests;
 //! * [`bench`] — the wall-clock engine behind `BENCH_driver.json`.
 
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod checkpoint;
+pub mod fault;
 pub mod scenario;
 pub mod stepper;
 
@@ -30,8 +35,9 @@ pub use bench::{
     driver_bench_to_json, measure_pressure_solvers, pressure_solver_cases_to_json,
     DriverBenchReport, DriverMeasurement, PressureSolverCase,
 };
-pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint};
+pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint, CheckpointRing, RingRecovery};
+pub use fault::{FaultKind, FaultPlan};
 pub use scenario::{taylor_green_velocity, Scenario, ScenarioKind};
 pub use stepper::{
-    PressureSolver, SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig,
+    PressureSolver, RunError, SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig,
 };

@@ -30,6 +30,7 @@
 //! from the state at the start of every step — deterministic, and therefore
 //! restart-safe without storing it.
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::scenario::Scenario;
 use lv_kernel::{
     build_pressure_multigrid, solve_momentum_on, weak_divergence_vector_norm, ElementWorkspace,
@@ -38,8 +39,8 @@ use lv_kernel::{
 use lv_mesh::{Field, Mesh, VectorField};
 use lv_runtime::Team;
 use lv_solver::{
-    conjugate_gradient_on, mg_preconditioned_cg_on, CsrMatrix, GeometricMultigrid,
-    MultigridOptions, SolveOptions, SolverError,
+    conjugate_gradient_on, first_non_finite, mg_preconditioned_cg_on, BreakdownKind, CsrMatrix,
+    GeometricMultigrid, MultigridOptions, SolveOptions, SolverError,
 };
 use std::time::Instant;
 
@@ -79,7 +80,7 @@ impl PressureSolver {
 }
 
 /// Configuration of a [`Stepper`] run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StepperConfig {
     /// `VECTOR_SIZE` of the assembly and projection sweeps.
     pub vector_size: usize,
@@ -109,6 +110,13 @@ pub struct StepperConfig {
     /// scheme; the default 3 drives the predictor's discrete divergence
     /// down by an order of magnitude.
     pub projection_sweeps: usize,
+    /// Δt-backoff retry budget of [`Stepper::step_recovering_on`]: how many
+    /// times a failed step may be rolled back and retried with Δt halved
+    /// before the run surfaces a [`RunError`].
+    pub max_dt_retries: usize,
+    /// Deterministic fault schedule for testing the recovery paths
+    /// (`None` in production runs).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for StepperConfig {
@@ -132,6 +140,8 @@ impl Default for StepperConfig {
             dt_min: 1e-4,
             dt_max: 0.1,
             projection_sweeps: 3,
+            max_dt_retries: 3,
+            fault_plan: None,
         }
     }
 }
@@ -168,6 +178,18 @@ impl StepperConfig {
     /// Builder: pressure-Poisson solver setup.
     pub fn with_pressure_solver(mut self, solver: PressureSolver) -> Self {
         self.pressure_solver = solver;
+        self
+    }
+
+    /// Builder: Δt-backoff retry budget of the recovering step loop.
+    pub fn with_max_dt_retries(mut self, retries: usize) -> Self {
+        self.max_dt_retries = retries;
+        self
+    }
+
+    /// Builder: deterministic fault schedule (testing only).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -238,6 +260,13 @@ pub struct StepReport {
     pub divergence_post: f64,
     /// Kinetic energy `½ρ∫|u|²` after the step.
     pub kinetic_energy: f64,
+    /// How many failed attempts preceded this step (Δt-backoff rollbacks of
+    /// [`Stepper::step_recovering_on`]; always 0 on the plain
+    /// [`Stepper::step_on`] path).
+    pub retries: usize,
+    /// How many projection sweeps fell back from MG-CG to plain CG after an
+    /// MG-preconditioned breakdown.
+    pub poisson_fallbacks: usize,
     /// Wall-clock breakdown.
     pub timings: StepTimings,
 }
@@ -249,18 +278,97 @@ pub enum StepError {
     Momentum(SolverError),
     /// The pressure-Poisson solve failed.
     Poisson(SolverError),
+    /// The CFL controller rejected its inputs: a non-finite `‖u‖_∞` or a
+    /// non-finite/non-positive Δt candidate (never a silent NaN Δt).
+    InvalidDt {
+        /// The `‖u‖_∞` the controller saw (NaN when the velocity field
+        /// contains a non-finite entry).
+        umax: f64,
+        /// The rejected Δt candidate.
+        dt: f64,
+    },
+    /// The corrected velocity contains a non-finite entry — the trajectory
+    /// blew up even though every solve nominally converged.
+    NonFiniteVelocity {
+        /// First offending index in the interleaved velocity values.
+        index: usize,
+    },
+}
+
+impl StepError {
+    /// The phase of the fractional step that failed (`cfl` / `momentum` /
+    /// `poisson` / `correction`), for diagnostics.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            StepError::Momentum(_) => "momentum",
+            StepError::Poisson(_) => "poisson",
+            StepError::InvalidDt { .. } => "cfl",
+            StepError::NonFiniteVelocity { .. } => "correction",
+        }
+    }
+
+    /// The last solver residual at failure, when a solver failed.
+    pub fn residual(&self) -> Option<f64> {
+        match self {
+            StepError::Momentum(e) | StepError::Poisson(e) => e.residual(),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for StepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            StepError::Momentum(e) => write!(f, "momentum solve failed: {e:?}"),
-            StepError::Poisson(e) => write!(f, "pressure-Poisson solve failed: {e:?}"),
+            StepError::Momentum(e) => write!(f, "momentum solve failed: {e}"),
+            StepError::Poisson(e) => write!(f, "pressure-Poisson solve failed: {e}"),
+            StepError::InvalidDt { umax, dt } => write!(
+                f,
+                "CFL controller rejected the step: ‖u‖_∞ = {umax:e}, Δt candidate = {dt:e}"
+            ),
+            StepError::NonFiniteVelocity { index } => {
+                write!(f, "velocity entry {index} is non-finite after the correction")
+            }
         }
     }
 }
 
 impl std::error::Error for StepError {}
+
+/// A run that could not be completed: the retry budget of
+/// [`Stepper::step_recovering_on`] is exhausted (or recovery is disabled)
+/// and the last attempt's failure is surfaced with its step context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// 1-based index of the step that could not be completed.
+    pub step: u64,
+    /// Simulation time the run stalled at (the time *before* the failed
+    /// step).
+    pub time: f64,
+    /// Attempts made on the step (1 + retries).
+    pub attempts: usize,
+    /// The failure of the final attempt.
+    pub error: StepError,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step {} failed in the {} phase after {} attempt(s) at t = {:.6}: {}",
+            self.step,
+            self.error.phase(),
+            self.attempts,
+            self.time,
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// The fractional-step simulation driver: owns the assembled operators, the
 /// reusable work buffers and the evolving [`SimState`].
@@ -274,6 +382,14 @@ pub struct Stepper {
     multigrid: Option<GeometricMultigrid>,
     pins: Vec<usize>,
     h_char: f64,
+    // Transient Δt multiplier of the retry loop (0.5^attempt); 1.0 outside
+    // a recovery.  Not part of SimState: a successful step resets it, so
+    // trajectories remain a pure function of the state.
+    dt_backoff: f64,
+    // The stepper's own mutable copy of the configured fault schedule:
+    // fired faults stay spent across the rollback/retry of a recovery
+    // (the snapshot covers SimState only).
+    fault_plan: Option<FaultPlan>,
     state: SimState,
     matrix: CsrMatrix,
     rhs: Vec<f64>,
@@ -319,10 +435,16 @@ impl Stepper {
             mesh.num_nodes(),
             "restart pressure does not match the mesh"
         );
+        // The real Δt is validated and set per step (checked_next_dt →
+        // set_dt); the placeholder only keeps construction infallible so an
+        // invalid configured dt surfaces as a structured StepError::InvalidDt
+        // at step time instead of an assert here.
+        let construction_dt =
+            if config.dt.is_finite() && config.dt > 0.0 { config.dt } else { 1.0 };
         let kernel_config = KernelConfig::new(config.vector_size, OptLevel::Vec1)
             .with_viscosity(scenario.viscosity)
             .with_density(scenario.density)
-            .with_dt(config.dt);
+            .with_dt(construction_dt);
         let assembly = NastinAssembly::new(mesh.clone(), kernel_config);
         let operators = PressureOperators::new(&mesh, config.vector_size);
         let pins = scenario.pressure_pins(&mesh);
@@ -341,6 +463,7 @@ impl Stepper {
         let n = mesh.num_nodes();
         let matrix = assembly.new_matrix();
         let h_char = mesh.characteristic_length();
+        let fault_plan = config.fault_plan.clone();
         Stepper {
             scenario,
             config,
@@ -350,6 +473,8 @@ impl Stepper {
             multigrid,
             pins,
             h_char,
+            dt_backoff: 1.0,
+            fault_plan,
             state,
             matrix,
             rhs: vec![0.0; NDIME * n],
@@ -401,15 +526,44 @@ impl Stepper {
         self.multigrid.as_ref().map(GeometricMultigrid::level_rows)
     }
 
-    /// The Δt the next step will use, given the current state.
+    /// The Δt the next step will use, given the current state — the
+    /// validated [`Stepper::checked_next_dt`], or NaN when the controller
+    /// rejects its inputs (a preview must stay infallible).
     pub fn next_dt(&self) -> f64 {
-        match self.config.cfl {
+        self.checked_next_dt().unwrap_or(f64::NAN)
+    }
+
+    /// The validated Δt of the next step, including any active retry
+    /// backoff.
+    ///
+    /// # Errors
+    /// Returns [`StepError::InvalidDt`] when `‖u‖_∞` is non-finite (the
+    /// naive `max`-fold would silently mask NaN entries — Rust's `f64::max`
+    /// returns the non-NaN operand) or when the Δt candidate comes out
+    /// non-finite or non-positive, instead of letting a poisoned Δt start
+    /// a NaN trajectory.
+    pub fn checked_next_dt(&self) -> Result<f64, StepError> {
+        let base = match self.config.cfl {
             Some(cfl) => {
-                let umax = self.state.velocity.max_magnitude().max(1e-9);
-                (cfl * self.h_char / umax).clamp(self.config.dt_min, self.config.dt_max)
+                let umax = if first_non_finite(self.state.velocity.as_slice()).is_some() {
+                    f64::NAN
+                } else {
+                    self.state.velocity.max_magnitude()
+                };
+                if !umax.is_finite() {
+                    return Err(StepError::InvalidDt { umax, dt: f64::NAN });
+                }
+                (cfl * self.h_char / umax.max(1e-9)).clamp(self.config.dt_min, self.config.dt_max)
             }
             None => self.config.dt,
+        };
+        // The backoff halving happens *after* the CFL clamp so a retry's
+        // smaller Δt is not clamped back up to dt_min..dt_max.
+        let dt = base * self.dt_backoff;
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(StepError::InvalidDt { umax: self.state.velocity.max_magnitude(), dt });
         }
+        Ok(dt)
     }
 
     /// Kinetic energy of the current state.
@@ -456,10 +610,11 @@ impl Stepper {
     /// failed sub-step (a failed run should be abandoned, not resumed).
     pub fn step_on(&mut self, team: &Team) -> Result<StepReport, StepError> {
         let mut timings = StepTimings::default();
-        let dt = self.next_dt();
+        let dt = self.checked_next_dt()?;
         self.assembly.set_dt(dt);
         let rho = self.scenario.density;
         let t_new = self.state.time + dt;
+        let step_index = self.state.step + 1;
         self.ensure_workspaces(team.num_threads());
 
         // --- 1. predictor: assemble + pressure force + Dirichlet ---------
@@ -483,6 +638,22 @@ impl Stepper {
         timings.assembly = t0.elapsed().as_secs_f64();
 
         // --- momentum solve → u* ------------------------------------------
+        if let Some(plan) = &mut self.fault_plan {
+            if plan.fire(FaultKind::PoisonRhs, step_index) {
+                // A deterministic (seed, step)-derived entry turns NaN: the
+                // solver's non-finite entry guards must catch it before a
+                // single Krylov iteration runs.
+                let at = plan.index(step_index, 0, self.rhs.len());
+                self.rhs[at] = f64::NAN;
+            }
+            if plan.fire(FaultKind::MomentumBreakdown, step_index) {
+                return Err(StepError::Momentum(SolverError::Breakdown {
+                    kind: BreakdownKind::Injected,
+                    iteration: 0,
+                    residual: f64::INFINITY,
+                }));
+            }
+        }
         let t0 = Instant::now();
         let solve = solve_momentum_on(
             team,
@@ -501,6 +672,7 @@ impl Stepper {
         // --- 2+3. projection sweeps: Poisson solve + correction -----------
         let mut poisson_iterations = 0;
         let mut poisson_residual = 0.0f64;
+        let mut poisson_fallbacks = 0usize;
         let mut divergence_pre = 0.0f64;
         let scale = -rho / dt;
         let correction = dt / rho;
@@ -518,22 +690,58 @@ impl Stepper {
             for &pin in &self.pins {
                 self.poisson_rhs[pin] = 0.0;
             }
-            let phi = match &mut self.multigrid {
-                Some(mg) => mg_preconditioned_cg_on(
+            let mut inject_mg = false;
+            if let Some(plan) = &mut self.fault_plan {
+                if plan.fire(FaultKind::PoissonBreakdown, step_index) {
+                    // Fails the whole step (past the CG fallback): the
+                    // Δt-backoff retry is the recovery under test.
+                    return Err(StepError::Poisson(SolverError::Breakdown {
+                        kind: BreakdownKind::Injected,
+                        iteration: 0,
+                        residual: f64::INFINITY,
+                    }));
+                }
+                inject_mg = plan.fire(FaultKind::MultigridBreakdown, step_index);
+            }
+            // The fallback chain: an MG-preconditioned breakdown (a rank-
+            // deficient coarse correction, an injected fault, ...) demotes
+            // this sweep to plain Jacobi-CG on the identical system instead
+            // of failing the step.  Only a plain-CG failure is terminal.
+            let mg_attempt = match &mut self.multigrid {
+                Some(_) if inject_mg => Some(Err(SolverError::Breakdown {
+                    kind: BreakdownKind::Injected,
+                    iteration: 0,
+                    residual: f64::INFINITY,
+                })),
+                Some(mg) => Some(mg_preconditioned_cg_on(
                     team,
                     &self.laplacian,
                     mg,
                     &self.poisson_rhs,
                     &self.config.poisson_options,
-                ),
+                )),
+                None => None,
+            };
+            let phi = match mg_attempt {
+                Some(Ok(phi)) => phi,
+                Some(Err(_)) => {
+                    poisson_fallbacks += 1;
+                    conjugate_gradient_on(
+                        team,
+                        &self.laplacian,
+                        &self.poisson_rhs,
+                        &self.config.poisson_options,
+                    )
+                    .map_err(StepError::Poisson)?
+                }
                 None => conjugate_gradient_on(
                     team,
                     &self.laplacian,
                     &self.poisson_rhs,
                     &self.config.poisson_options,
-                ),
-            }
-            .map_err(StepError::Poisson)?;
+                )
+                .map_err(StepError::Poisson)?,
+            };
             poisson_iterations += phi.iterations;
             poisson_residual = poisson_residual.max(phi.final_residual());
             timings.poisson += t0.elapsed().as_secs_f64();
@@ -553,6 +761,12 @@ impl Stepper {
             }
             timings.correction += t0.elapsed().as_secs_f64();
         }
+        // Divergence blow-up guard: a step whose corrected velocity carries
+        // a non-finite entry must fail structurally, never commit a NaN
+        // state for the next step to trip over.
+        if let Some(index) = first_non_finite(self.state.velocity.as_slice()) {
+            return Err(StepError::NonFiniteVelocity { index });
+        }
         self.operators.weak_divergence_on(team, &self.state.velocity, &mut self.div);
         let divergence_post = weak_divergence_vector_norm(&self.div);
 
@@ -569,6 +783,8 @@ impl Stepper {
             divergence_pre,
             divergence_post,
             kinetic_energy: self.kinetic_energy(),
+            retries: 0,
+            poisson_fallbacks,
             timings,
         })
     }
@@ -581,6 +797,67 @@ impl Stepper {
         let mut reports = Vec::with_capacity(steps);
         for _ in 0..steps {
             reports.push(self.step_on(team)?);
+        }
+        Ok(reports)
+    }
+
+    /// Advances the state by one step with automatic recovery: the state is
+    /// snapshotted first, and a failed attempt (solver breakdown, NaN
+    /// blow-up, rejected Δt) rolls back to the snapshot and retries with Δt
+    /// halved — `0.5^attempt`, up to [`StepperConfig::max_dt_retries`]
+    /// retries — before surfacing a [`RunError`].
+    ///
+    /// Every recovery decision is a pure function of the step state (no
+    /// clocks, no randomness), so recovered trajectories are **bitwise
+    /// identical across thread counts**, exactly like undisturbed ones.  A
+    /// successful step resets the backoff: the next step runs at the full
+    /// CFL Δt again.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] with the failing step, time, attempt count and
+    /// final [`StepError`] once the retry budget is exhausted.
+    pub fn step_recovering_on(&mut self, team: &Team) -> Result<StepReport, RunError> {
+        let snapshot = self.state.clone();
+        let mut attempt: usize = 0;
+        loop {
+            self.dt_backoff = 0.5f64.powi(attempt as i32);
+            match self.step_on(team) {
+                Ok(mut report) => {
+                    self.dt_backoff = 1.0;
+                    report.retries = attempt;
+                    return Ok(report);
+                }
+                Err(error) => {
+                    // Roll back whatever the failed attempt half-wrote.
+                    self.state = snapshot.clone();
+                    attempt += 1;
+                    if attempt > self.config.max_dt_retries {
+                        self.dt_backoff = 1.0;
+                        return Err(RunError {
+                            step: snapshot.step + 1,
+                            time: snapshot.time,
+                            attempts: attempt,
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `steps` recovering fractional steps
+    /// (see [`Stepper::step_recovering_on`]).
+    ///
+    /// # Errors
+    /// Stops at the first step whose retry budget is exhausted.
+    pub fn run_recovering_on(
+        &mut self,
+        team: &Team,
+        steps: usize,
+    ) -> Result<Vec<StepReport>, RunError> {
+        let mut reports = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            reports.push(self.step_recovering_on(team)?);
         }
         Ok(reports)
     }
@@ -616,6 +893,115 @@ mod tests {
         // Pressure is no longer the zero spectator field.
         assert!(stepper.state().pressure.max_abs() > 0.0);
         assert!(stepper.analytic_velocity_error().is_none());
+    }
+
+    #[test]
+    fn cfl_guard_rejects_nan_velocity() {
+        // f64::max masks NaN, so without the explicit scan this would
+        // silently produce the dt_max clamp instead of failing.
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let mut stepper = Stepper::new(scenario, quick_config().with_cfl(0.5));
+        stepper.state.velocity.as_mut_slice()[17] = f64::NAN;
+        match stepper.checked_next_dt() {
+            Err(StepError::InvalidDt { umax, .. }) => assert!(umax.is_nan()),
+            other => panic!("expected InvalidDt, got {other:?}"),
+        }
+        assert!(stepper.next_dt().is_nan(), "the infallible preview reports NaN");
+        let team = Team::new(1);
+        let err = stepper.step_on(&team).expect_err("step must reject the poisoned state");
+        assert_eq!(err.phase(), "cfl");
+    }
+
+    #[test]
+    fn cfl_guard_rejects_infinite_velocity() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let mut stepper = Stepper::new(scenario, quick_config().with_cfl(0.5));
+        stepper.state.velocity.as_mut_slice()[3] = f64::INFINITY;
+        match stepper.checked_next_dt() {
+            Err(StepError::InvalidDt { umax, .. }) => assert!(umax.is_nan() || umax.is_infinite()),
+            other => panic!("expected InvalidDt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cfl_guard_rejects_non_positive_fixed_dt() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        for bad_dt in [0.0, -0.01, f64::NAN, f64::INFINITY] {
+            let mut config = quick_config();
+            config.cfl = None;
+            config.dt = bad_dt;
+            let stepper = Stepper::new(scenario.clone(), config);
+            match stepper.checked_next_dt() {
+                Err(StepError::InvalidDt { dt, .. }) => {
+                    assert!(!dt.is_finite() || dt <= 0.0, "rejected dt {dt}")
+                }
+                other => panic!("dt = {bad_dt}: expected InvalidDt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_breakdown_recovers_with_halved_dt() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let mut plain = Stepper::new(scenario.clone(), quick_config());
+        let undisturbed = plain.step_on(&team).expect("healthy step");
+
+        let plan = FaultPlan::new(7).with_fault(FaultKind::MomentumBreakdown, 1);
+        let mut faulty = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        let report = faulty.step_recovering_on(&team).expect("recovery");
+        assert_eq!(report.step, 1);
+        assert_eq!(report.retries, 1, "one rollback before the fault was spent");
+        assert_eq!(
+            report.dt.to_bits(),
+            (undisturbed.dt * 0.5).to_bits(),
+            "the retry runs at exactly half the CFL Δt"
+        );
+        // The backoff resets: the next step is back at the full CFL Δt.
+        let next = faulty.step_recovering_on(&team).expect("next step");
+        assert_eq!(next.retries, 0);
+        assert!(next.dt > report.dt);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_a_structured_run_error() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        // More scheduled breakdowns than the budget allows attempts.
+        let mut plan = FaultPlan::new(7);
+        for _ in 0..3 {
+            plan = plan.with_fault(FaultKind::MomentumBreakdown, 1);
+        }
+        let config = quick_config().with_fault_plan(plan).with_max_dt_retries(2);
+        let mut stepper = Stepper::new(scenario, config);
+        let err = stepper.run_recovering_on(&team, 2).expect_err("budget exhausted");
+        assert_eq!(err.step, 1);
+        assert_eq!(err.attempts, 3, "1 attempt + 2 retries");
+        assert_eq!(err.error.phase(), "momentum");
+        assert_eq!(err.time, 0.0);
+        let text = err.to_string();
+        assert!(text.contains("step 1"), "{text}");
+        assert!(text.contains("momentum"), "{text}");
+        assert!(text.contains("injected"), "{text}");
+        // The rollback left the state untouched.
+        assert_eq!(stepper.state().step, 0);
+        assert_eq!(stepper.state().time, 0.0);
+    }
+
+    #[test]
+    fn mg_breakdown_falls_back_to_plain_cg_within_the_step() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let plan = FaultPlan::new(7).with_fault(FaultKind::MultigridBreakdown, 1);
+        let mut stepper = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        assert_eq!(stepper.pressure_solver(), PressureSolver::MgCg);
+        let report = stepper.step_recovering_on(&team).expect("fallback absorbs the fault");
+        assert_eq!(report.retries, 0, "the CG fallback succeeds inside the same attempt");
+        assert_eq!(report.poisson_fallbacks, 1);
+        assert!(report.poisson_residual < 1e-8, "the fallback solve still converges");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 
 use crate::csr::CsrMatrix;
 use crate::krylov::{
-    jacobi_inverse_diagonal, zero_rhs_outcome, SolveOptions, SolveOutcome, SolverError,
+    jacobi_inverse_diagonal, zero_rhs_outcome, BreakdownKind, SolveOptions, SolveOutcome,
+    SolverError,
 };
 use crate::multivector::MultiVector;
 use crate::parallel::VectorOps;
@@ -57,6 +58,28 @@ impl ComponentTracker {
     fn fail(&mut self, c: usize, error: SolverError) {
         self.results[c] = Some(Err(error));
         self.active[c] = false;
+    }
+
+    /// Fails component `c` with a [`SolverError::Breakdown`] whose residual
+    /// snapshot is the component's last recorded relative residual — the
+    /// same diagnostics the single-RHS solvers attach.
+    fn fail_breakdown(&mut self, c: usize, kind: BreakdownKind, iteration: usize) {
+        let error = SolverError::breakdown(kind, iteration, &self.histories[c]);
+        self.fail(c, error);
+    }
+
+    /// Per-component entry guard: a zero RHS converges immediately, a
+    /// non-finite RHS is rejected with a structured error before any
+    /// iteration can smear the NaN across the iterate.
+    fn screen_rhs(&mut self, n: usize, b_norm: &[f64; 3]) {
+        for (c, &bn) in b_norm.iter().enumerate() {
+            if bn == 0.0 {
+                self.results[c] = Some(Ok(zero_rhs_outcome(n)));
+                self.active[c] = false;
+            } else if !bn.is_finite() {
+                self.fail(c, SolverError::NonFinite { iteration: 0, residual: bn });
+            }
+        }
     }
 
     fn converge(&mut self, c: usize, x: &MultiVector, iterations: usize) {
@@ -126,12 +149,7 @@ fn conjugate_gradient3_with(
     }
     let mut tracker = ComponentTracker::new();
     let b_norm = ops.norm3(b, [true; 3]);
-    for (c, &bn) in b_norm.iter().enumerate() {
-        if bn == 0.0 {
-            tracker.results[c] = Some(Ok(zero_rhs_outcome(n)));
-            tracker.active[c] = false;
-        }
-    }
+    tracker.screen_rhs(n, &b_norm);
     let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
     let mut x = MultiVector::zeros(n);
@@ -159,8 +177,10 @@ fn conjugate_gradient3_with(
             if !tracker.active[c] {
                 continue;
             }
-            if pap[c].abs() < 1e-300 {
-                tracker.fail(c, SolverError::Breakdown);
+            if !pap[c].is_finite() {
+                tracker.fail(c, SolverError::non_finite_scalar(iter));
+            } else if pap[c].abs() < 1e-300 {
+                tracker.fail_breakdown(c, BreakdownKind::ZeroCurvature, iter);
             } else {
                 alpha[c] = rz[c] / pap[c];
             }
@@ -173,6 +193,10 @@ fn conjugate_gradient3_with(
                 continue;
             }
             let rel_c = rel[c] / b_norm[c];
+            if !rel_c.is_finite() {
+                tracker.fail(c, SolverError::NonFinite { iteration: iter, residual: rel_c });
+                continue;
+            }
             tracker.histories[c].push(rel_c);
             if rel_c < options.tolerance {
                 tracker.converge(c, &x, iter + 1);
@@ -234,12 +258,7 @@ fn bicgstab3_with(
     }
     let mut tracker = ComponentTracker::new();
     let b_norm = ops.norm3(b, [true; 3]);
-    for (c, &bn) in b_norm.iter().enumerate() {
-        if bn == 0.0 {
-            tracker.results[c] = Some(Ok(zero_rhs_outcome(n)));
-            tracker.active[c] = false;
-        }
-    }
+    tracker.screen_rhs(n, &b_norm);
     let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
     let mut x = MultiVector::zeros(n);
@@ -271,8 +290,10 @@ fn bicgstab3_with(
             if !tracker.active[c] {
                 continue;
             }
-            if rho_new[c].abs() < 1e-300 {
-                tracker.fail(c, SolverError::Breakdown);
+            if !rho_new[c].is_finite() {
+                tracker.fail(c, SolverError::non_finite_scalar(iter));
+            } else if rho_new[c].abs() < 1e-300 {
+                tracker.fail_breakdown(c, BreakdownKind::RhoVanished, iter);
             } else {
                 beta[c] = (rho_new[c] / rho[c]) * (alpha[c] / omega[c]);
                 rho[c] = rho_new[c];
@@ -286,8 +307,10 @@ fn bicgstab3_with(
             if !tracker.active[c] {
                 continue;
             }
-            if r0v[c].abs() < 1e-300 {
-                tracker.fail(c, SolverError::Breakdown);
+            if !r0v[c].is_finite() {
+                tracker.fail(c, SolverError::non_finite_scalar(iter));
+            } else if r0v[c].abs() < 1e-300 {
+                tracker.fail_breakdown(c, BreakdownKind::ShadowDegenerate, iter);
             } else {
                 alpha[c] = rho[c] / r0v[c];
             }
@@ -299,6 +322,10 @@ fn bicgstab3_with(
                 continue;
             }
             let s_rel = s_norm[c] / b_norm[c];
+            if !s_rel.is_finite() {
+                tracker.fail(c, SolverError::NonFinite { iteration: iter, residual: s_rel });
+                continue;
+            }
             if s_rel < options.tolerance {
                 // Early half-step convergence: apply the half update to this
                 // component only (the single solver's `x += alpha * phat`).
@@ -316,8 +343,13 @@ fn bicgstab3_with(
         ops.spmm3(matrix, &shat, &mut t, tracker.active);
         let tt = ops.dot3(&t, &t, tracker.active);
         for (c, ttc) in tt.iter().enumerate() {
-            if tracker.active[c] && ttc.abs() < 1e-300 {
-                tracker.fail(c, SolverError::Breakdown);
+            if !tracker.active[c] {
+                continue;
+            }
+            if !ttc.is_finite() {
+                tracker.fail(c, SolverError::non_finite_scalar(iter));
+            } else if ttc.abs() < 1e-300 {
+                tracker.fail_breakdown(c, BreakdownKind::StagnantStabilizer, iter);
             }
         }
         let ts = ops.dot3(&t, &s, tracker.active);
@@ -334,11 +366,15 @@ fn bicgstab3_with(
                 continue;
             }
             let rel_c = rel[c] / b_norm[c];
+            if !rel_c.is_finite() {
+                tracker.fail(c, SolverError::NonFinite { iteration: iter, residual: rel_c });
+                continue;
+            }
             tracker.histories[c].push(rel_c);
             if rel_c < options.tolerance {
                 tracker.converge(c, &x, iter + 1);
             } else if omega[c].abs() < 1e-300 {
-                tracker.fail(c, SolverError::Breakdown);
+                tracker.fail_breakdown(c, BreakdownKind::OmegaVanished, iter);
             }
         }
     }
@@ -507,6 +543,44 @@ mod tests {
         }
         for result in bicgstab3(&m, &b, &SolveOptions::default()) {
             assert_eq!(result.unwrap_err(), SolverError::DimensionMismatch);
+        }
+    }
+
+    /// A NaN-poisoned component is rejected with a structured `NonFinite`
+    /// error while the healthy components still solve — and their outcomes
+    /// stay bitwise identical to their single-RHS solves (the mask freezes
+    /// failures, it never perturbs survivors).
+    #[test]
+    fn poisoned_component_fails_structured_and_survivors_match_singles() {
+        let n = 300;
+        let spd_m = spd(n);
+        let conv_m = convection(n);
+        let clean = rhs3(n);
+        let mut poisoned0 = clean.component(0).to_vec();
+        poisoned0[17] = f64::NAN;
+        let b = MultiVector::from_columns([&poisoned0, clean.component(1), clean.component(2)]);
+        let options = SolveOptions::default();
+
+        for (name, batched) in [
+            ("cg3", conjugate_gradient3(&spd_m, &b, &options)),
+            ("bicgstab3", bicgstab3(&conv_m, &b, &options)),
+        ] {
+            match &batched[0] {
+                Err(SolverError::NonFinite { iteration: 0, .. }) => {}
+                other => panic!("{name}: expected NonFinite at iteration 0, got {other:?}"),
+            }
+            for (c, outcome) in batched.iter().enumerate().skip(1) {
+                let single = if name == "cg3" {
+                    conjugate_gradient(&spd_m, clean.component(c), &options).unwrap()
+                } else {
+                    bicgstab(&conv_m, clean.component(c), &options).unwrap()
+                };
+                assert_same_outcome(
+                    &single,
+                    outcome.as_ref().unwrap(),
+                    &format!("{name} survivor c={c}"),
+                );
+            }
         }
     }
 

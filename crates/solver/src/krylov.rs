@@ -59,7 +59,46 @@ impl SolveOptions {
     }
 }
 
-/// Why a solve failed.
+/// Which Krylov recurrence denominator degenerated in a
+/// [`SolverError::Breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakdownKind {
+    /// CG: the curvature `pᵀAp` vanished — the operator is not SPD for the
+    /// current direction, or the direction itself collapsed.
+    ZeroCurvature,
+    /// BiCGSTAB: `ρ = (r₀, r)` vanished — the residual became orthogonal to
+    /// the shadow residual.
+    RhoVanished,
+    /// BiCGSTAB: `(r₀, A·p̂)` vanished, so no step length α exists.
+    ShadowDegenerate,
+    /// BiCGSTAB: `tᵀt` vanished in the stabilization step.
+    StagnantStabilizer,
+    /// BiCGSTAB: the stabilization weight ω vanished, so the next iteration
+    /// would divide by it.
+    OmegaVanished,
+    /// Forced by a deterministic fault-injection plan, not by arithmetic
+    /// (the recovery-path test harness).
+    Injected,
+}
+
+impl BreakdownKind {
+    /// Human-readable description of the degenerate recurrence.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            BreakdownKind::ZeroCurvature => "curvature p'Ap vanished (operator not SPD?)",
+            BreakdownKind::RhoVanished => "rho = (r0, r) vanished",
+            BreakdownKind::ShadowDegenerate => "(r0, A*p) vanished, no step length exists",
+            BreakdownKind::StagnantStabilizer => "t't vanished in the stabilization step",
+            BreakdownKind::OmegaVanished => "stabilization weight omega vanished",
+            BreakdownKind::Injected => "injected by the fault plan",
+        }
+    }
+}
+
+/// Why a solve failed.  Every failing variant carries enough diagnostics to
+/// report *where* the iteration died (the failing iteration and the last
+/// relative residual), so drivers can log a structured post-mortem instead
+/// of a bare "breakdown".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SolverError {
     /// The iteration limit was reached before convergence; carries the last
@@ -69,10 +108,93 @@ pub enum SolverError {
         final_residual: f64,
     },
     /// A breakdown occurred (zero denominator in the recurrences).
-    Breakdown,
+    Breakdown {
+        /// Which recurrence denominator degenerated.
+        kind: BreakdownKind,
+        /// Iteration at which it degenerated (0-based; the iteration that
+        /// was being computed, not the last completed one).
+        iteration: usize,
+        /// Last relative residual recorded before the breakdown
+        /// (`INFINITY` when none was recorded yet).
+        residual: f64,
+    },
+    /// A non-finite value (NaN/Inf) appeared in the right-hand side, the
+    /// residual or an iterate.  The guards fire *before* the poisoned value
+    /// can propagate, so a failed solve never silently returns a NaN
+    /// trajectory.
+    NonFinite {
+        /// Iteration at which the non-finite value was detected (0 can also
+        /// mean the inputs themselves were poisoned).
+        iteration: usize,
+        /// The offending relative residual (NaN/Inf by construction).
+        residual: f64,
+    },
     /// Input sizes are inconsistent.
     DimensionMismatch,
 }
+
+impl SolverError {
+    /// A [`SolverError::Breakdown`] whose residual snapshot is the last
+    /// entry of `history` (`INFINITY` when nothing was recorded yet).
+    pub fn breakdown(kind: BreakdownKind, iteration: usize, history: &[f64]) -> Self {
+        SolverError::Breakdown {
+            kind,
+            iteration,
+            residual: history.last().copied().unwrap_or(f64::INFINITY),
+        }
+    }
+
+    /// A [`SolverError::NonFinite`] raised because a recurrence scalar (a
+    /// dot product like `pᵀAp` or `ρ`) went NaN/Inf — the iterate is already
+    /// poisoned even if the residual history has not caught up, so the
+    /// carried residual is NaN.
+    pub fn non_finite_scalar(iteration: usize) -> Self {
+        SolverError::NonFinite { iteration, residual: f64::NAN }
+    }
+
+    /// The relative residual the failure carries, when it has one.
+    pub fn residual(&self) -> Option<f64> {
+        match self {
+            SolverError::NotConverged { final_residual } => Some(*final_residual),
+            SolverError::Breakdown { residual, .. } => Some(*residual),
+            SolverError::NonFinite { residual, .. } => Some(*residual),
+            SolverError::DimensionMismatch => None,
+        }
+    }
+
+    /// Whether this is a recurrence breakdown.
+    pub fn is_breakdown(&self) -> bool {
+        matches!(self, SolverError::Breakdown { .. })
+    }
+
+    /// Whether this failure was a NaN/Inf guard firing.
+    pub fn is_non_finite(&self) -> bool {
+        matches!(self, SolverError::NonFinite { .. })
+    }
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NotConverged { final_residual } => {
+                write!(f, "not converged (final relative residual {final_residual:.3e})")
+            }
+            SolverError::Breakdown { kind, iteration, residual } => write!(
+                f,
+                "breakdown at iteration {iteration}: {} (last residual {residual:.3e})",
+                kind.describe()
+            ),
+            SolverError::NonFinite { iteration, residual } => write!(
+                f,
+                "non-finite value at iteration {iteration} (residual {residual}); \
+                 rejecting instead of iterating on NaN"
+            ),
+            SolverError::DimensionMismatch => write!(f, "input sizes are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
 
 /// Result of a successful iterative solve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -186,6 +308,11 @@ pub(crate) fn conjugate_gradient_with(
     if b_norm == 0.0 {
         return Ok(zero_rhs_outcome(n));
     }
+    if !b_norm.is_finite() {
+        // A NaN/Inf right-hand side would turn every later residual into
+        // NaN; reject it at the door with a structured error.
+        return Err(SolverError::NonFinite { iteration: 0, residual: b_norm });
+    }
 
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
@@ -199,13 +326,19 @@ pub(crate) fn conjugate_gradient_with(
     for iter in 0..options.max_iterations {
         ops.apply(operator, &p, &mut ap);
         let pap = ops.dot(&p, &ap);
+        if !pap.is_finite() {
+            return Err(SolverError::non_finite_scalar(iter));
+        }
         if pap.abs() < 1e-300 {
-            return Err(SolverError::Breakdown);
+            return Err(SolverError::breakdown(BreakdownKind::ZeroCurvature, iter, &history));
         }
         let alpha = rz / pap;
         ops.axpy(alpha, &p, &mut x);
         ops.axpy(-alpha, &ap, &mut r);
         let rel = ops.norm(&r) / b_norm;
+        if !rel.is_finite() {
+            return Err(SolverError::NonFinite { iteration: iter, residual: rel });
+        }
         history.push(rel);
         if rel < options.tolerance {
             return Ok(SolveOutcome {
@@ -263,6 +396,9 @@ fn bicgstab_with(
     if b_norm == 0.0 {
         return Ok(zero_rhs_outcome(n));
     }
+    if !b_norm.is_finite() {
+        return Err(SolverError::NonFinite { iteration: 0, residual: b_norm });
+    }
     let inv_diag = jacobi_inverse_diagonal(matrix, options.jacobi_preconditioner);
 
     let mut x = vec![0.0; n];
@@ -281,8 +417,11 @@ fn bicgstab_with(
 
     for iter in 0..options.max_iterations {
         let rho_new = ops.dot(&r0, &r);
+        if !rho_new.is_finite() {
+            return Err(SolverError::non_finite_scalar(iter));
+        }
         if rho_new.abs() < 1e-300 {
-            return Err(SolverError::Breakdown);
+            return Err(SolverError::breakdown(BreakdownKind::RhoVanished, iter, &history));
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
@@ -290,12 +429,18 @@ fn bicgstab_with(
         ops.hadamard(&p, &inv_diag, &mut phat);
         ops.spmv(matrix, &phat, &mut v);
         let r0v = ops.dot(&r0, &v);
+        if !r0v.is_finite() {
+            return Err(SolverError::non_finite_scalar(iter));
+        }
         if r0v.abs() < 1e-300 {
-            return Err(SolverError::Breakdown);
+            return Err(SolverError::breakdown(BreakdownKind::ShadowDegenerate, iter, &history));
         }
         alpha = rho / r0v;
         ops.scaled_diff(&r, alpha, &v, &mut s);
         let s_rel = ops.norm(&s) / b_norm;
+        if !s_rel.is_finite() {
+            return Err(SolverError::NonFinite { iteration: iter, residual: s_rel });
+        }
         if s_rel < options.tolerance {
             ops.axpy(alpha, &phat, &mut x);
             history.push(s_rel);
@@ -308,13 +453,19 @@ fn bicgstab_with(
         ops.hadamard(&s, &inv_diag, &mut shat);
         ops.spmv(matrix, &shat, &mut t);
         let tt = ops.dot(&t, &t);
+        if !tt.is_finite() {
+            return Err(SolverError::non_finite_scalar(iter));
+        }
         if tt.abs() < 1e-300 {
-            return Err(SolverError::Breakdown);
+            return Err(SolverError::breakdown(BreakdownKind::StagnantStabilizer, iter, &history));
         }
         omega = ops.dot(&t, &s) / tt;
         ops.axpy2(alpha, &phat, omega, &shat, &mut x);
         ops.scaled_diff(&s, omega, &t, &mut r);
         let rel = ops.norm(&r) / b_norm;
+        if !rel.is_finite() {
+            return Err(SolverError::NonFinite { iteration: iter, residual: rel });
+        }
         history.push(rel);
         if rel < options.tolerance {
             return Ok(SolveOutcome {
@@ -324,7 +475,7 @@ fn bicgstab_with(
             });
         }
         if omega.abs() < 1e-300 {
-            return Err(SolverError::Breakdown);
+            return Err(SolverError::breakdown(BreakdownKind::OmegaVanished, iter, &history));
         }
     }
     Err(SolverError::NotConverged { final_residual: *history.last().unwrap() })
@@ -494,6 +645,58 @@ mod tests {
         let out = conjugate_gradient(&a, &b, &SolveOptions::default()).unwrap();
         let last = out.final_residual();
         assert!(out.residual_history.iter().all(|&r| r >= last - 1e-15));
+    }
+
+    /// A NaN-poisoned right-hand side must be rejected with a structured
+    /// `NonFinite` error at iteration 0 — never iterated on.
+    #[test]
+    fn nan_rhs_is_rejected_not_iterated() {
+        let a = laplacian(20);
+        let mut b = rhs(20);
+        b[7] = f64::NAN;
+        for threads in [1usize, 2] {
+            let opts = SolveOptions::default().with_threads(threads);
+            match conjugate_gradient(&a, &b, &opts) {
+                Err(SolverError::NonFinite { iteration: 0, residual }) => {
+                    assert!(residual.is_nan(), "threads={threads}");
+                }
+                other => panic!("expected NonFinite at iteration 0, got {other:?}"),
+            }
+            match bicgstab(&a, &b, &opts) {
+                Err(SolverError::NonFinite { iteration: 0, .. }) => {}
+                other => panic!("expected NonFinite at iteration 0, got {other:?}"),
+            }
+        }
+        // An Inf entry trips the same guard.
+        let mut b = rhs(20);
+        b[0] = f64::INFINITY;
+        assert!(matches!(
+            conjugate_gradient(&a, &b, &SolveOptions::default()),
+            Err(SolverError::NonFinite { iteration: 0, .. })
+        ));
+    }
+
+    /// Breakdown errors carry the failing iteration and a residual snapshot.
+    #[test]
+    fn breakdown_reports_kind_iteration_and_residual() {
+        let err = SolverError::breakdown(BreakdownKind::RhoVanished, 5, &[1.0, 0.25]);
+        assert_eq!(
+            err,
+            SolverError::Breakdown {
+                kind: BreakdownKind::RhoVanished,
+                iteration: 5,
+                residual: 0.25
+            }
+        );
+        assert!(err.is_breakdown());
+        assert_eq!(err.residual(), Some(0.25));
+        let msg = err.to_string();
+        assert!(msg.contains("iteration 5"), "{msg}");
+        assert!(msg.contains("rho"), "{msg}");
+        // No history yet: the snapshot degrades to INFINITY, not a panic.
+        let early = SolverError::breakdown(BreakdownKind::ZeroCurvature, 0, &[]);
+        assert_eq!(early.residual(), Some(f64::INFINITY));
+        assert!(SolverError::non_finite_scalar(3).is_non_finite());
     }
 
     /// The headline guarantee: solutions, iteration counts and residual

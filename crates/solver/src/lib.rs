@@ -48,7 +48,7 @@ pub use csr::{CsrMatrix, ProfileStats};
 pub use dense::DenseMatrix;
 pub use krylov::{
     bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, conjugate_gradient_operator,
-    conjugate_gradient_operator_on, SolveOptions, SolveOutcome, SolverError,
+    conjugate_gradient_operator_on, BreakdownKind, SolveOptions, SolveOutcome, SolverError,
 };
 pub use multigrid::{
     mg_preconditioned_cg, mg_preconditioned_cg_on, GeometricMultigrid, Interpolation,
@@ -56,4 +56,4 @@ pub use multigrid::{
 };
 pub use multivector::{MultiVector, NRHS};
 pub use operator::{JacobiPreconditioner, LinearOperator, Preconditioner};
-pub use parallel::VectorOps;
+pub use parallel::{first_non_finite, VectorOps};

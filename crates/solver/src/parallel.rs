@@ -34,6 +34,18 @@ use lv_runtime::{blocked_reduce, blocked_reduce3, partition, SharedSliceMut, Tea
 /// results do not depend on who computes them), only scheduling is.
 pub const SERIAL_CUTOFF: usize = 1024;
 
+/// Index of the first non-finite (NaN/±Inf) entry of `values`, scanning in
+/// order; `None` when every entry is finite.
+///
+/// This is the guard the blocked reductions lean on: `dot`/`norm` results
+/// involving a NaN are themselves NaN, so callers (the Krylov loops, the
+/// driver's CFL controller) check the *reduced* value and use this scan only
+/// to report **where** the poison sits — an O(n) diagnostic on the failure
+/// path, free on the hot path.
+pub fn first_non_finite(values: &[f64]) -> Option<usize> {
+    values.iter().position(|v| !v.is_finite())
+}
+
 /// The vector/matrix kernels of a solve, bound to an optional worker team.
 ///
 /// Holds the reduction scratch so per-iteration dot products do not
@@ -591,6 +603,27 @@ mod tests {
         let team = Team::new(1);
         let ops = VectorOps::on_team(&team);
         assert_eq!(ops.threads(), 1);
+    }
+
+    /// The non-finite scan pinpoints NaN and ±Inf alike, and the blocked
+    /// reductions propagate (rather than mask) a poisoned entry — which is
+    /// what lets the Krylov guards detect it from the reduced value alone.
+    #[test]
+    fn non_finite_entries_are_located_and_poison_reductions() {
+        assert_eq!(first_non_finite(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(first_non_finite(&[1.0, f64::NAN, f64::INFINITY]), Some(1));
+        assert_eq!(first_non_finite(&[f64::NEG_INFINITY]), Some(0));
+        assert_eq!(first_non_finite(&[]), None);
+
+        let n = 2 * SERIAL_CUTOFF;
+        let mut a = vec_a(n);
+        a[n / 2] = f64::NAN;
+        for threads in [1usize, 2] {
+            let team = Team::new(threads);
+            let mut ops = VectorOps::on_team(&team);
+            assert!(ops.norm(&a).is_nan(), "threads={threads}");
+            assert!(ops.dot(&a, &a).is_nan(), "threads={threads}");
+        }
     }
 
     fn multi(n: usize) -> MultiVector {

@@ -96,7 +96,16 @@ fn main() {
     let team = Team::new(threads);
     let mut stepper = Stepper::with_mesh(scenario, config, mesh);
     for _ in 0..steps {
-        let report = stepper.step_on(&team).expect("fractional step must converge");
+        // Recovering steps: a transient solver failure rolls back and
+        // retries with Δt halved; only an exhausted budget ends the run,
+        // non-zero and with the phase/step/residual diagnostic, not a panic.
+        let report = match stepper.step_recovering_on(&team) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "{:>5} {:>9.5} {:>8} {:>8} {:>12.3e} {:>12.3e} {:>16.6} {:>12.4}",
             report.step,

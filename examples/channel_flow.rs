@@ -48,7 +48,16 @@ fn main() {
         "step", "dt", "mom-it", "poi-it", "div(pre)", "div(post)", "kinetic energy"
     );
     for _ in 0..steps {
-        let report = stepper.step_on(&team).expect("fractional step must converge");
+        // Recovering steps: transient failures roll back and retry with Δt
+        // halved; an exhausted budget exits non-zero with the structured
+        // phase/step/residual diagnostic instead of panicking.
+        let report = match stepper.step_recovering_on(&team) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "{:>5} {:>9.5} {:>8} {:>8} {:>12.3e} {:>12.3e} {:>16.6}",
             report.step,

@@ -10,10 +10,20 @@
 //! Scenarios: `cavity`, `channel`, `taylor-green`, `shear-layer` (see
 //! `list`).  Flags:
 //!
-//! * `--checkpoint <path>` — write a binary checkpoint after the last step;
+//! * `--checkpoint <path>` — write a checkpoint ring generation after the
+//!   last step (slots `<path>.0` … `<path>.K-1`, newest first);
 //! * `--every <k>` — additionally checkpoint every `k` steps;
-//! * `--restart <path>` — resume from a checkpoint (bitwise identical to the
-//!   uninterrupted run — the driver's determinism contract);
+//! * `--ring <K>` — checkpoint ring depth (default 3; `0` writes a single
+//!   plain `<path>` file, the pre-ring behavior);
+//! * `--restart <path>` — resume from a checkpoint: a plain file if `<path>`
+//!   exists, otherwise the newest loadable ring generation (corrupt newer
+//!   generations are skipped and reported) — bitwise identical to the
+//!   uninterrupted run either way, the driver's determinism contract;
+//! * `--inject <spec>` — deterministic fault injection, e.g.
+//!   `momentum-breakdown@3,poison-rhs@5,ckpt-flip@6,seed=42` (kinds:
+//!   `momentum-breakdown`, `poisson-breakdown`, `mg-breakdown`,
+//!   `poison-rhs`, `ckpt-flip`, `ckpt-truncate`);
+//! * `--max-retries <r>` — Δt-backoff retry budget per step (default 3);
 //! * `--fixed-dt <dt>` — fixed time step instead of the CFL controller;
 //! * `--seq` — sequential momentum solves instead of the batched SpMM path;
 //! * `--pressure-solver <cg|mgcg>` — pressure-Poisson setup: plain
@@ -23,10 +33,15 @@
 //! `taylor-green` with `n = 0` (the default) runs the 8³ → 12³ → 16³
 //! resolution sweep and reports the analytic L2 velocity error at a common
 //! final time — the error must decrease monotonically with resolution.
+//!
+//! Any failure (unreadable checkpoint, exhausted retry budget, solver
+//! breakdown past recovery) exits non-zero with a diagnostic naming the
+//! phase, step and residual — never a panic.
 
 use alya_longvec::prelude::*;
 use lv_driver::{
-    load_checkpoint, save_checkpoint, PressureSolver, Scenario, Stepper, StepperConfig,
+    load_checkpoint, save_checkpoint, Checkpoint, CheckpointRing, FaultKind, FaultPlan,
+    PressureSolver, Scenario, SimState, Stepper, StepperConfig,
 };
 use lv_kernel::MomentumPath;
 
@@ -37,10 +52,13 @@ struct Cli {
     threads: usize,
     checkpoint: Option<String>,
     every: usize,
+    ring: usize,
     restart: Option<String>,
     fixed_dt: Option<f64>,
     path: MomentumPath,
     pressure_solver: PressureSolver,
+    inject: Option<FaultPlan>,
+    max_retries: usize,
 }
 
 fn parse_cli() -> Cli {
@@ -52,10 +70,13 @@ fn parse_cli() -> Cli {
         threads: 1,
         checkpoint: None,
         every: 0,
+        ring: 3,
         restart: None,
         fixed_dt: None,
         path: MomentumPath::Batched,
         pressure_solver: PressureSolver::MgCg,
+        inject: None,
+        max_retries: 3,
     };
     let mut positional = 0;
     let mut i = 1;
@@ -69,8 +90,24 @@ fn parse_cli() -> Cli {
                 cli.every = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
                 i += 2;
             }
+            "--ring" => {
+                cli.ring = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
+                i += 2;
+            }
             "--restart" => {
                 cli.restart = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--inject" => {
+                let spec = args.get(i + 1).cloned().unwrap_or_default();
+                cli.inject = Some(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--inject: {e}");
+                    std::process::exit(2);
+                }));
+                i += 2;
+            }
+            "--max-retries" => {
+                cli.max_retries = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(3);
                 i += 2;
             }
             "--fixed-dt" => {
@@ -114,23 +151,97 @@ fn print_registry() {
         println!("  {:<14} {}", scenario.kind.name(), scenario.kind.describe());
     }
     println!("\nusage: simulate <scenario> [n] [steps] [threads] [--checkpoint p] [--every k]");
-    println!("       [--restart p] [--fixed-dt dt] [--seq] [--pressure-solver cg|mgcg]");
+    println!("       [--ring K] [--restart p] [--fixed-dt dt] [--seq]");
+    println!("       [--pressure-solver cg|mgcg] [--inject spec] [--max-retries r]");
 }
 
 fn stepper_config(cli: &Cli) -> StepperConfig {
     let mut config = StepperConfig::default()
         .with_momentum_path(cli.path)
-        .with_pressure_solver(cli.pressure_solver);
+        .with_pressure_solver(cli.pressure_solver)
+        .with_max_dt_retries(cli.max_retries);
     if let Some(dt) = cli.fixed_dt {
         config = config.with_fixed_dt(dt);
     }
+    if let Some(plan) = &cli.inject {
+        config = config.with_fault_plan(plan.clone());
+    }
     config
+}
+
+/// Writes a checkpoint generation (ring-rotated, or a plain file with
+/// `--ring 0`) and applies any scheduled checkpoint corruption fault to the
+/// freshly written newest slot.
+fn write_checkpoint(
+    cli_path: &str,
+    ring_depth: usize,
+    scenario: &Scenario,
+    state: &SimState,
+    plan: &mut Option<FaultPlan>,
+) -> Result<std::path::PathBuf, String> {
+    let newest = if ring_depth == 0 {
+        save_checkpoint(cli_path, scenario, state)
+            .map_err(|e| format!("checkpoint write to {cli_path} failed: {e}"))?;
+        std::path::PathBuf::from(cli_path)
+    } else {
+        CheckpointRing::new(cli_path, ring_depth)
+            .save(scenario, state)
+            .map_err(|e| format!("checkpoint ring save at {cli_path} failed: {e}"))?
+    };
+    if let Some(plan) = plan {
+        if let Some(kind) = plan.fire_checkpoint(state.step) {
+            let bytes = std::fs::read(&newest)
+                .map_err(|e| format!("injecting {} fault: {e}", kind.name()))?;
+            let corrupted = match kind {
+                FaultKind::CheckpointFlip => {
+                    let mut bytes = bytes;
+                    let at = plan.index(state.step, 1, bytes.len());
+                    bytes[at] ^= 0x01;
+                    println!("      [inject] flipped bit 0 of byte {at} in {}", newest.display());
+                    bytes
+                }
+                FaultKind::CheckpointTruncate => {
+                    println!(
+                        "      [inject] truncated {} to {} bytes",
+                        newest.display(),
+                        bytes.len() / 2
+                    );
+                    bytes[..bytes.len() / 2].to_vec()
+                }
+                _ => unreachable!("fire_checkpoint only yields checkpoint faults"),
+            };
+            std::fs::write(&newest, corrupted)
+                .map_err(|e| format!("injecting {} fault: {e}", kind.name()))?;
+        }
+    }
+    Ok(newest)
+}
+
+/// Loads a restart checkpoint: the plain `<path>` file when it exists,
+/// otherwise the newest loadable generation of the `<path>.*` ring.
+fn load_restart(path: &str, ring_depth: usize) -> Result<Checkpoint, String> {
+    if std::path::Path::new(path).exists() {
+        return load_checkpoint(path).map_err(|e| format!("checkpoint {path} unreadable: {e}"));
+    }
+    let ring = CheckpointRing::new(path, ring_depth.max(1));
+    let recovery = ring
+        .load_latest()
+        .map_err(|e| format!("no usable checkpoint at {path} or its ring: {e}"))?;
+    for (slot, why) in &recovery.skipped {
+        println!("skipping damaged checkpoint generation {}: {why}", slot.display());
+    }
+    println!(
+        "recovered from ring generation {} ({})",
+        recovery.generation,
+        recovery.path.display()
+    );
+    Ok(recovery.checkpoint)
 }
 
 /// The Taylor–Green convergence sweep: same physics and final time on three
 /// meshes, reporting the analytic L2 velocity error and the projection's
 /// divergence reduction.
-fn taylor_green_sweep(cli: &Cli) {
+fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
     let team = Team::new(cli.threads);
     println!(
         "Taylor–Green resolution sweep ({} steps, {} worker thread(s), {} momentum solve):\n",
@@ -150,12 +261,14 @@ fn taylor_green_sweep(cli: &Cli) {
         // final time and the error differences are spatial.
         let config = stepper_config(cli).with_fixed_dt(cli.fixed_dt.unwrap_or(0.01));
         let mut stepper = Stepper::new(scenario, config);
-        let reports = stepper.run_on(&team, cli.steps).expect("step must converge");
+        let reports = stepper.run_recovering_on(&team, cli.steps).map_err(|e| e.to_string())?;
         // The step-1 divergence pair is the clean predictor-vs-projected
         // comparison: its predictor field is the raw momentum solve of an
         // unprojected state (later steps start already divergence-reduced).
-        let first = reports.first().expect("at least one step");
-        let error = stepper.analytic_velocity_error().expect("taylor-green is analytic");
+        let first = reports.first().ok_or("taylor-green sweep needs at least one step")?;
+        let error = stepper
+            .analytic_velocity_error()
+            .ok_or("taylor-green must report an analytic error")?;
         let drop = first.divergence_pre / first.divergence_post;
         println!(
             "{:>4}^3 {:>10.4} {:>12.4e} {:>15.4e} {:>15.4e} {:>7.1}x",
@@ -180,15 +293,23 @@ fn taylor_green_sweep(cli: &Cli) {
         if reduced { "yes" } else { "NO — projection broken" }
     );
     if !monotone || !reduced {
+        return Err("taylor-green sweep contract violated (see the report above)".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("error: {message}");
         std::process::exit(1);
     }
 }
 
-fn main() {
+fn run() -> Result<(), String> {
     let cli = parse_cli();
     if cli.scenario == "list" {
         print_registry();
-        return;
+        return Ok(());
     }
     let Some(kind) = lv_driver::ScenarioKind::from_name(&cli.scenario) else {
         eprintln!("unknown scenario '{}'\n", cli.scenario);
@@ -196,20 +317,27 @@ fn main() {
         std::process::exit(2);
     };
     if kind == lv_driver::ScenarioKind::TaylorGreenVortex && cli.n == 0 && cli.restart.is_none() {
-        taylor_green_sweep(&cli);
-        return;
+        return taylor_green_sweep(&cli);
     }
 
     let n = if cli.n == 0 { 8 } else { cli.n };
     let scenario = Scenario::new(kind, n);
     let config = stepper_config(&cli);
+    // The CLI keeps its own fault-plan copy for the checkpoint-corruption
+    // faults; the stepper's clone handles the solver faults (the kinds are
+    // disjoint, so double-cloning cannot double-fire anything).
+    let mut cli_plan = cli.inject.clone();
     let mut stepper = match &cli.restart {
         None => Stepper::new(scenario.clone(), config),
         Some(path) => {
-            let checkpoint = load_checkpoint(path).expect("readable checkpoint");
-            checkpoint.validate_scenario(&scenario).expect("checkpoint matches the scenario");
+            let checkpoint = load_restart(path, cli.ring)?;
+            checkpoint
+                .validate_scenario(&scenario)
+                .map_err(|e| format!("checkpoint {path} does not fit the requested run: {e}"))?;
             let mesh = scenario.build_mesh();
-            let state = checkpoint.into_state(&mesh).expect("checkpoint matches the mesh");
+            let state = checkpoint
+                .into_state(&mesh)
+                .map_err(|e| format!("checkpoint {path} does not fit the mesh: {e}"))?;
             println!(
                 "restarting '{}' from {path}: step {}, t = {:.4}",
                 scenario.kind.name(),
@@ -238,8 +366,10 @@ fn main() {
     );
 
     let team = Team::new(cli.threads);
+    let final_step = stepper.state().step + cli.steps as u64;
+    let mut final_saved = false;
     for _ in 0..cli.steps {
-        let report = stepper.step_on(&team).expect("step must converge");
+        let report = stepper.step_recovering_on(&team).map_err(|e| e.to_string())?;
         println!(
             "{:>5} {:>9.4} {:>9.5} {:>7} {:>7} {:>12.3e} {:>12.3e} {:>14.6}",
             report.step,
@@ -251,10 +381,24 @@ fn main() {
             report.divergence_post,
             report.kinetic_energy
         );
+        if report.retries > 0 {
+            println!(
+                "      [recovered] {} rollback(s), step completed at Δt = {:.5}",
+                report.retries, report.dt
+            );
+        }
+        if report.poisson_fallbacks > 0 {
+            println!(
+                "      [recovered] {} projection sweep(s) fell back from MG-CG to plain CG",
+                report.poisson_fallbacks
+            );
+        }
         if cli.every > 0 && report.step % cli.every as u64 == 0 {
             if let Some(path) = &cli.checkpoint {
-                save_checkpoint(path, &scenario, stepper.state()).expect("checkpoint write");
-                println!("      checkpoint -> {path} (step {})", report.step);
+                let newest =
+                    write_checkpoint(path, cli.ring, &scenario, stepper.state(), &mut cli_plan)?;
+                println!("      checkpoint -> {} (step {})", newest.display(), report.step);
+                final_saved = stepper.state().step == final_step;
             }
         }
     }
@@ -262,8 +406,11 @@ fn main() {
         println!("\nanalytic L2 velocity error at t = {:.4}: {err:.4e}", stepper.state().time);
     }
     if let Some(path) = &cli.checkpoint {
-        save_checkpoint(path, &scenario, stepper.state()).expect("checkpoint write");
-        println!("\nfinal checkpoint -> {path} (step {})", stepper.state().step);
+        if !final_saved {
+            let newest =
+                write_checkpoint(path, cli.ring, &scenario, stepper.state(), &mut cli_plan)?;
+            println!("\nfinal checkpoint -> {} (step {})", newest.display(), stepper.state().step);
+        }
     }
     println!(
         "\nfinal state: t = {:.4}, max |u| = {:.4}, kinetic energy = {:.6}, ‖div u‖ = {:.3e}",
@@ -272,4 +419,5 @@ fn main() {
         stepper.kinetic_energy(),
         stepper.divergence_norm()
     );
+    Ok(())
 }

@@ -132,7 +132,7 @@ fn mgcg_trajectory_matches_cg_to_solver_tolerance() {
     let team = Team::new(2);
     let config = StepperConfig::default().with_vector_size(64);
 
-    let mut mgcg = Stepper::new(scenario.clone(), config);
+    let mut mgcg = Stepper::new(scenario.clone(), config.clone());
     assert_eq!(mgcg.pressure_solver(), PressureSolver::MgCg);
     let mg_reports = mgcg.run_on(&team, 3).expect("mgcg run");
 
