@@ -30,6 +30,11 @@ pub mod numeric;
 pub mod reproduce;
 pub mod solverbench;
 
+/// The one shared hand-rolled JSON emitter every `BENCH_*.json` writer
+/// builds on.  It lives in `lv-trace` (the dependency-free leaf, where the
+/// trace sinks need it too) and is re-exported here for artifact writers.
+pub use lv_trace::json;
+
 pub use codesign::{run_codesign_loop, CodesignReport, CodesignStep};
 pub use experiment::{RunKey, Runner, SweepConfig};
 pub use numeric::{comparisons_to_json, PathComparison, PathMeasurement};

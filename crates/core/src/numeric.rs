@@ -16,7 +16,8 @@
 
 use lv_kernel::{ElementWorkspace, KernelConfig, NastinAssembly, NumericPath};
 use lv_mesh::{Field, Mesh, VectorField};
-use std::time::Instant;
+use lv_trace::json::{JsonArray, JsonObject};
+use lv_trace::time_min;
 
 /// Timing (and correctness) of one numeric path.
 #[derive(Debug, Clone)]
@@ -121,14 +122,11 @@ impl PathComparison {
                     assembly.assemble_into_with(path, &velocity, &pressure, matrix, rhs, workspaces)
                 }
             };
-            // One untimed run for warm-up and correctness capture.
-            sweep(&mut matrix, &mut rhs, &mut workspaces);
-            let mut seconds = f64::INFINITY;
-            for _ in 0..repetitions {
-                let start = Instant::now();
+            // time_min's untimed warm-up run doubles as the correctness
+            // capture (the sweep overwrites the same outputs every run).
+            let seconds = time_min(repetitions, || {
                 sweep(&mut matrix, &mut rhs, &mut workspaces);
-                seconds = seconds.min(start.elapsed().as_secs_f64());
-            }
+            });
 
             let (bitwise_equal, max_abs_delta) = match path {
                 NumericPath::Accessor => {
@@ -212,31 +210,27 @@ impl PathComparison {
         self.measurement(NumericPath::Slices).map_or(f64::NAN, |m| m.speedup)
     }
 
-    /// One JSON object per comparison (hand-rolled: the offline `serde_json`
-    /// shim cannot serialize).
+    /// One JSON object per comparison, via the shared [`lv_trace::json`]
+    /// emitter (the offline `serde_json` shim cannot serialize).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"vector_size\": {}, \"elements\": {}, \"colors\": {}, \"repetitions\": {}, \
-             \"paths\": [",
-            self.vector_size, self.elements, self.colors, self.repetitions
-        ));
-        for (i, m) in self.measurements.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                "{{\"path\": \"{}\", \"seconds\": {:.9}, \"speedup\": {:.4}, \
-                 \"bitwise_equal\": {}, \"max_abs_delta\": {:e}}}",
-                m.path.name(),
-                m.seconds,
-                m.speedup,
-                m.bitwise_equal,
-                m.max_abs_delta
-            ));
+        let mut paths = JsonArray::new();
+        for m in &self.measurements {
+            paths.push_object(
+                JsonObject::new()
+                    .str("path", &m.path.name())
+                    .f64_fixed("seconds", m.seconds, 9)
+                    .f64_fixed("speedup", m.speedup, 4)
+                    .bool("bitwise_equal", m.bitwise_equal)
+                    .f64_exp("max_abs_delta", m.max_abs_delta),
+            );
         }
-        out.push_str("]}");
-        out
+        JsonObject::new()
+            .usize("vector_size", self.vector_size)
+            .usize("elements", self.elements)
+            .usize("colors", self.colors)
+            .usize("repetitions", self.repetitions)
+            .array("paths", paths)
+            .finish()
     }
 
     /// Aligned human-readable table of the comparison.

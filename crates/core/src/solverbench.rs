@@ -33,7 +33,8 @@ use lv_solver::{
     bicgstab3_on, bicgstab_on, conjugate_gradient_on, CsrMatrix, MultiVector, ProfileStats,
     SolveOptions, SolveOutcome, VectorOps,
 };
-use std::time::Instant;
+use lv_trace::json::{JsonArray, JsonObject};
+use lv_trace::time_min;
 
 /// Timing (and correctness) of one solver method at one thread count.
 #[derive(Debug, Clone)]
@@ -415,43 +416,34 @@ impl SolverComparison {
             .fold(f64::NAN, f64::max)
     }
 
-    /// One JSON object per comparison (hand-rolled: the offline `serde_json`
-    /// shim cannot serialize).
+    /// One JSON object per comparison, via the shared [`lv_trace::json`]
+    /// emitter (the offline `serde_json` shim cannot serialize).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"rows\": {}, \"nnz\": {}, \"elements\": {}, \"repetitions\": {}, \
-             \"momentum_symmetric\": {}, \"bandwidth\": {}, \"max_row_span\": {}, \
-             \"mean_row_span\": {:.2}, \"nnz_per_row\": {:.2}, \"cases\": [",
-            self.rows,
-            self.nnz,
-            self.elements,
-            self.repetitions,
-            self.momentum_symmetric,
-            self.bandwidth,
-            self.profile.max_row_span,
-            self.profile.mean_row_span,
-            self.profile.mean_nnz_per_row
-        ));
-        for (i, m) in self.measurements.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                "{{\"method\": \"{}\", \"threads\": {}, \"seconds\": {:.9}, \
-                 \"speedup\": {:.4}, \"iterations\": {}, \"final_residual\": {:e}, \
-                 \"bitwise_equal\": {}}}",
-                m.method,
-                m.threads,
-                m.seconds,
-                m.speedup,
-                m.iterations,
-                m.final_residual,
-                m.bitwise_equal
-            ));
+        let mut cases = JsonArray::new();
+        for m in &self.measurements {
+            cases.push_object(
+                JsonObject::new()
+                    .str("method", m.method)
+                    .usize("threads", m.threads)
+                    .f64_fixed("seconds", m.seconds, 9)
+                    .f64_fixed("speedup", m.speedup, 4)
+                    .usize("iterations", m.iterations)
+                    .f64_exp("final_residual", m.final_residual)
+                    .bool("bitwise_equal", m.bitwise_equal),
+            );
         }
-        out.push_str("]}");
-        out
+        JsonObject::new()
+            .usize("rows", self.rows)
+            .usize("nnz", self.nnz)
+            .usize("elements", self.elements)
+            .usize("repetitions", self.repetitions)
+            .bool("momentum_symmetric", self.momentum_symmetric)
+            .usize("bandwidth", self.bandwidth)
+            .usize("max_row_span", self.profile.max_row_span)
+            .f64_fixed("mean_row_span", self.profile.mean_row_span, 2)
+            .f64_fixed("nnz_per_row", self.profile.mean_nnz_per_row, 2)
+            .array("cases", cases)
+            .finish()
     }
 
     /// Aligned human-readable table of the comparison.
@@ -487,21 +479,6 @@ impl SolverComparison {
         }
         out
     }
-}
-
-/// Minimum wall-clock seconds of `f` across `repetitions` runs (minimum,
-/// not mean: the work is deterministic, so the minimum is the least-noise
-/// estimator).
-fn time_min(repetitions: usize, mut f: impl FnMut()) -> f64 {
-    // One untimed warm-up run.
-    f();
-    let mut seconds = f64::INFINITY;
-    for _ in 0..repetitions {
-        let start = Instant::now();
-        f();
-        seconds = seconds.min(start.elapsed().as_secs_f64());
-    }
-    seconds
 }
 
 /// The renumbering observables committed with the solver artifact: the
@@ -576,26 +553,22 @@ impl RenumberingReport {
         }
     }
 
-    /// Hand-rolled JSON object (same reasoning as
-    /// [`SolverComparison::to_json`]).
+    /// JSON object via the shared [`lv_trace::json`] emitter (same
+    /// reasoning as [`SolverComparison::to_json`]).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"rows\": {}, \"nnz\": {}, \"vector_size\": {}, \"bandwidth_before\": {}, \
-             \"bandwidth_after\": {}, \"bandwidth_generator\": {}, \"bandwidth_ratio\": {:.2}, \
-             \"max_row_span_before\": {}, \"max_row_span_after\": {}, \
-             \"mean_chunk_span_before\": {:.1}, \"mean_chunk_span_after\": {:.1}}}",
-            self.rows,
-            self.nnz,
-            self.vector_size,
-            self.bandwidth_before,
-            self.bandwidth_after,
-            self.bandwidth_generator,
-            self.bandwidth_ratio,
-            self.max_row_span_before,
-            self.max_row_span_after,
-            self.mean_chunk_span_before,
-            self.mean_chunk_span_after
-        )
+        JsonObject::new()
+            .usize("rows", self.rows)
+            .usize("nnz", self.nnz)
+            .usize("vector_size", self.vector_size)
+            .usize("bandwidth_before", self.bandwidth_before)
+            .usize("bandwidth_after", self.bandwidth_after)
+            .usize("bandwidth_generator", self.bandwidth_generator)
+            .f64_fixed("bandwidth_ratio", self.bandwidth_ratio, 2)
+            .usize("max_row_span_before", self.max_row_span_before)
+            .usize("max_row_span_after", self.max_row_span_after)
+            .f64_fixed("mean_chunk_span_before", self.mean_chunk_span_before, 1)
+            .f64_fixed("mean_chunk_span_after", self.mean_chunk_span_after, 1)
+            .finish()
     }
 
     /// Human-readable summary line.

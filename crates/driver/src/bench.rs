@@ -1,12 +1,14 @@
 //! Wall-clock measurement of full fractional steps — the engine behind the
 //! `wallclock_driver` bench and the committed `BENCH_driver.json` artifact.
 //!
-//! Each case runs a fresh [`Stepper`] for a fixed number of steps on a team
-//! of the requested size, recording the per-phase breakdown (assembly /
-//! momentum / Poisson / correction) of the fastest repetition.  Before any
-//! timing is trusted, every multi-threaded trajectory is validated **bitwise**
-//! against the single-threaded oracle — the driver's determinism contract —
-//! and the measurement panics on the first deviating bit.
+//! Each case runs a fresh [`Stepper`] for a fixed number of steps on a
+//! **traced** team of the requested size; the per-phase breakdown (assembly
+//! / momentum / Poisson / correction / other) of the fastest repetition is
+//! read off the [`RunSummary`] of the `lv-trace` span log — the bench no
+//! longer keeps its own ad-hoc stopwatches.  Before any timing is trusted,
+//! every multi-threaded trajectory is validated **bitwise** against the
+//! single-threaded oracle — the driver's determinism contract — and the
+//! measurement panics on the first deviating bit.
 
 use crate::scenario::Scenario;
 use crate::stepper::{SimState, StepTimings, Stepper, StepperConfig};
@@ -15,7 +17,9 @@ use lv_runtime::Team;
 use lv_solver::{
     conjugate_gradient, mg_preconditioned_cg, LinearOperator, MultigridOptions, SolveOptions,
 };
-use std::time::Instant;
+use lv_trace::json::{JsonArray, JsonObject};
+use lv_trace::summary::RunSummary;
+use lv_trace::TraceConfig;
 
 /// Timing of one `(threads,)` driver case.
 #[derive(Debug, Clone)]
@@ -87,19 +91,29 @@ impl DriverBenchReport {
         let mut counts: Vec<usize> = vec![1];
         counts.extend(thread_counts.iter().copied().filter(|&t| t > 1));
         for threads in counts {
-            let team = Team::new(threads);
+            let mut team = Team::with_trace(threads, TraceConfig::default());
             let mut best_total = f64::INFINITY;
             let mut best_timings = StepTimings::default();
             let mut final_state: Option<SimState> = None;
             for _ in 0..repetitions {
                 let mut stepper =
                     Stepper::with_mesh(scenario.clone(), config.clone(), mesh.clone());
-                let mut timings = StepTimings::default();
-                for report in stepper.run_on(&team, steps).expect("driver step must converge") {
-                    timings.accumulate(&report.timings);
-                }
-                if timings.total() < best_total {
-                    best_total = timings.total();
+                stepper.run_on(&team, steps).expect("driver step must converge");
+                // One repetition's phase breakdown, read off the span log.
+                let trace = team.trace_mut().expect("the bench team is traced");
+                let summary = RunSummary::from_trace(trace);
+                trace.clear_events();
+                let total = summary.phase_seconds("driver/step");
+                let mut timings = StepTimings {
+                    assembly: summary.phase_seconds("driver/assembly"),
+                    momentum: summary.phase_seconds("driver/momentum"),
+                    poisson: summary.phase_seconds("driver/poisson"),
+                    correction: summary.phase_seconds("driver/correction"),
+                    other: 0.0,
+                };
+                timings.other = (total - timings.total()).max(0.0);
+                if total < best_total {
+                    best_total = total;
                     best_timings = timings;
                 }
                 final_state = Some(stepper.state().clone());
@@ -134,35 +148,32 @@ impl DriverBenchReport {
         }
     }
 
-    /// Hand-rolled JSON object (the offline `serde_json` shim cannot
-    /// serialize).
+    /// JSON object via the shared [`lv_trace::json`] emitter (the offline
+    /// `serde_json` shim cannot serialize).
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&format!(
-            "{{\"scenario\": \"{}\", \"elements\": {}, \"rows\": {}, \"steps\": {}, \
-             \"repetitions\": {}, \"cases\": [",
-            self.scenario, self.elements, self.rows, self.steps, self.repetitions
-        ));
-        for (i, c) in self.cases.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&format!(
-                "{{\"threads\": {}, \"seconds\": {:.9}, \"assembly_seconds\": {:.9}, \
-                 \"momentum_seconds\": {:.9}, \"poisson_seconds\": {:.9}, \
-                 \"correction_seconds\": {:.9}, \"speedup\": {:.4}, \"bitwise_equal\": {}}}",
-                c.threads,
-                c.seconds,
-                c.timings.assembly,
-                c.timings.momentum,
-                c.timings.poisson,
-                c.timings.correction,
-                c.speedup,
-                c.bitwise_equal
-            ));
+        let mut cases = JsonArray::new();
+        for c in &self.cases {
+            cases.push_object(
+                JsonObject::new()
+                    .usize("threads", c.threads)
+                    .f64_fixed("seconds", c.seconds, 9)
+                    .f64_fixed("assembly_seconds", c.timings.assembly, 9)
+                    .f64_fixed("momentum_seconds", c.timings.momentum, 9)
+                    .f64_fixed("poisson_seconds", c.timings.poisson, 9)
+                    .f64_fixed("correction_seconds", c.timings.correction, 9)
+                    .f64_fixed("other_seconds", c.timings.other, 9)
+                    .f64_fixed("speedup", c.speedup, 4)
+                    .bool("bitwise_equal", c.bitwise_equal),
+            );
         }
-        out.push_str("]}");
-        out
+        JsonObject::new()
+            .str("scenario", &self.scenario)
+            .usize("elements", self.elements)
+            .usize("rows", self.rows)
+            .usize("steps", self.steps)
+            .usize("repetitions", self.repetitions)
+            .array("cases", cases)
+            .finish()
     }
 
     /// Aligned human-readable table.
@@ -174,7 +185,7 @@ impl DriverBenchReport {
         for c in &self.cases {
             out.push_str(&format!(
                 "  {:>2}t {:>9.3} ms  {:>5.2}x  (assembly {:.1}% | momentum {:.1}% | \
-                 poisson {:.1}% | correction {:.1}%)  bitwise == 1t\n",
+                 poisson {:.1}% | correction {:.1}% | other {:.1}%)  bitwise == 1t\n",
                 c.threads,
                 c.seconds * 1e3,
                 c.speedup,
@@ -182,6 +193,7 @@ impl DriverBenchReport {
                 100.0 * c.timings.momentum / c.seconds,
                 100.0 * c.timings.poisson / c.seconds,
                 100.0 * c.timings.correction / c.seconds,
+                100.0 * c.timings.other / c.seconds,
             ));
         }
         out
@@ -256,21 +268,16 @@ pub fn measure_pressure_solvers(
         let mgcg_levels = multigrid.num_levels();
 
         let mut cg_iterations = 0;
-        let mut cg_seconds = f64::INFINITY;
         let mut mgcg_iterations = 0;
-        let mut mgcg_seconds = f64::INFINITY;
-        for _ in 0..repetitions {
-            let t0 = Instant::now();
+        let cg_seconds = lv_trace::time_min(repetitions, || {
             let cg = conjugate_gradient(&laplacian, &rhs, &options).expect("CG converges");
-            cg_seconds = cg_seconds.min(t0.elapsed().as_secs_f64());
             cg_iterations = cg.iterations;
-
-            let t0 = Instant::now();
+        });
+        let mgcg_seconds = lv_trace::time_min(repetitions, || {
             let mg = mg_preconditioned_cg(&laplacian, &mut multigrid, &rhs, &options)
                 .expect("MG-CG converges");
-            mgcg_seconds = mgcg_seconds.min(t0.elapsed().as_secs_f64());
             mgcg_iterations = mg.iterations;
-        }
+        });
 
         cases.push(PressureSolverCase {
             resolution: n,
@@ -287,27 +294,25 @@ pub fn measure_pressure_solvers(
     cases
 }
 
-/// Renders the `pressure_solver` cases as a JSON array (hand-rolled, like
-/// every artifact writer in this workspace — the offline `serde_json` shim
-/// cannot serialize).
+/// Renders the `pressure_solver` cases as a JSON array via the shared
+/// [`lv_trace::json`] emitter.
 pub fn pressure_solver_cases_to_json(cases: &[PressureSolverCase]) -> String {
     let mut out = String::from("[\n");
     for (i, c) in cases.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"resolution\": {}, \"rows\": {}, \"cg_iterations\": {}, \
-             \"cg_seconds\": {:.9}, \"mgcg_iterations\": {}, \"mgcg_seconds\": {:.9}, \
-             \"mgcg_levels\": {}, \"csr_streamed_bytes\": {}, \
-             \"matrix_free_streamed_bytes\": {}}}",
-            c.resolution,
-            c.rows,
-            c.cg_iterations,
-            c.cg_seconds,
-            c.mgcg_iterations,
-            c.mgcg_seconds,
-            c.mgcg_levels,
-            c.csr_streamed_bytes,
-            c.matrix_free_streamed_bytes
-        ));
+        out.push_str("    ");
+        out.push_str(
+            &JsonObject::new()
+                .usize("resolution", c.resolution)
+                .usize("rows", c.rows)
+                .usize("cg_iterations", c.cg_iterations)
+                .f64_fixed("cg_seconds", c.cg_seconds, 9)
+                .usize("mgcg_iterations", c.mgcg_iterations)
+                .f64_fixed("mgcg_seconds", c.mgcg_seconds, 9)
+                .usize("mgcg_levels", c.mgcg_levels)
+                .usize("csr_streamed_bytes", c.csr_streamed_bytes)
+                .usize("matrix_free_streamed_bytes", c.matrix_free_streamed_bytes)
+                .finish(),
+        );
         out.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]");

@@ -36,6 +36,7 @@
 use crate::scenario::{Scenario, ScenarioKind};
 use crate::stepper::SimState;
 use lv_mesh::{Field, Mesh, VectorField};
+use lv_trace::{counters, spans, Trace};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -217,6 +218,38 @@ pub fn save_checkpoint(
     result
 }
 
+/// Dominant payload size of a state's checkpoint: the field values
+/// (everything else is a fixed few dozen header bytes).
+fn state_bytes(state: &SimState) -> u64 {
+    8 * (state.velocity.as_slice().len() + state.pressure.as_slice().len()) as u64
+}
+
+/// [`save_checkpoint`] wrapped in telemetry: a `checkpoint/save` span
+/// (`bytes` = field payload, `iters` = 1 on success / 0 on failure) plus
+/// [`counters::CHECKPOINT_SAVES`] when the write lands.  `trace = None`
+/// degrades to the plain save.
+///
+/// # Errors
+/// See [`save_checkpoint`].
+pub fn save_checkpoint_traced(
+    path: impl AsRef<Path>,
+    scenario: &Scenario,
+    state: &SimState,
+    trace: Option<&Trace>,
+) -> io::Result<()> {
+    let span = trace.map(|t| t.span(spans::CHECKPOINT_SAVE, 0).bytes(state_bytes(state)));
+    let result = save_checkpoint(path, scenario, state);
+    if let Some(s) = span {
+        s.iters(result.is_ok() as u64).finish();
+    }
+    if result.is_ok() {
+        if let Some(t) = trace {
+            t.add(counters::CHECKPOINT_SAVES, 1);
+        }
+    }
+    result
+}
+
 /// Reads and verifies a checkpoint from `path`.
 ///
 /// # Errors
@@ -244,6 +277,30 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
     let velocity = r.f64s()?;
     let pressure = r.f64s()?;
     Ok(Checkpoint { scenario, resolution, viscosity, density, step, time, velocity, pressure })
+}
+
+/// [`load_checkpoint`] wrapped in telemetry: a `checkpoint/load` span
+/// (`bytes` = decoded field payload, `iters` = 1 on success / 0 on failure)
+/// plus [`counters::CHECKPOINT_LOADS`] when the read succeeds.
+///
+/// # Errors
+/// See [`load_checkpoint`].
+pub fn load_checkpoint_traced(
+    path: impl AsRef<Path>,
+    trace: Option<&Trace>,
+) -> io::Result<Checkpoint> {
+    let span = trace.map(|t| t.span(spans::CHECKPOINT_LOAD, 0));
+    let result = load_checkpoint(path);
+    if let Some(s) = span {
+        let bytes = result.as_ref().map_or(0, |c| 8 * (c.velocity.len() + c.pressure.len()) as u64);
+        s.iters(result.is_ok() as u64).bytes(bytes).finish();
+    }
+    if result.is_ok() {
+        if let Some(t) = trace {
+            t.add(counters::CHECKPOINT_LOADS, 1);
+        }
+    }
+    result
 }
 
 /// A successful [`CheckpointRing::load_latest`]: which generation actually
@@ -308,6 +365,55 @@ impl CheckpointRing {
         let newest = self.slot(0);
         save_checkpoint(&newest, scenario, state)?;
         Ok(newest)
+    }
+
+    /// [`CheckpointRing::save`] wrapped in telemetry (see
+    /// [`save_checkpoint_traced`]; the span covers rotation + write).
+    ///
+    /// # Errors
+    /// See [`CheckpointRing::save`].
+    pub fn save_traced(
+        &self,
+        scenario: &Scenario,
+        state: &SimState,
+        trace: Option<&Trace>,
+    ) -> io::Result<PathBuf> {
+        let span = trace.map(|t| t.span(spans::CHECKPOINT_SAVE, 0).bytes(state_bytes(state)));
+        let result = self.save(scenario, state);
+        if let Some(s) = span {
+            s.iters(result.is_ok() as u64).finish();
+        }
+        if result.is_ok() {
+            if let Some(t) = trace {
+                t.add(counters::CHECKPOINT_SAVES, 1);
+            }
+        }
+        result
+    }
+
+    /// [`CheckpointRing::load_latest`] wrapped in telemetry (see
+    /// [`load_checkpoint_traced`]; `aux` carries the restoring generation).
+    ///
+    /// # Errors
+    /// See [`CheckpointRing::load_latest`].
+    pub fn load_latest_traced(&self, trace: Option<&Trace>) -> io::Result<RingRecovery> {
+        let span = trace.map(|t| t.span(spans::CHECKPOINT_LOAD, 0));
+        let result = self.load_latest();
+        if let Some(s) = span {
+            let (bytes, generation) = result.as_ref().map_or((0, 0), |r| {
+                (
+                    8 * (r.checkpoint.velocity.len() + r.checkpoint.pressure.len()) as u64,
+                    r.generation as u64,
+                )
+            });
+            s.iters(result.is_ok() as u64).bytes(bytes).aux(generation).finish();
+        }
+        if result.is_ok() {
+            if let Some(t) = trace {
+                t.add(counters::CHECKPOINT_LOADS, 1);
+            }
+        }
+        result
     }
 
     /// Loads the newest generation that decodes and passes its checksum,
@@ -570,5 +676,38 @@ mod tests {
         let empty = CheckpointRing::new(ring_base("empty"), 2);
         clear_ring(&empty);
         assert_eq!(empty.load_latest().expect_err("empty").kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn traced_checkpoint_io_records_spans_and_counters() {
+        use lv_trace::{summary::RunSummary, Trace, TraceConfig};
+        let (scenario, _mesh, state) = sample();
+        let mut trace = Trace::new(1, TraceConfig::default());
+        let ring = CheckpointRing::new(ring_base("traced"), 2);
+        clear_ring(&ring);
+        ring.save_traced(&scenario, &state, Some(&trace)).expect("save");
+        ring.save_traced(&scenario, &state, Some(&trace)).expect("save");
+        let recovery = ring.load_latest_traced(Some(&trace)).expect("load");
+        assert_eq!(recovery.generation, 0);
+        clear_ring(&ring);
+        // A failed load records a span with iters = 0 and no counter bump.
+        assert!(ring.load_latest_traced(Some(&trace)).is_err());
+        let summary = RunSummary::from_trace(&mut trace);
+        assert_eq!(summary.counter("checkpoint_saves"), Some(2));
+        assert_eq!(summary.counter("checkpoint_loads"), Some(1));
+        let save = summary.span("checkpoint/save").expect("save span");
+        assert_eq!((save.events, save.iters), (2, 2));
+        assert_eq!(save.bytes, 2 * super::state_bytes(&state));
+        let load = summary.span("checkpoint/load").expect("load span");
+        assert_eq!((load.events, load.iters), (2, 1), "the failed load carries iters = 0");
+
+        // The free-function wrappers share the same spans and counters.
+        let path = temp_path("traced_free");
+        save_checkpoint_traced(&path, &scenario, &state, Some(&trace)).expect("save");
+        let loaded = load_checkpoint_traced(&path, Some(&trace)).expect("load");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.step, state.step);
+        assert_eq!(trace.counter(lv_trace::counters::CHECKPOINT_SAVES), 3);
+        assert_eq!(trace.counter(lv_trace::counters::CHECKPOINT_LOADS), 2);
     }
 }

@@ -35,7 +35,10 @@ pub use bench::{
     driver_bench_to_json, measure_pressure_solvers, pressure_solver_cases_to_json,
     DriverBenchReport, DriverMeasurement, PressureSolverCase,
 };
-pub use checkpoint::{load_checkpoint, save_checkpoint, Checkpoint, CheckpointRing, RingRecovery};
+pub use checkpoint::{
+    load_checkpoint, load_checkpoint_traced, save_checkpoint, save_checkpoint_traced, Checkpoint,
+    CheckpointRing, RingRecovery,
+};
 pub use fault::{FaultKind, FaultPlan};
 pub use scenario::{taylor_green_velocity, Scenario, ScenarioKind};
 pub use stepper::{

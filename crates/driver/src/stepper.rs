@@ -42,6 +42,7 @@ use lv_solver::{
     conjugate_gradient_on, first_non_finite, mg_preconditioned_cg_on, BreakdownKind, CsrMatrix,
     GeometricMultigrid, MultigridOptions, SolveOptions, SolverError,
 };
+use lv_trace::{counters, spans, Event};
 use std::time::Instant;
 
 /// Number of spatial dimensions (velocity components per node).
@@ -208,7 +209,10 @@ pub struct SimState {
     pub pressure: Field,
 }
 
-/// Wall-clock breakdown of one step, in seconds.
+/// Wall-clock breakdown of one step, in seconds.  The four phase buckets
+/// plus the explicit [`other`](StepTimings::other) remainder account for the
+/// *whole* step: [`total`](StepTimings::total) equals the step's measured
+/// wall-clock, so per-phase shares always add up.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StepTimings {
     /// Momentum assembly + pressure force + Dirichlet rows.
@@ -219,12 +223,18 @@ pub struct StepTimings {
     pub poisson: f64,
     /// Weak gradient, velocity correction, BCs and pressure update.
     pub correction: f64,
+    /// Everything between the phase timers: Δt control, fault bookkeeping,
+    /// workspace setup, end-of-step diagnostics (divergence norm, kinetic
+    /// energy).  Measured as the step total minus the four phases, so the
+    /// breakdown is exhaustive by construction.
+    pub other: f64,
 }
 
 impl StepTimings {
-    /// Total step wall-clock.
+    /// Total step wall-clock (the four phases plus the `other` remainder —
+    /// equal to the step's externally measured duration).
     pub fn total(&self) -> f64 {
-        self.assembly + self.momentum + self.poisson + self.correction
+        self.assembly + self.momentum + self.poisson + self.correction + self.other
     }
 
     /// Accumulates another step's timings (used by the bench).
@@ -233,6 +243,7 @@ impl StepTimings {
         self.momentum += other.momentum;
         self.poisson += other.poisson;
         self.correction += other.correction;
+        self.other += other.other;
     }
 }
 
@@ -609,6 +620,8 @@ impl Stepper {
     /// converge; the state is left unchanged in that case only up to the
     /// failed sub-step (a failed run should be abandoned, not resumed).
     pub fn step_on(&mut self, team: &Team) -> Result<StepReport, StepError> {
+        let trace = team.trace();
+        let step_start = Instant::now();
         let mut timings = StepTimings::default();
         let dt = self.checked_next_dt()?;
         self.assembly.set_dt(dt);
@@ -616,9 +629,13 @@ impl Stepper {
         let t_new = self.state.time + dt;
         let step_index = self.state.step + 1;
         self.ensure_workspaces(team.num_threads());
+        // Dropped (early-return) step spans record with iters = 0 — a failed
+        // attempt; a completed step finishes with iters = 1.
+        let step_span = trace.map(|t| t.span(spans::STEP, 0).aux(step_index));
 
         // --- 1. predictor: assemble + pressure force + Dirichlet ---------
         let t0 = Instant::now();
+        let phase = trace.map(|t| t.span(spans::ASSEMBLY, 0));
         self.assembly.assemble_parallel_into_on(
             team,
             &self.state.velocity,
@@ -635,6 +652,9 @@ impl Stepper {
             *r -= g;
         }
         self.assembly.apply_dirichlet(&mut self.matrix, &mut self.rhs);
+        if let Some(s) = phase {
+            s.iters(1).finish();
+        }
         timings.assembly = t0.elapsed().as_secs_f64();
 
         // --- momentum solve → u* ------------------------------------------
@@ -655,6 +675,7 @@ impl Stepper {
             }
         }
         let t0 = Instant::now();
+        let phase = trace.map(|t| t.span(spans::MOMENTUM, 0));
         let solve = solve_momentum_on(
             team,
             &self.matrix,
@@ -667,6 +688,9 @@ impl Stepper {
             *v += d;
         }
         self.scenario.apply_velocity_bcs(self.assembly.mesh(), &mut self.state.velocity, t_new);
+        if let Some(s) = phase {
+            s.iters(solve.total_iterations() as u64).aux(solve.worst_residual.to_bits()).finish();
+        }
         timings.momentum = t0.elapsed().as_secs_f64();
 
         // --- 2+3. projection sweeps: Poisson solve + correction -----------
@@ -678,6 +702,7 @@ impl Stepper {
         let correction = dt / rho;
         for sweep in 0..self.config.projection_sweeps.max(1) {
             let t0 = Instant::now();
+            let phase = trace.map(|t| t.span(spans::POISSON, 0));
             self.operators.weak_divergence_on(team, &self.state.velocity, &mut self.div);
             if sweep == 0 {
                 // ‖d(u*)‖₂ of the raw predictor field, read off the first
@@ -726,6 +751,13 @@ impl Stepper {
                 Some(Ok(phi)) => phi,
                 Some(Err(_)) => {
                     poisson_fallbacks += 1;
+                    if let Some(t) = trace {
+                        t.record(Event {
+                            aux: sweep as u64,
+                            ..Event::instant(spans::POISSON_FALLBACK, 0, t.now_ns())
+                        });
+                        t.add(counters::POISSON_FALLBACKS, 1);
+                    }
                     conjugate_gradient_on(
                         team,
                         &self.laplacian,
@@ -744,9 +776,13 @@ impl Stepper {
             };
             poisson_iterations += phi.iterations;
             poisson_residual = poisson_residual.max(phi.final_residual());
+            if let Some(s) = phase {
+                s.iters(phi.iterations as u64).aux(phi.final_residual().to_bits()).finish();
+            }
             timings.poisson += t0.elapsed().as_secs_f64();
 
             let t0 = Instant::now();
+            let phase = trace.map(|t| t.span(spans::CORRECTION, 0));
             self.operators.weak_gradient_on(team, &phi.solution, &mut self.grad);
             let vel = self.state.velocity.as_mut_slice();
             for (node, &mass) in self.operators.lumped_mass().iter().enumerate() {
@@ -758,6 +794,9 @@ impl Stepper {
             self.scenario.apply_velocity_bcs(self.assembly.mesh(), &mut self.state.velocity, t_new);
             for (p, f) in self.state.pressure.as_mut_slice().iter_mut().zip(&phi.solution) {
                 *p += f;
+            }
+            if let Some(s) = phase {
+                s.iters(1).aux(sweep as u64).finish();
             }
             timings.correction += t0.elapsed().as_secs_f64();
         }
@@ -772,6 +811,24 @@ impl Stepper {
 
         self.state.step += 1;
         self.state.time = t_new;
+        let kinetic_energy = self.kinetic_energy();
+        if let Some(t) = trace {
+            t.add(counters::STEPS, 1);
+            t.add(counters::MOMENTUM_ITERATIONS, solve.total_iterations() as u64);
+            t.add(counters::POISSON_ITERATIONS, poisson_iterations as u64);
+        }
+        if let Some(s) = step_span {
+            s.iters(1).finish();
+        }
+        // The explicit remainder bucket: whatever the phase timers did not
+        // cover (Δt control, fault bookkeeping, diagnostics), so the
+        // breakdown sums to the measured step total.
+        timings.other = (step_start.elapsed().as_secs_f64()
+            - timings.assembly
+            - timings.momentum
+            - timings.poisson
+            - timings.correction)
+            .max(0.0);
         Ok(StepReport {
             step: self.state.step,
             time: self.state.time,
@@ -782,7 +839,7 @@ impl Stepper {
             poisson_residual,
             divergence_pre,
             divergence_post,
-            kinetic_energy: self.kinetic_energy(),
+            kinetic_energy,
             retries: 0,
             poisson_fallbacks,
             timings,
@@ -830,6 +887,13 @@ impl Stepper {
                 Err(error) => {
                     // Roll back whatever the failed attempt half-wrote.
                     self.state = snapshot.clone();
+                    if let Some(t) = team.trace() {
+                        t.record(Event {
+                            aux: attempt as u64,
+                            ..Event::instant(spans::RETRY, 0, t.now_ns())
+                        });
+                        t.add(counters::RETRIES, 1);
+                    }
                     attempt += 1;
                     if attempt > self.config.max_dt_retries {
                         self.dt_backoff = 1.0;
@@ -893,6 +957,83 @@ mod tests {
         // Pressure is no longer the zero spectator field.
         assert!(stepper.state().pressure.max_abs() > 0.0);
         assert!(stepper.analytic_velocity_error().is_none());
+    }
+
+    #[test]
+    fn phase_timings_sum_to_the_measured_step_total() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 6);
+        let mut stepper = Stepper::new(scenario, quick_config());
+        let team = Team::new(2);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let report = stepper.step_on(&team).expect("step");
+            let measured = t0.elapsed().as_secs_f64();
+            let total = report.timings.total();
+            assert!(report.timings.other >= 0.0);
+            // The explicit `other` bucket makes the breakdown exhaustive:
+            // the five buckets reproduce the externally measured step
+            // wall-clock to within 1% (the slack is the step_on call
+            // overhead outside its own stopwatch).
+            assert!(
+                (measured - total).abs() <= 0.01 * measured,
+                "phases sum to {total:.6}s but the step took {measured:.6}s"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_step_records_phase_spans_and_counters() {
+        use lv_runtime::TraceConfig;
+        use lv_trace::summary::RunSummary;
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let mut stepper = Stepper::new(scenario, quick_config());
+        let mut team = Team::with_trace(2, TraceConfig::default());
+        let report = stepper.step_on(&team).expect("step");
+        let summary = RunSummary::from_trace(team.trace_mut().expect("traced team"));
+        // One step span, one assembly/momentum phase each, one poisson +
+        // correction phase per projection sweep.
+        let sweeps = stepper.config().projection_sweeps as u64;
+        assert_eq!(summary.span("driver/step").map(|s| (s.events, s.iters)), Some((1, 1)));
+        assert_eq!(summary.span("driver/assembly").map(|s| s.events), Some(1));
+        assert_eq!(
+            summary.span("driver/momentum").map(|s| s.iters),
+            Some(report.momentum_iterations as u64)
+        );
+        assert_eq!(summary.span("driver/poisson").map(|s| s.events), Some(sweeps));
+        assert_eq!(
+            summary.span("driver/poisson").map(|s| s.iters),
+            Some(report.poisson_iterations as u64)
+        );
+        assert_eq!(summary.span("driver/correction").map(|s| s.events), Some(sweeps));
+        // The instrumented kernels underneath reported their models.
+        assert!(summary.span("assembly/color_sweep").is_some());
+        assert!(summary.span("solver/cg/iteration").is_some());
+        assert!(summary.counter("flops").unwrap() > 0);
+        assert!(summary.counter("modeled_bytes").unwrap() > 0);
+        assert_eq!(summary.counter("steps"), Some(1));
+        assert_eq!(summary.counter("momentum_iterations"), Some(report.momentum_iterations as u64));
+        assert_eq!(summary.counter("poisson_iterations"), Some(report.poisson_iterations as u64));
+        assert_eq!(summary.counter("dropped_events"), Some(0));
+    }
+
+    #[test]
+    fn traced_recovery_records_retry_events() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use lv_runtime::TraceConfig;
+        use lv_trace::summary::RunSummary;
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let plan = FaultPlan::new(7).with_fault(FaultKind::MomentumBreakdown, 1);
+        let mut stepper = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        let mut team = Team::with_trace(1, TraceConfig::default());
+        let report = stepper.step_recovering_on(&team).expect("recovery");
+        assert_eq!(report.retries, 1);
+        let summary = RunSummary::from_trace(team.trace_mut().expect("traced team"));
+        assert_eq!(summary.counter("retries"), Some(1));
+        assert_eq!(summary.span("driver/retry").map(|s| s.events), Some(1));
+        // Two step spans were opened (the failed attempt and the success);
+        // only the success carries iters = 1.
+        assert_eq!(summary.span("driver/step").map(|s| (s.events, s.iters)), Some((2, 1)));
+        assert_eq!(summary.counter("steps"), Some(1));
     }
 
     #[test]

@@ -367,6 +367,19 @@ impl LinearOperator for MatrixFreeLaplacian {
             + self.adj_ptr.len() * std::mem::size_of::<usize>()
             + std::mem::size_of_val(&self.summed_blocks)
     }
+
+    fn apply_flops(&self) -> u64 {
+        // Per (row, adjacent element) pair, `row_product` reconstructs one
+        // local stiffness row on the fly: PNODE columns, each a
+        // SYM_PAIRS-term dot (times PGAUS in the per-Gauss mode) plus the
+        // accumulate — a structural count, deterministic across threads.
+        let pairs = self.adj_elem.len() as u64;
+        let per_column = match &self.factors {
+            GeometricFactors::Uniform(_) => 2 * SYM_PAIRS.len() as u64 + 2,
+            GeometricFactors::PerGauss(_) => 2 * (PGAUS * SYM_PAIRS.len()) as u64 + 2,
+        };
+        pairs * PNODE as u64 * per_column
+    }
 }
 
 /// Builds the geometric-multigrid V-cycle preconditioner for the pressure

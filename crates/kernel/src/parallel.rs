@@ -38,6 +38,15 @@ use lv_mesh::{Field, Mesh, ShapeTable, VectorField};
 use lv_runtime::{partition, SharedSliceMut, Team};
 use lv_solver::CsrMatrix;
 
+/// Order-of-magnitude model of the assembly work per element: 8 Gauss
+/// points × 8 nodes across the seven numeric phases.  Used only for the
+/// telemetry roofline (a fixed structural count, deterministic across
+/// thread counts) — never for scheduling.
+pub(crate) const ASSEMBLY_FLOPS_PER_ELEMENT: u64 = 9_600;
+/// Bytes moved per element by the gather + scatter phases (coordinates,
+/// unknowns, the 8×8 block and the RHS), same modeling caveat as above.
+pub(crate) const ASSEMBLY_BYTES_PER_ELEMENT: u64 = 1_472;
+
 /// Per-worker partial assembly statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct WorkerStats {
@@ -203,10 +212,16 @@ pub(crate) fn colored_sweep(
     let mut stats = WorkerStats::default();
     let num_workers = team.num_threads().min(workspaces.len());
     let num_colors = schedule.num_colors();
+    let trace = team.trace();
+    // The whole-sweep span is a *logical* (deterministic) record: element
+    // and color counts are properties of the schedule, not of the split.
+    let sweep_span = trace.map(|t| t.span(lv_trace::spans::ASSEMBLY_COLOR_SWEEP, 0));
     if num_workers == 1 {
         // Single worker: identical schedule, no reason to pay the dispatch.
         let ws = &mut workspaces[0];
         for color in 0..num_colors {
+            let chunk_span = trace.map(|t| t.span(lv_trace::spans::ASSEMBLY_CHUNK, 0));
+            let before = stats.elements;
             for chunk_id in schedule.color_chunks(color) {
                 let slots = schedule.slots(chunk_id);
                 stats.singular_jacobians += assemble_chunk_shared(
@@ -215,47 +230,66 @@ pub(crate) fn colored_sweep(
                 stats.chunks += 1;
                 stats.elements += slots.len();
             }
+            if let Some(s) = chunk_span {
+                s.iters((stats.elements - before) as u64).aux(color as u64).finish();
+            }
         }
-        return stats;
-    }
-    // One job on the team for the whole sweep; `team.barrier()` separates
-    // the colors (every scatter of color c must land before any chunk of
-    // color c+1 starts).  A rank whose contiguous share of a color is empty
-    // — or that has no workspace at all — still waits at each barrier.
-    let mut partials = vec![WorkerStats::default(); num_workers];
-    let partials_shared = SharedSliceMut::new(&mut partials);
-    let workspaces_shared = SharedSliceMut::new(&mut workspaces[..num_workers]);
-    team.run(&|rank| {
-        if rank >= num_workers {
-            for _ in 0..num_colors {
+    } else {
+        // One job on the team for the whole sweep; `team.barrier()` separates
+        // the colors (every scatter of color c must land before any chunk of
+        // color c+1 starts).  A rank whose contiguous share of a color is empty
+        // — or that has no workspace at all — still waits at each barrier.
+        let mut partials = vec![WorkerStats::default(); num_workers];
+        let partials_shared = SharedSliceMut::new(&mut partials);
+        let workspaces_shared = SharedSliceMut::new(&mut workspaces[..num_workers]);
+        team.run(&|rank| {
+            if rank >= num_workers {
+                for _ in 0..num_colors {
+                    team.barrier();
+                }
+                return;
+            }
+            // SAFETY: rank indices are unique, so each rank gets exclusive
+            // access to its own workspace and stats slot.
+            let ws = unsafe { workspaces_shared.index_mut(rank) };
+            let partial = unsafe { partials_shared.index_mut(rank) };
+            for color in 0..num_colors {
+                // Per-rank, per-color event (host-dependent: the count
+                // scales with the worker count).  Finished before the
+                // barrier so the recorded time is compute, not waiting.
+                let chunk_span =
+                    trace.map(|t| t.span(lv_trace::spans::ASSEMBLY_CHUNK, rank as u16));
+                let before = partial.elements;
+                let chunk_ids = schedule.color_chunks(color);
+                // Static contiguous split of the color's chunks across the
+                // workers (same split for every run => deterministic).
+                let share = partition(chunk_ids.len(), num_workers, rank);
+                for chunk_id in chunk_ids.start + share.start..chunk_ids.start + share.end {
+                    let slots = schedule.slots(chunk_id);
+                    partial.singular_jacobians += assemble_chunk_shared(
+                        mesh, shape, config, h_char, velocity, pressure, slots, ws, &system,
+                    );
+                    partial.chunks += 1;
+                    partial.elements += slots.len();
+                }
+                if let Some(s) = chunk_span {
+                    s.iters((partial.elements - before) as u64).aux(color as u64).finish();
+                }
                 team.barrier();
             }
-            return;
+        });
+        for partial in partials {
+            stats.chunks += partial.chunks;
+            stats.elements += partial.elements;
+            stats.singular_jacobians += partial.singular_jacobians;
         }
-        // SAFETY: rank indices are unique, so each rank gets exclusive
-        // access to its own workspace and stats slot.
-        let ws = unsafe { workspaces_shared.index_mut(rank) };
-        let partial = unsafe { partials_shared.index_mut(rank) };
-        for color in 0..num_colors {
-            let chunk_ids = schedule.color_chunks(color);
-            // Static contiguous split of the color's chunks across the
-            // workers (same split for every run => deterministic).
-            let share = partition(chunk_ids.len(), num_workers, rank);
-            for chunk_id in chunk_ids.start + share.start..chunk_ids.start + share.end {
-                let slots = schedule.slots(chunk_id);
-                partial.singular_jacobians += assemble_chunk_shared(
-                    mesh, shape, config, h_char, velocity, pressure, slots, ws, &system,
-                );
-                partial.chunks += 1;
-                partial.elements += slots.len();
-            }
-            team.barrier();
-        }
-    });
-    for partial in partials {
-        stats.chunks += partial.chunks;
-        stats.elements += partial.elements;
-        stats.singular_jacobians += partial.singular_jacobians;
+    }
+    if let Some(s) = sweep_span {
+        s.iters(stats.elements as u64)
+            .flops(stats.elements as u64 * ASSEMBLY_FLOPS_PER_ELEMENT)
+            .bytes(stats.elements as u64 * ASSEMBLY_BYTES_PER_ELEMENT)
+            .aux(num_colors as u64)
+            .finish();
     }
     stats
 }

@@ -11,12 +11,15 @@
 //! determination R²) used by Table 6 to correlate phase-1/phase-8 cycles with
 //! cache misses and memory-instruction ratios.  [`report`] renders the
 //! tables/series of every experiment as aligned text, Markdown or CSV.
+//! [`tracecheck`] validates `lv-trace` span logs for CI (structure,
+//! timestamp order, per-rank nesting) and gates the tracing overhead.
 
 #![warn(missing_docs)]
 
 pub mod regression;
 pub mod report;
 pub mod summary;
+pub mod tracecheck;
 
 pub use regression::{
     best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
@@ -26,3 +29,4 @@ pub use regression::{
 };
 pub use report::Table;
 pub use summary::{PhaseMetrics, RunMetrics};
+pub use tracecheck::{gate_trace_overhead, validate_trace_jsonl};

@@ -170,7 +170,9 @@ impl GateReport {
         out
     }
 
-    fn push(&mut self, label: impl Into<String>, passed: bool, detail: impl Into<String>) {
+    /// Appends one check outcome.  Public so sibling modules (and downstream
+    /// gate drivers) can compose reports from their own measurements.
+    pub fn push(&mut self, label: impl Into<String>, passed: bool, detail: impl Into<String>) {
         self.checks.push(GateCheck { label: label.into(), passed, detail: detail.into() });
     }
 }
@@ -492,7 +494,7 @@ pub fn gate_rolling_window(
         report.push(
             label,
             true,
-            format!("skipped: {} artifact(s) of {window} needed for a trend", series.len()),
+            format!("skipped {label}: {} artifact(s) of {window} needed for a trend", series.len()),
         );
         return report;
     }
@@ -506,7 +508,7 @@ pub fn gate_rolling_window(
         label,
         !sustained,
         format!(
-            "last {window} of {}: [{}], decline {:.1}% (tolerance {:.1}%, monotone: {})",
+            "{label}, last {window} of {}: [{}], decline {:.1}% (tolerance {:.1}%, monotone: {})",
             series.len(),
             recent.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>().join(", "),
             decline * 100.0,
@@ -534,7 +536,7 @@ pub fn gate_rolling_window_low(
         report.push(
             label,
             true,
-            format!("skipped: {} artifact(s) of {window} needed for a trend", series.len()),
+            format!("skipped {label}: {} artifact(s) of {window} needed for a trend", series.len()),
         );
         return report;
     }
@@ -548,7 +550,7 @@ pub fn gate_rolling_window_low(
         label,
         !sustained,
         format!(
-            "last {window} of {}: [{}], growth {:.1}% (tolerance {:.1}%, monotone: {})",
+            "{label}, last {window} of {}: [{}], growth {:.1}% (tolerance {:.1}%, monotone: {})",
             series.len(),
             recent.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(", "),
             growth * 100.0,
@@ -770,13 +772,16 @@ mod tests {
 
     #[test]
     fn rolling_window_gate_fails_only_on_sustained_decline() {
-        // Too little history: skipped, passing.
+        // Too little history: skipped, passing — and the skip message names
+        // the metric it evaluated.
         let report = gate_rolling_window("spmm3 trend", &[1.5, 1.4], 3, 0.05);
         assert!(report.passed());
-        assert!(report.to_text().contains("skipped"));
-        // Monotone decline past tolerance across the window: fail.
+        assert!(report.checks[0].detail.contains("skipped spmm3 trend"));
+        // Monotone decline past tolerance across the window: fail, with the
+        // metric named in the evidence line.
         let report = gate_rolling_window("spmm3 trend", &[1.6, 1.5, 1.4, 1.2], 3, 0.05);
         assert!(!report.passed(), "{}", report.to_text());
+        assert!(report.checks[0].detail.contains("spmm3 trend, last 3"));
         // Single-run noise (a dip that recovers) is tolerated.
         let report = gate_rolling_window("spmm3 trend", &[1.6, 1.2, 1.5, 1.45], 3, 0.05);
         assert!(report.passed(), "{}", report.to_text());
@@ -800,10 +805,10 @@ mod tests {
 
     #[test]
     fn lower_is_better_window_fails_only_on_sustained_growth() {
-        // Too little history: skipped, passing.
+        // Too little history: skipped, passing, naming the metric.
         let report = gate_rolling_window_low("poisson s", &[0.01, 0.02], 3, 0.10);
         assert!(report.passed());
-        assert!(report.to_text().contains("skipped"));
+        assert!(report.checks[0].detail.contains("skipped poisson s"));
         // Monotone growth past tolerance: fail.
         let report = gate_rolling_window_low("poisson s", &[0.010, 0.012, 0.015], 3, 0.10);
         assert!(!report.passed(), "{}", report.to_text());

@@ -41,6 +41,10 @@ pub use reduce::{block_range, blocked_reduce, blocked_reduce3, num_blocks, REDUC
 pub use shared::SharedSliceMut;
 pub use team::Team;
 
+// Telemetry types, re-exported so consumers that already depend on the
+// runtime can trace without naming `lv-trace` themselves.
+pub use lv_trace::{Trace, TraceConfig};
+
 use std::ops::Range;
 
 /// The static contiguous partition of `0..len` into `parts` shares: share

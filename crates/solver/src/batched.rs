@@ -23,11 +23,20 @@
 use crate::csr::CsrMatrix;
 use crate::krylov::{
     jacobi_inverse_diagonal, zero_rhs_outcome, BreakdownKind, SolveOptions, SolveOutcome,
-    SolverError,
+    SolverError, BICGSTAB_BLAS1_FLOPS_PER_ENTRY, BICGSTAB_BLAS1_STREAMS_PER_ENTRY,
+    CG_BLAS1_FLOPS_PER_ENTRY, CG_BLAS1_STREAMS_PER_ENTRY,
 };
 use crate::multivector::MultiVector;
+use crate::operator::LinearOperator;
 use crate::parallel::VectorOps;
 use lv_runtime::Team;
+use lv_trace::spans;
+
+/// Bitmask of the active components (bit `c` set when component `c` still
+/// iterates) — the `aux` payload of the batched iteration events.
+fn active_mask(active: &[bool; 3]) -> u64 {
+    active.iter().enumerate().filter(|(_, &a)| a).map(|(c, _)| 1u64 << c).sum()
+}
 
 /// Per-component results of a batched three-RHS solve, in component order
 /// (x, y, z).  Each entry is exactly what the corresponding single-RHS
@@ -166,10 +175,26 @@ fn conjugate_gradient3_with(
     }
     let mut ap = MultiVector::zeros(n);
 
+    let trace = ops.trace();
+    // Per active component: one (shared) matrix traversal plus the CG BLAS-1
+    // work — the same model the single-RHS solver records, so batched and
+    // single runs tally comparable FLOPs.
+    let comp_flops = LinearOperator::apply_flops(matrix) + CG_BLAS1_FLOPS_PER_ENTRY * n as u64;
+    let comp_bytes =
+        LinearOperator::streamed_bytes(matrix) as u64 + CG_BLAS1_STREAMS_PER_ENTRY * 8 * n as u64;
+
     for iter in 0..options.max_iterations {
         if !tracker.any_active() {
             break;
         }
+        let active_count = tracker.active.iter().filter(|&&a| a).count() as u64;
+        let _span = trace.map(|t| {
+            t.span(spans::CG3_ITERATION, 0)
+                .iters(active_count)
+                .flops(active_count * comp_flops)
+                .bytes(active_count * comp_bytes)
+                .aux(active_mask(&tracker.active))
+        });
         ops.spmm3(matrix, &p, &mut ap, tracker.active);
         let pap = ops.dot3(&p, &ap, tracker.active);
         let mut alpha = [0.0f64; 3];
@@ -280,10 +305,24 @@ fn bicgstab3_with(
     let mut shat = MultiVector::zeros(n);
     let mut t = MultiVector::zeros(n);
 
+    let trace = ops.trace();
+    let comp_flops =
+        2 * LinearOperator::apply_flops(matrix) + BICGSTAB_BLAS1_FLOPS_PER_ENTRY * n as u64;
+    let comp_bytes = 2 * LinearOperator::streamed_bytes(matrix) as u64
+        + BICGSTAB_BLAS1_STREAMS_PER_ENTRY * 8 * n as u64;
+
     for iter in 0..options.max_iterations {
         if !tracker.any_active() {
             break;
         }
+        let active_count = tracker.active.iter().filter(|&&a| a).count() as u64;
+        let _span = trace.map(|t| {
+            t.span(spans::BICGSTAB3_ITERATION, 0)
+                .iters(active_count)
+                .flops(active_count * comp_flops)
+                .bytes(active_count * comp_bytes)
+                .aux(active_mask(&tracker.active))
+        });
         let rho_new = ops.dot3(&r0, &r, tracker.active);
         let mut beta = [0.0f64; 3];
         for c in 0..3 {

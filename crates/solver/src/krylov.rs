@@ -22,7 +22,21 @@ use crate::csr::CsrMatrix;
 use crate::operator::{JacobiPreconditioner, LinearOperator, Preconditioner};
 use crate::parallel::VectorOps;
 use lv_runtime::Team;
+use lv_trace::spans;
 use serde::{Deserialize, Serialize};
+
+/// Modeled per-iteration cost of one CG iteration beyond the operator
+/// application: the BLAS-1 flop count (dots, norms, axpys, the direction
+/// update, the Jacobi application) per vector entry.  The byte constant
+/// counts the vector streams of the same operations (8 bytes each).  These
+/// are *models* — fixed functions of the iteration structure, chosen for
+/// cross-backend consistency, not measured traffic.
+pub(crate) const CG_BLAS1_FLOPS_PER_ENTRY: u64 = 13;
+pub(crate) const CG_BLAS1_STREAMS_PER_ENTRY: u64 = 14;
+/// Same model for one BiCGSTAB iteration (two operator applications, four
+/// dots, two norms and six fused element-wise updates).
+pub(crate) const BICGSTAB_BLAS1_FLOPS_PER_ENTRY: u64 = 26;
+pub(crate) const BICGSTAB_BLAS1_STREAMS_PER_ENTRY: u64 = 30;
 
 /// Options controlling an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -323,7 +337,15 @@ pub(crate) fn conjugate_gradient_with(
     let mut history = vec![ops.norm(&r) / b_norm];
     let mut ap = vec![0.0; n];
 
+    let trace = ops.trace();
+    let iter_flops = operator.apply_flops() + CG_BLAS1_FLOPS_PER_ENTRY * n as u64;
+    let iter_bytes = operator.streamed_bytes() as u64 + CG_BLAS1_STREAMS_PER_ENTRY * 8 * n as u64;
+
     for iter in 0..options.max_iterations {
+        // One timed event per iteration; early error returns drop (and
+        // thereby record) the guard with zero tallies, which is itself
+        // deterministic — the failing iteration is thread-invariant.
+        let mut span = trace.map(|t| t.span(spans::CG_ITERATION, 0));
         ops.apply(operator, &p, &mut ap);
         let pap = ops.dot(&p, &ap);
         if !pap.is_finite() {
@@ -340,6 +362,9 @@ pub(crate) fn conjugate_gradient_with(
             return Err(SolverError::NonFinite { iteration: iter, residual: rel });
         }
         history.push(rel);
+        if let Some(s) = span.take() {
+            s.iters(1).flops(iter_flops).bytes(iter_bytes).aux(rel.to_bits()).finish();
+        }
         if rel < options.tolerance {
             return Ok(SolveOutcome {
                 solution: x,
@@ -415,7 +440,18 @@ fn bicgstab_with(
     let mut shat = vec![0.0; n];
     let mut t = vec![0.0; n];
 
+    let trace = ops.trace();
+    let iter_flops = 2 * matrix.apply_flops() + BICGSTAB_BLAS1_FLOPS_PER_ENTRY * n as u64;
+    let iter_bytes =
+        2 * matrix.streamed_bytes() as u64 + BICGSTAB_BLAS1_STREAMS_PER_ENTRY * 8 * n as u64;
+
     for iter in 0..options.max_iterations {
+        let mut span = trace.map(|t| t.span(spans::BICGSTAB_ITERATION, 0));
+        let finish = |span: Option<lv_trace::SpanScope<'_>>, rel: f64| {
+            if let Some(s) = span {
+                s.iters(1).flops(iter_flops).bytes(iter_bytes).aux(rel.to_bits()).finish();
+            }
+        };
         let rho_new = ops.dot(&r0, &r);
         if !rho_new.is_finite() {
             return Err(SolverError::non_finite_scalar(iter));
@@ -444,6 +480,7 @@ fn bicgstab_with(
         if s_rel < options.tolerance {
             ops.axpy(alpha, &phat, &mut x);
             history.push(s_rel);
+            finish(span.take(), s_rel);
             return Ok(SolveOutcome {
                 solution: x,
                 iterations: iter + 1,
@@ -467,6 +504,7 @@ fn bicgstab_with(
             return Err(SolverError::NonFinite { iteration: iter, residual: rel });
         }
         history.push(rel);
+        finish(span.take(), rel);
         if rel < options.tolerance {
             return Ok(SolveOutcome {
                 solution: x,

@@ -413,28 +413,49 @@ impl GeometricMultigrid {
         let nl = self.levels.len();
         assert_eq!(rhs.len(), self.levels[0].matrix.dim());
         assert_eq!(z.len(), rhs.len());
+        let trace = ops.trace();
+        let cycle = trace.map(|t| t.span(lv_trace::spans::MG_VCYCLE, 0).iters(1));
+        // Per-level event: `aux` carries the level index, `iters` the smooth
+        // sweeps, and the traffic model counts one matrix traversal per
+        // sweep plus the residual/transfer traversal.
+        let level_span = |l: usize, sweeps: usize, matrix: &CsrMatrix| {
+            trace.map(|t| {
+                t.span(lv_trace::spans::MG_LEVEL, 0)
+                    .iters(sweeps as u64)
+                    .flops((sweeps as u64 + 1) * LinearOperator::apply_flops(matrix))
+                    .bytes((sweeps as u64 + 1) * LinearOperator::streamed_bytes(matrix) as u64)
+                    .aux(l as u64)
+            })
+        };
         self.levels[0].b.copy_from_slice(rhs);
         for l in 0..nl - 1 {
             let (fine_half, coarse_half) = self.levels.split_at_mut(l + 1);
             let level = &mut fine_half[l];
             let next = &mut coarse_half[0];
+            let span = level_span(l, self.sweeps, &level.matrix);
             level.smooth(ops, self.sweeps, self.damping, true);
             ops.spmv(&level.matrix, &level.x, &mut level.t);
             ops.scaled_diff(&level.b, 1.0, &level.t, &mut level.r);
             self.interps[l].restrict(ops, &level.r, &mut next.b);
+            drop(span);
         }
         {
             let last = self.levels.last_mut().unwrap();
+            let span = level_span(nl - 1, 0, &last.matrix);
             self.coarse_lu.solve_into(&last.b, &mut last.x);
+            drop(span);
         }
         for l in (0..nl - 1).rev() {
             let (fine_half, coarse_half) = self.levels.split_at_mut(l + 1);
             let level = &mut fine_half[l];
             let next = &coarse_half[0];
+            let span = level_span(l, self.sweeps, &level.matrix);
             self.interps[l].prolong_add(ops, &next.x, &mut level.x);
             level.smooth(ops, self.sweeps, self.damping, false);
+            drop(span);
         }
         z.copy_from_slice(&self.levels[0].x);
+        drop(cycle);
     }
 }
 

@@ -43,6 +43,15 @@ pub trait LinearOperator: Sync {
     /// every backend.
     fn streamed_bytes(&self) -> usize;
 
+    /// Modeled floating-point operations of one full `A·x` — the compute
+    /// half of the traffic model ([`streamed_bytes`](Self::streamed_bytes)
+    /// is the bandwidth half) that the telemetry roofline reports pair with
+    /// measured wall-clock.  A function of the operator structure only, so
+    /// it is deterministic across thread counts.  Defaults to 0 (unmodeled).
+    fn apply_flops(&self) -> u64 {
+        0
+    }
+
     /// Full product `y = A·x` on the calling thread.
     ///
     /// # Panics
@@ -71,6 +80,11 @@ impl LinearOperator for CsrMatrix {
         // values + col_idx per stored entry, plus the row pointer array.
         self.nnz() * (std::mem::size_of::<f64>() + std::mem::size_of::<usize>())
             + (CsrMatrix::dim(self) + 1) * std::mem::size_of::<usize>()
+    }
+
+    fn apply_flops(&self) -> u64 {
+        // One multiply-add per stored entry.
+        2 * self.nnz() as u64
     }
 }
 
@@ -147,6 +161,7 @@ mod tests {
         assert_eq!(LinearOperator::diagonal(&a)[3], 3.0 + 3.0);
         let word = std::mem::size_of::<usize>();
         assert_eq!(a.streamed_bytes(), a.nnz() * (8 + word) + 9 * word);
+        assert_eq!(a.apply_flops(), 2 * a.nnz() as u64);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::csr::CsrMatrix;
 use crate::multivector::MultiVector;
 use crate::operator::LinearOperator;
-use lv_runtime::{blocked_reduce, blocked_reduce3, partition, SharedSliceMut, Team};
+use lv_runtime::{blocked_reduce, blocked_reduce3, partition, SharedSliceMut, Team, Trace};
 
 /// Element-wise operations on vectors shorter than this stay on the calling
 /// thread even when a team is available: below it, the fork/join hand-shake
@@ -54,20 +54,26 @@ pub fn first_non_finite(values: &[f64]) -> Option<usize> {
 #[derive(Debug)]
 pub struct VectorOps<'t> {
     team: Option<&'t Team>,
+    /// Telemetry sink of the team, if any.  Kept separately from `team`
+    /// because a one-thread team degrades `team` to `None` (serial
+    /// scheduling) but must still record its solver events — the counter
+    /// determinism suite compares 1-thread traces against multi-thread ones.
+    trace: Option<&'t Trace>,
     scratch: Vec<f64>,
 }
 
 impl<'t> VectorOps<'t> {
     /// Serial kernels (the classic single-thread path).
     pub fn serial() -> Self {
-        VectorOps { team: None, scratch: Vec::new() }
+        VectorOps { team: None, trace: None, scratch: Vec::new() }
     }
 
     /// Kernels running on `team`.  A one-thread team degrades to the serial
-    /// path with zero dispatch.
+    /// path with zero dispatch (but keeps the team's trace, when present).
     pub fn on_team(team: &'t Team) -> Self {
         VectorOps {
             team: if team.num_threads() > 1 { Some(team) } else { None },
+            trace: team.trace(),
             scratch: Vec::new(),
         }
     }
@@ -75,6 +81,14 @@ impl<'t> VectorOps<'t> {
     /// The worker count this instance schedules for (1 when serial).
     pub fn threads(&self) -> usize {
         self.team.map_or(1, Team::num_threads)
+    }
+
+    /// The telemetry trace of the team these kernels run on, when tracing
+    /// is enabled.  Instrumented solver loops record their per-iteration
+    /// events through this accessor; `None` costs one branch per iteration.
+    #[inline]
+    pub fn trace(&self) -> Option<&'t Trace> {
+        self.trace
     }
 
     /// Runs `f` once per non-empty partition range of `0..n` — across the

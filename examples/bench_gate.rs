@@ -163,6 +163,11 @@ fn main() {
     });
 
     // Rolling-window trends over the artifact history, when CI provides one.
+    // Each trend label names the artifact it reads, so every PASS/FAIL/skip
+    // line in the CI log says which file and metric it judged.
+    let artifact = |path: &str| {
+        std::path::Path::new(path).file_name().and_then(|n| n.to_str()).unwrap_or(path).to_string()
+    };
     let trend_ok = match std::env::var("LV_BENCH_HISTORY_DIR") {
         Ok(dir) => {
             let mut ok = true;
@@ -172,7 +177,12 @@ fn main() {
                 parse_named_numbers(json, "\"method\": \"spmm3\"", "speedup").first().copied()
             });
             ok &= run_trend(
-                gate_rolling_window("spmm3 ratio trend", &spmm, trend_window, trend_tolerance),
+                gate_rolling_window(
+                    &format!("spmm3 ratio trend ({})", artifact(&solver_path)),
+                    &spmm,
+                    trend_window,
+                    trend_tolerance,
+                ),
                 &dir,
                 spmm.len(),
             );
@@ -183,7 +193,7 @@ fn main() {
                     history_series(&dir, "solver", &solver_json, best_parallel_solver_speedup);
                 ok &= run_trend(
                     gate_rolling_window(
-                        "pooled solver speedup trend",
+                        &format!("pooled solver speedup trend ({})", artifact(&solver_path)),
                         &pooled,
                         trend_window,
                         trend_tolerance,
@@ -199,7 +209,7 @@ fn main() {
             let slices = history_series(&dir, "assembly", &assembly_json, worst_slice_speedup);
             ok &= run_trend(
                 gate_rolling_window(
-                    "assembly slice speedup trend",
+                    &format!("assembly slice speedup trend ({})", artifact(&assembly_path)),
                     &slices,
                     trend_window,
                     trend_tolerance,
@@ -215,7 +225,7 @@ fn main() {
                 });
                 ok &= run_trend(
                     gate_rolling_window_low(
-                        &format!("driver {phase} 1t seconds trend"),
+                        &format!("driver {phase} 1t seconds trend ({})", artifact(&driver_path)),
                         &seconds,
                         trend_window,
                         wallclock_tolerance,

@@ -28,7 +28,14 @@
 //! * `--seq` — sequential momentum solves instead of the batched SpMM path;
 //! * `--pressure-solver <cg|mgcg>` — pressure-Poisson setup: plain
 //!   Jacobi-CG or the geometric-multigrid-preconditioned CG (the default;
-//!   falls back to `cg` when the mesh is not a structured box lattice).
+//!   falls back to `cg` when the mesh is not a structured box lattice);
+//! * `--trace <path>` — run with the `lv-trace` telemetry subsystem armed:
+//!   spans over every phase, solver iteration and checkpoint I/O land in
+//!   per-rank buffers, the end-of-run roofline summary prints to stdout and
+//!   the event log is written to `<path>`;
+//! * `--trace-format <jsonl|chrome>` — event-log format: the replayable
+//!   line-JSON log (default) or a Chrome-tracing document for
+//!   `chrome://tracing` / <https://ui.perfetto.dev>.
 //!
 //! `taylor-green` with `n = 0` (the default) runs the 8³ → 12³ → 16³
 //! resolution sweep and reports the analytic L2 velocity error at a common
@@ -40,8 +47,8 @@
 
 use alya_longvec::prelude::*;
 use lv_driver::{
-    load_checkpoint, save_checkpoint, Checkpoint, CheckpointRing, FaultKind, FaultPlan,
-    PressureSolver, Scenario, SimState, Stepper, StepperConfig,
+    load_checkpoint_traced, save_checkpoint_traced, Checkpoint, CheckpointRing, FaultKind,
+    FaultPlan, PressureSolver, Scenario, SimState, Stepper, StepperConfig,
 };
 use lv_kernel::MomentumPath;
 
@@ -59,6 +66,14 @@ struct Cli {
     pressure_solver: PressureSolver,
     inject: Option<FaultPlan>,
     max_retries: usize,
+    trace: Option<String>,
+    trace_format: TraceFormat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
 }
 
 fn parse_cli() -> Cli {
@@ -77,6 +92,8 @@ fn parse_cli() -> Cli {
         pressure_solver: PressureSolver::MgCg,
         inject: None,
         max_retries: 3,
+        trace: None,
+        trace_format: TraceFormat::Jsonl,
     };
     let mut positional = 0;
     let mut i = 1;
@@ -112,6 +129,22 @@ fn parse_cli() -> Cli {
             }
             "--fixed-dt" => {
                 cli.fixed_dt = args.get(i + 1).and_then(|s| s.parse().ok());
+                i += 2;
+            }
+            "--trace" => {
+                cli.trace = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace-format" => {
+                let name = args.get(i + 1).cloned().unwrap_or_default();
+                cli.trace_format = match name.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        eprintln!("--trace-format must be 'jsonl' or 'chrome' (got '{other}')");
+                        std::process::exit(2);
+                    }
+                };
                 i += 2;
             }
             "--seq" => {
@@ -153,6 +186,35 @@ fn print_registry() {
     println!("\nusage: simulate <scenario> [n] [steps] [threads] [--checkpoint p] [--every k]");
     println!("       [--ring K] [--restart p] [--fixed-dt dt] [--seq]");
     println!("       [--pressure-solver cg|mgcg] [--inject spec] [--max-retries r]");
+    println!("       [--trace p] [--trace-format jsonl|chrome]");
+}
+
+/// Builds the worker team: traced (per-rank event buffers armed) when
+/// `--trace` asked for telemetry, plain otherwise.
+fn make_team(cli: &Cli) -> Team {
+    if cli.trace.is_some() {
+        Team::with_trace(cli.threads, TraceConfig::default())
+    } else {
+        Team::new(cli.threads)
+    }
+}
+
+/// Prints the roofline summary and writes the event log of a traced run.
+fn finish_trace(team: &mut Team, cli: &Cli) -> Result<(), String> {
+    let Some(path) = &cli.trace else { return Ok(()) };
+    let trace = team.trace_mut().expect("--trace armed the team's trace");
+    let summary = RunSummary::from_trace(trace);
+    println!("\n{}", summary.to_text());
+    let text = match cli.trace_format {
+        TraceFormat::Jsonl => trace.write_jsonl(),
+        TraceFormat::Chrome => trace.write_chrome(),
+    };
+    std::fs::write(path, text).map_err(|e| format!("writing trace to {path} failed: {e}"))?;
+    println!(
+        "trace ({}) -> {path}",
+        if cli.trace_format == TraceFormat::Jsonl { "jsonl" } else { "chrome" }
+    );
+    Ok(())
 }
 
 fn stepper_config(cli: &Cli) -> StepperConfig {
@@ -171,21 +233,23 @@ fn stepper_config(cli: &Cli) -> StepperConfig {
 
 /// Writes a checkpoint generation (ring-rotated, or a plain file with
 /// `--ring 0`) and applies any scheduled checkpoint corruption fault to the
-/// freshly written newest slot.
+/// freshly written newest slot.  A traced run records the write as a
+/// `driver/checkpoint/save` span.
 fn write_checkpoint(
     cli_path: &str,
     ring_depth: usize,
     scenario: &Scenario,
     state: &SimState,
     plan: &mut Option<FaultPlan>,
+    trace: Option<&Trace>,
 ) -> Result<std::path::PathBuf, String> {
     let newest = if ring_depth == 0 {
-        save_checkpoint(cli_path, scenario, state)
+        save_checkpoint_traced(cli_path, scenario, state, trace)
             .map_err(|e| format!("checkpoint write to {cli_path} failed: {e}"))?;
         std::path::PathBuf::from(cli_path)
     } else {
         CheckpointRing::new(cli_path, ring_depth)
-            .save(scenario, state)
+            .save_traced(scenario, state, trace)
             .map_err(|e| format!("checkpoint ring save at {cli_path} failed: {e}"))?
     };
     if let Some(plan) = plan {
@@ -219,13 +283,18 @@ fn write_checkpoint(
 
 /// Loads a restart checkpoint: the plain `<path>` file when it exists,
 /// otherwise the newest loadable generation of the `<path>.*` ring.
-fn load_restart(path: &str, ring_depth: usize) -> Result<Checkpoint, String> {
+fn load_restart(
+    path: &str,
+    ring_depth: usize,
+    trace: Option<&Trace>,
+) -> Result<Checkpoint, String> {
     if std::path::Path::new(path).exists() {
-        return load_checkpoint(path).map_err(|e| format!("checkpoint {path} unreadable: {e}"));
+        return load_checkpoint_traced(path, trace)
+            .map_err(|e| format!("checkpoint {path} unreadable: {e}"));
     }
     let ring = CheckpointRing::new(path, ring_depth.max(1));
     let recovery = ring
-        .load_latest()
+        .load_latest_traced(trace)
         .map_err(|e| format!("no usable checkpoint at {path} or its ring: {e}"))?;
     for (slot, why) in &recovery.skipped {
         println!("skipping damaged checkpoint generation {}: {why}", slot.display());
@@ -242,7 +311,7 @@ fn load_restart(path: &str, ring_depth: usize) -> Result<Checkpoint, String> {
 /// meshes, reporting the analytic L2 velocity error and the projection's
 /// divergence reduction.
 fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
-    let team = Team::new(cli.threads);
+    let mut team = make_team(cli);
     println!(
         "Taylor–Green resolution sweep ({} steps, {} worker thread(s), {} momentum solve):\n",
         cli.steps,
@@ -295,7 +364,7 @@ fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
     if !monotone || !reduced {
         return Err("taylor-green sweep contract violated (see the report above)".to_string());
     }
-    Ok(())
+    finish_trace(&mut team, cli)
 }
 
 fn main() {
@@ -327,10 +396,11 @@ fn run() -> Result<(), String> {
     // faults; the stepper's clone handles the solver faults (the kinds are
     // disjoint, so double-cloning cannot double-fire anything).
     let mut cli_plan = cli.inject.clone();
+    let mut team = make_team(&cli);
     let mut stepper = match &cli.restart {
         None => Stepper::new(scenario.clone(), config),
         Some(path) => {
-            let checkpoint = load_restart(path, cli.ring)?;
+            let checkpoint = load_restart(path, cli.ring, team.trace())?;
             checkpoint
                 .validate_scenario(&scenario)
                 .map_err(|e| format!("checkpoint {path} does not fit the requested run: {e}"))?;
@@ -365,7 +435,6 @@ fn run() -> Result<(), String> {
         "step", "time", "dt", "mom-it", "poi-it", "div(pre)", "div(post)", "kinetic energy"
     );
 
-    let team = Team::new(cli.threads);
     let final_step = stepper.state().step + cli.steps as u64;
     let mut final_saved = false;
     for _ in 0..cli.steps {
@@ -395,8 +464,14 @@ fn run() -> Result<(), String> {
         }
         if cli.every > 0 && report.step % cli.every as u64 == 0 {
             if let Some(path) = &cli.checkpoint {
-                let newest =
-                    write_checkpoint(path, cli.ring, &scenario, stepper.state(), &mut cli_plan)?;
+                let newest = write_checkpoint(
+                    path,
+                    cli.ring,
+                    &scenario,
+                    stepper.state(),
+                    &mut cli_plan,
+                    team.trace(),
+                )?;
                 println!("      checkpoint -> {} (step {})", newest.display(), report.step);
                 final_saved = stepper.state().step == final_step;
             }
@@ -407,8 +482,14 @@ fn run() -> Result<(), String> {
     }
     if let Some(path) = &cli.checkpoint {
         if !final_saved {
-            let newest =
-                write_checkpoint(path, cli.ring, &scenario, stepper.state(), &mut cli_plan)?;
+            let newest = write_checkpoint(
+                path,
+                cli.ring,
+                &scenario,
+                stepper.state(),
+                &mut cli_plan,
+                team.trace(),
+            )?;
             println!("\nfinal checkpoint -> {} (step {})", newest.display(), stepper.state().step);
         }
     }
@@ -419,5 +500,5 @@ fn run() -> Result<(), String> {
         stepper.kinetic_energy(),
         stepper.divergence_norm()
     );
-    Ok(())
+    finish_trace(&mut team, &cli)
 }

@@ -24,6 +24,10 @@
 //!   Chorin pressure projection over the mesh-true Laplacian/divergence/
 //!   gradient operators, the scenario registry, CFL-adaptive Δt and binary
 //!   checkpoint/restart with bitwise-identical resumption;
+//! * [`trace`] (`lv-trace`) — the deterministic run-telemetry subsystem:
+//!   per-rank span buffers, deterministic counters, line-JSON and
+//!   Chrome-tracing sinks and the roofline-style
+//!   [`trace::summary::RunSummary`];
 //! * [`metrics`] (`lv-metrics`) — the Section 2.2 metrics, regression and
 //!   report tables;
 //! * [`core`] (`lv-core`) — the experiment runner, the per-table/figure
@@ -41,6 +45,7 @@ pub use lv_metrics as metrics;
 pub use lv_runtime as runtime;
 pub use lv_sim as sim;
 pub use lv_solver as solver;
+pub use lv_trace as trace;
 
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {
@@ -54,4 +59,5 @@ pub mod prelude {
     pub use lv_solver::{
         bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, CsrMatrix, SolveOptions,
     };
+    pub use lv_trace::{summary::RunSummary, Trace, TraceConfig};
 }

@@ -1,0 +1,83 @@
+//! Integration tests of the run-telemetry subsystem — the determinism and
+//! replay contracts of `lv-trace`:
+//!
+//! * **Counter determinism** — a traced cavity run at threads ∈ {1, 2, 4}
+//!   produces exactly equal deterministic fingerprints (every deterministic
+//!   counter, every deterministic span's events/iters/flops/bytes);
+//!   wall-clock fields are advisory and excluded by construction;
+//! * **Replay** — the line-JSON log written from a live trace parses,
+//!   passes the CI structural validator, and replays to a `RunSummary`
+//!   that compares `==` to the live one;
+//! * **Chrome export** — the `--trace-format chrome` document carries one
+//!   complete (`"ph": "X"`) row per recorded event.
+
+use alya_longvec::prelude::*;
+use lv_metrics::validate_trace_jsonl;
+use lv_trace::sink::parse_jsonl;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Runs the traced 8³ lid-driven cavity for `steps` and returns the team
+/// (whose trace holds the run's events and counters).
+fn traced_cavity_run(threads: usize, steps: usize) -> Team {
+    let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 8);
+    let team = Team::with_trace(threads, TraceConfig::default());
+    let mut stepper = Stepper::new(scenario, StepperConfig::default());
+    stepper.run_on(&team, steps).expect("the cavity run must converge");
+    team
+}
+
+#[test]
+fn deterministic_fingerprint_is_equal_across_thread_counts() {
+    let mut fingerprints = Vec::new();
+    for threads in THREAD_COUNTS {
+        let mut team = traced_cavity_run(threads, 3);
+        let summary = RunSummary::from_trace(team.trace_mut().expect("traced team"));
+        assert_eq!(summary.counter("dropped_events"), Some(0), "{threads} threads dropped events");
+        fingerprints.push((threads, summary.deterministic_fingerprint()));
+    }
+    let (_, oracle) = &fingerprints[0];
+    assert!(!oracle.is_empty());
+    for (threads, fingerprint) in &fingerprints[1..] {
+        for (row, oracle_row) in fingerprint.iter().zip(oracle) {
+            assert_eq!(
+                row, oracle_row,
+                "deterministic telemetry diverged between 1 and {threads} thread(s)"
+            );
+        }
+        assert_eq!(fingerprint.len(), oracle.len());
+    }
+}
+
+#[test]
+fn jsonl_log_validates_and_replays_to_the_live_summary() {
+    let mut team = traced_cavity_run(2, 2);
+    let trace = team.trace_mut().expect("traced team");
+    let live = RunSummary::from_trace(trace);
+    let text = trace.write_jsonl();
+
+    let report = validate_trace_jsonl(&text);
+    assert!(report.passed(), "{}", report.to_text());
+
+    let log = parse_jsonl(&text).expect("the log must parse");
+    assert_eq!(log.summary(), live, "replayed summary must be bit-identical to the live one");
+    assert!(live.span("driver/step").is_some());
+    assert!(live.counter("steps").is_some());
+}
+
+#[test]
+fn chrome_export_has_one_complete_row_per_event() {
+    let mut team = traced_cavity_run(2, 1);
+    let trace = team.trace_mut().expect("traced team");
+    let events = trace.events().len();
+    assert!(events > 0);
+    let doc = trace.write_chrome();
+    assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+    assert!(doc.contains("\"traceEvents\": ["));
+    assert_eq!(doc.matches("\"ph\": \"X\"").count(), events);
+    assert!(doc.contains("\"name\": \"driver/step\""));
+    // Every rank of the team appears as its own Chrome thread id.
+    for rank in 0..2 {
+        assert!(doc.contains(&format!("\"tid\": {rank}")), "rank {rank} missing from export");
+    }
+}
