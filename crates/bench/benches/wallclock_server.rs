@@ -1,0 +1,106 @@
+//! Wall-clock benchmark of the supervised simulation service — the
+//! jobs/sec saturation sweep behind `BENCH_server.json`.
+//!
+//! Drains the *same* mixed fleet (small and mid-size cavity/Taylor–Green
+//! jobs, sliced and preempted) through a fresh supervisor at 1, 2 and 4
+//! workers and reports fleet throughput per worker count.  Throughput is a
+//! host property only: trajectories are bitwise identical at every worker
+//! count (enforced by the `server` integration tests), so the sweep is
+//! allowed to show nothing but scheduling overhead and saturation.
+//!
+//! The report is written to `BENCH_server.json` at the workspace root
+//! (override with `LV_BENCH_SERVER_JSON`), the fourth perf-trajectory
+//! artifact CI uploads.  `LV_BENCH_QUICK=1` trims the fleet, the sweep and
+//! the repetitions to fit a CI minute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_driver::{Scenario, ScenarioKind};
+use lv_server::{server_bench_to_json, JobSpec, Server, ServerBenchCase, ServerConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+fn quick_mode() -> bool {
+    std::env::var("LV_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Drains one fresh fleet at `workers` and returns the wall-clock seconds.
+fn drain_fleet(workers: usize, fleet: &[(ScenarioKind, usize, u64)]) -> f64 {
+    let tag = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("lv-server-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let config = ServerConfig {
+        workers,
+        slice_steps: 2,
+        vector_size: 32,
+        checkpoint_dir: dir.join("ckpt"),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::open(dir.join("jobs.jsonl"), config).expect("open");
+    for (index, (kind, n, steps)) in fleet.iter().enumerate() {
+        server
+            .submit(JobSpec::new(format!("job-{index}"), Scenario::new(*kind, *n), *steps))
+            .expect("submit");
+    }
+    let start = Instant::now();
+    let report = server.run();
+    let seconds = start.elapsed().as_secs_f64();
+    assert!(report.all_done(), "a bench fleet must finish: {report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+    seconds
+}
+
+fn server_saturation_sweep(_c: &mut Criterion) {
+    let quick = quick_mode();
+    // A mixed fleet: mostly small 8^3 jobs with a few mid-size 12^3 ones,
+    // sliced every 2 steps so every job is preempted and migrated.
+    let fleet: Vec<(ScenarioKind, usize, u64)> = if quick {
+        vec![
+            (ScenarioKind::LidDrivenCavity, 8, 2),
+            (ScenarioKind::TaylorGreenVortex, 8, 2),
+            (ScenarioKind::LidDrivenCavity, 8, 2),
+            (ScenarioKind::LidDrivenCavity, 12, 2),
+        ]
+    } else {
+        vec![
+            (ScenarioKind::LidDrivenCavity, 8, 4),
+            (ScenarioKind::TaylorGreenVortex, 8, 4),
+            (ScenarioKind::LidDrivenCavity, 8, 4),
+            (ScenarioKind::TaylorGreenVortex, 8, 4),
+            (ScenarioKind::LidDrivenCavity, 12, 4),
+            (ScenarioKind::TaylorGreenVortex, 12, 4),
+        ]
+    };
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    let repetitions = if quick { 2 } else { 3 };
+
+    println!("\n=== supervised service: jobs/sec saturation sweep ===");
+    println!(
+        "fleet: {} job(s) (8^3/12^3 mix), slice 2, workers {worker_counts:?}, \
+         min of {repetitions} rep(s)\n",
+        fleet.len()
+    );
+    let mut cases = Vec::new();
+    for &workers in worker_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..repetitions {
+            best = best.min(drain_fleet(workers, &fleet));
+        }
+        let jobs_per_sec = fleet.len() as f64 / best;
+        println!("  {workers} worker(s): {best:>9.3} s  ->  {jobs_per_sec:>7.2} jobs/s");
+        cases.push(ServerBenchCase { workers, seconds: best, jobs_per_sec });
+    }
+
+    let host_threads =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let json = server_bench_to_json(host_threads, fleet.len(), quick, &cases);
+    let path = std::env::var("LV_BENCH_SERVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
+    std::fs::write(&path, &json).expect("write BENCH_server.json");
+    println!("\nwrote {path}");
+}
+
+criterion_group!(benches, server_saturation_sweep);
+criterion_main!(benches);

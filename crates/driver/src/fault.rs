@@ -18,7 +18,15 @@
 //! ```
 //!
 //! Kinds: `momentum-breakdown`, `poisson-breakdown`, `mg-breakdown`,
-//! `poison-rhs`, `ckpt-flip`, `ckpt-truncate`.
+//! `poison-rhs`, `ckpt-flip`, `ckpt-truncate`, `stall`, `panic`.
+//!
+//! The last two exercise the *supervision* layer (`lv-server`) rather than
+//! the in-step recovery: `stall@k` busy-waits for [`STALL_MILLIS`] at the
+//! start of step `k` (bounded, so an unsupervised run still finishes — but
+//! long enough for a per-step watchdog to blow its deadline), and `panic@k`
+//! panics at the start of step `k` (contained by the server's
+//! `catch_unwind`; aborts a bare `simulate` run, by design).  Neither
+//! mutates the state, so trajectories are invariant to their firing.
 
 /// What a planned fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +48,29 @@ pub enum FaultKind {
     CheckpointFlip,
     /// The checkpoint written at this step is truncated to half its length.
     CheckpointTruncate,
+    /// The step busy-waits for [`STALL_MILLIS`] before doing any work — a
+    /// deterministic stand-in for a hung rank.  The wait is bounded, so an
+    /// unsupervised run still finishes; a supervisor's per-step watchdog
+    /// sees the deadline blow and kills the slice.
+    Stall,
+    /// The step panics before doing any work, exercising the
+    /// panic-containment path (`Team`'s panic-safe join plus the server's
+    /// `catch_unwind` around a slice).  Aborts a bare `simulate` run.
+    Panic,
+}
+
+/// How long a [`FaultKind::Stall`] busy-waits, in milliseconds.  Long
+/// enough that any reasonable per-step watchdog deadline fits under it,
+/// short enough that unsupervised runs and tests stay fast.
+pub const STALL_MILLIS: u64 = 400;
+
+/// The bounded busy-wait behind [`FaultKind::Stall`].  Spins (never
+/// sleeps), like a rank stuck in a convergence loop would.
+pub fn busy_stall() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(STALL_MILLIS);
+    while std::time::Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
 }
 
 impl FaultKind {
@@ -52,6 +83,8 @@ impl FaultKind {
             FaultKind::PoisonRhs => "poison-rhs",
             FaultKind::CheckpointFlip => "ckpt-flip",
             FaultKind::CheckpointTruncate => "ckpt-truncate",
+            FaultKind::Stall => "stall",
+            FaultKind::Panic => "panic",
         }
     }
 
@@ -64,6 +97,8 @@ impl FaultKind {
             "poison-rhs" => Some(FaultKind::PoisonRhs),
             "ckpt-flip" => Some(FaultKind::CheckpointFlip),
             "ckpt-truncate" => Some(FaultKind::CheckpointTruncate),
+            "stall" => Some(FaultKind::Stall),
+            "panic" => Some(FaultKind::Panic),
             _ => None,
         }
     }
@@ -162,6 +197,23 @@ impl FaultPlan {
         (mixed % len as u64) as usize
     }
 
+    /// Splits the plan into `(step faults, checkpoint faults)`, both keeping
+    /// the seed and any fired flags.  A supervisor hands the first to the
+    /// stepper it builds and fires the second itself after ring saves — the
+    /// kinds are disjoint, so the split cannot double-fire anything.
+    pub fn split_checkpoint(self) -> (FaultPlan, FaultPlan) {
+        let mut step = FaultPlan::new(self.seed);
+        let mut ckpt = FaultPlan::new(self.seed);
+        for fault in self.faults {
+            if fault.kind.is_checkpoint_fault() {
+                ckpt.faults.push(fault);
+            } else {
+                step.faults.push(fault);
+            }
+        }
+        (step, ckpt)
+    }
+
     /// Parses the CLI `--inject` spec (see the module docs for the syntax).
     ///
     /// # Errors
@@ -181,7 +233,8 @@ impl FaultPlan {
             let kind = FaultKind::from_name(name).ok_or_else(|| {
                 format!(
                     "unknown fault kind '{name}' (expected one of momentum-breakdown, \
-                     poisson-breakdown, mg-breakdown, poison-rhs, ckpt-flip, ckpt-truncate)"
+                     poisson-breakdown, mg-breakdown, poison-rhs, ckpt-flip, ckpt-truncate, \
+                     stall, panic)"
                 )
             })?;
             let step = step
@@ -260,8 +313,37 @@ mod tests {
             FaultKind::PoisonRhs,
             FaultKind::CheckpointFlip,
             FaultKind::CheckpointTruncate,
+            FaultKind::Stall,
+            FaultKind::Panic,
         ] {
             assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
         }
+    }
+
+    #[test]
+    fn split_checkpoint_partitions_by_kind_and_keeps_the_seed() {
+        let plan = FaultPlan::parse("stall@2,ckpt-flip@3,panic@4,ckpt-truncate@5,seed=11").unwrap();
+        let (mut step, mut ckpt) = plan.split_checkpoint();
+        assert_eq!(step.seed(), 11);
+        assert_eq!(ckpt.seed(), 11);
+        assert_eq!(step.pending(), 2);
+        assert_eq!(ckpt.pending(), 2);
+        assert!(step.fire(FaultKind::Stall, 2));
+        assert!(step.fire(FaultKind::Panic, 4));
+        assert_eq!(step.fire_checkpoint(3), None);
+        assert_eq!(ckpt.fire_checkpoint(3), Some(FaultKind::CheckpointFlip));
+        assert_eq!(ckpt.fire_checkpoint(5), Some(FaultKind::CheckpointTruncate));
+    }
+
+    #[test]
+    fn supervision_kinds_parse_and_are_not_checkpoint_faults() {
+        let mut plan = FaultPlan::parse("stall@2,panic@4,seed=9").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert!(!FaultKind::Stall.is_checkpoint_fault());
+        assert!(!FaultKind::Panic.is_checkpoint_fault());
+        assert_eq!(plan.fire_checkpoint(2), None, "stall is a step fault, not a ckpt fault");
+        assert!(plan.fire(FaultKind::Stall, 2));
+        assert!(plan.fire(FaultKind::Panic, 4));
+        assert_eq!(plan.pending(), 0);
     }
 }

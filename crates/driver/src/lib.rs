@@ -39,8 +39,9 @@ pub use checkpoint::{
     load_checkpoint, load_checkpoint_traced, save_checkpoint, save_checkpoint_traced, Checkpoint,
     CheckpointRing, RingRecovery,
 };
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, STALL_MILLIS};
 pub use scenario::{taylor_green_velocity, Scenario, ScenarioKind};
 pub use stepper::{
-    PressureSolver, RunError, SimState, StepError, StepReport, StepTimings, Stepper, StepperConfig,
+    PressureSolver, RunError, SimState, SliceEnd, SliceReport, StepError, StepReport, StepTimings,
+    Stepper, StepperConfig,
 };

@@ -628,6 +628,17 @@ impl Stepper {
         let rho = self.scenario.density;
         let t_new = self.state.time + dt;
         let step_index = self.state.step + 1;
+        // Supervision faults fire before any state is touched and on the
+        // leader only (no team barrier is pending here, so a panic unwinds
+        // cleanly through `catch_unwind` instead of deadlocking workers).
+        if let Some(plan) = &mut self.fault_plan {
+            if plan.fire(FaultKind::Stall, step_index) {
+                crate::fault::busy_stall();
+            }
+            if plan.fire(FaultKind::Panic, step_index) {
+                panic!("injected worker panic at step {step_index}");
+            }
+        }
         self.ensure_workspaces(team.num_threads());
         // Dropped (early-return) step spans record with iters = 0 — a failed
         // attempt; a completed step finishes with iters = 1.
@@ -925,6 +936,92 @@ impl Stepper {
         }
         Ok(reports)
     }
+
+    /// The stepper's live fault schedule, fired entries included.  A
+    /// supervisor that rebuilds a stepper after a failed slice carries this
+    /// spent plan into the replacement so the retry sees a healthy system —
+    /// the slice-level analogue of the fire-once rule inside
+    /// [`Stepper::step_recovering_on`].
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Runs recovering steps until `target_step` is reached, at most `quota`
+    /// of them, watching the wall-clock of each individual step against
+    /// `step_deadline`.
+    ///
+    /// This is the preemption primitive of the simulation service: the
+    /// supervisor hands out bounded slices, checkpoints between them, and
+    /// treats a blown deadline as a stalled worker (the state after a slow
+    /// step is still consistent — it is the *caller's* policy to discard it
+    /// and retry from the last checkpoint, mirroring a real watchdog kill
+    /// that could have landed mid-step).  Slicing never enters the
+    /// trajectory: any sequence of slices replays the exact steps of one
+    /// uninterrupted [`Stepper::run_recovering_on`].
+    ///
+    /// # Errors
+    /// Stops at the first step whose Δt-retry budget is exhausted.
+    ///
+    /// # Panics
+    /// Panics if `quota` is zero — a slice must make progress or the
+    /// supervisor loop would spin forever.
+    pub fn run_slice_on(
+        &mut self,
+        team: &Team,
+        target_step: u64,
+        quota: u64,
+        step_deadline: Option<std::time::Duration>,
+    ) -> Result<SliceReport, RunError> {
+        assert!(quota > 0, "a slice needs a non-zero step quota");
+        let mut reports = Vec::new();
+        while self.state.step < target_step && (reports.len() as u64) < quota {
+            let step_start = Instant::now();
+            reports.push(self.step_recovering_on(team)?);
+            let elapsed = step_start.elapsed();
+            if let Some(deadline) = step_deadline {
+                if elapsed > deadline {
+                    let step = self.state.step;
+                    return Ok(SliceReport {
+                        reports,
+                        end: SliceEnd::DeadlineExceeded { step, elapsed: elapsed.as_secs_f64() },
+                    });
+                }
+            }
+        }
+        let end = if self.state.step >= target_step {
+            SliceEnd::Completed
+        } else {
+            SliceEnd::QuotaExhausted
+        };
+        Ok(SliceReport { reports, end })
+    }
+}
+
+/// Why a [`Stepper::run_slice_on`] slice stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceEnd {
+    /// The run reached its target step — the job is finished.
+    Completed,
+    /// The step quota ran out with work remaining — preempt, checkpoint,
+    /// requeue.
+    QuotaExhausted,
+    /// One step exceeded the per-step watchdog deadline (`elapsed` is its
+    /// wall-clock in seconds) — the supervisor treats the job as stalled.
+    DeadlineExceeded {
+        /// The step that blew the deadline (1-based, as in [`StepReport`]).
+        step: u64,
+        /// Wall-clock seconds that step took.
+        elapsed: f64,
+    },
+}
+
+/// The outcome of one bounded slice of a supervised run.
+#[derive(Debug, Clone)]
+pub struct SliceReport {
+    /// Per-step reports of the steps the slice completed.
+    pub reports: Vec<StepReport>,
+    /// Why the slice stopped.
+    pub end: SliceEnd,
 }
 
 #[cfg(test)]
@@ -1143,6 +1240,98 @@ mod tests {
         assert_eq!(report.retries, 0, "the CG fallback succeeds inside the same attempt");
         assert_eq!(report.poisson_fallbacks, 1);
         assert!(report.poisson_residual < 1e-8, "the fallback solve still converges");
+    }
+
+    #[test]
+    fn stall_fault_is_bounded_and_trajectory_neutral() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let mut plain = Stepper::new(scenario.clone(), quick_config());
+        plain.run_recovering_on(&team, 2).expect("healthy run");
+
+        let plan = FaultPlan::new(3).with_fault(FaultKind::Stall, 2);
+        let mut stalled = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        let start = Instant::now();
+        stalled.run_recovering_on(&team, 2).expect("a stall is not an error");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= std::time::Duration::from_millis(crate::fault::STALL_MILLIS),
+            "the stall actually waited ({elapsed:?})"
+        );
+        assert_eq!(stalled.fault_plan().map(FaultPlan::pending), Some(0), "stall spent");
+        assert_eq!(
+            stalled.state().velocity.as_slice()[7].to_bits(),
+            plain.state().velocity.as_slice()[7].to_bits(),
+            "a stall never enters the trajectory"
+        );
+        assert_eq!(stalled.state().time.to_bits(), plain.state().time.to_bits());
+    }
+
+    #[test]
+    fn panic_fault_unwinds_and_is_catchable() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let plan = FaultPlan::new(3).with_fault(FaultKind::Panic, 1);
+        let mut stepper = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stepper.step_recovering_on(&team)
+        }));
+        let payload = caught.expect_err("the injected panic must unwind");
+        let message = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("injected worker panic at step 1"), "{message}");
+        // The fault is spent: the supervisor's retry (same stepper or a
+        // rebuilt one carrying the plan) completes.
+        assert_eq!(stepper.fault_plan().map(FaultPlan::pending), Some(0));
+        stepper.step_recovering_on(&team).expect("retry after the contained panic");
+        assert_eq!(stepper.state().step, 1);
+    }
+
+    #[test]
+    fn sliced_runs_replay_the_uninterrupted_trajectory() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let mut oracle = Stepper::new(scenario.clone(), quick_config());
+        oracle.run_recovering_on(&team, 5).expect("uninterrupted run");
+
+        let mut sliced = Stepper::new(scenario, quick_config());
+        let mut slices = 0;
+        loop {
+            let slice = sliced.run_slice_on(&team, 5, 2, None).expect("slice");
+            slices += 1;
+            match slice.end {
+                SliceEnd::Completed => break,
+                SliceEnd::QuotaExhausted => assert_eq!(slice.reports.len(), 2),
+                SliceEnd::DeadlineExceeded { .. } => panic!("no deadline was set"),
+            }
+        }
+        assert_eq!(slices, 3, "5 steps in quota-2 slices: 2 + 2 + 1");
+        assert_eq!(sliced.state().step, oracle.state().step);
+        for (a, b) in
+            sliced.state().velocity.as_slice().iter().zip(oracle.state().velocity.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "slicing never enters the trajectory");
+        }
+    }
+
+    #[test]
+    fn slice_deadline_reports_the_slow_step() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        let plan = FaultPlan::new(3).with_fault(FaultKind::Stall, 2);
+        let mut stepper = Stepper::new(scenario, quick_config().with_fault_plan(plan));
+        let deadline = std::time::Duration::from_millis(crate::fault::STALL_MILLIS / 2);
+        let slice = stepper.run_slice_on(&team, 4, 4, Some(deadline)).expect("slice");
+        match slice.end {
+            SliceEnd::DeadlineExceeded { step, elapsed } => {
+                assert_eq!(step, 2, "the stalled step is the one reported");
+                assert!(elapsed > deadline.as_secs_f64());
+            }
+            other => panic!("expected a blown deadline, got {other:?}"),
+        }
+        assert_eq!(slice.reports.len(), 2, "the slice stopped right after the slow step");
     }
 
     #[test]

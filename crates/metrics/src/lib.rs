@@ -23,9 +23,9 @@ pub mod tracecheck;
 
 pub use regression::{
     best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
-    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_solver_bench,
-    gate_spmm_bench, linear_regression, parse_host_threads, worst_slice_speedup, GateCheck,
-    GateReport, RegressionResult,
+    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_server_bench,
+    gate_solver_bench, gate_spmm_bench, linear_regression, parse_host_threads,
+    server_peak_throughput, worst_slice_speedup, GateCheck, GateReport, RegressionResult,
 };
 pub use report::Table;
 pub use summary::{PhaseMetrics, RunMetrics};

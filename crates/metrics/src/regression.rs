@@ -472,6 +472,85 @@ pub fn parse_host_threads(json: &str) -> Option<usize> {
     number_after(json, 0, "host_threads").map(|(v, _)| v as usize)
 }
 
+/// Extracts `(workers, jobs_per_sec)` for every case of a
+/// `BENCH_server.json` document.
+fn server_cases(json: &str) -> Vec<(usize, f64)> {
+    let mut cases = Vec::new();
+    let mut from = 0;
+    while let Some((workers, next)) = number_after(json, from, "workers") {
+        let Some((rate, next)) = number_after(json, next, "jobs_per_sec") else { break };
+        cases.push((workers as usize, rate));
+        from = next;
+    }
+    cases
+}
+
+/// Gates a `BENCH_server.json` document: every measured fleet throughput
+/// must be finite and positive, and on a multi-core host jobs/sec must be
+/// non-decreasing as workers grow, within a `min_scaling` slack (0.9 =
+/// "adding workers may cost at most 10%").  On a single-core host the
+/// worker sweep measures nothing but oversubscription, so the scaling check
+/// is recorded as a skipped (passing) check — the validity check still
+/// runs.
+pub fn gate_server_bench(json: &str, min_scaling: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let cases = server_cases(json);
+    if cases.is_empty() {
+        report.push("server throughput", false, "no worker cases found");
+        return report;
+    }
+    let all_valid = cases.iter().all(|&(_, rate)| rate.is_finite() && rate > 0.0);
+    report.push(
+        "server throughput",
+        all_valid,
+        format!(
+            "{} worker case(s), {}",
+            cases.len(),
+            cases
+                .iter()
+                .map(|(w, r)| format!("{w}w: {r:.2} jobs/s"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    );
+
+    let label = "server worker scaling";
+    match parse_host_threads(json) {
+        Some(host_threads) if host_threads >= 2 => {
+            let mut worst: Option<(usize, usize, f64)> = None;
+            for pair in cases.windows(2) {
+                let ratio = pair[1].1 / pair[0].1;
+                if worst.map_or(true, |(_, _, w)| ratio < w) {
+                    worst = Some((pair[0].0, pair[1].0, ratio));
+                }
+            }
+            match worst {
+                Some((from_w, to_w, ratio)) => report.push(
+                    label,
+                    ratio >= min_scaling,
+                    format!(
+                        "worst step {from_w}w -> {to_w}w at {ratio:.2}x, floor {min_scaling:.2}x"
+                    ),
+                ),
+                None => report.push(label, true, "single worker case, nothing to scale"),
+            }
+        }
+        Some(host_threads) => report.push(
+            label,
+            true,
+            format!("skipped: single-core host (host_threads = {host_threads})"),
+        ),
+        None => report.push(label, false, "no host_threads field found"),
+    }
+    report
+}
+
+/// The peak (maximum) jobs/sec of a `BENCH_server.json` document — the
+/// per-artifact scalar the server trend gate tracks.
+pub fn server_peak_throughput(json: &str) -> Option<f64> {
+    server_cases(json).into_iter().map(|(_, rate)| rate).max_by(f64::total_cmp)
+}
+
 /// Gates a perf metric's trajectory across the last `window` bench
 /// artifacts: fails only on a **sustained** downward trend — every step of
 /// the window non-increasing (plateaus count: min-of-N metrics quantize)
@@ -896,6 +975,39 @@ mod tests {
         assert_eq!(worst_slice_speedup("{}"), None);
         assert_eq!(best_parallel_solver_speedup(&solver_doc(4, 1.62, 1.41)), Some(1.62));
         assert_eq!(best_parallel_solver_speedup("{}"), None);
+    }
+
+    fn server_doc(host_threads: usize, rates: &[(usize, f64)]) -> String {
+        let cases = rates
+            .iter()
+            .map(|(w, r)| format!("{{\"workers\": {w}, \"seconds\": 1.0, \"jobs_per_sec\": {r}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"bench\": \"wallclock_server\", \"host_threads\": {host_threads}, \
+             \"quick\": true, \"jobs\": 4, \"cases\": [{cases}]}}"
+        )
+    }
+
+    #[test]
+    fn server_gate_checks_validity_and_multicore_scaling() {
+        // Multi-core: non-decreasing within the slack passes.
+        let report = gate_server_bench(&server_doc(4, &[(1, 2.0), (2, 3.5), (4, 3.4)]), 0.9);
+        assert!(report.passed(), "{}", report.to_text());
+        // A real throughput collapse fails.
+        let report = gate_server_bench(&server_doc(4, &[(1, 2.0), (2, 1.0)]), 0.9);
+        assert!(!report.passed(), "{}", report.to_text());
+        // Single-core: the scaling check is skipped, validity still gates.
+        let report = gate_server_bench(&server_doc(1, &[(1, 2.0), (2, 1.0)]), 0.9);
+        assert!(report.passed(), "{}", report.to_text());
+        assert!(report.to_text().contains("skipped"), "{}", report.to_text());
+        let report = gate_server_bench(&server_doc(1, &[(1, 0.0)]), 0.9);
+        assert!(!report.passed(), "zero throughput is invalid on any host");
+        // Empty or missing documents fail loudly.
+        assert!(!gate_server_bench("{\"host_threads\": 4}", 0.9).passed());
+
+        assert_eq!(server_peak_throughput(&server_doc(4, &[(1, 2.0), (2, 3.5)])), Some(3.5));
+        assert_eq!(server_peak_throughput("{}"), None);
     }
 
     #[test]

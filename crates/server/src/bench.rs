@@ -1,0 +1,68 @@
+//! Throughput measurement of the supervised service — the engine behind the
+//! `wallclock_server` bench and the committed `BENCH_server.json` artifact.
+//!
+//! Each case drains the *same* mixed fleet of jobs (small and mid-size
+//! scenarios) through a fresh [`crate::Server`] at a given worker count and
+//! reports jobs per second.  Throughput is a host property, never a
+//! trajectory one: every job still finishes bitwise identical at any worker
+//! count, so the only thing this bench is allowed to show is scheduling
+//! overhead and saturation.
+
+use lv_trace::json::{JsonArray, JsonObject};
+
+/// One `(workers,)` saturation point.
+#[derive(Debug, Clone)]
+pub struct ServerBenchCase {
+    /// Worker teams the fleet was drained over.
+    pub workers: usize,
+    /// Wall-clock seconds of the fastest repetition (whole fleet).
+    pub seconds: f64,
+    /// Fleet size divided by `seconds`.
+    pub jobs_per_sec: f64,
+}
+
+/// JSON document for `BENCH_server.json` via the shared [`lv_trace::json`]
+/// emitter (the offline `serde_json` shim cannot serialize).
+pub fn server_bench_to_json(
+    host_threads: usize,
+    jobs: usize,
+    quick: bool,
+    cases: &[ServerBenchCase],
+) -> String {
+    let mut rows = JsonArray::new();
+    for case in cases {
+        rows.push_object(
+            JsonObject::new()
+                .usize("workers", case.workers)
+                .f64_fixed("seconds", case.seconds, 9)
+                .f64_fixed("jobs_per_sec", case.jobs_per_sec, 4),
+        );
+    }
+    JsonObject::new()
+        .str("bench", "wallclock_server")
+        .usize("host_threads", host_threads)
+        .bool("quick", quick)
+        .usize("jobs", jobs)
+        .array("cases", rows)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_bench_document_carries_every_case() {
+        let cases = vec![
+            ServerBenchCase { workers: 1, seconds: 2.0, jobs_per_sec: 3.0 },
+            ServerBenchCase { workers: 2, seconds: 1.0, jobs_per_sec: 6.0 },
+        ];
+        let json = server_bench_to_json(8, 6, true, &cases);
+        assert!(json.contains("\"bench\": \"wallclock_server\""));
+        assert!(json.contains("\"host_threads\": 8"));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"jobs\": 6"));
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"jobs_per_sec\": 6.0000"));
+    }
+}

@@ -1,0 +1,568 @@
+//! The write-ahead job-state journal.
+//!
+//! One line-JSON record per transition, appended and fsynced *before* the
+//! transition takes effect — the same durability discipline as the
+//! checkpoint writer's tmp+fsync+rename.  A `kill -9`'d supervisor replays
+//! the log: each job's `submitted` record rebuilds its [`JobSpec`], the last
+//! transition decides whether it is finished or pending, and pending jobs
+//! resume from their checkpoint rings.  A torn trailing line (the append the
+//! kill interrupted) is detected and truncated away; corruption anywhere
+//! *else* is refused loudly — a mid-file hole means the log is not ours.
+//!
+//! Records are written with [`lv_trace::json`] and parsed by a small
+//! field scanner that understands exactly the flat objects we emit (the
+//! vendored `serde_json` shim has no serializer, and a full parser would be
+//! over-tooling for single-level objects with known keys).
+
+use crate::job::{valid_job_id, JobSpec, JobStatus};
+use lv_driver::{FaultPlan, Scenario, ScenarioKind};
+use lv_trace::json::JsonObject;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The transition vocabulary (also the `event` field values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A new job entered the queue; the record carries the full spec.
+    Submitted,
+    /// A worker claimed a slice starting at `step`.
+    Running,
+    /// Preempted at the slice quota, checkpointed at `step`, requeued.
+    Preempted,
+    /// A slice failed (`error`); the job is requeued as attempt `attempt`.
+    Retrying,
+    /// The job reached its target step.
+    Done,
+    /// Retry budget exhausted; the job is permanently failed.
+    Failed,
+}
+
+impl EventKind {
+    /// Stable journal name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Running => "running",
+            EventKind::Preempted => "preempted",
+            EventKind::Retrying => "retrying",
+            EventKind::Done => "done",
+            EventKind::Failed => "failed",
+        }
+    }
+
+    /// Parses a journal name (inverse of [`name`](Self::name)).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        match name {
+            "submitted" => Some(EventKind::Submitted),
+            "running" => Some(EventKind::Running),
+            "preempted" => Some(EventKind::Preempted),
+            "retrying" => Some(EventKind::Retrying),
+            "done" => Some(EventKind::Done),
+            "failed" => Some(EventKind::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// One journal line: a transition plus whatever context it carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Monotonic sequence number (assigned by [`Journal::append`]).
+    pub seq: u64,
+    /// Which transition this is.
+    pub event: EventKind,
+    /// The job it concerns.
+    pub job: String,
+    /// Worker index, for `running` / `preempted` / `retrying`.
+    pub worker: Option<u64>,
+    /// Step context (resume step, checkpoint step, or final step).
+    pub step: Option<u64>,
+    /// Simulation time, on `done`.
+    pub time: Option<f64>,
+    /// Failed-attempt count, on `retrying`.
+    pub attempt: Option<u64>,
+    /// Error text, on `retrying` / `failed`.
+    pub error: Option<String>,
+    /// Scenario registry name, on `submitted`.
+    pub scenario: Option<String>,
+    /// Scenario resolution, on `submitted`.
+    pub resolution: Option<u64>,
+    /// Target step count, on `submitted`.
+    pub steps: Option<u64>,
+    /// Fault-injection spec, on `submitted`.
+    pub inject: Option<String>,
+}
+
+impl Record {
+    /// A bare record of `event` for `job` (seq filled in at append time).
+    pub fn new(event: EventKind, job: impl Into<String>) -> Record {
+        Record {
+            seq: 0,
+            event,
+            job: job.into(),
+            worker: None,
+            step: None,
+            time: None,
+            attempt: None,
+            error: None,
+            scenario: None,
+            resolution: None,
+            steps: None,
+            inject: None,
+        }
+    }
+
+    /// The `submitted` record carrying the full spec.
+    pub fn submitted(spec: &JobSpec) -> Record {
+        let mut record = Record::new(EventKind::Submitted, &spec.id);
+        record.scenario = Some(spec.scenario.kind.name().to_string());
+        record.resolution = Some(spec.scenario.resolution as u64);
+        record.steps = Some(spec.steps);
+        record.inject = spec.inject.clone();
+        record
+    }
+
+    /// Serializes to one flat JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = JsonObject::new()
+            .u64("seq", self.seq)
+            .str("event", self.event.name())
+            .str("job", &self.job);
+        if let Some(worker) = self.worker {
+            obj = obj.u64("worker", worker);
+        }
+        if let Some(step) = self.step {
+            obj = obj.u64("step", step);
+        }
+        if let Some(time) = self.time {
+            obj = obj.f64("time", time);
+        }
+        if let Some(attempt) = self.attempt {
+            obj = obj.u64("attempt", attempt);
+        }
+        if let Some(scenario) = &self.scenario {
+            obj = obj.str("scenario", scenario);
+        }
+        if let Some(resolution) = self.resolution {
+            obj = obj.u64("resolution", resolution);
+        }
+        if let Some(steps) = self.steps {
+            obj = obj.u64("steps", steps);
+        }
+        if let Some(inject) = &self.inject {
+            obj = obj.str("inject", inject);
+        }
+        if let Some(error) = &self.error {
+            obj = obj.str("error", error);
+        }
+        obj.finish()
+    }
+
+    /// Parses one journal line; `None` when the line is not a well-formed
+    /// record (the caller decides whether that means "torn tail" or
+    /// "corrupt log").
+    pub fn parse(line: &str) -> Option<Record> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        let mut record =
+            Record::new(EventKind::from_name(&str_field(line, "event")?)?, str_field(line, "job")?);
+        record.seq = u64_field(line, "seq")?;
+        record.worker = u64_field(line, "worker");
+        record.step = u64_field(line, "step");
+        record.time = f64_field(line, "time");
+        record.attempt = u64_field(line, "attempt");
+        record.error = str_field(line, "error");
+        record.scenario = str_field(line, "scenario");
+        record.resolution = u64_field(line, "resolution");
+        record.steps = u64_field(line, "steps");
+        record.inject = str_field(line, "inject");
+        Some(record)
+    }
+}
+
+/// Byte offset just past `"<key>": ` — the scanner's anchor.  The needle
+/// includes the quotes and separator, so `"step"` never matches `"steps"`.
+fn field_start(line: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\": ");
+    line.find(&needle).map(|at| at + needle.len())
+}
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let rest = &line[field_start(line, key)?..];
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[field_start(line, key)?..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Decodes the quoted, [`lv_trace::json::escape`]d string after `"<key>": `.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let rest = &line[field_start(line, key)?..];
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (&mut chars).take(4).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            other => out.push(other),
+        }
+    }
+}
+
+/// What replaying an existing journal found.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Every intact record, in append order.
+    pub records: Vec<Record>,
+    /// Whether a torn trailing line (an interrupted append) was truncated
+    /// away on open.
+    pub torn_tail: bool,
+}
+
+/// The append-side handle: open once, fsync every record.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replaying whatever
+    /// is already there.  A torn trailing line is truncated so the next
+    /// append starts on a clean line boundary.
+    ///
+    /// # Errors
+    /// I/O errors, or `InvalidData` when a record *before* the tail is
+    /// unparseable — a hole in the middle of a write-ahead log means it was
+    /// not written by this code, and resuming from it would be a guess.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Journal, Replay)> {
+        let path = path.into();
+        let replay = match std::fs::read(&path) {
+            Ok(bytes) => replay_bytes(&path, &bytes)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Replay::default(),
+            Err(e) => return Err(e),
+        };
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let next_seq = replay.records.last().map_or(0, |r| r.seq + 1);
+        Ok((Journal { path, file, next_seq }, replay))
+    }
+
+    /// The journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends `record` (stamping its sequence number) and fsyncs before
+    /// returning — the transition may only take effect once this returns.
+    ///
+    /// # Errors
+    /// The underlying write or fsync failure.
+    pub fn append(&mut self, mut record: Record) -> io::Result<u64> {
+        record.seq = self.next_seq;
+        let mut line = record.to_json_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(record.seq)
+    }
+}
+
+/// Replays journal bytes, truncating a torn tail in place (see
+/// [`Journal::open`]).
+fn replay_bytes(path: &Path, bytes: &[u8]) -> io::Result<Replay> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut clean_end = 0usize;
+    while offset < bytes.len() {
+        let line_end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|at| offset + at)
+            .unwrap_or(bytes.len());
+        let terminated = line_end < bytes.len();
+        let line = &bytes[offset..line_end];
+        let parsed = std::str::from_utf8(line).ok().and_then(Record::parse);
+        match parsed {
+            Some(record) if terminated => {
+                records.push(record);
+                clean_end = line_end + 1;
+            }
+            _ if line.iter().all(|b| b.is_ascii_whitespace()) => {
+                // Blank line: harmless, keep scanning.
+                if terminated {
+                    clean_end = line_end + 1;
+                }
+            }
+            _ => {
+                // An unparseable or unterminated line.  Only acceptable as
+                // the very last thing in the file — the append a crash
+                // interrupted.
+                let rest = &bytes[line_end..];
+                let only_tail = rest.iter().all(|b| b.is_ascii_whitespace());
+                if !only_tail {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal {} is corrupt mid-file (record {} unparseable with more \
+                             records after it)",
+                            path.display(),
+                            records.len()
+                        ),
+                    ));
+                }
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(clean_end as u64)?;
+                file.sync_data()?;
+                return Ok(Replay { records, torn_tail: true });
+            }
+        }
+        offset = line_end + 1;
+    }
+    Ok(Replay { records, torn_tail: false })
+}
+
+/// One job reconstructed from the journal.
+#[derive(Debug, Clone)]
+pub struct JobEntry {
+    /// The spec, rebuilt from the `submitted` record.
+    pub spec: JobSpec,
+    /// The state after the job's last journaled transition.
+    pub status: JobStatus,
+    /// Failed attempts so far (the highest journaled `retrying` attempt).
+    pub attempts: u64,
+}
+
+/// Folds records into per-job entries, in submission order.
+///
+/// # Errors
+/// `InvalidData` when the log references an unknown job, an unknown
+/// scenario, an invalid job id, or an unparseable inject spec — a journal
+/// this code wrote can contain none of those.
+pub fn ledger(records: &[Record]) -> io::Result<Vec<JobEntry>> {
+    let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    let mut entries: Vec<JobEntry> = Vec::new();
+    for record in records {
+        if record.event == EventKind::Submitted {
+            if !valid_job_id(&record.job) {
+                return Err(bad(format!("journal submits invalid job id '{}'", record.job)));
+            }
+            if entries.iter().any(|e| e.spec.id == record.job) {
+                return Err(bad(format!("journal submits job '{}' twice", record.job)));
+            }
+            let name = record.scenario.as_deref().unwrap_or("");
+            let kind = ScenarioKind::from_name(name).ok_or_else(|| {
+                bad(format!("journal job '{}': unknown scenario '{name}'", record.job))
+            })?;
+            let resolution = record.resolution.unwrap_or(0) as usize;
+            if resolution == 0 {
+                return Err(bad(format!("journal job '{}': missing resolution", record.job)));
+            }
+            if let Some(spec) = &record.inject {
+                FaultPlan::parse(spec).map_err(|e| {
+                    bad(format!("journal job '{}': bad inject spec: {e}", record.job))
+                })?;
+            }
+            let mut spec = JobSpec::new(
+                record.job.clone(),
+                Scenario::new(kind, resolution),
+                record.steps.unwrap_or(0),
+            );
+            spec.inject = record.inject.clone();
+            entries.push(JobEntry { spec, status: JobStatus::Queued, attempts: 0 });
+            continue;
+        }
+        let entry = entries
+            .iter_mut()
+            .find(|e| e.spec.id == record.job)
+            .ok_or_else(|| bad(format!("journal references unsubmitted job '{}'", record.job)))?;
+        entry.status = match record.event {
+            EventKind::Submitted => unreachable!("handled above"),
+            EventKind::Running => JobStatus::Running {
+                worker: record.worker.unwrap_or(0) as usize,
+                step: record.step.unwrap_or(0),
+            },
+            EventKind::Preempted => JobStatus::Preempted { step: record.step.unwrap_or(0) },
+            EventKind::Retrying => {
+                let attempt = record.attempt.unwrap_or(entry.attempts + 1);
+                entry.attempts = entry.attempts.max(attempt);
+                JobStatus::Retrying { attempt }
+            }
+            EventKind::Done => JobStatus::Done { step: record.step.unwrap_or(0) },
+            EventKind::Failed => JobStatus::Failed {
+                error: record.error.clone().unwrap_or_else(|| "unknown".to_string()),
+            },
+        };
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lv-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn records_round_trip_through_json_lines() {
+        let scenario = Scenario::new(ScenarioKind::TaylorGreenVortex, 8);
+        let spec = JobSpec::new("tg-8", scenario, 12).with_inject("stall@3,seed=7");
+        let submitted = Record::submitted(&spec);
+        let reparsed = Record::parse(&submitted.to_json_line()).expect("parse");
+        assert_eq!(reparsed, submitted);
+        assert_eq!(reparsed.scenario.as_deref(), Some("taylor-green"));
+        assert_eq!(reparsed.resolution, Some(8));
+        assert_eq!(reparsed.inject.as_deref(), Some("stall@3,seed=7"));
+
+        let mut failed = Record::new(EventKind::Failed, "tg-8");
+        failed.seq = 9;
+        failed.error = Some("quote \" backslash \\ newline \n tab \t done".to_string());
+        let line = failed.to_json_line();
+        assert_eq!(Record::parse(&line).expect("parse"), failed, "escapes survive: {line}");
+
+        let mut done = Record::new(EventKind::Done, "tg-8");
+        done.step = Some(12);
+        done.time = Some(0.062_499_999_999_999_99);
+        let reparsed = Record::parse(&done.to_json_line()).expect("parse");
+        assert_eq!(reparsed.time.map(f64::to_bits), done.time.map(f64::to_bits));
+    }
+
+    #[test]
+    fn step_field_is_not_confused_with_steps() {
+        let mut record = Record::new(EventKind::Running, "j");
+        record.step = Some(3);
+        let line = record.to_json_line();
+        assert_eq!(u64_field(&line, "step"), Some(3));
+        assert_eq!(u64_field(&line, "steps"), None);
+        let submitted =
+            Record::submitted(&JobSpec::new("j", Scenario::new(ScenarioKind::Channel, 4), 17));
+        let line = submitted.to_json_line();
+        assert_eq!(u64_field(&line, "steps"), Some(17));
+        assert_eq!(u64_field(&line, "step"), None);
+    }
+
+    #[test]
+    fn append_fsyncs_lines_and_replay_reads_them_back() {
+        let path = tmp("append");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, replay) = Journal::open(&path).expect("open fresh");
+        assert!(replay.records.is_empty() && !replay.torn_tail);
+        let spec = JobSpec::new("a", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 3);
+        journal.append(Record::submitted(&spec)).expect("append");
+        let mut running = Record::new(EventKind::Running, "a");
+        running.worker = Some(1);
+        running.step = Some(0);
+        journal.append(running).expect("append");
+        drop(journal);
+
+        let (journal, replay) = Journal::open(&path).expect("reopen");
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0].seq, 0);
+        assert_eq!(replay.records[1].seq, 1);
+        assert_eq!(replay.records[1].event, EventKind::Running);
+        drop(journal);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut journal, _) = Journal::open(&path).expect("open");
+        let spec = JobSpec::new("a", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 3);
+        journal.append(Record::submitted(&spec)).expect("append");
+        drop(journal);
+        // Emulate a kill mid-append: half a record, no newline.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let intact = bytes.len();
+        bytes.extend_from_slice(b"{\"seq\": 1, \"event\": \"runn");
+        std::fs::write(&path, &bytes).expect("write");
+
+        let (mut journal, replay) = Journal::open(&path).expect("reopen tolerates the tear");
+        assert!(replay.torn_tail);
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(std::fs::metadata(&path).expect("meta").len(), intact as u64);
+        // The next append lands on a clean line and the seq continues.
+        let seq = journal.append(Record::new(EventKind::Done, "a")).expect("append");
+        assert_eq!(seq, 1);
+        drop(journal);
+        let (_, replay) = Journal::open(&path).expect("final open");
+        assert_eq!(replay.records.len(), 2);
+        assert!(!replay.torn_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused() {
+        let path = tmp("midfile");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "garbage\n{\"seq\": 0, \"event\": \"done\", \"job\": \"a\"}\n")
+            .expect("write");
+        let err = Journal::open(&path).expect_err("a hole mid-log is not ours");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ledger_folds_transitions_and_counts_attempts() {
+        let spec = JobSpec::new("a", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 6)
+            .with_inject("panic@2,seed=3");
+        let mut records = vec![Record::submitted(&spec)];
+        let mut running = Record::new(EventKind::Running, "a");
+        running.worker = Some(0);
+        running.step = Some(0);
+        records.push(running);
+        let mut retrying = Record::new(EventKind::Retrying, "a");
+        retrying.attempt = Some(1);
+        retrying.error = Some("worker panic: injected".into());
+        records.push(retrying);
+        let mut done = Record::new(EventKind::Done, "a");
+        done.step = Some(6);
+        records.push(done);
+
+        let entries = ledger(&records).expect("ledger");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].spec.steps, 6);
+        assert_eq!(entries[0].spec.inject.as_deref(), Some("panic@2,seed=3"));
+        assert_eq!(entries[0].attempts, 1);
+        assert_eq!(entries[0].status, JobStatus::Done { step: 6 });
+
+        // A crash right after `running` leaves the job pending.
+        let entries = ledger(&records[..2]).expect("ledger");
+        assert_eq!(entries[0].status, JobStatus::Running { worker: 0, step: 0 });
+        assert!(!entries[0].status.is_terminal());
+
+        // Logs this code would never write are refused.
+        assert!(ledger(&[Record::new(EventKind::Done, "ghost")]).is_err());
+        let mut bad = Record::submitted(&spec);
+        bad.scenario = Some("no-such-flow".into());
+        assert!(ledger(&[bad]).is_err());
+        let mut bad = Record::submitted(&spec);
+        bad.inject = Some("bogus@@".into());
+        assert!(ledger(&[bad]).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `lv-server`: the supervised simulation service.
+//!
+//! A crash-safe job scheduler over the `lv-driver` stepper: a queue of
+//! [`JobSpec`]s is multiplexed across M worker [`lv_runtime::Team`]s by a
+//! supervisor loop.  Jobs run in bounded slices (a step quota plus a
+//! wall-clock watchdog per step), checkpoint into a per-job
+//! [`lv_driver::CheckpointRing`] at every slice boundary, and resume on
+//! *any* worker — or any later supervisor process — with zero trajectory
+//! drift, because the trajectory is a pure function of the checkpointed
+//! state.  Every lifecycle transition is written ahead to a line-JSON
+//! journal ([`journal`]) and fsynced before it takes effect, so a
+//! `kill -9`'d supervisor replays the log and picks every job back up from
+//! its newest intact ring generation.
+//!
+//! Layering: `lv-server` sits strictly above `lv-driver` — it owns
+//! scheduling, containment and persistence policy, and never reaches into
+//! the numerics.  See `supervisor` for the containment ladder.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod job;
+pub mod journal;
+pub mod supervisor;
+
+pub use bench::{server_bench_to_json, ServerBenchCase};
+pub use job::{valid_job_id, JobError, JobSpec, JobStatus};
+pub use journal::{ledger, EventKind, Journal, Record, Replay};
+pub use supervisor::{JobOutcome, ReplaySummary, RunReport, Server, ServerConfig};

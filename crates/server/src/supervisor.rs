@@ -1,0 +1,895 @@
+//! The supervisor: M worker `Team`s multiplexing a journaled job queue.
+//!
+//! Each worker owns one [`lv_runtime::Team`] and pulls jobs from a shared
+//! queue.  A pulled job runs **one bounded slice** ([`Stepper::run_slice_on`]):
+//! resume from the newest intact generation of the job's private
+//! [`CheckpointRing`] (or from scratch), advance at most `slice_steps`
+//! steps under a per-step wall-clock watchdog, checkpoint, and either
+//! finish, requeue (preemption), or enter the retry path.  State travels
+//! *only* through checkpoints, so a job hops freely between workers — and
+//! between supervisor processes — with zero trajectory drift: the
+//! trajectory is a pure function of the simulation state, never of the
+//! schedule.
+//!
+//! Failure containment, from the inside out:
+//!
+//! 1. Δt-retry *inside* a step (PR 7's recovery, unchanged);
+//! 2. `catch_unwind` around the slice: a worker panic (re-thrown by
+//!    `Team`'s panic-safe join) becomes [`JobError::Panicked`];
+//! 3. the watchdog: a step exceeding [`ServerConfig::step_deadline`]
+//!    becomes [`JobError::Stalled`] and the slice's state is discarded —
+//!    the retry replays from the last checkpoint;
+//! 4. the per-job retry budget with exponential backoff; exhaustion
+//!    degrades to a journaled `failed` record without touching the fleet;
+//! 5. the write-ahead journal: every transition is fsynced before it takes
+//!    effect, so `kill -9` at any instant loses at most the work since the
+//!    last checkpoint — never a job, never a trajectory.
+
+use crate::job::{valid_job_id, JobError, JobSpec, JobStatus};
+use crate::journal::{ledger, EventKind, Journal, Record, Replay};
+use lv_driver::{CheckpointRing, FaultKind, FaultPlan, SliceEnd, Stepper, StepperConfig};
+use lv_runtime::{Team, TraceConfig};
+use lv_trace::summary::RunSummary;
+use lv_trace::{spans, Event, Trace};
+use std::collections::VecDeque;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Supervisor policy knobs.  All scheduling policy lives here; none of it
+/// can reach a trajectory.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker `Team`s pulling jobs concurrently.
+    pub workers: usize,
+    /// Threads per worker team (jobs are bitwise identical across any
+    /// value, so this is purely a throughput knob).
+    pub threads_per_worker: usize,
+    /// Step quota per slice: how long a job may hold a worker before it is
+    /// preempted, checkpointed and requeued.
+    pub slice_steps: u64,
+    /// Watchdog: a single step exceeding this wall-clock deadline marks the
+    /// job stalled (detected cooperatively at the step boundary — the
+    /// injected [`FaultKind::Stall`] busy-wait is bounded, so detection is
+    /// prompt).
+    pub step_deadline: Duration,
+    /// Slice-failure retry budget per job (panics, stalls, exhausted
+    /// Δt-retries, checkpoint I/O).
+    pub max_job_retries: u64,
+    /// Base of the exponential retry backoff: attempt `k` sleeps
+    /// `backoff_base · 2^(k-1)` (capped at 2 s) before requeueing.
+    pub backoff_base: Duration,
+    /// Directory of the per-job checkpoint rings (`<dir>/<id>.ckpt.N`).
+    pub checkpoint_dir: PathBuf,
+    /// Ring depth per job.
+    pub ring_depth: usize,
+    /// Element-batch vector size handed to the stepper (0 keeps the
+    /// [`StepperConfig`] default).
+    pub vector_size: usize,
+    /// Stop pulling work after this many slices — a graceful drain used by
+    /// tests to emulate a supervisor dying mid-run (jobs stay pending in
+    /// the journal, exactly as after a real kill).
+    pub max_slices: Option<u64>,
+    /// Arm per-worker `lv-trace` buffers (`server/*` spans).
+    pub traced: bool,
+    /// Print scheduling transitions to stdout (the CLI wants them; tests
+    /// and benches keep quiet).
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            threads_per_worker: 1,
+            slice_steps: 4,
+            step_deadline: Duration::from_secs(30),
+            max_job_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            checkpoint_dir: std::env::temp_dir().join("lv-server"),
+            ring_depth: 3,
+            vector_size: 0,
+            max_slices: None,
+            traced: false,
+            verbose: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The stepper configuration every job runs with (fault plans are added
+    /// per job).  Exposed so oracle runs in tests can match it exactly.
+    pub fn stepper_config(&self) -> StepperConfig {
+        let config = StepperConfig::default();
+        if self.vector_size > 0 {
+            config.with_vector_size(self.vector_size)
+        } else {
+            config
+        }
+    }
+}
+
+/// What replaying the journal found at [`Server::open`] time.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySummary {
+    /// Jobs in the journal.
+    pub jobs: usize,
+    /// Already finished.
+    pub done: usize,
+    /// Permanently failed.
+    pub failed: usize,
+    /// Pending: queued, or in flight when the previous supervisor died —
+    /// these resume from their checkpoint rings.
+    pub pending: usize,
+    /// Whether a torn trailing journal line (an interrupted append) was
+    /// truncated away.
+    pub torn_tail: bool,
+}
+
+impl std::fmt::Display for ReplaySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "journal replay: {} job(s): {} done, {} failed, {} pending{}",
+            self.jobs,
+            self.done,
+            self.failed,
+            self.pending,
+            if self.torn_tail { " (torn tail truncated)" } else { "" }
+        )
+    }
+}
+
+/// Snapshot of one job after [`Server::run`] (or at open, before running).
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Failed attempts so far.
+    pub attempts: u64,
+}
+
+/// Fleet totals of one [`Server::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Jobs that finished.
+    pub done: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Jobs still pending (only possible when `max_slices` drained early).
+    pub pending: usize,
+    /// Slices executed across all workers.
+    pub slices: u64,
+}
+
+impl RunReport {
+    /// Whether every job finished.
+    pub fn all_done(&self) -> bool {
+        self.failed == 0 && self.pending == 0
+    }
+}
+
+/// One job's in-memory seat: journal-derived state plus the live fault
+/// plans.  The plans are process-local on purpose — after a crash they are
+/// re-parsed from the spec, which is sound because trajectories are
+/// invariant to when (or how often) these faults fire.
+#[derive(Debug)]
+struct JobSlot {
+    spec: JobSpec,
+    status: JobStatus,
+    attempts: u64,
+    solver_plan: Option<FaultPlan>,
+    ckpt_plan: Option<FaultPlan>,
+    plans_armed: bool,
+}
+
+impl JobSlot {
+    fn new(spec: JobSpec, status: JobStatus, attempts: u64) -> JobSlot {
+        JobSlot { spec, status, attempts, solver_plan: None, ckpt_plan: None, plans_armed: false }
+    }
+}
+
+/// Scheduler state under the queue mutex.
+struct Sched {
+    queue: VecDeque<usize>,
+    active: usize,
+    slices: u64,
+    halted: bool,
+}
+
+struct Shared<'a> {
+    config: &'a ServerConfig,
+    journal: &'a Mutex<Journal>,
+    slots: &'a [Mutex<JobSlot>],
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+/// The supervised simulation service (see the module docs).
+pub struct Server {
+    config: ServerConfig,
+    journal: Mutex<Journal>,
+    slots: Vec<Mutex<JobSlot>>,
+    replay: ReplaySummary,
+    summaries: Vec<RunSummary>,
+}
+
+impl Server {
+    /// Opens the service over the journal at `journal_path`, replaying any
+    /// existing log into the in-memory job table and truncating a torn
+    /// trailing line.  Creates `config.checkpoint_dir` if needed.
+    ///
+    /// # Errors
+    /// Journal I/O failures, or `InvalidData` for a log this code could not
+    /// have written (see [`crate::journal::ledger`]).
+    pub fn open(journal_path: impl Into<PathBuf>, config: ServerConfig) -> io::Result<Server> {
+        std::fs::create_dir_all(&config.checkpoint_dir)?;
+        let (journal, replay) = Journal::open(journal_path)?;
+        let entries = ledger(&replay.records)?;
+        let replay = summarize(&entries, &replay);
+        let slots = entries
+            .into_iter()
+            .map(|e| Mutex::new(JobSlot::new(e.spec, e.status, e.attempts)))
+            .collect();
+        Ok(Server { config, journal: Mutex::new(journal), slots, replay, summaries: Vec::new() })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// What the opening replay found.
+    pub fn replay(&self) -> &ReplaySummary {
+        &self.replay
+    }
+
+    /// Submits a job: journals the `submitted` record (write-ahead), then
+    /// queues it.
+    ///
+    /// # Errors
+    /// `InvalidInput` for an invalid id, a duplicate id, or an inject spec
+    /// that does not parse; otherwise journal I/O failures.
+    pub fn submit(&mut self, spec: JobSpec) -> io::Result<()> {
+        let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidInput, what);
+        if !valid_job_id(&spec.id) {
+            return Err(invalid(format!(
+                "invalid job id '{}' (want 1-64 chars of [A-Za-z0-9._-], not starting with '.')",
+                spec.id
+            )));
+        }
+        if self.slots.iter().any(|s| s.lock().unwrap().spec.id == spec.id) {
+            return Err(invalid(format!("job id '{}' already in the journal", spec.id)));
+        }
+        if spec.steps == 0 {
+            return Err(invalid(format!("job '{}' has a zero step target", spec.id)));
+        }
+        if let Some(inject) = &spec.inject {
+            FaultPlan::parse(inject)
+                .map_err(|e| invalid(format!("job '{}': bad inject spec: {e}", spec.id)))?;
+        }
+        self.journal.lock().unwrap().append(Record::submitted(&spec))?;
+        self.slots.push(Mutex::new(JobSlot::new(spec, JobStatus::Queued, 0)));
+        Ok(())
+    }
+
+    /// Snapshot of every job, in submission order.
+    pub fn jobs(&self) -> Vec<JobOutcome> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                let slot = slot.lock().unwrap();
+                JobOutcome {
+                    id: slot.spec.id.clone(),
+                    status: slot.status.clone(),
+                    attempts: slot.attempts,
+                }
+            })
+            .collect()
+    }
+
+    /// The checkpoint ring of `id` — where a finished job's final state
+    /// lives (and a pending job's newest resume point).
+    pub fn ring(&self, id: &str) -> CheckpointRing {
+        CheckpointRing::new(
+            self.config.checkpoint_dir.join(format!("{id}.ckpt")),
+            self.config.ring_depth.max(1),
+        )
+    }
+
+    /// Per-worker trace summaries of the last [`Server::run`] (empty unless
+    /// [`ServerConfig::traced`]).
+    pub fn trace_summaries(&self) -> &[RunSummary] {
+        &self.summaries
+    }
+
+    /// Runs every pending job to completion (or failure), multiplexing them
+    /// over [`ServerConfig::workers`] worker teams.  Returns the fleet
+    /// totals; per-job outcomes are in [`Server::jobs`].
+    pub fn run(&mut self) -> RunReport {
+        let queue: VecDeque<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| !slot.lock().unwrap().status.is_terminal())
+            .map(|(index, _)| index)
+            .collect();
+        let shared = Shared {
+            config: &self.config,
+            journal: &self.journal,
+            slots: &self.slots,
+            sched: Mutex::new(Sched { queue, active: 0, slices: 0, halted: false }),
+            cv: Condvar::new(),
+        };
+        let workers = self.config.workers.max(1);
+        let mut summaries = Vec::new();
+        let shared = &shared;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| scope.spawn(move || worker_loop(worker, shared)))
+                .collect();
+            for handle in handles {
+                if let Some(summary) = handle.join().expect("worker loop never panics") {
+                    summaries.push(summary);
+                }
+            }
+        });
+        self.summaries = summaries;
+        let slices = shared.sched.lock().unwrap().slices;
+        let mut report = RunReport { done: 0, failed: 0, pending: 0, slices };
+        for slot in &self.slots {
+            match slot.lock().unwrap().status {
+                JobStatus::Done { .. } => report.done += 1,
+                JobStatus::Failed { .. } => report.failed += 1,
+                _ => report.pending += 1,
+            }
+        }
+        report
+    }
+}
+
+fn summarize(entries: &[crate::journal::JobEntry], replay: &Replay) -> ReplaySummary {
+    let mut summary = ReplaySummary {
+        jobs: entries.len(),
+        torn_tail: replay.torn_tail,
+        ..ReplaySummary::default()
+    };
+    for entry in entries {
+        match entry.status {
+            JobStatus::Done { .. } => summary.done += 1,
+            JobStatus::Failed { .. } => summary.failed += 1,
+            _ => summary.pending += 1,
+        }
+    }
+    summary
+}
+
+/// Verbose logging that survives a closed stdout: a supervisor must never
+/// crash a worker (and with it the fleet) because `serve run | head` hung
+/// up the pipe — `println!` would panic on the broken pipe.
+fn say_line(line: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_fmt(line);
+    let _ = out.write_all(b"\n");
+}
+
+/// `println!` that ignores I/O errors (see [`say_line`]).
+macro_rules! say {
+    ($($arg:tt)*) => { say_line(std::format_args!($($arg)*)) };
+}
+
+/// One worker: pull, slice, repeat until the queue drains (or the drain
+/// limit halts the fleet).  Returns the team's trace summary when traced.
+fn worker_loop(worker: usize, shared: &Shared<'_>) -> Option<RunSummary> {
+    let mut team = if shared.config.traced {
+        Team::with_trace(shared.config.threads_per_worker, TraceConfig::default())
+    } else {
+        Team::new(shared.config.threads_per_worker)
+    };
+    loop {
+        let pulled = {
+            let mut sched = shared.sched.lock().unwrap();
+            loop {
+                if sched.halted {
+                    break None;
+                }
+                if let Some(index) = sched.queue.pop_front() {
+                    sched.active += 1;
+                    break Some(index);
+                }
+                if sched.active == 0 {
+                    break None;
+                }
+                sched = shared.cv.wait(sched).unwrap();
+            }
+        };
+        let Some(index) = pulled else {
+            shared.cv.notify_all();
+            break;
+        };
+        let requeue = run_one_slice(worker, index, &team, shared);
+        {
+            let mut sched = shared.sched.lock().unwrap();
+            sched.active -= 1;
+            sched.slices += 1;
+            if shared.config.max_slices.is_some_and(|max| sched.slices >= max) {
+                sched.halted = true;
+            }
+            if requeue {
+                sched.queue.push_back(index);
+            }
+        }
+        shared.cv.notify_all();
+    }
+    team.trace_mut().map(RunSummary::from_trace)
+}
+
+/// Runs one slice of job `index` on `team`.  Returns whether the job goes
+/// back into the queue (preempted or retrying).
+fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) -> bool {
+    let config = shared.config;
+    let (spec, mut attempts, mut solver_plan, mut ckpt_plan) = {
+        let mut slot = shared.slots[index].lock().unwrap();
+        if !slot.plans_armed {
+            let plan = slot
+                .spec
+                .inject
+                .as_deref()
+                .map(|spec| FaultPlan::parse(spec).expect("inject specs are validated at open"))
+                .unwrap_or_default();
+            let (step_faults, ckpt_faults) = plan.split_checkpoint();
+            slot.solver_plan = Some(step_faults);
+            slot.ckpt_plan = Some(ckpt_faults);
+            slot.plans_armed = true;
+        }
+        (slot.spec.clone(), slot.attempts, slot.solver_plan.take(), slot.ckpt_plan.take())
+    };
+    let trace = team.trace();
+    let ring = CheckpointRing::new(
+        config.checkpoint_dir.join(format!("{}.ckpt", spec.id)),
+        config.ring_depth.max(1),
+    );
+
+    // --- resume: the newest intact ring generation, or from scratch ------
+    let mut stepper_config = config.stepper_config();
+    if let Some(plan) = &solver_plan {
+        if !plan.is_empty() {
+            stepper_config = stepper_config.with_fault_plan(plan.clone());
+        }
+    }
+    let mut stepper = match ring.load_latest_traced(trace) {
+        Ok(recovery) => {
+            for (slot_path, why) in &recovery.skipped {
+                if config.verbose {
+                    say!(
+                        "job {}: skipping damaged checkpoint generation {}: {why}",
+                        spec.id,
+                        slot_path.display()
+                    );
+                }
+            }
+            let mesh = spec.scenario.build_mesh();
+            match recovery
+                .checkpoint
+                .validate_scenario(&spec.scenario)
+                .and_then(|()| recovery.checkpoint.into_state(&mesh))
+            {
+                Ok(state) => {
+                    if config.verbose {
+                        say!(
+                            "resuming job {} from ring generation {} (step {})",
+                            spec.id,
+                            recovery.generation,
+                            state.step
+                        );
+                    }
+                    if let Some(t) = trace {
+                        t.record(Event {
+                            aux: state.step,
+                            ..Event::instant(spans::SERVER_RESUME, 0, t.now_ns())
+                        });
+                    }
+                    Stepper::from_state(spec.scenario.clone(), stepper_config, mesh, state)
+                }
+                Err(e) => {
+                    if config.verbose {
+                        say!(
+                            "job {}: ring contents unusable ({e}); restarting from step 0",
+                            spec.id
+                        );
+                    }
+                    Stepper::new(spec.scenario.clone(), stepper_config)
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            Stepper::new(spec.scenario.clone(), stepper_config)
+        }
+        Err(e) => {
+            // Every generation damaged: degrade to a fresh start — the
+            // trajectory is the same one, replayed from step 0.
+            if config.verbose {
+                say!("job {}: checkpoint ring unusable ({e}); restarting from step 0", spec.id);
+            }
+            Stepper::new(spec.scenario.clone(), stepper_config)
+        }
+    };
+    let resume_step = stepper.state().step;
+
+    // Write-ahead: claim the slice in the journal before computing.
+    let mut running = Record::new(EventKind::Running, &spec.id);
+    running.worker = Some(worker as u64);
+    running.step = Some(resume_step);
+    if journal_append(shared, team, running).is_err() {
+        // The log is gone; without write-ahead there is no crash safety, so
+        // park the job as failed in memory and keep the fleet alive.
+        finish_slot(
+            shared,
+            index,
+            attempts,
+            solver_plan,
+            ckpt_plan,
+            JobStatus::Failed { error: "journal unwritable".to_string() },
+        );
+        return false;
+    }
+
+    // A `done` record lost to a crash after the final checkpoint: the ring
+    // already holds the finished state, so just re-journal the fact.
+    if resume_step >= spec.steps {
+        let mut done = Record::new(EventKind::Done, &spec.id);
+        done.step = Some(resume_step);
+        done.time = Some(stepper.state().time);
+        let _ = journal_append(shared, team, done);
+        if config.verbose {
+            say!("job {} done (step {}, already complete in the ring)", spec.id, resume_step);
+        }
+        finish_slot(
+            shared,
+            index,
+            attempts,
+            solver_plan,
+            ckpt_plan,
+            JobStatus::Done { step: resume_step },
+        );
+        return false;
+    }
+
+    // --- the slice itself, panic-contained ------------------------------
+    let slice_span = trace.map(|t| t.span(spans::SERVER_SLICE, 0).aux(index as u64));
+    let quota = config.slice_steps.max(1);
+    let deadline = Some(config.step_deadline);
+    let result =
+        catch_unwind(AssertUnwindSafe(|| stepper.run_slice_on(team, spec.steps, quota, deadline)));
+    // Carry the spent plan across retries: a fired fault stays fired even
+    // when the slice's state is thrown away.
+    if let Some(plan) = stepper.fault_plan() {
+        solver_plan = Some(plan.clone());
+    }
+    let steps_done = stepper.state().step.saturating_sub(resume_step);
+    if let Some(span) = slice_span {
+        span.iters(steps_done).finish();
+    }
+
+    let error = match result {
+        Err(payload) => Some(JobError::Panicked(panic_message(payload))),
+        Ok(Err(run_error)) => Some(JobError::Run(run_error)),
+        Ok(Ok(slice)) => match slice.end {
+            SliceEnd::DeadlineExceeded { step, elapsed } => Some(JobError::Stalled {
+                step,
+                elapsed,
+                deadline: config.step_deadline.as_secs_f64(),
+            }),
+            SliceEnd::Completed | SliceEnd::QuotaExhausted => {
+                match save_ring(config, &ring, &spec, &stepper, &mut ckpt_plan, trace) {
+                    Err(e) => Some(JobError::Checkpoint(e.to_string())),
+                    Ok(()) if slice.end == SliceEnd::Completed => {
+                        let step = stepper.state().step;
+                        let mut done = Record::new(EventKind::Done, &spec.id);
+                        done.step = Some(step);
+                        done.time = Some(stepper.state().time);
+                        let _ = journal_append(shared, team, done);
+                        if config.verbose {
+                            say!(
+                                "job {} done (step {}, t = {:.4}, worker {worker})",
+                                spec.id,
+                                step,
+                                stepper.state().time
+                            );
+                        }
+                        finish_slot(
+                            shared,
+                            index,
+                            attempts,
+                            solver_plan,
+                            ckpt_plan,
+                            JobStatus::Done { step },
+                        );
+                        return false;
+                    }
+                    Ok(()) => {
+                        let step = stepper.state().step;
+                        let mut preempted = Record::new(EventKind::Preempted, &spec.id);
+                        preempted.worker = Some(worker as u64);
+                        preempted.step = Some(step);
+                        let _ = journal_append(shared, team, preempted);
+                        if let Some(t) = trace {
+                            t.record(Event {
+                                aux: step,
+                                ..Event::instant(spans::SERVER_PREEMPT, 0, t.now_ns())
+                            });
+                        }
+                        if config.verbose {
+                            say!("job {} preempted at step {step} (worker {worker})", spec.id);
+                        }
+                        finish_slot(
+                            shared,
+                            index,
+                            attempts,
+                            solver_plan,
+                            ckpt_plan,
+                            JobStatus::Preempted { step },
+                        );
+                        return true;
+                    }
+                }
+            }
+        },
+    };
+
+    // --- the retry path: bounded, backed off, journaled ------------------
+    let error = error.expect("all success paths returned above");
+    attempts += 1;
+    if attempts > config.max_job_retries {
+        let mut failed = Record::new(EventKind::Failed, &spec.id);
+        failed.error = Some(error.to_string());
+        let _ = journal_append(shared, team, failed);
+        if config.verbose {
+            say!("job {} FAILED after {attempts} attempt(s): {error}", spec.id);
+        }
+        finish_slot(
+            shared,
+            index,
+            attempts,
+            solver_plan,
+            ckpt_plan,
+            JobStatus::Failed { error: error.to_string() },
+        );
+        return false;
+    }
+    let mut retrying = Record::new(EventKind::Retrying, &spec.id);
+    retrying.worker = Some(worker as u64);
+    retrying.attempt = Some(attempts);
+    retrying.error = Some(error.to_string());
+    let _ = journal_append(shared, team, retrying);
+    if let Some(t) = trace {
+        t.record(Event { aux: attempts, ..Event::instant(spans::SERVER_RETRY, 0, t.now_ns()) });
+    }
+    if config.verbose {
+        say!("job {} retrying (attempt {attempts}): {error}", spec.id);
+    }
+    finish_slot(
+        shared,
+        index,
+        attempts,
+        solver_plan,
+        ckpt_plan,
+        JobStatus::Retrying { attempt: attempts },
+    );
+    let backoff = config
+        .backoff_base
+        .saturating_mul(1u32 << (attempts - 1).min(16) as u32)
+        .min(Duration::from_secs(2));
+    std::thread::sleep(backoff);
+    true
+}
+
+/// Writes the slot's post-slice state back under its lock.
+fn finish_slot(
+    shared: &Shared<'_>,
+    index: usize,
+    attempts: u64,
+    solver_plan: Option<FaultPlan>,
+    ckpt_plan: Option<FaultPlan>,
+    status: JobStatus,
+) {
+    let mut slot = shared.slots[index].lock().unwrap();
+    slot.attempts = attempts;
+    slot.solver_plan = solver_plan;
+    slot.ckpt_plan = ckpt_plan;
+    slot.status = status;
+}
+
+/// Appends under the journal mutex, recording a `server/journal` span.
+fn journal_append(shared: &Shared<'_>, team: &Team, record: Record) -> io::Result<u64> {
+    let span = team.trace().map(|t| t.span(spans::SERVER_JOURNAL, 0));
+    let result = shared.journal.lock().unwrap().append(record);
+    if let Some(span) = span {
+        span.iters(1).finish();
+    }
+    result
+}
+
+/// Ring save plus any scheduled checkpoint-corruption fault (mirrors the
+/// `simulate` CLI's injection so the service's recovery paths are testable
+/// with the same specs).
+fn save_ring(
+    config: &ServerConfig,
+    ring: &CheckpointRing,
+    spec: &JobSpec,
+    stepper: &Stepper,
+    ckpt_plan: &mut Option<FaultPlan>,
+    trace: Option<&Trace>,
+) -> io::Result<()> {
+    let state = stepper.state();
+    let newest = ring.save_traced(&spec.scenario, state, trace)?;
+    if let Some(plan) = ckpt_plan {
+        if let Some(kind) = plan.fire_checkpoint(state.step) {
+            let bytes = std::fs::read(&newest)?;
+            let corrupted = match kind {
+                FaultKind::CheckpointFlip => {
+                    let mut bytes = bytes;
+                    let at = plan.index(state.step, 1, bytes.len());
+                    bytes[at] ^= 0x01;
+                    if config.verbose {
+                        say!(
+                            "job {}: [inject] flipped bit 0 of byte {at} in {}",
+                            spec.id,
+                            newest.display()
+                        );
+                    }
+                    bytes
+                }
+                FaultKind::CheckpointTruncate => {
+                    if config.verbose {
+                        say!(
+                            "job {}: [inject] truncated {} to {} bytes",
+                            spec.id,
+                            newest.display(),
+                            bytes.len() / 2
+                        );
+                    }
+                    bytes[..bytes.len() / 2].to_vec()
+                }
+                _ => unreachable!("fire_checkpoint only yields checkpoint faults"),
+            };
+            std::fs::write(&newest, corrupted)?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders a caught panic payload (what `panic!` carried).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else if let Some(message) = payload.downcast_ref::<&'static str>() {
+        (*message).to_string()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_driver::{Scenario, ScenarioKind};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lv-server-unit-{tag}-{}", std::process::id()))
+    }
+
+    fn clean(dir: &std::path::Path) {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn quick_config(dir: &std::path::Path) -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            slice_steps: 2,
+            vector_size: 32,
+            checkpoint_dir: dir.join("ckpt"),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_small_fleet_runs_to_completion_and_journals_every_transition() {
+        let dir = test_dir("fleet");
+        clean(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let journal = dir.join("jobs.jsonl");
+        let mut server = Server::open(&journal, quick_config(&dir)).expect("open");
+        assert_eq!(server.replay().jobs, 0);
+        server
+            .submit(JobSpec::new("a", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 5))
+            .expect("submit");
+        server
+            .submit(JobSpec::new("b", Scenario::new(ScenarioKind::TaylorGreenVortex, 4), 3))
+            .expect("submit");
+        assert!(server
+            .submit(JobSpec::new("a", Scenario::new(ScenarioKind::Channel, 3), 2))
+            .is_err());
+        assert!(server
+            .submit(JobSpec::new("bad/id", Scenario::new(ScenarioKind::Channel, 3), 2))
+            .is_err());
+
+        let report = server.run();
+        assert!(report.all_done(), "{report:?}");
+        assert_eq!(report.done, 2);
+        assert!(report.slices >= 5, "5 + 3 steps in quota-2 slices: {report:?}");
+        for job in server.jobs() {
+            assert!(matches!(job.status, JobStatus::Done { .. }), "{}: {}", job.id, job.status);
+        }
+        // The final states live in the rings at the target steps.
+        let recovery = server.ring("a").load_latest().expect("ring a");
+        assert_eq!(recovery.checkpoint.step, 5);
+        let recovery = server.ring("b").load_latest().expect("ring b");
+        assert_eq!(recovery.checkpoint.step, 3);
+
+        // A reopened server replays everything as done, with nothing to do.
+        drop(server);
+        let mut server = Server::open(&journal, quick_config(&dir)).expect("reopen");
+        assert_eq!(server.replay().done, 2);
+        assert_eq!(server.replay().pending, 0);
+        let report = server.run();
+        assert_eq!(report, RunReport { done: 2, failed: 0, pending: 0, slices: 0 });
+        clean(&dir);
+    }
+
+    #[test]
+    fn traced_run_records_server_spans() {
+        let dir = test_dir("traced");
+        clean(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut config = quick_config(&dir);
+        config.workers = 1;
+        config.traced = true;
+        let mut server = Server::open(dir.join("jobs.jsonl"), config).expect("open");
+        server
+            .submit(JobSpec::new("t", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 5))
+            .expect("submit");
+        assert!(server.run().all_done());
+        let summaries = server.trace_summaries();
+        assert_eq!(summaries.len(), 1);
+        let slice = summaries[0].span("server/slice").expect("slice span");
+        assert_eq!(slice.events, 3, "5 steps in quota-2 slices");
+        assert_eq!(slice.iters, 5, "iters tallies the steps");
+        let journal = summaries[0].span("server/journal").expect("journal span");
+        assert!(journal.events >= 4, "running x3 + preempted x2 + done: {}", journal.events);
+        assert!(summaries[0].span("server/resume").is_some(), "slices 2,3 resumed from the ring");
+        assert!(summaries[0].span("server/preempt").is_some());
+        clean(&dir);
+    }
+
+    #[test]
+    fn drained_supervisor_leaves_pending_jobs_journaled_for_the_next_one() {
+        let dir = test_dir("drain");
+        clean(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let journal = dir.join("jobs.jsonl");
+        let mut config = quick_config(&dir);
+        config.workers = 1;
+        config.max_slices = Some(1);
+        let mut server = Server::open(&journal, config).expect("open");
+        server
+            .submit(JobSpec::new("long", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 6))
+            .expect("submit");
+        let report = server.run();
+        assert_eq!(report.pending, 1);
+        assert_eq!(report.slices, 1);
+        drop(server);
+
+        let mut server = Server::open(&journal, quick_config(&dir)).expect("reopen");
+        assert_eq!(server.replay().pending, 1);
+        let report = server.run();
+        assert!(report.all_done(), "{report:?}");
+        assert_eq!(server.ring("long").load_latest().expect("ring").checkpoint.step, 6);
+        clean(&dir);
+    }
+}

@@ -100,6 +100,18 @@ pub mod spans {
     pub const RETRY: SpanId = SpanId(15);
     /// One MG→CG pressure-solver fallback (`aux` = projection sweep index).
     pub const POISSON_FALLBACK: SpanId = SpanId(16);
+    /// One bounded slice of a supervised job (`aux` = job index, `iters` =
+    /// steps the slice completed).  **Host-dependent**: slice boundaries
+    /// follow wall-clock watchdogs and scheduling, never the trajectory.
+    pub const SERVER_SLICE: SpanId = SpanId(17);
+    /// A job preempted at its slice quota and requeued (`aux` = step).
+    pub const SERVER_PREEMPT: SpanId = SpanId(18);
+    /// A job resumed from its checkpoint ring (`aux` = resume step).
+    pub const SERVER_RESUME: SpanId = SpanId(19);
+    /// A failed slice scheduled for retry (`aux` = attempt index).
+    pub const SERVER_RETRY: SpanId = SpanId(20);
+    /// One write-ahead journal append (leader of the appending worker).
+    pub const SERVER_JOURNAL: SpanId = SpanId(21);
 
     /// The taxonomy table; `SpanId(i)` indexes it.
     pub const ALL: &[SpanInfo] = &[
@@ -120,6 +132,11 @@ pub mod spans {
         SpanInfo { path: "checkpoint/load", deterministic: true },
         SpanInfo { path: "driver/retry", deterministic: true },
         SpanInfo { path: "driver/poisson_fallback", deterministic: true },
+        SpanInfo { path: "server/slice", deterministic: false },
+        SpanInfo { path: "server/preempt", deterministic: false },
+        SpanInfo { path: "server/resume", deterministic: false },
+        SpanInfo { path: "server/retry", deterministic: false },
+        SpanInfo { path: "server/journal", deterministic: false },
     ];
 
     /// Resolves a taxonomy path to its id (a linear scan over the tiny
@@ -454,11 +471,14 @@ mod tests {
 
     #[test]
     fn taxonomy_constants_index_their_table_rows() {
-        assert_eq!(spans::ALL.len(), 17);
+        assert_eq!(spans::ALL.len(), 22);
         assert_eq!(spans::info(spans::STEP).path, "driver/step");
         assert_eq!(spans::info(spans::ASSEMBLY_CHUNK).path, "assembly/chunk");
         assert!(!spans::info(spans::ASSEMBLY_CHUNK).deterministic);
         assert_eq!(spans::lookup("solver/mg/vcycle"), Some(spans::MG_VCYCLE));
+        assert_eq!(spans::info(spans::SERVER_SLICE).path, "server/slice");
+        assert_eq!(spans::lookup("server/journal"), Some(spans::SERVER_JOURNAL));
+        assert!(!spans::info(spans::SERVER_PREEMPT).deterministic);
         assert_eq!(spans::lookup("no/such/span"), None);
         assert_eq!(counters::ALL.len(), 10);
         assert_eq!(counters::ALL[counters::FLOPS].0, "flops");

@@ -1,7 +1,8 @@
 //! The perf-regression gate: reads the wall-clock bench artifacts
-//! (`BENCH_assembly.json`, `BENCH_solver.json`, `BENCH_driver.json`) and
-//! exits non-zero when a fast path regressed past its floor.  CI runs it
-//! right after the quick benches regenerate the artifacts.
+//! (`BENCH_assembly.json`, `BENCH_solver.json`, `BENCH_driver.json`,
+//! `BENCH_server.json`) and exits non-zero when a fast path regressed past
+//! its floor.  CI runs it right after the quick benches regenerate the
+//! artifacts.
 //!
 //! ```text
 //! cargo run --release --example bench_gate
@@ -24,26 +25,33 @@
 //!   16³); the same gate also enforces non-increasing iterations with
 //!   resolution and, on multi-core hosts, MG-CG beating plain CG by
 //!   `LV_GATE_MIN_MGCG_SPEEDUP` (default 1.0);
+//! * `LV_GATE_MIN_SERVER_SCALING` — floor for each jobs/sec step of the
+//!   supervised-service worker sweep on multi-core hosts (default 0.9:
+//!   adding workers may cost at most 10%; single-core hosts skip the
+//!   scaling check and only validate the artifact);
 //! * `LV_BENCH_HISTORY_DIR` — optional directory of prior bench artifacts
 //!   (consumed in sorted file order, oldest first; files ending in
-//!   `-assembly.json` / `-driver.json` belong to those artifacts, anything
-//!   else is treated as a solver artifact — the pre-suffix history CI
-//!   accumulated).  When at least `LV_GATE_TREND_WINDOW` (default 3)
-//!   artifacts of a kind exist, the gate also fails on a *sustained* trend
-//!   across the last window — monotone decline of the spmm3 ratio, the
-//!   worst assembly slice speedup or the best pooled solver speedup beyond
-//!   `LV_GATE_TREND_TOLERANCE` (default 0.05), or monotone growth of a
-//!   driver phase's 1-thread wall-clock beyond
-//!   `LV_GATE_TREND_TOLERANCE_WALLCLOCK` (default 0.25; wall-clock is far
-//!   noisier than a ratio) — while tolerating single-run noise;
-//! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` / `LV_BENCH_DRIVER_JSON` —
-//!   artifact paths (default: the workspace root copies the benches write).
+//!   `-assembly.json` / `-driver.json` / `-server.json` belong to those
+//!   artifacts, anything else is treated as a solver artifact — the
+//!   pre-suffix history CI accumulated).  When at least
+//!   `LV_GATE_TREND_WINDOW` (default 3) artifacts of a kind exist, the
+//!   gate also fails on a *sustained* trend across the last window —
+//!   monotone decline of the spmm3 ratio, the worst assembly slice
+//!   speedup, the best pooled solver speedup or (multi-core only) the
+//!   peak service jobs/sec beyond `LV_GATE_TREND_TOLERANCE` (default
+//!   0.05), or monotone growth of a driver phase's 1-thread wall-clock
+//!   beyond `LV_GATE_TREND_TOLERANCE_WALLCLOCK` (default 0.25; wall-clock
+//!   is far noisier than a ratio) — while tolerating single-run noise;
+//! * `LV_BENCH_JSON` / `LV_BENCH_SOLVER_JSON` / `LV_BENCH_DRIVER_JSON` /
+//!   `LV_BENCH_SERVER_JSON` — artifact paths (default: the workspace root
+//!   copies the benches write).
 
 use lv_metrics::regression::parse_named_numbers;
 use lv_metrics::{
     best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
-    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_solver_bench,
-    gate_spmm_bench, parse_host_threads, worst_slice_speedup, GateReport,
+    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_server_bench,
+    gate_solver_bench, gate_spmm_bench, parse_host_threads, server_peak_throughput,
+    worst_slice_speedup, GateReport,
 };
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -73,6 +81,8 @@ fn history_kind(name: &str) -> &'static str {
         "assembly"
     } else if name.ends_with("-driver.json") {
         "driver"
+    } else if name.ends_with("-server.json") {
+        "server"
     } else {
         "solver"
     }
@@ -139,17 +149,21 @@ fn main() {
     let wallclock_tolerance = env_f64("LV_GATE_TREND_TOLERANCE_WALLCLOCK", 0.25);
     let max_mgcg_iterations = env_f64("LV_GATE_MAX_MGCG_ITERATIONS", 15.0) as usize;
     let min_mgcg_speedup = env_f64("LV_GATE_MIN_MGCG_SPEEDUP", 1.0);
+    let min_server_scaling = env_f64("LV_GATE_MIN_SERVER_SCALING", 0.9);
     let assembly_path = std::env::var("LV_BENCH_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_assembly.json").into());
     let solver_path = std::env::var("LV_BENCH_SOLVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_solver.json").into());
     let driver_path = std::env::var("LV_BENCH_DRIVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_driver.json").into());
+    let server_path = std::env::var("LV_BENCH_SERVER_JSON")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_server.json").into());
 
     println!(
         "perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x, \
          spmm floor {min_spmm:.2}x, bandwidth floor {min_bandwidth:.2}x, \
-         mgcg ceiling {max_mgcg_iterations} it / floor {min_mgcg_speedup:.2}x)\n"
+         mgcg ceiling {max_mgcg_iterations} it / floor {min_mgcg_speedup:.2}x, \
+         server scaling floor {min_server_scaling:.2}x)\n"
     );
     let assembly_ok =
         run_gate("assembly bench", &assembly_path, |json| gate_assembly_bench(json, min_slice));
@@ -161,6 +175,8 @@ fn main() {
     let multigrid_ok = run_gate("multigrid pressure solve", &driver_path, |json| {
         gate_multigrid_bench(json, max_mgcg_iterations, min_mgcg_speedup)
     });
+    let server_ok =
+        run_gate("server bench", &server_path, |json| gate_server_bench(json, min_server_scaling));
 
     // Rolling-window trends over the artifact history, when CI provides one.
     // Each trend label names the artifact it reads, so every PASS/FAIL/skip
@@ -218,6 +234,26 @@ fn main() {
                 slices.len(),
             );
 
+            // Jobs/sec on a single-core host is pure oversubscription noise;
+            // only trend it where the sweep measures real parallelism.
+            let server_json = std::fs::read_to_string(&server_path).unwrap_or_default();
+            if parse_host_threads(&server_json).unwrap_or(1) >= 2 {
+                let throughput =
+                    history_series(&dir, "server", &server_json, server_peak_throughput);
+                ok &= run_trend(
+                    gate_rolling_window(
+                        &format!("server peak jobs/sec trend ({})", artifact(&server_path)),
+                        &throughput,
+                        trend_window,
+                        trend_tolerance,
+                    ),
+                    &dir,
+                    throughput.len(),
+                );
+            } else {
+                println!("artifact trend: server peak jobs/sec skipped (single-core host)");
+            }
+
             let driver_json = std::fs::read_to_string(&driver_path).unwrap_or_default();
             for phase in ["assembly", "momentum", "poisson", "correction"] {
                 let seconds = history_series(&dir, "driver", &driver_json, |json| {
@@ -242,7 +278,7 @@ fn main() {
         }
     };
 
-    if assembly_ok && solver_ok && spmm_ok && renumber_ok && multigrid_ok && trend_ok {
+    if assembly_ok && solver_ok && spmm_ok && renumber_ok && multigrid_ok && server_ok && trend_ok {
         println!("\ngate passed");
     } else {
         println!("\ngate FAILED");

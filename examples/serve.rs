@@ -1,0 +1,258 @@
+//! The supervised simulation service CLI: submit jobs into a journaled
+//! queue, drain them over a pool of worker teams, and inspect the fleet.
+//!
+//! ```text
+//! cargo run --release --example serve -- submit --journal jobs.jsonl cavity 8 20
+//! cargo run --release --example serve -- run    --journal jobs.jsonl --workers 2
+//! cargo run --release --example serve -- status --journal jobs.jsonl
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `submit --journal <path> <scenario> [n] [steps]` — append one job to
+//!   the journal.  Flags: `--id <name>` (default `job-<k>`), `--inject
+//!   <spec>` (the `simulate` fault grammar, e.g. `panic@5,seed=7`),
+//!   `--ckpt-dir <dir>` (default `<journal>.ckpt.d`);
+//! * `run` — replay the journal, then drain every pending job to
+//!   completion.  Flags: `--workers <M>` (default 2), `--threads <T>` per
+//!   worker (default 1), `--slice <K>` steps per slice (default 4),
+//!   `--watchdog-ms <W>` per-step deadline (default 30000),
+//!   `--max-retries <R>` (default 3), `--max-slices <N>` (graceful drain
+//!   for tests), `--ring <K>` checkpoint depth (default 3), `--ckpt-dir`;
+//! * `status` — replay the journal and print every job's state, running
+//!   nothing.
+//!
+//! `run` always prints the replay line (`journal replay: N job(s): ...`) —
+//! after a crashed supervisor it reports how many jobs were recovered —
+//! and exits `0` when no job failed, `1` when any did.  CLI errors exit
+//! `2`.  Trajectories are bitwise independent of `--workers`, `--threads`,
+//! `--slice` and of any preemption, migration or retry along the way.
+
+use lv_driver::{Scenario, ScenarioKind};
+use lv_server::{JobSpec, Server, ServerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve <submit|run|status> --journal <path> [options]\n\
+         \n\
+         serve submit --journal J [--ckpt-dir D] <scenario> [n] [steps] [--id NAME] [--inject SPEC]\n\
+         serve run    --journal J [--ckpt-dir D] [--workers M] [--threads T] [--slice K]\n\
+         \x20              [--watchdog-ms W] [--max-retries R] [--max-slices N] [--ring K]\n\
+         serve status --journal J\n\
+         \n\
+         scenarios: cavity, channel, taylor-green, shear-layer"
+    );
+    std::process::exit(2);
+}
+
+fn bail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+struct Common {
+    journal: Option<String>,
+    ckpt_dir: Option<String>,
+}
+
+impl Common {
+    fn journal(&self) -> &str {
+        match &self.journal {
+            Some(path) => path,
+            None => bail("--journal <path> is required"),
+        }
+    }
+
+    fn config(&self) -> ServerConfig {
+        ServerConfig {
+            checkpoint_dir: self
+                .ckpt_dir
+                .clone()
+                .unwrap_or_else(|| format!("{}.ckpt.d", self.journal()))
+                .into(),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(value) => value,
+        None => bail(&format!("{flag} needs a value")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| bail(&format!("{flag}: cannot parse '{value}'")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let mut common = Common { journal: None, ckpt_dir: None };
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--journal" => {
+                common.journal = Some(flag_value(&args, i, "--journal").to_string());
+                i += 2;
+            }
+            "--ckpt-dir" => {
+                common.ckpt_dir = Some(flag_value(&args, i, "--ckpt-dir").to_string());
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    match command {
+        "submit" => submit(&common, &rest),
+        "run" => run(&common, &rest),
+        "status" => status(&common),
+        _ => usage(),
+    }
+}
+
+fn open(common: &Common, config: ServerConfig) -> Server {
+    Server::open(common.journal(), config).unwrap_or_else(|e| {
+        eprintln!("error: cannot open journal {}: {e}", common.journal());
+        std::process::exit(1);
+    })
+}
+
+fn submit(common: &Common, rest: &[String]) {
+    let mut scenario_name: Option<String> = None;
+    let mut n: usize = 8;
+    let mut steps: u64 = 10;
+    let mut id: Option<String> = None;
+    let mut inject: Option<String> = None;
+    let mut positional = 0;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--id" => {
+                id = Some(flag_value(rest, i, "--id").to_string());
+                i += 2;
+            }
+            "--inject" => {
+                inject = Some(flag_value(rest, i, "--inject").to_string());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => bail(&format!("unknown submit flag {flag}")),
+            value => {
+                match positional {
+                    0 => scenario_name = Some(value.to_string()),
+                    1 => n = parse_num(value, "n"),
+                    2 => steps = parse_num(value, "steps"),
+                    _ => bail("too many positional arguments"),
+                }
+                positional += 1;
+                i += 1;
+            }
+        }
+    }
+    let Some(scenario_name) = scenario_name else { bail("submit needs a scenario name") };
+    let Some(kind) = ScenarioKind::from_name(&scenario_name) else {
+        bail(&format!(
+            "unknown scenario '{scenario_name}' (cavity, channel, taylor-green, shear-layer)"
+        ))
+    };
+    if n == 0 {
+        bail("submit needs a concrete resolution (n > 0)");
+    }
+    let mut server = open(common, common.config());
+    let id = id.unwrap_or_else(|| format!("job-{}", server.jobs().len() + 1));
+    let mut spec = JobSpec::new(id.clone(), Scenario::new(kind, n), steps);
+    if let Some(inject) = inject {
+        spec = spec.with_inject(inject);
+    }
+    if let Err(e) = server.submit(spec) {
+        if e.kind() == std::io::ErrorKind::InvalidInput {
+            bail(&e.to_string());
+        }
+        eprintln!("error: cannot journal the submission: {e}");
+        std::process::exit(1);
+    }
+    println!("submitted job {id}: {scenario_name} n={n} for {steps} step(s)");
+}
+
+fn run(common: &Common, rest: &[String]) {
+    let mut config = common.config();
+    config.verbose = true;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--workers" => {
+                config.workers = parse_num(flag_value(rest, i, "--workers"), "--workers");
+                i += 2;
+            }
+            "--threads" => {
+                config.threads_per_worker =
+                    parse_num(flag_value(rest, i, "--threads"), "--threads");
+                i += 2;
+            }
+            "--slice" => {
+                config.slice_steps = parse_num(flag_value(rest, i, "--slice"), "--slice");
+                i += 2;
+            }
+            "--watchdog-ms" => {
+                let ms: u64 = parse_num(flag_value(rest, i, "--watchdog-ms"), "--watchdog-ms");
+                config.step_deadline = Duration::from_millis(ms);
+                i += 2;
+            }
+            "--max-retries" => {
+                config.max_job_retries =
+                    parse_num(flag_value(rest, i, "--max-retries"), "--max-retries");
+                i += 2;
+            }
+            "--max-slices" => {
+                config.max_slices =
+                    Some(parse_num(flag_value(rest, i, "--max-slices"), "--max-slices"));
+                i += 2;
+            }
+            "--ring" => {
+                config.ring_depth = parse_num(flag_value(rest, i, "--ring"), "--ring");
+                i += 2;
+            }
+            flag => bail(&format!("unknown run flag {flag}")),
+        }
+    }
+    if config.workers == 0 || config.threads_per_worker == 0 || config.slice_steps == 0 {
+        bail("--workers, --threads and --slice must be positive");
+    }
+    let mut server = open(common, config);
+    println!("{}", server.replay());
+    // Worker panics are contained by the supervisor and journaled as retry
+    // records; keep the default hook's multi-line backtrace out of the
+    // service log.  The hook must not panic itself (stderr may be a broken
+    // pipe), so write errors are ignored rather than unwound.
+    std::panic::set_hook(Box::new(|info| {
+        use std::io::Write;
+        let _ = writeln!(std::io::stderr(), "[contained] {info}");
+    }));
+    let report = server.run();
+    let _ = std::panic::take_hook();
+    println!(
+        "fleet: {} done, {} failed, {} pending in {} slice(s)",
+        report.done, report.failed, report.pending, report.slices
+    );
+    for job in server.jobs() {
+        println!("  {} {}", job.id, job.status);
+    }
+    std::process::exit(if report.failed > 0 { 1 } else { 0 });
+}
+
+fn status(common: &Common) {
+    if !std::path::Path::new(common.journal()).exists() {
+        bail(&format!("no journal at {}", common.journal()));
+    }
+    let server = open(common, common.config());
+    println!("{}", server.replay());
+    for job in server.jobs() {
+        println!("  {} {} (attempts {})", job.id, job.status, job.attempts);
+    }
+}

@@ -22,7 +22,9 @@
 //! * `--inject <spec>` — deterministic fault injection, e.g.
 //!   `momentum-breakdown@3,poison-rhs@5,ckpt-flip@6,seed=42` (kinds:
 //!   `momentum-breakdown`, `poisson-breakdown`, `mg-breakdown`,
-//!   `poison-rhs`, `ckpt-flip`, `ckpt-truncate`);
+//!   `poison-rhs`, `ckpt-flip`, `ckpt-truncate`, `stall`, `panic` — the
+//!   last two target the `serve` supervision layer: here a `stall` only
+//!   slows the step and a `panic` aborts);
 //! * `--max-retries <r>` — Δt-backoff retry budget per step (default 3);
 //! * `--fixed-dt <dt>` — fixed time step instead of the CFL controller;
 //! * `--seq` — sequential momentum solves instead of the batched SpMM path;
@@ -43,7 +45,16 @@
 //!
 //! Any failure (unreadable checkpoint, exhausted retry budget, solver
 //! breakdown past recovery) exits non-zero with a diagnostic naming the
-//! phase, step and residual — never a panic.
+//! phase, step and residual — never a panic.  Exit codes are distinct per
+//! failure class so supervisors can react without parsing stderr:
+//!
+//! | code | meaning                                                        |
+//! |------|----------------------------------------------------------------|
+//! | 0    | run completed (all contracts held)                             |
+//! | 1    | generic I/O or contract failure (trace/checkpoint write, sweep)|
+//! | 2    | invalid CLI (unknown scenario/flag/spec)                       |
+//! | 3    | Δt-retry budget exhausted / unrecoverable solver breakdown     |
+//! | 4    | corrupt or mismatched restart checkpoint (`InvalidData`)       |
 
 use alya_longvec::prelude::*;
 use lv_driver::{
@@ -287,15 +298,15 @@ fn load_restart(
     path: &str,
     ring_depth: usize,
     trace: Option<&Trace>,
-) -> Result<Checkpoint, String> {
+) -> Result<Checkpoint, Failure> {
     if std::path::Path::new(path).exists() {
         return load_checkpoint_traced(path, trace)
-            .map_err(|e| format!("checkpoint {path} unreadable: {e}"));
+            .map_err(|e| Failure::checkpoint(&e, format!("checkpoint {path} unreadable: {e}")));
     }
     let ring = CheckpointRing::new(path, ring_depth.max(1));
-    let recovery = ring
-        .load_latest_traced(trace)
-        .map_err(|e| format!("no usable checkpoint at {path} or its ring: {e}"))?;
+    let recovery = ring.load_latest_traced(trace).map_err(|e| {
+        Failure::checkpoint(&e, format!("no usable checkpoint at {path} or its ring: {e}"))
+    })?;
     for (slot, why) in &recovery.skipped {
         println!("skipping damaged checkpoint generation {}: {why}", slot.display());
     }
@@ -310,7 +321,7 @@ fn load_restart(
 /// The Taylor–Green convergence sweep: same physics and final time on three
 /// meshes, reporting the analytic L2 velocity error and the projection's
 /// divergence reduction.
-fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
+fn taylor_green_sweep(cli: &Cli) -> Result<(), Failure> {
     let mut team = make_team(cli);
     println!(
         "Taylor–Green resolution sweep ({} steps, {} worker thread(s), {} momentum solve):\n",
@@ -330,7 +341,7 @@ fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
         // final time and the error differences are spatial.
         let config = stepper_config(cli).with_fixed_dt(cli.fixed_dt.unwrap_or(0.01));
         let mut stepper = Stepper::new(scenario, config);
-        let reports = stepper.run_recovering_on(&team, cli.steps).map_err(|e| e.to_string())?;
+        let reports = stepper.run_recovering_on(&team, cli.steps).map_err(Failure::retries)?;
         // The step-1 divergence pair is the clean predictor-vs-projected
         // comparison: its predictor field is the raw momentum solve of an
         // unprojected state (later steps start already divergence-reduced).
@@ -362,19 +373,54 @@ fn taylor_green_sweep(cli: &Cli) -> Result<(), String> {
         if reduced { "yes" } else { "NO — projection broken" }
     );
     if !monotone || !reduced {
-        return Err("taylor-green sweep contract violated (see the report above)".to_string());
+        return Err("taylor-green sweep contract violated (see the report above)".into());
     }
-    finish_trace(&mut team, cli)
+    Ok(finish_trace(&mut team, cli)?)
+}
+
+/// A run failure carrying its process exit code (see the module docs):
+/// `1` generic I/O or contract failure, `3` exhausted Δt-retry budget,
+/// `4` corrupt or mismatched checkpoint.  CLI errors exit `2` straight
+/// from the parser.
+struct Failure {
+    code: i32,
+    message: String,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure { code: 1, message }
+    }
+}
+
+impl From<&str> for Failure {
+    fn from(message: &str) -> Failure {
+        Failure { code: 1, message: message.to_string() }
+    }
+}
+
+impl Failure {
+    /// Exhausted per-step retry budget (or unrecoverable solver breakdown).
+    fn retries(error: lv_driver::RunError) -> Failure {
+        Failure { code: 3, message: error.to_string() }
+    }
+
+    /// Classifies a checkpoint error: `InvalidData` (damaged or mismatched
+    /// restart data) exits 4, any other I/O failure exits 1.
+    fn checkpoint(error: &std::io::Error, message: String) -> Failure {
+        let code = if error.kind() == std::io::ErrorKind::InvalidData { 4 } else { 1 };
+        Failure { code, message }
+    }
 }
 
 fn main() {
-    if let Err(message) = run() {
-        eprintln!("error: {message}");
-        std::process::exit(1);
+    if let Err(failure) = run() {
+        eprintln!("error: {}", failure.message);
+        std::process::exit(failure.code);
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Failure> {
     let cli = parse_cli();
     if cli.scenario == "list" {
         print_registry();
@@ -401,13 +447,16 @@ fn run() -> Result<(), String> {
         None => Stepper::new(scenario.clone(), config),
         Some(path) => {
             let checkpoint = load_restart(path, cli.ring, team.trace())?;
-            checkpoint
-                .validate_scenario(&scenario)
-                .map_err(|e| format!("checkpoint {path} does not fit the requested run: {e}"))?;
+            checkpoint.validate_scenario(&scenario).map_err(|e| {
+                Failure::checkpoint(
+                    &e,
+                    format!("checkpoint {path} does not fit the requested run: {e}"),
+                )
+            })?;
             let mesh = scenario.build_mesh();
-            let state = checkpoint
-                .into_state(&mesh)
-                .map_err(|e| format!("checkpoint {path} does not fit the mesh: {e}"))?;
+            let state = checkpoint.into_state(&mesh).map_err(|e| {
+                Failure::checkpoint(&e, format!("checkpoint {path} does not fit the mesh: {e}"))
+            })?;
             println!(
                 "restarting '{}' from {path}: step {}, t = {:.4}",
                 scenario.kind.name(),
@@ -438,7 +487,7 @@ fn run() -> Result<(), String> {
     let final_step = stepper.state().step + cli.steps as u64;
     let mut final_saved = false;
     for _ in 0..cli.steps {
-        let report = stepper.step_recovering_on(&team).map_err(|e| e.to_string())?;
+        let report = stepper.step_recovering_on(&team).map_err(Failure::retries)?;
         println!(
             "{:>5} {:>9.4} {:>9.5} {:>7} {:>7} {:>12.3e} {:>12.3e} {:>14.6}",
             report.step,
@@ -500,5 +549,5 @@ fn run() -> Result<(), String> {
         stepper.kinetic_energy(),
         stepper.divergence_norm()
     );
-    finish_trace(&mut team, &cli)
+    Ok(finish_trace(&mut team, &cli)?)
 }

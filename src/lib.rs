@@ -28,6 +28,10 @@
 //!   per-rank span buffers, deterministic counters, line-JSON and
 //!   Chrome-tracing sinks and the roofline-style
 //!   [`trace::summary::RunSummary`];
+//! * [`server`] (`lv-server`) — the supervised simulation service: a
+//!   crash-safe job scheduler multiplexing journaled jobs over worker
+//!   teams with preemptive checkpointing, watchdogs, panic containment
+//!   and bounded retries;
 //! * [`metrics`] (`lv-metrics`) — the Section 2.2 metrics, regression and
 //!   report tables;
 //! * [`core`] (`lv-core`) — the experiment runner, the per-table/figure
@@ -43,6 +47,7 @@ pub use lv_kernel as kernel;
 pub use lv_mesh as mesh;
 pub use lv_metrics as metrics;
 pub use lv_runtime as runtime;
+pub use lv_server as server;
 pub use lv_sim as sim;
 pub use lv_solver as solver;
 pub use lv_trace as trace;
@@ -55,6 +60,7 @@ pub mod prelude {
     pub use lv_mesh::{BoxMeshBuilder, ChannelMeshBuilder, Field, Mesh, VectorField};
     pub use lv_metrics::{RunMetrics, Table};
     pub use lv_runtime::Team;
+    pub use lv_server::{JobSpec, JobStatus, Server, ServerConfig};
     pub use lv_sim::{Machine, MachineConfig, Platform, PlatformKind};
     pub use lv_solver::{
         bicgstab, bicgstab_on, conjugate_gradient, conjugate_gradient_on, CsrMatrix, SolveOptions,

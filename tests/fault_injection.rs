@@ -15,6 +15,10 @@
 //! * **Ring fallback** — a corrupted newest checkpoint generation degrades
 //!   a restart to the previous generation, bitwise identical to restarting
 //!   from that generation directly;
+//! * **Preemption races** — a ring generation truncated mid-rotation (the
+//!   writer preempted or killed while the newest slot is in flight), or
+//!   missing outright after an interrupted rotation, falls back to the
+//!   previous intact generation with a bitwise-identical resume;
 //! * **Structured failure** — an exhausted retry budget surfaces a
 //!   `RunError` naming phase, step and attempts; no panics anywhere on the
 //!   failure paths.
@@ -160,6 +164,81 @@ fn corrupted_newest_checkpoint_degrades_to_the_previous_generation() {
         uninterrupted.step_on(&team).expect("uninterrupted step");
     }
     assert_states_bitwise(uninterrupted.state(), resumed.state(), "ring-fallback restart");
+    for generation in 0..3 {
+        std::fs::remove_file(ring.slot(generation)).ok();
+    }
+}
+
+/// Runs `steps` cavity steps saving a ring generation after each, then
+/// hands the ring back for the test to damage.
+fn seeded_ring(tag: &str, steps: usize) -> (CheckpointRing, Scenario) {
+    let base = std::env::temp_dir().join(format!("lv_fault_{tag}_{}", std::process::id()));
+    let ring = CheckpointRing::new(&base, 3);
+    for generation in 0..3 {
+        std::fs::remove_file(ring.slot(generation)).ok();
+    }
+    let team = Team::new(2);
+    let scenario = cavity_scenario();
+    let mut stepper = Stepper::new(scenario.clone(), quick_config());
+    for _ in 0..steps {
+        stepper.step_on(&team).expect("step");
+        ring.save(&scenario, stepper.state()).expect("ring save");
+    }
+    (ring, scenario)
+}
+
+/// Resumes from `ring`'s newest intact generation and checks the finished
+/// trajectory bitwise against the uninterrupted `total_steps`-step run.
+fn assert_ring_resume_bitwise(ring: &CheckpointRing, scenario: &Scenario, total_steps: usize) {
+    let recovery = ring.load_latest().expect("ring fallback");
+    let mesh = scenario.build_mesh();
+    let state = recovery.checkpoint.into_state(&mesh).expect("state");
+    // Resume on a *different* pool size than the 2-thread writer: migration
+    // across layouts must not cost a single bit.
+    let team = Team::new(3);
+    let mut resumed = Stepper::from_state(scenario.clone(), quick_config(), mesh, state);
+    while (resumed.state().step as usize) < total_steps {
+        resumed.step_on(&team).expect("resume step");
+    }
+    let mut uninterrupted = Stepper::new(scenario.clone(), quick_config());
+    for _ in 0..total_steps {
+        uninterrupted.step_on(&team).expect("uninterrupted step");
+    }
+    assert_states_bitwise(uninterrupted.state(), resumed.state(), "preemption-race resume");
+}
+
+#[test]
+fn generation_truncated_mid_rotation_falls_back_to_the_previous_intact_one() {
+    let (ring, scenario) = seeded_ring("ring_truncated", 3);
+    // Preempt the writer mid-flight: the newest slot holds half a record.
+    let newest = ring.slot(0);
+    let bytes = std::fs::read(&newest).expect("newest slot");
+    std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("truncate newest");
+
+    let recovery = ring.load_latest().expect("ring fallback");
+    assert_eq!(recovery.generation, 1, "torn newest skipped, previous used");
+    assert_eq!(recovery.checkpoint.step, 2);
+    assert_eq!(recovery.skipped.len(), 1, "the torn slot is reported");
+
+    assert_ring_resume_bitwise(&ring, &scenario, 3);
+    for generation in 0..3 {
+        std::fs::remove_file(ring.slot(generation)).ok();
+    }
+}
+
+#[test]
+fn missing_newest_slot_after_an_interrupted_rotation_resumes_from_the_survivor() {
+    let (ring, scenario) = seeded_ring("ring_missing", 3);
+    // Die between the rotation (old slots shifted down) and the write of
+    // the new slot 0: the newest generation is simply absent.
+    std::fs::remove_file(ring.slot(0)).expect("drop newest");
+
+    let recovery = ring.load_latest().expect("ring fallback");
+    assert_eq!(recovery.generation, 1, "missing newest skipped silently");
+    assert_eq!(recovery.checkpoint.step, 2);
+    assert!(recovery.skipped.is_empty(), "a missing slot is not damage");
+
+    assert_ring_resume_bitwise(&ring, &scenario, 3);
     for generation in 0..3 {
         std::fs::remove_file(ring.slot(generation)).ok();
     }

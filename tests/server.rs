@@ -1,0 +1,229 @@
+//! Integration tests of the supervised simulation service — the end-to-end
+//! contracts of the scheduler:
+//!
+//! * **Fleet determinism** — a mixed fleet (clean, stalled, panicking,
+//!   checkpoint-corrupting, solver-faulted jobs) drained over 2 workers in
+//!   small preempted slices finishes every trajectory **bitwise identical**
+//!   to its uninterrupted single-run counterpart;
+//! * **Watchdog** — an injected `stall@step` exceeds the per-step deadline,
+//!   the job is killed at the slice boundary and the retry completes;
+//! * **Crash recovery** — a supervisor halted mid-run (the in-process
+//!   moral equivalent of `kill -9`: journal and rings on disk, process
+//!   state gone) is replaced by a fresh `Server::open` that replays the
+//!   journal and finishes every pending job, still bitwise clean;
+//! * **Torn journal** — an interrupted append (half a line at the tail) is
+//!   truncated on replay and the service keeps going.
+//!
+//! Scheduling, preemption, migration and retries must never enter a
+//! trajectory: the only inputs are the scenario, the checkpointed state and
+//! the Δt-relevant fault plan.
+
+use lv_driver::{FaultPlan, Scenario, ScenarioKind, SimState, Stepper, StepperConfig};
+use lv_runtime::Team;
+use lv_server::{JobSpec, JobStatus, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn assert_states_bitwise(oracle: &SimState, got: &SimState, what: &str) {
+    assert_eq!(oracle.step, got.step, "{what}: step count");
+    assert_eq!(oracle.time.to_bits(), got.time.to_bits(), "{what}: simulation time");
+    for (i, (a, b)) in oracle.velocity.as_slice().iter().zip(got.velocity.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: velocity entry {i} ({a} vs {b})");
+    }
+    for (i, (a, b)) in oracle.pressure.as_slice().iter().zip(got.pressure.as_slice()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: pressure entry {i} ({a} vs {b})");
+    }
+}
+
+fn test_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lv-server-it-{tag}-{}", std::process::id()))
+}
+
+fn config(dir: &Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        threads_per_worker: 1,
+        slice_steps: 2,
+        step_deadline: Duration::from_millis(250),
+        vector_size: 32,
+        checkpoint_dir: dir.join("ckpt"),
+        ..ServerConfig::default()
+    }
+}
+
+/// The uninterrupted single-run counterpart of a job: same scenario, same
+/// stepper configuration, same Δt-relevant fault plan, one team, no
+/// preemption.
+fn oracle_state(
+    scenario: &Scenario,
+    steps: usize,
+    config: StepperConfig,
+    plan: Option<FaultPlan>,
+) -> SimState {
+    let config = match plan {
+        Some(plan) => config.with_fault_plan(plan),
+        None => config,
+    };
+    let team = Team::new(1);
+    let mut stepper = Stepper::new(scenario.clone(), config);
+    stepper.run_recovering_on(&team, steps).expect("oracle run");
+    stepper.state().clone()
+}
+
+/// Loads the final state of a finished job from its checkpoint ring.
+fn final_state(server: &Server, id: &str, scenario: &Scenario) -> SimState {
+    let recovery = server.ring(id).load_latest().expect("finished job has a ring");
+    recovery.checkpoint.into_state(&scenario.build_mesh()).expect("ring state decodes")
+}
+
+#[test]
+fn a_faulted_fleet_finishes_bitwise_identical_to_uninterrupted_runs() {
+    let dir = test_dir("fleet");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+    let cavity5 = Scenario::new(ScenarioKind::LidDrivenCavity, 5);
+    let tg = Scenario::new(ScenarioKind::TaylorGreenVortex, 4);
+
+    let mut server = Server::open(dir.join("jobs.jsonl"), config(&dir)).expect("open");
+    // (id, scenario, steps, inject spec, Δt-relevant oracle plan)
+    type FleetEntry<'a> = (&'a str, &'a Scenario, usize, Option<&'a str>, Option<&'a str>);
+    let fleet: Vec<FleetEntry> = vec![
+        ("clean", &cavity, 5, None, None),
+        ("stalled", &cavity, 4, Some("stall@2,seed=3"), None),
+        ("panicky", &tg, 4, Some("panic@2,seed=7"), None),
+        ("corruptor", &cavity5, 5, Some("ckpt-flip@2,seed=11"), None),
+        (
+            "faulted",
+            &cavity,
+            4,
+            Some("momentum-breakdown@2,seed=42"),
+            Some("momentum-breakdown@2,seed=42"),
+        ),
+    ];
+    for (id, scenario, steps, inject, _) in &fleet {
+        let mut spec = JobSpec::new(*id, (*scenario).clone(), *steps as u64);
+        if let Some(inject) = inject {
+            spec = spec.with_inject(*inject);
+        }
+        server.submit(spec).expect("submit");
+    }
+
+    let report = server.run();
+    assert!(report.all_done(), "{report:?}");
+    assert_eq!(report.done, fleet.len());
+
+    let jobs = server.jobs();
+    let attempts = |id: &str| jobs.iter().find(|j| j.id == id).expect("job").attempts;
+    assert!(attempts("stalled") >= 1, "the watchdog must have killed the stall at least once");
+    assert!(attempts("panicky") >= 1, "the panic must have cost at least one retry");
+    assert_eq!(attempts("clean"), 0, "the clean job never retries");
+
+    let stepper_config = server.config().stepper_config();
+    for (id, scenario, steps, _, oracle_plan) in &fleet {
+        let plan = oracle_plan.map(|spec| FaultPlan::parse(spec).expect("oracle plan"));
+        let oracle = oracle_state(scenario, *steps, stepper_config.clone(), plan);
+        let got = final_state(&server, id, scenario);
+        assert_states_bitwise(&oracle, &got, &format!("job {id}"));
+    }
+
+    // The journal recorded the containment, not just the outcomes.
+    let journal = std::fs::read_to_string(dir.join("jobs.jsonl")).expect("journal");
+    assert!(journal.contains("\"event\": \"retrying\""), "retries are journaled");
+    assert!(journal.contains("\"event\": \"preempted\""), "preemptions are journaled");
+    assert!(journal.contains("worker panic: injected worker panic at step 2"));
+    assert!(journal.contains("stalled: step 2"), "the watchdog verdict is journaled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_killed_supervisor_is_replaced_and_finishes_the_fleet_from_the_journal() {
+    let dir = test_dir("kill");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let journal = dir.join("jobs.jsonl");
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+    let tg = Scenario::new(ScenarioKind::TaylorGreenVortex, 4);
+
+    // Supervisor A dies after 3 slices: journal and rings survive on disk,
+    // everything in memory is gone — the in-process equivalent of kill -9
+    // (the real-signal version runs in CI's server-smoke job).
+    let mut dying = ServerConfig { max_slices: Some(3), ..config(&dir) };
+    dying.workers = 1;
+    let mut server_a = Server::open(&journal, dying).expect("open A");
+    server_a.submit(JobSpec::new("alpha", cavity.clone(), 6)).expect("submit");
+    server_a.submit(JobSpec::new("beta", tg.clone(), 5)).expect("submit");
+    let partial = server_a.run();
+    assert!(partial.pending > 0, "the fleet must be unfinished: {partial:?}");
+    drop(server_a);
+
+    // Supervisor B replays the journal and finishes everything.
+    let mut server_b = Server::open(&journal, config(&dir)).expect("open B");
+    assert_eq!(server_b.replay().jobs, 2);
+    assert!(server_b.replay().pending > 0, "replay must report recovered jobs");
+    let report = server_b.run();
+    assert!(report.all_done(), "{report:?}");
+    for job in server_b.jobs() {
+        assert!(matches!(job.status, JobStatus::Done { .. }), "{}: {}", job.id, job.status);
+    }
+
+    let stepper_config = server_b.config().stepper_config();
+    let oracle = oracle_state(&cavity, 6, stepper_config.clone(), None);
+    assert_states_bitwise(&oracle, &final_state(&server_b, "alpha", &cavity), "job alpha");
+    let oracle = oracle_state(&tg, 5, stepper_config, None);
+    assert_states_bitwise(&oracle, &final_state(&server_b, "beta", &tg), "job beta");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_journal_tail_is_truncated_and_the_service_keeps_going() {
+    let dir = test_dir("torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let journal = dir.join("jobs.jsonl");
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+
+    let mut server = Server::open(&journal, config(&dir)).expect("open");
+    server.submit(JobSpec::new("only", cavity.clone(), 3)).expect("submit");
+    drop(server);
+
+    // An append died mid-line (power cut between write and fsync).
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new().append(true).open(&journal).expect("journal");
+    file.write_all(b"{\"seq\": 99, \"event\": \"runni").expect("torn append");
+    drop(file);
+
+    let mut server = Server::open(&journal, config(&dir)).expect("reopen");
+    assert!(server.replay().torn_tail, "the torn tail must be reported");
+    assert_eq!(server.replay().pending, 1);
+    let report = server.run();
+    assert!(report.all_done(), "{report:?}");
+    let oracle = oracle_state(&cavity, 3, server.config().stepper_config(), None);
+    assert_states_bitwise(&oracle, &final_state(&server, "only", &cavity), "job only");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_and_thread_layout_never_changes_a_trajectory() {
+    // The same job drained at three different pool layouts, each sliced and
+    // preempted differently, lands on identical bits.
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+    let mut finals: Vec<SimState> = Vec::new();
+    for (workers, threads, slice) in [(1usize, 1usize, 2u64), (2, 1, 1), (2, 2, 3)] {
+        let dir = test_dir(&format!("layout-{workers}-{threads}-{slice}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut cfg = config(&dir);
+        cfg.workers = workers;
+        cfg.threads_per_worker = threads;
+        cfg.slice_steps = slice;
+        let mut server = Server::open(dir.join("jobs.jsonl"), cfg).expect("open");
+        server.submit(JobSpec::new("migrant", cavity.clone(), 5)).expect("submit");
+        assert!(server.run().all_done());
+        finals.push(final_state(&server, "migrant", &cavity));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for (i, state) in finals.iter().enumerate().skip(1) {
+        assert_states_bitwise(&finals[0], state, &format!("layout {i}"));
+    }
+}
