@@ -15,7 +15,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_driver::{Scenario, ScenarioKind};
-use lv_server::{server_bench_to_json, JobSpec, Server, ServerBenchCase, ServerConfig};
+use lv_server::{
+    server_bench_to_json, JobSpec, Server, ServerBenchCase, ServerBenchMetrics, ServerConfig,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -25,8 +27,9 @@ fn quick_mode() -> bool {
 
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-/// Drains one fresh fleet at `workers` and returns the wall-clock seconds.
-fn drain_fleet(workers: usize, fleet: &[(ScenarioKind, usize, u64)]) -> f64 {
+/// Drains one fresh fleet at `workers` (with the fleet-metrics registry on
+/// or off) and returns the wall-clock seconds.
+fn drain_fleet(workers: usize, fleet: &[(ScenarioKind, usize, u64)], metrics: bool) -> f64 {
     let tag = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
     let dir = std::env::temp_dir().join(format!("lv-server-bench-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -36,6 +39,7 @@ fn drain_fleet(workers: usize, fleet: &[(ScenarioKind, usize, u64)]) -> f64 {
         slice_steps: 2,
         vector_size: 32,
         checkpoint_dir: dir.join("ckpt"),
+        metrics,
         ..ServerConfig::default()
     };
     let mut server = Server::open(dir.join("jobs.jsonl"), config).expect("open");
@@ -86,16 +90,32 @@ fn server_saturation_sweep(_c: &mut Criterion) {
     for &workers in worker_counts {
         let mut best = f64::INFINITY;
         for _ in 0..repetitions {
-            best = best.min(drain_fleet(workers, &fleet));
+            best = best.min(drain_fleet(workers, &fleet, true));
         }
         let jobs_per_sec = fleet.len() as f64 / best;
         println!("  {workers} worker(s): {best:>9.3} s  ->  {jobs_per_sec:>7.2} jobs/s");
         cases.push(ServerBenchCase { workers, seconds: best, jobs_per_sec });
     }
 
+    // Metrics-overhead pair at the saturation worker count: the sweep above
+    // already measured metrics-on (the production default), so only the
+    // metrics-off baseline needs fresh drains.
+    let saturation = *worker_counts.last().expect("sweep is never empty");
+    let mut off = f64::INFINITY;
+    for _ in 0..repetitions {
+        off = off.min(drain_fleet(saturation, &fleet, false));
+    }
+    let on = cases.last().expect("sweep is never empty").seconds;
+    let metrics = ServerBenchMetrics { off_seconds: off, on_seconds: on };
+    println!(
+        "  metrics overhead at {saturation} worker(s): off {off:.3} s, on {on:.3} s \
+         ({:+.2}%)",
+        metrics.overhead() * 100.0
+    );
+
     let host_threads =
         std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-    let json = server_bench_to_json(host_threads, fleet.len(), quick, &cases);
+    let json = server_bench_to_json(host_threads, fleet.len(), quick, &cases, Some(&metrics));
     let path = std::env::var("LV_BENCH_SERVER_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
     std::fs::write(&path, &json).expect("write BENCH_server.json");

@@ -118,6 +118,16 @@ pub struct StepperConfig {
     /// Deterministic fault schedule for testing the recovery paths
     /// (`None` in production runs).
     pub fault_plan: Option<FaultPlan>,
+    /// Window of the convergence-stall detector: how many consecutive
+    /// successful steps must sit on a residual plateau before a
+    /// slow-convergence event fires (see [`Stepper::slow_convergence_events`]).
+    pub stall_window: usize,
+    /// Residual threshold of the detector, as a multiple of the larger
+    /// solver tolerance: a step only counts toward a plateau when
+    /// `max(momentum, poisson)` residual exceeds `stall_factor · tol`.
+    /// Healthy runs converge *to* the tolerance, so they never plateau
+    /// above `10 · tol` (the default).
+    pub stall_factor: f64,
 }
 
 impl Default for StepperConfig {
@@ -143,6 +153,8 @@ impl Default for StepperConfig {
             projection_sweeps: 3,
             max_dt_retries: 3,
             fault_plan: None,
+            stall_window: 8,
+            stall_factor: 10.0,
         }
     }
 }
@@ -191,6 +203,16 @@ impl StepperConfig {
     /// Builder: deterministic fault schedule (testing only).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Builder: convergence-stall detector window and residual factor
+    /// (`window` steps on a plateau above `factor · tolerance` fire one
+    /// slow-convergence event).
+    pub fn with_stall_detector(mut self, window: usize, factor: f64) -> Self {
+        assert!(window > 0, "the stall window needs at least one step");
+        self.stall_window = window;
+        self.stall_factor = factor;
         self
     }
 }
@@ -402,6 +424,11 @@ pub struct Stepper {
     // (the snapshot covers SimState only).
     fault_plan: Option<FaultPlan>,
     state: SimState,
+    // Convergence-stall detector state: the residuals of the last
+    // `stall_window` successful steps, and how often a plateau fired.
+    // Diagnostic only — never part of SimState, never steers the run.
+    stall_residuals: std::collections::VecDeque<f64>,
+    slow_convergence: u64,
     matrix: CsrMatrix,
     rhs: Vec<f64>,
     grad: Vec<f64>,
@@ -487,6 +514,8 @@ impl Stepper {
             dt_backoff: 1.0,
             fault_plan,
             state,
+            stall_residuals: std::collections::VecDeque::new(),
+            slow_convergence: 0,
             matrix,
             rhs: vec![0.0; NDIME * n],
             grad: vec![0.0; NDIME * n],
@@ -823,10 +852,17 @@ impl Stepper {
         self.state.step += 1;
         self.state.time = t_new;
         let kinetic_energy = self.kinetic_energy();
+        // Convergence-stall detection: a pure function of the (bitwise
+        // reproducible) residual history, so it fires at the same steps on
+        // every thread count and never changes behaviour.
+        let stalled = self.observe_residual(solve.worst_residual.max(poisson_residual));
         if let Some(t) = trace {
             t.add(counters::STEPS, 1);
             t.add(counters::MOMENTUM_ITERATIONS, solve.total_iterations() as u64);
             t.add(counters::POISSON_ITERATIONS, poisson_iterations as u64);
+            if stalled {
+                t.add(counters::SLOW_CONVERGENCE, 1);
+            }
         }
         if let Some(s) = step_span {
             s.iters(1).finish();
@@ -946,6 +982,45 @@ impl Stepper {
         self.fault_plan.as_ref()
     }
 
+    /// How often the convergence-stall detector has fired on this stepper:
+    /// [`StepperConfig::stall_window`] consecutive successful steps whose
+    /// `max(momentum, poisson)` residual stayed above
+    /// `stall_factor · tolerance` without halving across the window.  A
+    /// healthy run converges to the tolerance every step, so this stays 0;
+    /// a plateau means the solvers are succeeding but barely — the
+    /// service-level early warning *before* retries start failing.
+    /// Diagnostic only: firing never changes the trajectory.
+    pub fn slow_convergence_events(&self) -> u64 {
+        self.slow_convergence
+    }
+
+    /// Feeds one successful step's residual to the stall detector.
+    /// Returns whether a plateau fired (the window is then cleared, so the
+    /// next event needs a fresh plateau).
+    fn observe_residual(&mut self, residual: f64) -> bool {
+        let window = self.config.stall_window.max(1);
+        let tolerance =
+            self.config.momentum_options.tolerance.max(self.config.poisson_options.tolerance);
+        let threshold = self.config.stall_factor * tolerance;
+        self.stall_residuals.push_back(residual);
+        while self.stall_residuals.len() > window {
+            self.stall_residuals.pop_front();
+        }
+        if self.stall_residuals.len() < window {
+            return false;
+        }
+        let oldest = *self.stall_residuals.front().expect("window is full");
+        let newest = *self.stall_residuals.back().expect("window is full");
+        // A plateau: every step in the window sits above the threshold and
+        // the newest residual has not even halved against the oldest.
+        let plateau = self.stall_residuals.iter().all(|&r| r > threshold) && newest * 2.0 > oldest;
+        if plateau {
+            self.slow_convergence += 1;
+            self.stall_residuals.clear();
+        }
+        plateau
+    }
+
     /// Runs recovering steps until `target_step` is reached, at most `quota`
     /// of them, watching the wall-clock of each individual step against
     /// `step_deadline`.
@@ -1031,6 +1106,53 @@ mod tests {
 
     fn quick_config() -> StepperConfig {
         StepperConfig::default().with_vector_size(32)
+    }
+
+    #[test]
+    fn the_stall_detector_stays_quiet_on_healthy_runs_and_fires_on_forced_plateaus() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let team = Team::new(1);
+        // Healthy: every solve converges to tolerance, so nothing sits
+        // above 10x tolerance and the detector never fires.
+        let mut healthy = Stepper::new(scenario.clone(), quick_config());
+        healthy.run_recovering_on(&team, 4).expect("healthy run");
+        assert_eq!(healthy.slow_convergence_events(), 0);
+
+        // Forced: a window of 1 above a zero threshold makes every
+        // successful step a plateau — and must not change the trajectory.
+        let mut forced = Stepper::new(scenario, quick_config().with_stall_detector(1, 0.0));
+        forced.run_recovering_on(&team, 4).expect("forced run");
+        assert_eq!(forced.slow_convergence_events(), 4);
+        for (a, b) in healthy
+            .state()
+            .velocity
+            .as_slice()
+            .iter()
+            .chain(healthy.state().pressure.as_slice())
+            .zip(
+                forced.state().velocity.as_slice().iter().chain(forced.state().pressure.as_slice()),
+            )
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "detection must never steer the run");
+        }
+    }
+
+    #[test]
+    fn the_stall_detector_needs_a_full_window_and_a_real_plateau() {
+        let scenario = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+        let mut stepper = Stepper::new(scenario, quick_config().with_stall_detector(3, 0.0));
+        // Window not yet full: no verdicts.
+        assert!(!stepper.observe_residual(1.0));
+        assert!(!stepper.observe_residual(1.0));
+        // Full window, flat residuals: fires once and clears the window.
+        assert!(stepper.observe_residual(1.0));
+        assert_eq!(stepper.slow_convergence_events(), 1);
+        assert!(!stepper.observe_residual(1.0), "the window restarts after a firing");
+        // A residual that halves across the window is converging, not
+        // plateauing.
+        assert!(!stepper.observe_residual(0.9));
+        assert!(!stepper.observe_residual(0.4));
+        assert_eq!(stepper.slow_convergence_events(), 1);
     }
 
     #[test]

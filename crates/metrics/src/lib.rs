@@ -12,15 +12,19 @@
 //! cache misses and memory-instruction ratios.  [`report`] renders the
 //! tables/series of every experiment as aligned text, Markdown or CSV.
 //! [`tracecheck`] validates `lv-trace` span logs for CI (structure,
-//! timestamp order, per-rank nesting) and gates the tracing overhead.
+//! timestamp order, per-rank nesting) and gates the tracing overhead;
+//! [`metricscheck`] does the same for the fleet-metrics exposition
+//! (Prometheus text format structure) and gates the metrics overhead.
 
 #![warn(missing_docs)]
 
+pub mod metricscheck;
 pub mod regression;
 pub mod report;
 pub mod summary;
 pub mod tracecheck;
 
+pub use metricscheck::{gate_metrics_overhead, validate_prometheus};
 pub use regression::{
     best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
     gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_server_bench,

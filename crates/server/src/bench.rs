@@ -21,6 +21,28 @@ pub struct ServerBenchCase {
     pub jobs_per_sec: f64,
 }
 
+/// The metrics-overhead measurement: the saturation fleet drained with the
+/// [`crate::FleetMetrics`] registry off and on.  `gate_metrics_overhead`
+/// in `lv-metrics` enforces the ceiling on the ratio.
+#[derive(Debug, Clone)]
+pub struct ServerBenchMetrics {
+    /// Fastest metrics-off drain, seconds.
+    pub off_seconds: f64,
+    /// Fastest metrics-on drain, seconds.
+    pub on_seconds: f64,
+}
+
+impl ServerBenchMetrics {
+    /// Fractional overhead of running with metrics on (`on/off - 1`).
+    pub fn overhead(&self) -> f64 {
+        if self.off_seconds > 0.0 {
+            self.on_seconds / self.off_seconds - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// JSON document for `BENCH_server.json` via the shared [`lv_trace::json`]
 /// emitter (the offline `serde_json` shim cannot serialize).
 pub fn server_bench_to_json(
@@ -28,6 +50,7 @@ pub fn server_bench_to_json(
     jobs: usize,
     quick: bool,
     cases: &[ServerBenchCase],
+    metrics: Option<&ServerBenchMetrics>,
 ) -> String {
     let mut rows = JsonArray::new();
     for case in cases {
@@ -38,13 +61,22 @@ pub fn server_bench_to_json(
                 .f64_fixed("jobs_per_sec", case.jobs_per_sec, 4),
         );
     }
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .str("bench", "wallclock_server")
         .usize("host_threads", host_threads)
         .bool("quick", quick)
         .usize("jobs", jobs)
-        .array("cases", rows)
-        .finish()
+        .array("cases", rows);
+    if let Some(metrics) = metrics {
+        obj = obj.object(
+            "metrics",
+            JsonObject::new()
+                .f64_fixed("off_seconds", metrics.off_seconds, 9)
+                .f64_fixed("on_seconds", metrics.on_seconds, 9)
+                .f64_fixed("overhead", metrics.overhead(), 6),
+        );
+    }
+    obj.finish()
 }
 
 #[cfg(test)]
@@ -57,12 +89,24 @@ mod tests {
             ServerBenchCase { workers: 1, seconds: 2.0, jobs_per_sec: 3.0 },
             ServerBenchCase { workers: 2, seconds: 1.0, jobs_per_sec: 6.0 },
         ];
-        let json = server_bench_to_json(8, 6, true, &cases);
+        let json = server_bench_to_json(8, 6, true, &cases, None);
         assert!(json.contains("\"bench\": \"wallclock_server\""));
         assert!(json.contains("\"host_threads\": 8"));
         assert!(json.contains("\"quick\": true"));
         assert!(json.contains("\"jobs\": 6"));
         assert!(json.contains("\"workers\": 2"));
         assert!(json.contains("\"jobs_per_sec\": 6.0000"));
+        assert!(!json.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn the_metrics_block_rides_along_when_measured() {
+        let cases = vec![ServerBenchCase { workers: 2, seconds: 1.0, jobs_per_sec: 6.0 }];
+        let metrics = ServerBenchMetrics { off_seconds: 1.0, on_seconds: 1.02 };
+        assert!((metrics.overhead() - 0.02).abs() < 1e-12);
+        let json = server_bench_to_json(8, 6, true, &cases, Some(&metrics));
+        assert!(json.contains("\"metrics\": {\"off_seconds\": 1.000000000"), "{json}");
+        assert!(json.contains("\"on_seconds\": 1.020000000"), "{json}");
+        assert!(json.contains("\"overhead\": 0.020000"), "{json}");
     }
 }

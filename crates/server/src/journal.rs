@@ -36,6 +36,10 @@ pub enum EventKind {
     Done,
     /// Retry budget exhausted; the job is permanently failed.
     Failed,
+    /// The stepper's convergence-stall detector fired during a slice
+    /// (residual plateau at `step`).  Purely diagnostic: it never changes
+    /// a job's lifecycle state — [`ledger`] counts it and moves on.
+    SlowConvergence,
 }
 
 impl EventKind {
@@ -48,6 +52,7 @@ impl EventKind {
             EventKind::Retrying => "retrying",
             EventKind::Done => "done",
             EventKind::Failed => "failed",
+            EventKind::SlowConvergence => "slow_convergence",
         }
     }
 
@@ -60,6 +65,7 @@ impl EventKind {
             "retrying" => Some(EventKind::Retrying),
             "done" => Some(EventKind::Done),
             "failed" => Some(EventKind::Failed),
+            "slow_convergence" => Some(EventKind::SlowConvergence),
             _ => None,
         }
     }
@@ -92,6 +98,11 @@ pub struct Record {
     pub steps: Option<u64>,
     /// Fault-injection spec, on `submitted`.
     pub inject: Option<String>,
+    /// Wall-clock stamp, milliseconds since the Unix epoch, set by
+    /// [`Journal::append`].  **Host-dependent** (it is the one field that
+    /// is): timelines are built from it, the deterministic metrics fold
+    /// ignores it.
+    pub at_ms: Option<u64>,
 }
 
 impl Record {
@@ -110,6 +121,7 @@ impl Record {
             resolution: None,
             steps: None,
             inject: None,
+            at_ms: None,
         }
     }
 
@@ -156,6 +168,9 @@ impl Record {
         if let Some(error) = &self.error {
             obj = obj.str("error", error);
         }
+        if let Some(at_ms) = self.at_ms {
+            obj = obj.u64("at_ms", at_ms);
+        }
         obj.finish()
     }
 
@@ -179,6 +194,7 @@ impl Record {
         record.resolution = u64_field(line, "resolution");
         record.steps = u64_field(line, "steps");
         record.inject = str_field(line, "inject");
+        record.at_ms = u64_field(line, "at_ms");
         Some(record)
     }
 }
@@ -274,13 +290,15 @@ impl Journal {
         &self.path
     }
 
-    /// Appends `record` (stamping its sequence number) and fsyncs before
-    /// returning — the transition may only take effect once this returns.
+    /// Appends `record` (stamping its sequence number and wall-clock
+    /// `at_ms`) and fsyncs before returning — the transition may only take
+    /// effect once this returns.
     ///
     /// # Errors
     /// The underlying write or fsync failure.
     pub fn append(&mut self, mut record: Record) -> io::Result<u64> {
         record.seq = self.next_seq;
+        record.at_ms = Some(now_unix_ms());
         let mut line = record.to_json_line();
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
@@ -290,9 +308,45 @@ impl Journal {
     }
 }
 
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Read-only replay: parses the journal at `path` without creating,
+/// locking or truncating anything — the inspection commands' view of a
+/// journal that may still belong to a live supervisor.  A torn tail is
+/// skipped (and reported via [`Replay::torn_tail`]) but left on disk for
+/// the owning supervisor to truncate on its next open.
+///
+/// # Errors
+/// I/O errors (including `NotFound` — inspection of a missing journal is
+/// the caller's policy decision), or `InvalidData` on mid-file corruption,
+/// same as [`Journal::open`].
+pub fn replay_readonly(path: &Path) -> io::Result<Replay> {
+    let bytes = std::fs::read(path)?;
+    let (records, _, torn_tail) = scan_bytes(path, &bytes)?;
+    Ok(Replay { records, torn_tail })
+}
+
 /// Replays journal bytes, truncating a torn tail in place (see
 /// [`Journal::open`]).
 fn replay_bytes(path: &Path, bytes: &[u8]) -> io::Result<Replay> {
+    let (records, clean_end, torn_tail) = scan_bytes(path, bytes)?;
+    if torn_tail {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(clean_end as u64)?;
+        file.sync_data()?;
+    }
+    Ok(Replay { records, torn_tail })
+}
+
+/// Scans journal bytes into `(records, clean_end, torn_tail)` where
+/// `clean_end` is the byte offset just past the last intact line.
+fn scan_bytes(path: &Path, bytes: &[u8]) -> io::Result<(Vec<Record>, usize, bool)> {
     let mut records = Vec::new();
     let mut offset = 0usize;
     let mut clean_end = 0usize;
@@ -333,15 +387,12 @@ fn replay_bytes(path: &Path, bytes: &[u8]) -> io::Result<Replay> {
                         ),
                     ));
                 }
-                let file = OpenOptions::new().write(true).open(path)?;
-                file.set_len(clean_end as u64)?;
-                file.sync_data()?;
-                return Ok(Replay { records, torn_tail: true });
+                return Ok((records, clean_end, true));
             }
         }
         offset = line_end + 1;
     }
-    Ok(Replay { records, torn_tail: false })
+    Ok((records, clean_end, false))
 }
 
 /// One job reconstructed from the journal.
@@ -398,6 +449,11 @@ pub fn ledger(records: &[Record]) -> io::Result<Vec<JobEntry>> {
             .iter_mut()
             .find(|e| e.spec.id == record.job)
             .ok_or_else(|| bad(format!("journal references unsubmitted job '{}'", record.job)))?;
+        if record.event == EventKind::SlowConvergence {
+            // Diagnostic only: counted by the metrics fold, never a
+            // lifecycle transition.
+            continue;
+        }
         entry.status = match record.event {
             EventKind::Submitted => unreachable!("handled above"),
             EventKind::Running => JobStatus::Running {
@@ -414,6 +470,7 @@ pub fn ledger(records: &[Record]) -> io::Result<Vec<JobEntry>> {
             EventKind::Failed => JobStatus::Failed {
                 error: record.error.clone().unwrap_or_else(|| "unknown".to_string()),
             },
+            EventKind::SlowConvergence => unreachable!("handled above"),
         };
     }
     Ok(entries)
@@ -447,8 +504,13 @@ mod tests {
         let mut done = Record::new(EventKind::Done, "tg-8");
         done.step = Some(12);
         done.time = Some(0.062_499_999_999_999_99);
+        done.at_ms = Some(1_723_000_000_123);
         let reparsed = Record::parse(&done.to_json_line()).expect("parse");
         assert_eq!(reparsed.time.map(f64::to_bits), done.time.map(f64::to_bits));
+        assert_eq!(reparsed.at_ms, Some(1_723_000_000_123));
+
+        let stall = Record::new(EventKind::SlowConvergence, "tg-8");
+        assert_eq!(Record::parse(&stall.to_json_line()).expect("parse").event, stall.event);
     }
 
     #[test]
@@ -540,6 +602,9 @@ mod tests {
         retrying.attempt = Some(1);
         retrying.error = Some("worker panic: injected".into());
         records.push(retrying);
+        let mut stall = Record::new(EventKind::SlowConvergence, "a");
+        stall.step = Some(3);
+        records.push(stall);
         let mut done = Record::new(EventKind::Done, "a");
         done.step = Some(6);
         records.push(done);
@@ -555,6 +620,12 @@ mod tests {
         let entries = ledger(&records[..2]).expect("ledger");
         assert_eq!(entries[0].status, JobStatus::Running { worker: 0, step: 0 });
         assert!(!entries[0].status.is_terminal());
+
+        // A trailing slow_convergence record never disturbs the lifecycle
+        // state (here: still retrying), but a ghost one is refused.
+        let entries = ledger(&records[..4]).expect("ledger");
+        assert_eq!(entries[0].status, JobStatus::Retrying { attempt: 1 });
+        assert!(ledger(&[Record::new(EventKind::SlowConvergence, "ghost")]).is_err());
 
         // Logs this code would never write are refused.
         assert!(ledger(&[Record::new(EventKind::Done, "ghost")]).is_err());

@@ -15,15 +15,27 @@
 //! Layering: `lv-server` sits strictly above `lv-driver` — it owns
 //! scheduling, containment and persistence policy, and never reaches into
 //! the numerics.  See `supervisor` for the containment ladder.
+//!
+//! Observability: the supervisor keeps a [`FleetMetrics`] registry
+//! ([`metrics`]) whose deterministic counters are folded from journal
+//! records, serves read-only introspection over a Unix socket next to the
+//! journal ([`endpoint`]), and can reconstruct per-job and merged
+//! Chrome-trace timelines from the journal after the fact ([`timeline`]).
 
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod endpoint;
 pub mod job;
 pub mod journal;
+pub mod metrics;
 pub mod supervisor;
+pub mod timeline;
 
-pub use bench::{server_bench_to_json, ServerBenchCase};
+pub use bench::{server_bench_to_json, ServerBenchCase, ServerBenchMetrics};
+pub use endpoint::{metrics_json_path, query, socket_path, Request};
 pub use job::{valid_job_id, JobError, JobSpec, JobStatus};
-pub use journal::{ledger, EventKind, Journal, Record, Replay};
+pub use journal::{ledger, replay_readonly, EventKind, Journal, Record, Replay};
+pub use metrics::{FleetMetrics, JobProgress, FLEET_METRICS};
 pub use supervisor::{JobOutcome, ReplaySummary, RunReport, Server, ServerConfig};
+pub use timeline::{chrome_timeline, slice_intervals, text_timeline, SliceInterval};

@@ -25,18 +25,22 @@
 //!    effect, so `kill -9` at any instant loses at most the work since the
 //!    last checkpoint — never a job, never a trajectory.
 
+use crate::endpoint::{self, Request};
 use crate::job::{valid_job_id, JobError, JobSpec, JobStatus};
 use crate::journal::{ledger, EventKind, Journal, Record, Replay};
+use crate::metrics::{self, FleetMetrics, JobProgress};
 use lv_driver::{CheckpointRing, FaultKind, FaultPlan, SliceEnd, Stepper, StepperConfig};
 use lv_runtime::{Team, TraceConfig};
+use lv_trace::json::JsonObject;
 use lv_trace::summary::RunSummary;
-use lv_trace::{spans, Event, Trace};
+use lv_trace::{sink, spans, Event, Trace};
 use std::collections::VecDeque;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Supervisor policy knobs.  All scheduling policy lives here; none of it
 /// can reach a trajectory.
@@ -77,6 +81,24 @@ pub struct ServerConfig {
     /// Print scheduling transitions to stdout (the CLI wants them; tests
     /// and benches keep quiet).
     pub verbose: bool,
+    /// Keep the [`FleetMetrics`] registry (journal fold, gauges, latency
+    /// histograms, the `<journal>.metrics.json` flush).  On by default —
+    /// the overhead gate (`gate_metrics_overhead`) bounds its cost; off is
+    /// the gate's baseline.
+    pub metrics: bool,
+    /// Serve the read-only introspection socket at `<journal>.sock` while
+    /// [`Server::run`] is live (see [`crate::endpoint`]).
+    pub endpoint: bool,
+    /// Write each worker's trace log to `<dir>/worker-<k>.trace.jsonl`
+    /// when the run ends (implies `traced`).  `serve timeline` merges
+    /// these with the journal.
+    pub trace_dir: Option<PathBuf>,
+    /// Convergence-stall window handed to every job's stepper (see
+    /// [`StepperConfig::stall_window`]).
+    pub stall_window: usize,
+    /// Convergence-stall residual factor (see
+    /// [`StepperConfig::stall_factor`]).
+    pub stall_factor: f64,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +116,11 @@ impl Default for ServerConfig {
             max_slices: None,
             traced: false,
             verbose: false,
+            metrics: true,
+            endpoint: false,
+            trace_dir: None,
+            stall_window: StepperConfig::default().stall_window,
+            stall_factor: StepperConfig::default().stall_factor,
         }
     }
 }
@@ -102,12 +129,19 @@ impl ServerConfig {
     /// The stepper configuration every job runs with (fault plans are added
     /// per job).  Exposed so oracle runs in tests can match it exactly.
     pub fn stepper_config(&self) -> StepperConfig {
-        let config = StepperConfig::default();
+        let config = StepperConfig::default()
+            .with_stall_detector(self.stall_window.max(1), self.stall_factor);
         if self.vector_size > 0 {
             config.with_vector_size(self.vector_size)
         } else {
             config
         }
+    }
+
+    /// Whether workers carry trace buffers ([`ServerConfig::trace_dir`]
+    /// implies [`ServerConfig::traced`]).
+    pub fn tracing(&self) -> bool {
+        self.traced || self.trace_dir.is_some()
     }
 }
 
@@ -193,9 +227,10 @@ impl JobSlot {
     }
 }
 
-/// Scheduler state under the queue mutex.
+/// Scheduler state under the queue mutex.  Queue entries carry their
+/// enqueue instant so the pull side can observe the queue-wait histogram.
 struct Sched {
-    queue: VecDeque<usize>,
+    queue: VecDeque<(usize, Instant)>,
     active: usize,
     slices: u64,
     halted: bool,
@@ -207,6 +242,21 @@ struct Shared<'a> {
     slots: &'a [Mutex<JobSlot>],
     sched: Mutex<Sched>,
     cv: Condvar,
+    /// The fleet registry (None when [`ServerConfig::metrics`] is off).
+    metrics: Option<&'a FleetMetrics>,
+    /// Where the metrics document is flushed at journal checkpoints.
+    metrics_path: Option<PathBuf>,
+}
+
+impl Shared<'_> {
+    /// Refreshes the queue gauges from scheduler state (call under the
+    /// sched lock, after any mutation).
+    fn set_queue_gauges(&self, sched: &Sched) {
+        if let Some(fleet) = self.metrics {
+            fleet.registry().set(metrics::QUEUE_DEPTH, sched.queue.len() as u64);
+            fleet.registry().set(metrics::JOBS_IN_FLIGHT, sched.active as u64);
+        }
+    }
 }
 
 /// The supervised simulation service (see the module docs).
@@ -216,6 +266,7 @@ pub struct Server {
     slots: Vec<Mutex<JobSlot>>,
     replay: ReplaySummary,
     summaries: Vec<RunSummary>,
+    metrics: FleetMetrics,
 }
 
 impl Server {
@@ -230,12 +281,26 @@ impl Server {
         std::fs::create_dir_all(&config.checkpoint_dir)?;
         let (journal, replay) = Journal::open(journal_path)?;
         let entries = ledger(&replay.records)?;
+        // The deterministic counters are a pure fold of the journal, so a
+        // reopened supervisor starts exactly where the dead one's metrics
+        // ended — same code path as the live fold in `journal_append`.
+        let fleet = FleetMetrics::new();
+        if config.metrics {
+            fleet.replay(&replay.records);
+        }
         let replay = summarize(&entries, &replay);
         let slots = entries
             .into_iter()
             .map(|e| Mutex::new(JobSlot::new(e.spec, e.status, e.attempts)))
             .collect();
-        Ok(Server { config, journal: Mutex::new(journal), slots, replay, summaries: Vec::new() })
+        Ok(Server {
+            config,
+            journal: Mutex::new(journal),
+            slots,
+            replay,
+            summaries: Vec::new(),
+            metrics: fleet,
+        })
     }
 
     /// The configuration.
@@ -246,6 +311,11 @@ impl Server {
     /// What the opening replay found.
     pub fn replay(&self) -> &ReplaySummary {
         &self.replay
+    }
+
+    /// The fleet metrics (all zero when [`ServerConfig::metrics`] is off).
+    pub fn metrics(&self) -> &FleetMetrics {
+        &self.metrics
     }
 
     /// Submits a job: journals the `submitted` record (write-ahead), then
@@ -272,7 +342,13 @@ impl Server {
             FaultPlan::parse(inject)
                 .map_err(|e| invalid(format!("job '{}': bad inject spec: {e}", spec.id)))?;
         }
-        self.journal.lock().unwrap().append(Record::submitted(&spec))?;
+        let record = Record::submitted(&spec);
+        self.journal.lock().unwrap().append(record.clone())?;
+        if self.config.metrics {
+            self.metrics.apply_record(&record);
+            let path = endpoint::metrics_json_path(self.journal.lock().unwrap().path());
+            flush_metrics_json(&self.metrics, &path);
+        }
         self.slots.push(Mutex::new(JobSlot::new(spec, JobStatus::Queued, 0)));
         Ok(())
     }
@@ -311,24 +387,48 @@ impl Server {
     /// over [`ServerConfig::workers`] worker teams.  Returns the fleet
     /// totals; per-job outcomes are in [`Server::jobs`].
     pub fn run(&mut self) -> RunReport {
-        let queue: VecDeque<usize> = self
+        let start = Instant::now();
+        let queue: VecDeque<(usize, Instant)> = self
             .slots
             .iter()
             .enumerate()
             .filter(|(_, slot)| !slot.lock().unwrap().status.is_terminal())
-            .map(|(index, _)| index)
+            .map(|(index, _)| (index, start))
             .collect();
+        let journal_path = self.journal.lock().unwrap().path().to_path_buf();
         let shared = Shared {
             config: &self.config,
             journal: &self.journal,
             slots: &self.slots,
             sched: Mutex::new(Sched { queue, active: 0, slices: 0, halted: false }),
             cv: Condvar::new(),
+            metrics: self.config.metrics.then_some(&self.metrics),
+            metrics_path: self.config.metrics.then(|| endpoint::metrics_json_path(&journal_path)),
         };
+        shared.set_queue_gauges(&shared.sched.lock().unwrap());
         let workers = self.config.workers.max(1);
         let mut summaries = Vec::new();
         let shared = &shared;
+        let socket = self.config.endpoint.then(|| endpoint::socket_path(&journal_path));
+        let stop = AtomicBool::new(false);
+        let stop = &stop;
         std::thread::scope(|scope| {
+            let endpoint_thread = socket.as_deref().and_then(|path| {
+                match endpoint::bind(path) {
+                    Ok(listener) => Some(scope.spawn(move || {
+                        endpoint::serve(&listener, stop, |request| respond(request, shared));
+                    })),
+                    Err(e) => {
+                        // Observability must never take down the fleet.
+                        if shared.config.verbose {
+                            say_line(std::format_args!(
+                                "endpoint unavailable ({e}); running without it"
+                            ));
+                        }
+                        None
+                    }
+                }
+            });
             let handles: Vec<_> = (0..workers)
                 .map(|worker| scope.spawn(move || worker_loop(worker, shared)))
                 .collect();
@@ -337,7 +437,18 @@ impl Server {
                     summaries.push(summary);
                 }
             }
+            stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = endpoint_thread {
+                let _ = handle.join();
+            }
         });
+        if let Some(path) = &socket {
+            let _ = std::fs::remove_file(path);
+        }
+        // Leave the final document behind for post-mortem clients.
+        if let (Some(fleet), Some(path)) = (shared.metrics, &shared.metrics_path) {
+            flush_metrics_json(fleet, path);
+        }
         self.summaries = summaries;
         let slices = shared.sched.lock().unwrap().slices;
         let mut report = RunReport { done: 0, failed: 0, pending: 0, slices };
@@ -386,7 +497,7 @@ macro_rules! say {
 /// One worker: pull, slice, repeat until the queue drains (or the drain
 /// limit halts the fleet).  Returns the team's trace summary when traced.
 fn worker_loop(worker: usize, shared: &Shared<'_>) -> Option<RunSummary> {
-    let mut team = if shared.config.traced {
+    let mut team = if shared.config.tracing() {
         Team::with_trace(shared.config.threads_per_worker, TraceConfig::default())
     } else {
         Team::new(shared.config.threads_per_worker)
@@ -398,8 +509,14 @@ fn worker_loop(worker: usize, shared: &Shared<'_>) -> Option<RunSummary> {
                 if sched.halted {
                     break None;
                 }
-                if let Some(index) = sched.queue.pop_front() {
+                if let Some((index, enqueued)) = sched.queue.pop_front() {
                     sched.active += 1;
+                    shared.set_queue_gauges(&sched);
+                    if let Some(fleet) = shared.metrics {
+                        fleet
+                            .registry()
+                            .observe(metrics::QUEUE_WAIT_US, enqueued.elapsed().as_micros() as u64);
+                    }
                     break Some(index);
                 }
                 if sched.active == 0 {
@@ -421,12 +538,24 @@ fn worker_loop(worker: usize, shared: &Shared<'_>) -> Option<RunSummary> {
                 sched.halted = true;
             }
             if requeue {
-                sched.queue.push_back(index);
+                sched.queue.push_back((index, Instant::now()));
             }
+            shared.set_queue_gauges(&sched);
         }
         shared.cv.notify_all();
     }
-    team.trace_mut().map(RunSummary::from_trace)
+    // Drain the trace once: the same events feed the on-disk log (for
+    // `serve timeline`) and the in-memory summary.
+    team.trace_mut().map(|trace| {
+        let events = trace.events();
+        let counters = trace.counter_rows();
+        if let Some(dir) = &shared.config.trace_dir {
+            let log = sink::write_jsonl(&events, &counters);
+            let _ = std::fs::create_dir_all(dir);
+            let _ = std::fs::write(dir.join(format!("worker-{worker}.trace.jsonl")), log);
+        }
+        RunSummary::from_events(&events, counters)
+    })
 }
 
 /// Runs one slice of job `index` on `team`.  Returns whether the job goes
@@ -564,8 +693,10 @@ fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) 
     let slice_span = trace.map(|t| t.span(spans::SERVER_SLICE, 0).aux(index as u64));
     let quota = config.slice_steps.max(1);
     let deadline = Some(config.step_deadline);
+    let slice_start = Instant::now();
     let result =
         catch_unwind(AssertUnwindSafe(|| stepper.run_slice_on(team, spec.steps, quota, deadline)));
+    let slice_elapsed = slice_start.elapsed();
     // Carry the spent plan across retries: a fired fault stays fired even
     // when the slice's state is thrown away.
     if let Some(plan) = stepper.fault_plan() {
@@ -574,6 +705,35 @@ fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) 
     let steps_done = stepper.state().step.saturating_sub(resume_step);
     if let Some(span) = slice_span {
         span.iters(steps_done).finish();
+    }
+    if let Some(fleet) = shared.metrics {
+        fleet.registry().observe(metrics::SLICE_US, slice_elapsed.as_micros() as u64);
+        if steps_done > 0 {
+            // Margin left under the per-step watchdog, using the slice's
+            // mean step time: a shrinking margin predicts stall verdicts.
+            let mean_step = slice_elapsed / steps_done as u32;
+            let margin = config.step_deadline.saturating_sub(mean_step);
+            fleet.registry().observe(metrics::WATCHDOG_MARGIN_US, margin.as_micros() as u64);
+        }
+    }
+    // Journal the slice's convergence-stall detections (the stepper is
+    // slice-local, so this count is exactly this slice's).  A retried
+    // slice replays its detections — deterministically, like every other
+    // replayed transition.
+    let stalls = stepper.slow_convergence_events();
+    if stalls > 0 {
+        let mut record = Record::new(EventKind::SlowConvergence, &spec.id);
+        record.worker = Some(worker as u64);
+        record.step = Some(stepper.state().step);
+        record.steps = Some(stalls);
+        let _ = journal_append(shared, team, record);
+        if config.verbose {
+            say!(
+                "job {}: {stalls} slow-convergence event(s) in the slice ending at step {}",
+                spec.id,
+                stepper.state().step
+            );
+        }
     }
 
     let error = match result {
@@ -594,6 +754,14 @@ fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) 
                         done.step = Some(step);
                         done.time = Some(stepper.state().time);
                         let _ = journal_append(shared, team, done);
+                        publish_progress(
+                            shared,
+                            &spec,
+                            &stepper,
+                            &slice,
+                            steps_done,
+                            slice_elapsed,
+                        );
                         if config.verbose {
                             say!(
                                 "job {} done (step {}, t = {:.4}, worker {worker})",
@@ -618,6 +786,14 @@ fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) 
                         preempted.worker = Some(worker as u64);
                         preempted.step = Some(step);
                         let _ = journal_append(shared, team, preempted);
+                        publish_progress(
+                            shared,
+                            &spec,
+                            &stepper,
+                            &slice,
+                            steps_done,
+                            slice_elapsed,
+                        );
                         if let Some(t) = trace {
                             t.record(Event {
                                 aux: step,
@@ -689,6 +865,39 @@ fn run_one_slice(worker: usize, index: usize, team: &Team, shared: &Shared<'_>) 
     true
 }
 
+/// Publishes a job's post-slice [`JobProgress`] row: committed steps, sim
+/// time, the last step's residuals, and the slice's raw step rate (the
+/// registry folds it into the EWMA and derives the ETA).
+fn publish_progress(
+    shared: &Shared<'_>,
+    spec: &JobSpec,
+    stepper: &Stepper,
+    slice: &lv_driver::SliceReport,
+    steps_done: u64,
+    elapsed: Duration,
+) {
+    let Some(fleet) = shared.metrics else {
+        return;
+    };
+    let (momentum_residual, poisson_residual) = slice
+        .reports
+        .last()
+        .map(|r| (r.momentum_residual, r.poisson_residual))
+        .unwrap_or((0.0, 0.0));
+    let secs = elapsed.as_secs_f64();
+    let step_rate = if secs > 0.0 && steps_done > 0 { steps_done as f64 / secs } else { 0.0 };
+    fleet.publish_progress(JobProgress {
+        id: spec.id.clone(),
+        steps_done: stepper.state().step,
+        target_steps: spec.steps,
+        sim_time: stepper.state().time,
+        momentum_residual,
+        poisson_residual,
+        step_rate,
+        eta_seconds: 0.0,
+    });
+}
+
 /// Writes the slot's post-slice state back under its lock.
 fn finish_slot(
     shared: &Shared<'_>,
@@ -705,14 +914,97 @@ fn finish_slot(
     slot.status = status;
 }
 
-/// Appends under the journal mutex, recording a `server/journal` span.
+/// Appends under the journal mutex, recording a `server/journal` span,
+/// the fsync-latency histogram, and the deterministic fold.  Every
+/// non-`running` record is a journal checkpoint: the metrics document is
+/// flushed to `<journal>.metrics.json` so a supervisor killed at any later
+/// instant leaves its last state behind.
 fn journal_append(shared: &Shared<'_>, team: &Team, record: Record) -> io::Result<u64> {
     let span = team.trace().map(|t| t.span(spans::SERVER_JOURNAL, 0));
-    let result = shared.journal.lock().unwrap().append(record);
+    let start = Instant::now();
+    let result = shared.journal.lock().unwrap().append(record.clone());
+    let elapsed = start.elapsed();
     if let Some(span) = span {
         span.iters(1).finish();
     }
+    if result.is_ok() {
+        if let Some(fleet) = shared.metrics {
+            fleet.registry().observe(metrics::JOURNAL_FSYNC_US, elapsed.as_micros() as u64);
+            fleet.apply_record(&record);
+            if record.event != EventKind::Running {
+                if let Some(path) = &shared.metrics_path {
+                    flush_metrics_json(fleet, path);
+                }
+            }
+        }
+    }
     result
+}
+
+/// Writes the metrics document atomically (tmp + rename); errors are
+/// swallowed — losing an advisory snapshot must never hurt the fleet.
+fn flush_metrics_json(fleet: &FleetMetrics, path: &Path) {
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, fleet.document()).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Answers one introspection request (see [`crate::endpoint`]).
+fn respond(request: Request, shared: &Shared<'_>) -> String {
+    match request {
+        Request::Status => {
+            let (done, failed, pending) =
+                shared.slots.iter().fold((0, 0, 0), |acc, slot| {
+                    match slot.lock().unwrap().status {
+                        JobStatus::Done { .. } => (acc.0 + 1, acc.1, acc.2),
+                        JobStatus::Failed { .. } => (acc.0, acc.1 + 1, acc.2),
+                        _ => (acc.0, acc.1, acc.2 + 1),
+                    }
+                });
+            let sched = shared.sched.lock().unwrap();
+            let mut obj = JsonObject::new()
+                .u64("format", 1)
+                .bool("live", true)
+                .usize("jobs", shared.slots.len())
+                .usize("done", done)
+                .usize("failed", failed)
+                .usize("pending", pending)
+                .usize("queue_depth", sched.queue.len())
+                .usize("in_flight", sched.active)
+                .u64("slices", sched.slices);
+            drop(sched);
+            if let Some(fleet) = shared.metrics {
+                obj = obj.u64("steps_committed", fleet.registry().value(metrics::STEPS_COMMITTED));
+            }
+            let mut out = obj.finish();
+            out.push('\n');
+            out
+        }
+        Request::Jobs => {
+            let rows = shared.metrics.map(FleetMetrics::progress).unwrap_or_default();
+            let mut out = String::new();
+            for row in rows {
+                out.push_str(&row.to_json());
+                out.push('\n');
+            }
+            out
+        }
+        Request::MetricsJson => {
+            let Some(fleet) = shared.metrics else {
+                return "{\"error\": \"metrics are disabled\"}\n".to_string();
+            };
+            let mut out = fleet.document();
+            out.push('\n');
+            out
+        }
+        Request::MetricsProm => {
+            let Some(fleet) = shared.metrics else {
+                return "# metrics are disabled\n".to_string();
+            };
+            fleet.snapshot().to_prometheus()
+        }
+    }
 }
 
 /// Ring save plus any scheduled checkpoint-corruption fault (mirrors the
@@ -864,6 +1156,110 @@ mod tests {
         assert!(journal.events >= 4, "running x3 + preempted x2 + done: {}", journal.events);
         assert!(summaries[0].span("server/resume").is_some(), "slices 2,3 resumed from the ring");
         assert!(summaries[0].span("server/preempt").is_some());
+        clean(&dir);
+    }
+
+    #[test]
+    fn metrics_fold_gauges_and_document_ride_along_with_a_run() {
+        let dir = test_dir("metrics");
+        clean(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let journal = dir.join("jobs.jsonl");
+        let mut config = quick_config(&dir);
+        config.trace_dir = Some(dir.join("traces"));
+        let mut server = Server::open(&journal, config).expect("open");
+        server
+            .submit(JobSpec::new("m1", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 5))
+            .expect("submit");
+        server
+            .submit(JobSpec::new("m2", Scenario::new(ScenarioKind::TaylorGreenVortex, 4), 3))
+            .expect("submit");
+        assert!(server.run().all_done());
+
+        let snapshot = server.metrics().snapshot();
+        assert_eq!(snapshot.scalar("fleet_jobs_submitted_total"), Some(2));
+        assert_eq!(snapshot.scalar("fleet_jobs_done_total"), Some(2));
+        assert_eq!(snapshot.scalar("fleet_steps_committed_total"), Some(8));
+        assert_eq!(snapshot.scalar("fleet_jobs_failed_total"), Some(0));
+        // Quiescent fleet: nothing queued, nothing in flight.
+        assert_eq!(snapshot.scalar("fleet_queue_depth"), Some(0));
+        assert_eq!(snapshot.scalar("fleet_jobs_in_flight"), Some(0));
+        // Every journal append fed the fsync histogram.
+        let lv_trace::metrics::MetricData::Histogram(fsync) =
+            &snapshot.metric("fleet_journal_fsync_us").expect("metric").value
+        else {
+            panic!("histogram expected")
+        };
+        assert!(fsync.count() >= 7, "submit x2 + running/preempted/done records");
+
+        // Progress rows: both jobs finished, so no ETA is advertised.
+        let progress = server.metrics().progress();
+        assert_eq!(progress.len(), 2);
+        assert_eq!(progress[0].id, "m1");
+        assert_eq!(progress[0].steps_done, 5);
+        assert!(progress[0].momentum_residual > 0.0);
+        assert_eq!(progress[0].eta_seconds, 0.0);
+
+        // The document survives the run for post-mortem clients.
+        let doc = std::fs::read_to_string(crate::endpoint::metrics_json_path(&journal))
+            .expect("metrics.json");
+        assert!(doc.contains("\"name\": \"fleet_jobs_done_total\""), "{doc}");
+        assert!(doc.contains("\"id\": \"m2\""), "{doc}");
+
+        // Worker trace logs landed next to the run for `serve timeline`.
+        let logs: Vec<_> = std::fs::read_dir(dir.join("traces"))
+            .expect("trace dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        assert!(logs.iter().any(|n| n == "worker-0.trace.jsonl"), "{logs:?}");
+        let log = std::fs::read_to_string(dir.join("traces").join(&logs[0])).expect("log");
+        lv_trace::sink::parse_jsonl(&log).expect("worker log parses");
+        clean(&dir);
+    }
+
+    #[test]
+    fn the_endpoint_answers_while_the_fleet_runs_and_unbinds_after() {
+        let dir = test_dir("endpoint");
+        clean(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let journal = dir.join("jobs.jsonl");
+        let mut config = quick_config(&dir);
+        config.workers = 1;
+        config.endpoint = true;
+        let mut server = Server::open(&journal, config).expect("open");
+        // A stall fault busy-waits ~400 ms inside the slice, giving the
+        // client a generous window while the fleet is provably live (the
+        // default 30 s watchdog never fires).
+        server
+            .submit(
+                JobSpec::new("slow", Scenario::new(ScenarioKind::LidDrivenCavity, 4), 4)
+                    .with_inject("stall@1,seed=3"),
+            )
+            .expect("submit");
+        let socket = crate::endpoint::socket_path(&journal);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run());
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let status = loop {
+                match crate::endpoint::query(&socket, "status") {
+                    Ok(reply) => break reply,
+                    Err(_) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => panic!("endpoint never came up: {e}"),
+                }
+            };
+            assert!(status.contains("\"live\": true"), "{status}");
+            assert!(status.contains("\"jobs\": 1"), "{status}");
+            let prom = crate::endpoint::query(&socket, "metrics prom").expect("prom");
+            assert!(prom.contains("# TYPE fleet_jobs_submitted_total counter"), "{prom}");
+            let json = crate::endpoint::query(&socket, "metrics json").expect("json");
+            assert!(json.starts_with("{\"format\": 1, \"metrics\": {"), "{json}");
+            assert!(handle.join().expect("run").all_done());
+        });
+        // The socket is gone once the run ends.
+        assert!(crate::endpoint::query(&socket, "status").is_err());
+        assert!(!socket.exists());
         clean(&dir);
     }
 

@@ -22,6 +22,9 @@
 //! * [`json`] — the shared hand-rolled JSON emitter every `BENCH_*.json`
 //!   artifact and trace sink is written with (the offline `serde_json` shim
 //!   cannot serialize).
+//! * [`metrics`] — the lock-light live-metrics registry (atomic counters,
+//!   gauges, fixed-log2-bucket histograms) the simulation service exposes
+//!   through its introspection endpoint.
 //! * [`sink`] — line-JSON event logs, Chrome-tracing (Perfetto) export, and
 //!   the replay parser.
 //! * [`summary`] — the end-of-run [`RunSummary`](summary::RunSummary)
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 pub mod sink;
 pub mod summary;
 
@@ -179,6 +183,10 @@ pub mod counters {
     /// contended).  **Host-dependent**: buffer pressure varies with the
     /// worker count.
     pub const DROPPED_EVENTS: usize = 9;
+    /// Residual-plateau (slow-convergence) detections of the driver's
+    /// stall detector.  Deterministic: residuals are bitwise reproducible,
+    /// so the detector fires at the same steps on every layout.
+    pub const SLOW_CONVERGENCE: usize = 10;
 
     /// `(name, deterministic)` per counter; the index is the counter id.
     pub const ALL: &[(&str, bool)] = &[
@@ -192,6 +200,7 @@ pub mod counters {
         ("flops", true),
         ("modeled_bytes", true),
         ("dropped_events", false),
+        ("slow_convergence", true),
     ];
 }
 
@@ -480,9 +489,10 @@ mod tests {
         assert_eq!(spans::lookup("server/journal"), Some(spans::SERVER_JOURNAL));
         assert!(!spans::info(spans::SERVER_PREEMPT).deterministic);
         assert_eq!(spans::lookup("no/such/span"), None);
-        assert_eq!(counters::ALL.len(), 10);
+        assert_eq!(counters::ALL.len(), 11);
         assert_eq!(counters::ALL[counters::FLOPS].0, "flops");
         assert!(!counters::ALL[counters::DROPPED_EVENTS].1);
+        assert!(counters::ALL[counters::SLOW_CONVERGENCE].1);
     }
 
     #[test]

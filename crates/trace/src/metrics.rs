@@ -1,0 +1,480 @@
+//! The lock-light metrics registry: live service-level observability.
+//!
+//! Where [`crate::Trace`] records *per-event* telemetry into per-rank
+//! buffers, this module keeps *aggregate* metrics — monotonic counters,
+//! gauges and fixed-log2-bucket histograms — in plain atomic cells so any
+//! thread can bump them without a lock and any thread can snapshot them
+//! while the fleet keeps running.  The registry is generic: callers declare
+//! a static [`MetricSpec`] table (mirroring [`crate::spans::ALL`] /
+//! [`crate::counters::ALL`]) and address cells by table index.
+//!
+//! The same deterministic/host-dependent split as the span taxonomy
+//! applies, cell by cell:
+//!
+//! * **deterministic** metrics (job/step/retry/preemption counts) are pure
+//!   functions of the workload — [`MetricsSnapshot::deterministic_fingerprint`]
+//!   is bitwise stable across worker x thread layouts, exactly like
+//!   [`crate::summary::RunSummary::deterministic_fingerprint`];
+//! * **host-dependent** metrics (latency histograms, queue gauges) carry
+//!   wall-clock and scheduling noise and are advisory.
+//!
+//! Histograms are always host-dependent (they hold timings); the registry
+//! refuses a spec that claims otherwise.  Histogram cells hold `count`,
+//! `sum` and one bucket per power of two: an observation `v` lands in the
+//! bucket of its bit length (`0` in bucket 0, `[2^(b-1), 2^b)` in bucket
+//! `b`), so observing costs two relaxed `fetch_add`s and no float math.
+//! Callers pick the unit (the service observes microseconds) and encode it
+//! in the metric name.
+//!
+//! Snapshots render to line-JSON (via [`crate::json`]) and to the
+//! Prometheus text exposition format.
+
+use crate::json::{JsonArray, JsonObject};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buckets per histogram: bucket `b` holds observations of bit length `b`,
+/// the last bucket is the overflow (`+Inf`) bucket.  32 buckets cover
+/// `[0, 2^31)` — ~36 minutes at microsecond resolution.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// What a registry cell is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A settable level (queue depth, jobs in flight).
+    Gauge,
+    /// Fixed-log2-bucket distribution of `u64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable name (also the Prometheus `# TYPE`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One row of a static metric taxonomy table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricSpec {
+    /// Full metric name (Prometheus conventions: `snake_case`, counters
+    /// ending in `_total`, the unit spelled out, e.g. `fleet_slice_us`).
+    pub name: &'static str,
+    /// Cell kind.
+    pub kind: MetricKind,
+    /// Whether the value is a pure function of the workload (see the
+    /// module docs).  Histograms must be `false`.
+    pub deterministic: bool,
+    /// One-line description (the Prometheus `# HELP`).
+    pub help: &'static str,
+}
+
+/// A histogram's atomic cells.
+#[derive(Debug)]
+struct HistCells {
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+/// One metric's storage.
+#[derive(Debug)]
+enum Cell {
+    Scalar(AtomicU64),
+    Hist(HistCells),
+}
+
+/// The registry: a static spec table plus one atomic cell (set) per row.
+/// All mutation is relaxed atomics — no lock is ever taken, on any path.
+#[derive(Debug)]
+pub struct Registry {
+    specs: &'static [MetricSpec],
+    cells: Vec<Cell>,
+}
+
+/// Bucket index of observation `v`: its bit length, clamped to the
+/// overflow bucket.
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `b` (`None` for the overflow bucket).
+fn bucket_bound(b: usize) -> Option<u64> {
+    if b + 1 >= HISTOGRAM_BUCKETS {
+        None
+    } else {
+        Some((1u64 << b) - 1)
+    }
+}
+
+impl Registry {
+    /// Builds a registry over `specs`.
+    ///
+    /// # Panics
+    /// Panics if a histogram spec claims to be deterministic — histograms
+    /// hold timings, which never are.
+    pub fn new(specs: &'static [MetricSpec]) -> Registry {
+        let cells = specs
+            .iter()
+            .map(|spec| match spec.kind {
+                MetricKind::Counter | MetricKind::Gauge => Cell::Scalar(AtomicU64::new(0)),
+                MetricKind::Histogram => {
+                    assert!(
+                        !spec.deterministic,
+                        "histogram '{}' cannot be deterministic: it holds timings",
+                        spec.name
+                    );
+                    Cell::Hist(HistCells {
+                        sum: AtomicU64::new(0),
+                        buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                    })
+                }
+            })
+            .collect();
+        Registry { specs, cells }
+    }
+
+    /// The spec table.
+    pub fn specs(&self) -> &'static [MetricSpec] {
+        self.specs
+    }
+
+    /// Adds `delta` to counter `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a counter.
+    pub fn add(&self, id: usize, delta: u64) {
+        debug_assert_eq!(self.specs[id].kind, MetricKind::Counter, "{}", self.specs[id].name);
+        match &self.cells[id] {
+            Cell::Scalar(cell) => {
+                cell.fetch_add(delta, Ordering::Relaxed);
+            }
+            Cell::Hist(_) => panic!("metric '{}' is not a counter", self.specs[id].name),
+        }
+    }
+
+    /// Sets gauge `id` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a gauge.
+    pub fn set(&self, id: usize, value: u64) {
+        debug_assert_eq!(self.specs[id].kind, MetricKind::Gauge, "{}", self.specs[id].name);
+        match &self.cells[id] {
+            Cell::Scalar(cell) => cell.store(value, Ordering::Relaxed),
+            Cell::Hist(_) => panic!("metric '{}' is not a gauge", self.specs[id].name),
+        }
+    }
+
+    /// Records observation `value` into histogram `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a histogram.
+    pub fn observe(&self, id: usize, value: u64) {
+        match &self.cells[id] {
+            Cell::Hist(hist) => {
+                hist.sum.fetch_add(value, Ordering::Relaxed);
+                hist.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            }
+            Cell::Scalar(_) => panic!("metric '{}' is not a histogram", self.specs[id].name),
+        }
+    }
+
+    /// Current value of scalar metric `id` (counter or gauge).
+    ///
+    /// # Panics
+    /// Panics if `id` is a histogram.
+    pub fn value(&self, id: usize) -> u64 {
+        match &self.cells[id] {
+            Cell::Scalar(cell) => cell.load(Ordering::Relaxed),
+            Cell::Hist(_) => panic!("metric '{}' is not scalar", self.specs[id].name),
+        }
+    }
+
+    /// A consistent snapshot of every cell.  Each cell is read atomically;
+    /// a histogram's `count` is derived from its buckets so rendered
+    /// cumulative counts always sum.  The deterministic subset is exact at
+    /// quiescent points (open, end of run) — which is where fingerprints
+    /// are compared.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self
+            .specs
+            .iter()
+            .zip(&self.cells)
+            .map(|(spec, cell)| {
+                let value = match cell {
+                    Cell::Scalar(cell) => MetricData::Scalar(cell.load(Ordering::Relaxed)),
+                    Cell::Hist(hist) => MetricData::Histogram(HistogramData {
+                        sum: hist.sum.load(Ordering::Relaxed),
+                        buckets: hist.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                    }),
+                };
+                MetricValue { spec: *spec, value }
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+}
+
+/// A histogram, frozen: raw (non-cumulative) per-bucket counts plus the
+/// observation sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Sum of every observation.
+    pub sum: u64,
+    /// Count per bucket (`buckets[b]` holds bit-length-`b` observations).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramData {
+    /// Total observations (the sum of every bucket).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// One frozen metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricValue {
+    /// The taxonomy row.
+    pub spec: MetricSpec,
+    /// The frozen cells.
+    pub value: MetricData,
+}
+
+/// Frozen cell contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricData {
+    /// Counter or gauge value.
+    Scalar(u64),
+    /// Histogram cells.
+    Histogram(HistogramData),
+}
+
+/// A frozen, renderable view of a whole [`Registry`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Every metric, in spec-table order.
+    pub metrics: Vec<MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// The metric named `name`, if present.
+    pub fn metric(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|m| m.spec.name == name)
+    }
+
+    /// Shortcut: the scalar value of `name` (`None` for histograms and
+    /// unknown names).
+    pub fn scalar(&self, name: &str) -> Option<u64> {
+        match self.metric(name)?.value {
+            MetricData::Scalar(v) => Some(v),
+            MetricData::Histogram(_) => None,
+        }
+    }
+
+    /// The deterministic subset as sorted `(name, value)` rows — the
+    /// fleet-level analogue of
+    /// [`crate::summary::RunSummary::deterministic_fingerprint`]: equal
+    /// across worker x thread layouts, or something scheduling-dependent
+    /// leaked into a deterministic cell.
+    pub fn deterministic_fingerprint(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = self
+            .metrics
+            .iter()
+            .filter(|m| m.spec.deterministic)
+            .map(|m| {
+                let value = match &m.value {
+                    MetricData::Scalar(v) => *v,
+                    MetricData::Histogram(_) => unreachable!("histograms are never deterministic"),
+                };
+                (format!("metric/{}", m.spec.name), value)
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Renders the snapshot as one JSON object (`format` 1): scalar
+    /// metrics carry `value`, histograms carry `sum` and `buckets`.
+    pub fn to_json(&self) -> String {
+        let mut rows = JsonArray::new();
+        for metric in &self.metrics {
+            let mut obj = JsonObject::new()
+                .str("name", metric.spec.name)
+                .str("kind", metric.spec.kind.name())
+                .bool("deterministic", metric.spec.deterministic);
+            obj = match &metric.value {
+                MetricData::Scalar(v) => obj.u64("value", *v),
+                MetricData::Histogram(hist) => {
+                    let mut buckets = JsonArray::new();
+                    for count in &hist.buckets {
+                        buckets.push_raw(&count.to_string());
+                    }
+                    obj.u64("count", hist.count()).u64("sum", hist.sum).array("buckets", buckets)
+                }
+            };
+            rows.push_object(obj);
+        }
+        JsonObject::new().u64("format", 1).array("metrics", rows).finish()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` per metric, cumulative `_bucket{le="..."}` rows
+    /// plus `_sum` / `_count` for histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for metric in &self.metrics {
+            let name = metric.spec.name;
+            out.push_str(&format!("# HELP {name} {}\n", metric.spec.help));
+            out.push_str(&format!("# TYPE {name} {}\n", metric.spec.kind.name()));
+            match &metric.value {
+                MetricData::Scalar(v) => out.push_str(&format!("{name} {v}\n")),
+                MetricData::Histogram(hist) => {
+                    let mut cumulative = 0u64;
+                    for (b, count) in hist.buckets.iter().enumerate() {
+                        cumulative += count;
+                        // Empty buckets before the first observation are
+                        // noise; cumulative rows after it must all appear.
+                        if cumulative == 0 {
+                            continue;
+                        }
+                        if let Some(bound) = bucket_bound(b) {
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                            ));
+                        }
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                    out.push_str(&format!("{name}_sum {}\n", hist.sum));
+                    out.push_str(&format!("{name}_count {cumulative}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECS: &[MetricSpec] = &[
+        MetricSpec {
+            name: "test_jobs_total",
+            kind: MetricKind::Counter,
+            deterministic: true,
+            help: "jobs seen",
+        },
+        MetricSpec {
+            name: "test_queue_depth",
+            kind: MetricKind::Gauge,
+            deterministic: false,
+            help: "queued jobs",
+        },
+        MetricSpec {
+            name: "test_latency_us",
+            kind: MetricKind::Histogram,
+            deterministic: false,
+            help: "latency in microseconds",
+        },
+    ];
+
+    #[test]
+    fn buckets_split_on_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_bound(0), Some(0));
+        assert_eq!(bucket_bound(2), Some(3));
+        assert_eq!(bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn cells_accumulate_and_snapshot() {
+        let registry = Registry::new(SPECS);
+        registry.add(0, 2);
+        registry.add(0, 3);
+        registry.set(1, 7);
+        registry.set(1, 4);
+        registry.observe(2, 0);
+        registry.observe(2, 3);
+        registry.observe(2, 1024);
+        assert_eq!(registry.value(0), 5);
+        assert_eq!(registry.value(1), 4);
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.scalar("test_jobs_total"), Some(5));
+        assert_eq!(snapshot.scalar("test_queue_depth"), Some(4));
+        assert_eq!(snapshot.scalar("test_latency_us"), None);
+        let MetricData::Histogram(hist) = &snapshot.metric("test_latency_us").unwrap().value else {
+            panic!("histogram expected")
+        };
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.sum, 1027);
+        assert_eq!(hist.buckets[0], 1);
+        assert_eq!(hist.buckets[2], 1);
+        assert_eq!(hist.buckets[11], 1);
+    }
+
+    #[test]
+    fn fingerprint_is_the_sorted_deterministic_subset() {
+        let registry = Registry::new(SPECS);
+        registry.add(0, 9);
+        registry.set(1, 3);
+        registry.observe(2, 50);
+        let rows = registry.snapshot().deterministic_fingerprint();
+        assert_eq!(rows, vec![("metric/test_jobs_total".to_string(), 9)]);
+    }
+
+    #[test]
+    fn json_rendering_carries_every_cell() {
+        let registry = Registry::new(SPECS);
+        registry.add(0, 1);
+        registry.observe(2, 5);
+        let json = registry.snapshot().to_json();
+        assert!(json.starts_with("{\"format\": 1, \"metrics\": ["), "{json}");
+        assert!(json.contains("\"name\": \"test_jobs_total\", \"kind\": \"counter\""), "{json}");
+        assert!(json.contains("\"deterministic\": true, \"value\": 1"), "{json}");
+        assert!(json.contains("\"name\": \"test_latency_us\", \"kind\": \"histogram\""), "{json}");
+        assert!(json.contains("\"count\": 1, \"sum\": 5, \"buckets\": ["), "{json}");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_cumulative_buckets() {
+        let registry = Registry::new(SPECS);
+        registry.add(0, 4);
+        registry.set(1, 2);
+        registry.observe(2, 1);
+        registry.observe(2, 3);
+        let text = registry.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE test_jobs_total counter\ntest_jobs_total 4\n"), "{text}");
+        assert!(text.contains("# TYPE test_queue_depth gauge\ntest_queue_depth 2\n"), "{text}");
+        assert!(text.contains("# TYPE test_latency_us histogram\n"), "{text}");
+        assert!(text.contains("test_latency_us_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("test_latency_us_bucket{le=\"3\"} 2\n"), "{text}");
+        assert!(text.contains("test_latency_us_bucket{le=\"+Inf\"} 2\n"), "{text}");
+        assert!(text.contains("test_latency_us_sum 4\n"), "{text}");
+        assert!(text.contains("test_latency_us_count 2\n"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be deterministic")]
+    fn deterministic_histograms_are_refused() {
+        static BAD: &[MetricSpec] = &[MetricSpec {
+            name: "bad_hist",
+            kind: MetricKind::Histogram,
+            deterministic: true,
+            help: "impossible",
+        }];
+        let _ = Registry::new(BAD);
+    }
+}

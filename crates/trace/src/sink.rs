@@ -70,9 +70,27 @@ pub fn write_jsonl(events: &[Event], counters: &[(String, u64, bool)]) -> String
 }
 
 /// Renders `events` as a Chrome-tracing document (`ts`/`dur` in
-/// microseconds, one `tid` per rank).
+/// microseconds, one `tid` per rank) under process id 0 — the single-run
+/// export.  Multi-worker tooling must use [`write_chrome_with_pid`]
+/// instead: two workers' rank-0 threads are unrelated, and folding them
+/// onto one `(pid, tid)` track interleaves them in Perfetto.
 pub fn write_chrome(events: &[Event]) -> String {
+    write_chrome_with_pid(events, 0)
+}
+
+/// Renders `events` as a Chrome-tracing document under process id `pid`.
+/// A merged fleet view gives each worker its own `pid` so every
+/// `(worker, rank)` pair stays on its own track.
+pub fn write_chrome_with_pid(events: &[Event], pid: u64) -> String {
     let mut rows = JsonArray::new();
+    chrome_rows(&mut rows, events, pid);
+    JsonObject::new().str("displayTimeUnit", "ns").array("traceEvents", rows).finish()
+}
+
+/// Appends the Chrome-tracing rows of `events` under `pid` to an existing
+/// array — the merge primitive of `serve timeline`, which folds several
+/// workers' logs (and journal-derived slice intervals) into one document.
+pub fn chrome_rows(rows: &mut JsonArray, events: &[Event], pid: u64) {
     for event in events {
         let info = spans::info(event.span);
         let args = JsonObject::new()
@@ -87,12 +105,11 @@ pub fn write_chrome(events: &[Event]) -> String {
                 .str("ph", "X")
                 .f64_fixed("ts", event.start_ns as f64 / 1e3, 3)
                 .f64_fixed("dur", (event.end_ns.saturating_sub(event.start_ns)) as f64 / 1e3, 3)
-                .u64("pid", 0)
+                .u64("pid", pid)
                 .u64("tid", u64::from(event.rank))
                 .object("args", args),
         );
     }
-    JsonObject::new().str("displayTimeUnit", "ns").array("traceEvents", rows).finish()
 }
 
 /// A parsed line-JSON log: the span definitions it carries, the counters
@@ -233,6 +250,13 @@ impl Trace {
     pub fn write_chrome(&mut self) -> String {
         let events = self.events();
         write_chrome(&events)
+    }
+
+    /// Drains the trace into a Chrome-tracing document under process id
+    /// `pid` (one pid per worker in merged fleet views).
+    pub fn write_chrome_with_pid(&mut self, pid: u64) -> String {
+        let events = self.events();
+        write_chrome_with_pid(&events, pid)
     }
 }
 

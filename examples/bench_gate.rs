@@ -29,6 +29,10 @@
 //!   supervised-service worker sweep on multi-core hosts (default 0.9:
 //!   adding workers may cost at most 10%; single-core hosts skip the
 //!   scaling check and only validate the artifact);
+//! * `LV_GATE_MAX_METRICS_OVERHEAD` — ceiling for the fleet-metrics
+//!   registry's wall-clock overhead on the saturation fleet, read from the
+//!   server artifact's `metrics` block (default 0.05, the ISSUE ceiling;
+//!   artifacts without the block skip the check);
 //! * `LV_BENCH_HISTORY_DIR` — optional directory of prior bench artifacts
 //!   (consumed in sorted file order, oldest first; files ending in
 //!   `-assembly.json` / `-driver.json` / `-server.json` belong to those
@@ -48,10 +52,10 @@
 
 use lv_metrics::regression::parse_named_numbers;
 use lv_metrics::{
-    best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_multigrid_bench,
-    gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low, gate_server_bench,
-    gate_solver_bench, gate_spmm_bench, parse_host_threads, server_peak_throughput,
-    worst_slice_speedup, GateReport,
+    best_parallel_solver_speedup, driver_phase_seconds, gate_assembly_bench, gate_metrics_overhead,
+    gate_multigrid_bench, gate_renumbering_bench, gate_rolling_window, gate_rolling_window_low,
+    gate_server_bench, gate_solver_bench, gate_spmm_bench, parse_host_threads,
+    server_peak_throughput, worst_slice_speedup, GateReport,
 };
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -150,6 +154,7 @@ fn main() {
     let max_mgcg_iterations = env_f64("LV_GATE_MAX_MGCG_ITERATIONS", 15.0) as usize;
     let min_mgcg_speedup = env_f64("LV_GATE_MIN_MGCG_SPEEDUP", 1.0);
     let min_server_scaling = env_f64("LV_GATE_MIN_SERVER_SCALING", 0.9);
+    let max_metrics_overhead = env_f64("LV_GATE_MAX_METRICS_OVERHEAD", 0.05);
     let assembly_path = std::env::var("LV_BENCH_JSON")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_assembly.json").into());
     let solver_path = std::env::var("LV_BENCH_SOLVER_JSON")
@@ -163,7 +168,9 @@ fn main() {
         "perf-regression gate (slice floor {min_slice:.2}x, solver floor {min_solver:.2}x, \
          spmm floor {min_spmm:.2}x, bandwidth floor {min_bandwidth:.2}x, \
          mgcg ceiling {max_mgcg_iterations} it / floor {min_mgcg_speedup:.2}x, \
-         server scaling floor {min_server_scaling:.2}x)\n"
+         server scaling floor {min_server_scaling:.2}x, \
+         metrics overhead ceiling {:.1}%)\n",
+        max_metrics_overhead * 100.0
     );
     let assembly_ok =
         run_gate("assembly bench", &assembly_path, |json| gate_assembly_bench(json, min_slice));
@@ -177,6 +184,22 @@ fn main() {
     });
     let server_ok =
         run_gate("server bench", &server_path, |json| gate_server_bench(json, min_server_scaling));
+    let metrics_ok = run_gate("metrics overhead", &server_path, |json| {
+        let off = parse_named_numbers(json, "\"metrics\":", "off_seconds").first().copied();
+        let on = parse_named_numbers(json, "\"metrics\":", "on_seconds").first().copied();
+        match (off, on) {
+            (Some(off), Some(on)) => gate_metrics_overhead(off, on, max_metrics_overhead),
+            _ => {
+                let mut report = GateReport::default();
+                report.push(
+                    "fleet metrics overhead",
+                    true,
+                    "skipped: artifact has no metrics block (older format)",
+                );
+                report
+            }
+        }
+    });
 
     // Rolling-window trends over the artifact history, when CI provides one.
     // Each trend label names the artifact it reads, so every PASS/FAIL/skip
@@ -278,7 +301,15 @@ fn main() {
         }
     };
 
-    if assembly_ok && solver_ok && spmm_ok && renumber_ok && multigrid_ok && server_ok && trend_ok {
+    if assembly_ok
+        && solver_ok
+        && spmm_ok
+        && renumber_ok
+        && multigrid_ok
+        && server_ok
+        && metrics_ok
+        && trend_ok
+    {
         println!("\ngate passed");
     } else {
         println!("\ngate FAILED");

@@ -1,0 +1,94 @@
+//! CI's metrics checker: validates a Prometheus text exposition scraped
+//! from `serve metrics --format prom` (TYPE declarations, sample syntax,
+//! counter naming, cumulative histogram buckets).
+//!
+//! ```text
+//! serve metrics --journal jobs.jsonl --format prom > metrics.prom
+//! cargo run --release --example metrics_check -- metrics.prom
+//! ```
+//!
+//! Pass `-` to read the exposition from stdin, so CI can pipe the scrape
+//! straight through without a temp file.  Exits non-zero when any check
+//! fails.
+//!
+//! Optional `--expect <name>` flags (repeatable) additionally require a
+//! sample of that exact metric name to be present — CI uses this to pin
+//! the deterministic counter subset (`fleet_jobs_submitted_total`, ...)
+//! so a renamed or dropped metric fails the scrape, not a dashboard.
+
+use lv_metrics::validate_prometheus;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut expect: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--expect" => {
+                match args.get(i + 1) {
+                    Some(name) => expect.push(name.clone()),
+                    None => {
+                        eprintln!("--expect needs a metric name");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            arg => {
+                if path.is_some() {
+                    eprintln!("usage: metrics_check <metrics.prom|-> [--expect NAME]...");
+                    std::process::exit(2);
+                }
+                path = Some(arg.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: metrics_check <metrics.prom|-> [--expect NAME]...");
+        std::process::exit(2);
+    };
+
+    let text = if path == "-" {
+        let mut text = String::new();
+        if let Err(err) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("cannot read stdin: {err}");
+            std::process::exit(1);
+        }
+        text
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    let mut report = validate_prometheus(&text);
+    for name in &expect {
+        // A sample line starts with the bare name followed by a space or a
+        // label block; a HELP/TYPE comment alone does not count.
+        let present = text.lines().any(|line| {
+            line.strip_prefix(name.as_str())
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        });
+        report.push(
+            format!("metric {name} present"),
+            present,
+            if present { "found" } else { "no sample with that name" },
+        );
+    }
+
+    println!("metrics exposition ({path}):");
+    print!("{}", report.to_text());
+    if report.passed() {
+        println!("metrics check passed");
+    } else {
+        println!("metrics check FAILED");
+        std::process::exit(1);
+    }
+}

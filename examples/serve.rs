@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! cargo run --release --example serve -- submit --journal jobs.jsonl cavity 8 20
-//! cargo run --release --example serve -- run    --journal jobs.jsonl --workers 2
+//! cargo run --release --example serve -- run    --journal jobs.jsonl --workers 2 --endpoint
 //! cargo run --release --example serve -- status --journal jobs.jsonl
+//! cargo run --release --example serve -- metrics --journal jobs.jsonl --format prom
+//! cargo run --release --example serve -- timeline --journal jobs.jsonl --all
 //! ```
 //!
 //! Subcommands:
@@ -18,28 +20,58 @@
 //!   worker (default 1), `--slice <K>` steps per slice (default 4),
 //!   `--watchdog-ms <W>` per-step deadline (default 30000),
 //!   `--max-retries <R>` (default 3), `--max-slices <N>` (graceful drain
-//!   for tests), `--ring <K>` checkpoint depth (default 3), `--ckpt-dir`;
-//! * `status` — replay the journal and print every job's state, running
-//!   nothing.
+//!   for tests), `--ring <K>` checkpoint depth (default 3), `--ckpt-dir`,
+//!   `--endpoint` (serve the introspection socket at `<journal>.sock`),
+//!   `--trace-dir <dir>` (write per-worker span logs for `timeline
+//!   --chrome`);
+//! * `status [--follow]` — one-line JSON fleet summary.  Asks the live
+//!   supervisor over `<journal>.sock` first; when no supervisor is
+//!   listening it replays the journal read-only and reports the ledger
+//!   with `"live": false` instead of failing.  `--follow` streams a status
+//!   line every half second while the supervisor lives, then prints the
+//!   final offline snapshot.  A missing journal reports `no journal` and
+//!   still exits 0 — absence of a fleet is an answer, not an error;
+//! * `metrics [--format prom|json]` — the fleet-metrics snapshot (default
+//!   json).  Socket first; then the `<journal>.metrics.json` document the
+//!   dead supervisor flushed at its last checkpoint (json only); finally a
+//!   read-only journal fold, which reconstructs the deterministic counters
+//!   exactly but leaves host-dependent histograms empty;
+//! * `timeline <job>|--all [--chrome] [--trace-dir <dir>]` — journal-derived
+//!   timelines.  Text mode prints one line per record (`--all`) or one job's
+//!   records; `--chrome` emits the merged Chrome-tracing document for the
+//!   whole fleet (slices from the journal, one pid per worker, plus any
+//!   per-worker span logs found in `--trace-dir`).
 //!
 //! `run` always prints the replay line (`journal replay: N job(s): ...`) —
 //! after a crashed supervisor it reports how many jobs were recovered —
-//! and exits `0` when no job failed, `1` when any did.  CLI errors exit
+//! and exits `0` when no job failed, `1` when any did.  The inspection
+//! subcommands (`status`, `metrics`, `timeline`) are read-only and exit
+//! `0` whenever the journal could be reported on (even when missing or
+//! with no supervisor alive), `1` on a corrupt journal.  CLI errors exit
 //! `2`.  Trajectories are bitwise independent of `--workers`, `--threads`,
 //! `--slice` and of any preemption, migration or retry along the way.
 
 use lv_driver::{Scenario, ScenarioKind};
-use lv_server::{JobSpec, Server, ServerConfig};
+use lv_server::{
+    chrome_timeline, ledger, metrics_json_path, query, replay_readonly, socket_path, text_timeline,
+    FleetMetrics, JobSpec, Replay, Server, ServerConfig,
+};
+use lv_trace::json::JsonObject;
+use lv_trace::sink::{parse_jsonl, TraceLog};
+use std::path::Path;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve <submit|run|status> --journal <path> [options]\n\
+        "usage: serve <submit|run|status|metrics|timeline> --journal <path> [options]\n\
          \n\
-         serve submit --journal J [--ckpt-dir D] <scenario> [n] [steps] [--id NAME] [--inject SPEC]\n\
-         serve run    --journal J [--ckpt-dir D] [--workers M] [--threads T] [--slice K]\n\
-         \x20              [--watchdog-ms W] [--max-retries R] [--max-slices N] [--ring K]\n\
-         serve status --journal J\n\
+         serve submit   --journal J [--ckpt-dir D] <scenario> [n] [steps] [--id NAME] [--inject SPEC]\n\
+         serve run      --journal J [--ckpt-dir D] [--workers M] [--threads T] [--slice K]\n\
+         \x20                [--watchdog-ms W] [--max-retries R] [--max-slices N] [--ring K]\n\
+         \x20                [--endpoint] [--trace-dir DIR]\n\
+         serve status   --journal J [--follow]\n\
+         serve metrics  --journal J [--format prom|json]\n\
+         serve timeline --journal J <job>|--all [--chrome] [--trace-dir DIR]\n\
          \n\
          scenarios: cavity, channel, taylor-green, shear-layer"
     );
@@ -112,7 +144,9 @@ fn main() {
     match command {
         "submit" => submit(&common, &rest),
         "run" => run(&common, &rest),
-        "status" => status(&common),
+        "status" => status(&common, &rest),
+        "metrics" => metrics(&common, &rest),
+        "timeline" => timeline(&common, &rest),
         _ => usage(),
     }
 }
@@ -218,6 +252,14 @@ fn run(common: &Common, rest: &[String]) {
                 config.ring_depth = parse_num(flag_value(rest, i, "--ring"), "--ring");
                 i += 2;
             }
+            "--endpoint" => {
+                config.endpoint = true;
+                i += 1;
+            }
+            "--trace-dir" => {
+                config.trace_dir = Some(flag_value(rest, i, "--trace-dir").into());
+                i += 2;
+            }
             flag => bail(&format!("unknown run flag {flag}")),
         }
     }
@@ -246,13 +288,201 @@ fn run(common: &Common, rest: &[String]) {
     std::process::exit(if report.failed > 0 { 1 } else { 0 });
 }
 
-fn status(common: &Common) {
-    if !std::path::Path::new(common.journal()).exists() {
-        bail(&format!("no journal at {}", common.journal()));
+/// Read-only journal replay for the inspection subcommands.  `None` means
+/// the journal does not exist — the caller reports that and exits 0, since
+/// "no fleet" is a valid answer for a read-only query.  Corruption exits 1.
+fn inspect_replay(journal: &str) -> Option<Replay> {
+    match replay_readonly(Path::new(journal)) {
+        Ok(replay) => Some(replay),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("error: cannot replay journal {journal}: {e}");
+            std::process::exit(1);
+        }
     }
-    let server = open(common, common.config());
-    println!("{}", server.replay());
-    for job in server.jobs() {
-        println!("  {} {} (attempts {})", job.id, job.status, job.attempts);
+}
+
+fn status(common: &Common, rest: &[String]) {
+    let mut follow = false;
+    for flag in rest {
+        match flag.as_str() {
+            "--follow" => follow = true,
+            other => bail(&format!("unknown status flag {other}")),
+        }
     }
+    let journal = common.journal();
+    let socket = socket_path(Path::new(journal));
+    if follow {
+        // Stream live status lines until the supervisor goes away, then
+        // fall through to the final offline snapshot below.
+        while let Ok(reply) = query(&socket, "status") {
+            print!("{reply}");
+            std::thread::sleep(Duration::from_millis(500));
+        }
+    } else if let Ok(reply) = query(&socket, "status") {
+        print!("{reply}");
+        return;
+    }
+
+    // No live supervisor: the journal *is* the fleet state.  Report the
+    // replayed ledger and exit 0 — a dead supervisor is an observation.
+    let Some(replay) = inspect_replay(journal) else {
+        println!("no journal at {journal} (nothing to report)");
+        return;
+    };
+    let entries = ledger(&replay.records).unwrap_or_else(|e| {
+        eprintln!("error: journal {journal} is not a valid ledger: {e}");
+        std::process::exit(1);
+    });
+    let (done, failed, pending) =
+        entries.iter().fold((0usize, 0usize, 0usize), |acc, entry| match entry.status {
+            lv_server::JobStatus::Done { .. } => (acc.0 + 1, acc.1, acc.2),
+            lv_server::JobStatus::Failed { .. } => (acc.0, acc.1 + 1, acc.2),
+            _ => (acc.0, acc.1, acc.2 + 1),
+        });
+    println!(
+        "{}",
+        JsonObject::new()
+            .u64("format", 1)
+            .bool("live", false)
+            .usize("jobs", entries.len())
+            .usize("done", done)
+            .usize("failed", failed)
+            .usize("pending", pending)
+            .bool("torn_tail", replay.torn_tail)
+            .finish()
+    );
+    for entry in &entries {
+        println!("  {} {} (attempts {})", entry.spec.id, entry.status, entry.attempts);
+    }
+}
+
+fn metrics(common: &Common, rest: &[String]) {
+    let mut prom = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--format" => {
+                match flag_value(rest, i, "--format") {
+                    "prom" => prom = true,
+                    "json" => prom = false,
+                    other => bail(&format!("--format must be prom or json, not '{other}'")),
+                }
+                i += 2;
+            }
+            other => bail(&format!("unknown metrics flag {other}")),
+        }
+    }
+    let journal = common.journal();
+    let socket = socket_path(Path::new(journal));
+    let request = if prom { "metrics prom" } else { "metrics json" };
+    if let Ok(reply) = query(&socket, request) {
+        print!("{reply}");
+        return;
+    }
+    // Dead supervisor.  For JSON, prefer the document it flushed at its
+    // last checkpoint (it carries the host-dependent histograms and the
+    // progress board); otherwise fold the journal read-only, which
+    // reconstructs exactly the deterministic counter subset.
+    if !prom {
+        if let Ok(doc) = std::fs::read_to_string(metrics_json_path(Path::new(journal))) {
+            println!("{}", doc.trim_end());
+            return;
+        }
+    }
+    let Some(replay) = inspect_replay(journal) else {
+        println!("no journal at {journal} (nothing to report)");
+        return;
+    };
+    let fleet = FleetMetrics::new();
+    fleet.replay(&replay.records);
+    if prom {
+        print!("{}", fleet.snapshot().to_prometheus());
+    } else {
+        println!("{}", fleet.document());
+    }
+}
+
+fn timeline(common: &Common, rest: &[String]) {
+    let mut job: Option<String> = None;
+    let mut all = false;
+    let mut chrome = false;
+    let mut trace_dir: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--all" => {
+                all = true;
+                i += 1;
+            }
+            "--chrome" => {
+                chrome = true;
+                i += 1;
+            }
+            "--trace-dir" => {
+                trace_dir = Some(flag_value(rest, i, "--trace-dir").to_string());
+                i += 2;
+            }
+            flag if flag.starts_with("--") => bail(&format!("unknown timeline flag {flag}")),
+            value => {
+                if job.is_some() {
+                    bail("timeline takes at most one job id");
+                }
+                job = Some(value.to_string());
+                i += 1;
+            }
+        }
+    }
+    if all == job.is_some() {
+        bail("timeline needs exactly one of a job id or --all");
+    }
+    let journal = common.journal();
+    let Some(replay) = inspect_replay(journal) else {
+        println!("no journal at {journal} (nothing to report)");
+        return;
+    };
+    if chrome {
+        // The Chrome document is always the merged fleet view (one pid per
+        // worker); a job filter would leave dangling flow between workers.
+        let logs = load_trace_logs(trace_dir.as_deref());
+        print!("{}", chrome_timeline(&replay.records, &logs));
+    } else {
+        print!("{}", text_timeline(&replay.records, job.as_deref()));
+    }
+}
+
+/// Loads every `worker-<k>.trace.jsonl` span log in `dir` (the files
+/// `serve run --trace-dir` writes), keyed by worker id for the Chrome
+/// export's pid axis.  Unreadable or unparseable logs are skipped with a
+/// note on stderr — a timeline with fewer lanes beats no timeline.
+fn load_trace_logs(dir: Option<&str>) -> Vec<(u64, TraceLog)> {
+    let Some(dir) = dir else { return Vec::new() };
+    let mut logs = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("note: cannot read trace dir {dir}: {e}");
+            return Vec::new();
+        }
+    };
+    for entry in entries.filter_map(Result::ok) {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(worker) = name
+            .strip_prefix("worker-")
+            .and_then(|rest| rest.strip_suffix(".trace.jsonl"))
+            .and_then(|id| id.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        match std::fs::read_to_string(entry.path())
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_jsonl(&text))
+        {
+            Ok(log) => logs.push((worker, log)),
+            Err(e) => eprintln!("note: skipping {name}: {e}"),
+        }
+    }
+    logs.sort_by_key(|(worker, _)| *worker);
+    logs
 }

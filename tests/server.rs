@@ -12,7 +12,11 @@
 //!   state gone) is replaced by a fresh `Server::open` that replays the
 //!   journal and finishes every pending job, still bitwise clean;
 //! * **Torn journal** — an interrupted append (half a line at the tail) is
-//!   truncated on replay and the service keeps going.
+//!   truncated on replay and the service keeps going;
+//! * **Metrics determinism** — the deterministic counter subset of the
+//!   fleet-metrics registry is a pure journal fold: replaying the journal
+//!   reproduces the live fingerprint exactly (even past a torn tail), and
+//!   the fingerprint is invariant across worker/thread/ring layouts.
 //!
 //! Scheduling, preemption, migration and retries must never enter a
 //! trajectory: the only inputs are the scenario, the checkpointed state and
@@ -20,7 +24,7 @@
 
 use lv_driver::{FaultPlan, Scenario, ScenarioKind, SimState, Stepper, StepperConfig};
 use lv_runtime::Team;
-use lv_server::{JobSpec, JobStatus, Server, ServerConfig};
+use lv_server::{replay_readonly, FleetMetrics, JobSpec, JobStatus, Server, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -200,6 +204,120 @@ fn a_torn_journal_tail_is_truncated_and_the_service_keeps_going() {
     assert!(report.all_done(), "{report:?}");
     let oracle = oracle_state(&cavity, 3, server.config().stepper_config(), None);
     assert_states_bitwise(&oracle, &final_state(&server, "only", &cavity), "job only");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance fleet of ISSUE 10: the same five-job faulted mix as
+/// [`a_faulted_fleet_finishes_bitwise_identical_to_uninterrupted_runs`],
+/// submitted in a fixed order.
+fn submit_faulted_fleet(server: &mut Server) {
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+    let cavity5 = Scenario::new(ScenarioKind::LidDrivenCavity, 5);
+    let tg = Scenario::new(ScenarioKind::TaylorGreenVortex, 4);
+    let fleet: Vec<(&str, Scenario, u64, Option<&str>)> = vec![
+        ("clean", cavity.clone(), 5, None),
+        ("stalled", cavity.clone(), 4, Some("stall@2,seed=3")),
+        ("panicky", tg, 4, Some("panic@2,seed=7")),
+        ("corruptor", cavity5, 5, Some("ckpt-flip@2,seed=11")),
+        ("faulted", cavity, 4, Some("momentum-breakdown@2,seed=42")),
+    ];
+    for (id, scenario, steps, inject) in fleet {
+        let mut spec = JobSpec::new(id, scenario, steps);
+        if let Some(inject) = inject {
+            spec = spec.with_inject(inject);
+        }
+        server.submit(spec).expect("submit");
+    }
+}
+
+#[test]
+fn the_deterministic_metrics_subset_is_invariant_across_fleet_layouts() {
+    // The deterministic counter subset is a pure fold of the journal, and
+    // the journal's transition sequence is a function of each job's fault
+    // plan and the slice quota alone — so its fingerprint may not depend
+    // on how many workers, threads or ring generations drained the fleet.
+    // The slice quota stays fixed (preemption counts *are* slice-shaped);
+    // the third layout axis is the checkpoint ring depth.
+    let mut prints: Vec<Vec<(String, u64)>> = Vec::new();
+    for (workers, threads, ring) in [(1usize, 1usize, 2usize), (2, 1, 1), (2, 2, 3)] {
+        let dir = test_dir(&format!("metrics-layout-{workers}-{threads}-{ring}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let mut cfg = config(&dir);
+        cfg.workers = workers;
+        cfg.threads_per_worker = threads;
+        cfg.ring_depth = ring;
+        let journal = dir.join("jobs.jsonl");
+        let mut server = Server::open(&journal, cfg).expect("open");
+        submit_faulted_fleet(&mut server);
+        assert!(server.run().all_done());
+
+        let live = server.metrics().snapshot().deterministic_fingerprint();
+        // The journal alone reproduces the live subset (same fold).
+        let folded = FleetMetrics::new();
+        folded.replay(&replay_readonly(&journal).expect("replay").records);
+        assert_eq!(
+            folded.snapshot().deterministic_fingerprint(),
+            live,
+            "journal replay must reproduce the live deterministic counters"
+        );
+        prints.push(live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for (i, print) in prints.iter().enumerate().skip(1) {
+        assert_eq!(&prints[0], print, "layout {i} changed the deterministic metrics fingerprint");
+    }
+    // The subset is not vacuous: the fleet really did retry and preempt.
+    let value = |name: &str| {
+        prints[0]
+            .iter()
+            .find(|(key, _)| key.ends_with(name))
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("fingerprint misses {name}: {:?}", prints[0]))
+    };
+    assert_eq!(value("fleet_jobs_submitted_total"), 5);
+    assert_eq!(value("fleet_jobs_done_total"), 5);
+    assert_eq!(value("fleet_jobs_failed_total"), 0);
+    assert!(value("fleet_job_retries_total") >= 2, "stalled + panicky must retry");
+    assert!(value("fleet_slices_preempted_total") >= 1);
+    // At least every target step was committed once; retried jobs that
+    // fell back to an older ring generation re-commit a few on top (the
+    // exact figure is pinned by the cross-layout fingerprint equality).
+    assert!(value("fleet_steps_committed_total") >= 5 + 4 + 4 + 5 + 4);
+}
+
+#[test]
+fn journal_replay_reproduces_the_live_metrics_even_past_a_torn_tail() {
+    let dir = test_dir("metrics-torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let journal = dir.join("jobs.jsonl");
+    let cavity = Scenario::new(ScenarioKind::LidDrivenCavity, 4);
+
+    let mut server = Server::open(&journal, config(&dir)).expect("open");
+    server.submit(JobSpec::new("one", cavity.clone(), 5)).expect("submit");
+    server.submit(JobSpec::new("two", cavity, 3)).expect("submit");
+    assert!(server.run().all_done());
+    let live = server.metrics().snapshot().deterministic_fingerprint();
+    drop(server);
+
+    // A crash tore the next append mid-line: the read-only replay skips
+    // the tail without touching the file, and the fold still lands on the
+    // live fingerprint.
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new().append(true).open(&journal).expect("journal");
+    file.write_all(b"{\"seq\": 99, \"event\": \"runni").expect("torn append");
+    drop(file);
+    let replay = replay_readonly(&journal).expect("replay");
+    assert!(replay.torn_tail, "the torn tail must be reported");
+    let folded = FleetMetrics::new();
+    folded.replay(&replay.records);
+    assert_eq!(folded.snapshot().deterministic_fingerprint(), live);
+
+    // Reopening the supervisor truncates the tail and primes its registry
+    // from the same fold — still the live fingerprint.
+    let reopened = Server::open(&journal, config(&dir)).expect("reopen");
+    assert_eq!(reopened.metrics().snapshot().deterministic_fingerprint(), live);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
